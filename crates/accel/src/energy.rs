@@ -1,0 +1,146 @@
+//! Per-operation energies at 28 nm and the energy breakdown container.
+//!
+//! Dynamic energies follow the usual published scalings (Horowitz ISSCC'14
+//! numbers shrunk from 45 nm to 28 nm; CACTI-style SRAM access costs by
+//! array size; LPDDR access ~100 pJ/B). The absolute values matter less
+//! than their *ratios* — multiplier vs accumulate-only PEs, SRAM vs DRAM —
+//! which drive every effect in Fig. 4. All values are picojoules.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-op energy constants (pJ) and modeling factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One 8-bit multiply + 16-bit accumulate (the MAC of clusters 2–4,
+    /// which process non-spike activations).
+    pub mac_pj: f64,
+    /// One 16-bit accumulate only (the simplified spike-input PEs of
+    /// cluster 1 / the SATA baseline — "since the input is in the form of
+    /// spikes, we simplified the arithmetic units").
+    pub accumulate_pj: f64,
+    /// Global-buffer SRAM access per byte.
+    pub sram_pj_per_byte: f64,
+    /// Register-file / scratch-pad access per byte (the third level of the
+    /// memory hierarchy).
+    pub rf_pj_per_byte: f64,
+    /// Off-chip DRAM access per byte.
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage) energy per cycle for the whole chip.
+    pub static_pj_per_cycle: f64,
+    /// Average spike activity (fraction of binary activations that are 1);
+    /// spike-driven compute and spike traffic scale with it.
+    pub spike_activity: f64,
+    /// Backward-pass cost multiplier: BPTT's backward phase performs the
+    /// transposed convolutions plus weight-gradient accumulation, ~2× the
+    /// forward op count.
+    pub backward_factor: f64,
+    /// Bytes per non-spike activation (16-bit).
+    pub activation_bytes: f64,
+    /// Bytes per weight (8-bit, Table I multiplier precision).
+    pub weight_bytes: f64,
+}
+
+impl EnergyModel {
+    /// The default 28 nm calibration used for Fig. 4.
+    pub fn nm28() -> Self {
+        Self {
+            mac_pj: 0.22,
+            accumulate_pj: 0.03,
+            sram_pj_per_byte: 1.2,
+            rf_pj_per_byte: 0.08,
+            dram_pj_per_byte: 100.0,
+            static_pj_per_cycle: 45.0,
+            spike_activity: 0.25,
+            backward_factor: 2.0,
+            activation_bytes: 2.0,
+            weight_bytes: 1.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::nm28()
+    }
+}
+
+/// Energy report for one training pass of one image (forward + backward
+/// across all timesteps), in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Arithmetic (MAC/accumulate) energy.
+    pub compute_pj: f64,
+    /// Global-buffer + scratch-pad traffic energy.
+    pub sram_pj: f64,
+    /// Off-chip DRAM traffic energy.
+    pub dram_pj: f64,
+    /// Leakage energy (static power × runtime).
+    pub static_pj: f64,
+    /// Total runtime in cycles.
+    pub cycles: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.compute_pj + self.sram_pj + self.dram_pj + self.static_pj
+    }
+
+    /// Total energy in nanojoules (the unit of Fig. 4's y-axis).
+    pub fn total_nj(&self) -> f64 {
+        self.total_pj() / 1e3
+    }
+
+    /// Accumulates another breakdown (e.g. per-layer into per-network).
+    pub fn add(&mut self, other: &EnergyBreakdown) {
+        self.compute_pj += other.compute_pj;
+        self.sram_pj += other.sram_pj;
+        self.dram_pj += other.dram_pj;
+        self.static_pj += other.static_pj;
+        self.cycles += other.cycles;
+    }
+
+    /// Relative change versus a reference total: `(self - ref) / ref`.
+    pub fn relative_to(&self, reference: &EnergyBreakdown) -> f64 {
+        (self.total_pj() - reference.total_pj()) / reference.total_pj()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_sane_ratios() {
+        let m = EnergyModel::nm28();
+        assert!(m.mac_pj > m.accumulate_pj, "multiplier must cost more than accumulate");
+        assert!(m.dram_pj_per_byte > 10.0 * m.sram_pj_per_byte, "DRAM ≫ SRAM");
+        assert!(m.sram_pj_per_byte > m.rf_pj_per_byte, "SRAM > scratch-pad");
+        assert!((0.0..=1.0).contains(&m.spike_activity));
+    }
+
+    #[test]
+    fn breakdown_totals_and_add() {
+        let mut a = EnergyBreakdown {
+            compute_pj: 1.0,
+            sram_pj: 2.0,
+            dram_pj: 3.0,
+            static_pj: 4.0,
+            cycles: 10.0,
+        };
+        assert_eq!(a.total_pj(), 10.0);
+        assert_eq!(a.total_nj(), 0.01);
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.total_pj(), 20.0);
+        assert_eq!(a.cycles, 20.0);
+    }
+
+    #[test]
+    fn relative_to_signs() {
+        let base = EnergyBreakdown { compute_pj: 100.0, ..Default::default() };
+        let less = EnergyBreakdown { compute_pj: 40.0, ..Default::default() };
+        assert!((less.relative_to(&base) + 0.6).abs() < 1e-12);
+        assert!(base.relative_to(&less) > 0.0);
+    }
+}

@@ -1,0 +1,878 @@
+//! Differentiable operations on [`Var`].
+//!
+//! Each op computes its forward value eagerly with [`ttsnn_tensor`] kernels
+//! and records a backward closure that distributes the output gradient to
+//! its parents. The op set is exactly what the TT-SNN training pipeline
+//! (Algorithm 1 of the paper) needs:
+//!
+//! * elementwise arithmetic and scaling — membrane-potential updates (Eq. 1);
+//! * [`Var::conv2d`] — both the baseline 3×3 convolutions and the TT cores'
+//!   1×1 / 3×1 / 1×3 sub-convolutions;
+//! * [`Var::spike`] — the Heaviside firing function with a surrogate
+//!   gradient for BPTT;
+//! * [`Var::batch_norm2d`] — tdBN-style normalization;
+//! * [`Var::linear`], pooling, and [`cross_entropy_logits`] — the classifier
+//!   head and loss of Algorithm 1 lines 14–16.
+
+use ttsnn_tensor::{conv, pool, Conv2dGeometry, ShapeError, Tensor};
+
+use crate::var::Var;
+
+/// Surrogate-gradient shape used in place of the Heaviside derivative during
+/// the backward pass (the paper follows STBP's rectangular window).
+///
+/// All variants are functions of `u - V_th`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Surrogate {
+    /// `1/width` inside `|u - vth| < width/2`, zero outside (STBP).
+    Rectangle {
+        /// Window width `a`.
+        width: f32,
+    },
+    /// Triangular bump `max(0, 1 - |u - vth|/width) / width`.
+    Triangle {
+        /// Half-base of the triangle.
+        width: f32,
+    },
+    /// Scaled arctan derivative `alpha / (2 * (1 + (pi/2 * alpha * x)^2))`.
+    Atan {
+        /// Sharpness `alpha`.
+        alpha: f32,
+    },
+}
+
+impl Default for Surrogate {
+    /// The paper's default: rectangular window of width 1.
+    fn default() -> Self {
+        Surrogate::Rectangle { width: 1.0 }
+    }
+}
+
+impl Surrogate {
+    /// Evaluates the surrogate derivative at `x = u - vth`.
+    pub fn grad(&self, x: f32) -> f32 {
+        match *self {
+            Surrogate::Rectangle { width } => {
+                if x.abs() < width / 2.0 {
+                    1.0 / width
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::Triangle { width } => {
+                let t = 1.0 - x.abs() / width;
+                if t > 0.0 {
+                    t / width
+                } else {
+                    0.0
+                }
+            }
+            Surrogate::Atan { alpha } => {
+                let s = std::f32::consts::FRAC_PI_2 * alpha * x;
+                alpha / (2.0 * (1.0 + s * s))
+            }
+        }
+    }
+}
+
+impl Var {
+    // ------------------------------------------------------------ pointwise
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().add(&other.value())?;
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, parents| {
+                parents[0].accumulate_grad(g);
+                parents[1].accumulate_grad(g);
+            }),
+        ))
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn sub(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().sub(&other.value())?;
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(|g, parents| {
+                parents[0].accumulate_grad(g);
+                parents[1].accumulate_grad(&g.scale(-1.0));
+            }),
+        ))
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn mul(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().mul(&other.value())?;
+        let a_val = self.to_tensor();
+        let b_val = other.to_tensor();
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.mul(&b_val).expect("mul backward shape"));
+                parents[1].accumulate_grad(&g.mul(&a_val).expect("mul backward shape"));
+            }),
+        ))
+    }
+
+    /// Multiplies by a compile-time scalar.
+    pub fn scale(&self, s: f32) -> Var {
+        let value = self.value().scale(s);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| parents[0].accumulate_grad(&g.scale(s))),
+        )
+    }
+
+    /// Adds a compile-time scalar.
+    pub fn add_scalar(&self, s: f32) -> Var {
+        let value = self.value().add_scalar(s);
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(|g, parents| parents[0].accumulate_grad(g)),
+        )
+    }
+
+    /// Multiplies every element by a **learned scalar** (a `Var` holding a
+    /// single element) — the TEBN per-timestep scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `s` does not hold exactly one element.
+    pub fn scale_by(&self, s: &Var) -> Result<Var, ShapeError> {
+        if s.value().len() != 1 {
+            return Err(ShapeError::new(format!(
+                "scale_by: scale must be a single element, got {:?}",
+                s.shape()
+            )));
+        }
+        let sv = s.value().data()[0];
+        let x_val = self.to_tensor();
+        let value = self.value().scale(sv);
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), s.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.scale(sv));
+                let ds: f32 = g
+                    .data()
+                    .iter()
+                    .zip(x_val.data().iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                parents[1].accumulate_grad(
+                    &Tensor::from_vec(vec![ds], &[1]).expect("scalar grad"),
+                );
+            }),
+        ))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let x_val = self.to_tensor();
+        let value = self.value().map(|v| v.max(0.0));
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let masked = g
+                    .zip(&x_val, |gv, xv| if xv > 0.0 { gv } else { 0.0 })
+                    .expect("relu backward shape");
+                parents[0].accumulate_grad(&masked);
+            }),
+        )
+    }
+
+    /// Heaviside spike with surrogate gradient: forward emits
+    /// `1.0` where the membrane potential is at or above `vth`, backward
+    /// uses `surrogate.grad(u - vth)`.
+    ///
+    /// This is the firing function `H(u − V_th)` of Eq. (1) in the paper.
+    pub fn spike(&self, vth: f32, surrogate: Surrogate) -> Var {
+        let u_val = self.to_tensor();
+        let value = self.value().map(|u| if u >= vth { 1.0 } else { 0.0 });
+        Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let du = g
+                    .zip(&u_val, |gv, uv| gv * surrogate.grad(uv - vth))
+                    .expect("spike backward shape");
+                parents[0].accumulate_grad(&du);
+            }),
+        )
+    }
+
+    // ------------------------------------------------------------- reshapes
+
+    /// Reshape preserving element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Var, ShapeError> {
+        let value = self.value().reshape(shape)?;
+        let old_shape = self.shape();
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&g.reshape(&old_shape).expect("reshape backward"));
+            }),
+        ))
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements as a `[1]`-shaped scalar node.
+    pub fn sum_to_scalar(&self) -> Var {
+        let total = self.value().sum();
+        let shape = self.shape();
+        Var::from_op(
+            Tensor::from_vec(vec![total], &[1]).expect("scalar tensor"),
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                parents[0].accumulate_grad(&Tensor::full(&shape, g.data()[0]));
+            }),
+        )
+    }
+
+    /// Mean of all elements as a `[1]`-shaped scalar node.
+    pub fn mean_to_scalar(&self) -> Var {
+        let n = self.value().len().max(1) as f32;
+        self.sum_to_scalar().scale(1.0 / n)
+    }
+
+    // --------------------------------------------------------------- linear
+
+    /// Matrix product of 2-D nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if operands are not 2-D or inner dims disagree.
+    pub fn matmul(&self, other: &Var) -> Result<Var, ShapeError> {
+        let value = self.value().matmul(&other.value())?;
+        let a_val = self.to_tensor();
+        let b_val = other.to_tensor();
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), other.clone()],
+            Box::new(move |g, parents| {
+                let bt = b_val.transpose().expect("matmul backward transpose");
+                parents[0].accumulate_grad(&g.matmul(&bt).expect("matmul backward da"));
+                let at = a_val.transpose().expect("matmul backward transpose");
+                parents[1].accumulate_grad(&at.matmul(g).expect("matmul backward db"));
+            }),
+        ))
+    }
+
+    /// Fully connected layer: `y = x · wᵀ + b` with `x: (B, F)`,
+    /// `w: (O, F)`, `b: (O)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on dimension mismatch.
+    pub fn linear(&self, weight: &Var, bias: &Var) -> Result<Var, ShapeError> {
+        let x = self.value();
+        let w = weight.value();
+        let b = bias.value();
+        if x.ndim() != 2 || w.ndim() != 2 || b.ndim() != 1 {
+            return Err(ShapeError::new(format!(
+                "linear: expected x:(B,F) w:(O,F) b:(O), got {:?} {:?} {:?}",
+                x.shape(),
+                w.shape(),
+                b.shape()
+            )));
+        }
+        let (batch, feat) = (x.shape()[0], x.shape()[1]);
+        let (out, feat2) = (w.shape()[0], w.shape()[1]);
+        if feat != feat2 || b.shape()[0] != out {
+            return Err(ShapeError::new(format!(
+                "linear: inconsistent dims x:{:?} w:{:?} b:{:?}",
+                x.shape(),
+                w.shape(),
+                b.shape()
+            )));
+        }
+        let wt = w.transpose()?;
+        let mut y = x.matmul(&wt)?;
+        for i in 0..batch {
+            for j in 0..out {
+                y.data_mut()[i * out + j] += b.data()[j];
+            }
+        }
+        drop((x, w, b));
+        let x_val = self.to_tensor();
+        let w_val = weight.to_tensor();
+        Ok(Var::from_op(
+            y,
+            vec![self.clone(), weight.clone(), bias.clone()],
+            Box::new(move |g, parents| {
+                // dx = g · w
+                parents[0].accumulate_grad(&g.matmul(&w_val).expect("linear backward dx"));
+                // dw = gᵀ · x
+                let gt = g.transpose().expect("linear backward transpose");
+                parents[1].accumulate_grad(&gt.matmul(&x_val).expect("linear backward dw"));
+                // db = column sums of g
+                parents[2].accumulate_grad(&g.sum_axis(0).expect("linear backward db"));
+            }),
+        ))
+    }
+
+    // ---------------------------------------------------------- convolution
+
+    /// 2-D convolution `(B,C,H,W) ⊛ (O,C,Kh,Kw)`, geometry-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if input or weight does not match `geometry`.
+    pub fn conv2d(&self, weight: &Var, geometry: Conv2dGeometry) -> Result<Var, ShapeError> {
+        let value = conv::conv2d(&self.value(), &weight.value(), &geometry)?;
+        let x_val = self.to_tensor();
+        let w_val = weight.to_tensor();
+        Ok(Var::from_op(
+            value,
+            vec![self.clone(), weight.clone()],
+            Box::new(move |g, parents| {
+                if parents[0].requires_grad() {
+                    let dx = conv::conv2d_input_grad(g, &w_val, &geometry)
+                        .expect("conv2d backward dx");
+                    parents[0].accumulate_grad(&dx);
+                }
+                if parents[1].requires_grad() {
+                    let dw = conv::conv2d_weight_grad(&x_val, g, &geometry)
+                        .expect("conv2d backward dw");
+                    parents[1].accumulate_grad(&dw);
+                }
+            }),
+        ))
+    }
+
+    // -------------------------------------------------------------- pooling
+
+    /// Average pooling with window and stride `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input is not 4-D or `k` does not divide
+    /// the spatial dims.
+    pub fn avg_pool2d(&self, k: usize) -> Result<Var, ShapeError> {
+        let value = pool::avg_pool2d(&self.value(), k)?;
+        let in_hw = {
+            let s = self.shape();
+            (s[2], s[3])
+        };
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let dx = pool::avg_pool2d_backward(g, k, in_hw).expect("avg_pool backward");
+                parents[0].accumulate_grad(&dx);
+            }),
+        ))
+    }
+
+    /// Global average pooling `(B,C,H,W) -> (B,C)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input is not 4-D.
+    pub fn global_avg_pool(&self) -> Result<Var, ShapeError> {
+        let value = pool::global_avg_pool(&self.value())?;
+        let in_hw = {
+            let s = self.shape();
+            (s[2], s[3])
+        };
+        Ok(Var::from_op(
+            value,
+            vec![self.clone()],
+            Box::new(move |g, parents| {
+                let dx = pool::global_avg_pool_backward(g, in_hw).expect("gap backward");
+                parents[0].accumulate_grad(&dx);
+            }),
+        ))
+    }
+
+    // ------------------------------------------------------------ batchnorm
+
+    /// Training-mode 2-D batch normalization with affine parameters and an
+    /// extra constant scale (tdBN multiplies by `α·V_th`).
+    ///
+    /// Statistics are computed per channel over `(B, H, W)` of this batch:
+    /// `y = γ · k · (x − μ)/√(σ² + eps) + β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not 4-D or `gamma`/`beta` are not
+    /// `[C]`-shaped.
+    pub fn batch_norm2d(
+        &self,
+        gamma: &Var,
+        beta: &Var,
+        eps: f32,
+        extra_scale: f32,
+    ) -> Result<Var, ShapeError> {
+        let x = self.value();
+        if x.ndim() != 4 {
+            return Err(ShapeError::new(format!(
+                "batch_norm2d: expected 4-D input, got {:?}",
+                x.shape()
+            )));
+        }
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if gamma.shape() != [c] || beta.shape() != [c] {
+            return Err(ShapeError::new(format!(
+                "batch_norm2d: gamma/beta must be [{c}], got {:?}/{:?}",
+                gamma.shape(),
+                beta.shape()
+            )));
+        }
+        let n = (b * h * w) as f32;
+        let plane = h * w;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ch in 0..c {
+            let mut acc = 0.0;
+            for s in 0..b {
+                let start = (s * c + ch) * plane;
+                acc += x.data()[start..start + plane].iter().sum::<f32>();
+            }
+            mean[ch] = acc / n;
+            let mut vacc = 0.0;
+            for s in 0..b {
+                let start = (s * c + ch) * plane;
+                vacc += x.data()[start..start + plane]
+                    .iter()
+                    .map(|v| (v - mean[ch]).powi(2))
+                    .sum::<f32>();
+            }
+            var[ch] = vacc / n;
+        }
+        let g_val = gamma.to_tensor();
+        let mut y = Tensor::zeros(&[b, c, h, w]);
+        let mut xhat = Tensor::zeros(&[b, c, h, w]);
+        {
+            let bv = beta.value();
+            for s in 0..b {
+                for ch in 0..c {
+                    let inv = 1.0 / (var[ch] + eps).sqrt();
+                    let start = (s * c + ch) * plane;
+                    for i in 0..plane {
+                        let xh = (x.data()[start + i] - mean[ch]) * inv;
+                        xhat.data_mut()[start + i] = xh;
+                        y.data_mut()[start + i] =
+                            g_val.data()[ch] * extra_scale * xh + bv.data()[ch];
+                    }
+                }
+            }
+        }
+        drop(x);
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
+        Ok(Var::from_op(
+            y,
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            Box::new(move |g, parents| {
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut dx = Tensor::zeros(&[b, c, h, w]);
+                for ch in 0..c {
+                    // Reductions over the channel's (B,H,W) slab.
+                    let mut sum_dy = 0.0f32;
+                    let mut sum_dy_xhat = 0.0f32;
+                    for s in 0..b {
+                        let start = (s * c + ch) * plane;
+                        for i in 0..plane {
+                            let dy = g.data()[start + i];
+                            sum_dy += dy;
+                            sum_dy_xhat += dy * xhat.data()[start + i];
+                        }
+                    }
+                    dbeta[ch] = sum_dy;
+                    dgamma[ch] = sum_dy_xhat * extra_scale;
+                    let gk = g_val.data()[ch] * extra_scale;
+                    let coeff = gk * inv_std[ch] / n;
+                    for s in 0..b {
+                        let start = (s * c + ch) * plane;
+                        for i in 0..plane {
+                            let dy = g.data()[start + i];
+                            let xh = xhat.data()[start + i];
+                            dx.data_mut()[start + i] =
+                                coeff * (n * dy - sum_dy - xh * sum_dy_xhat);
+                        }
+                    }
+                }
+                parents[0].accumulate_grad(&dx);
+                parents[1].accumulate_grad(
+                    &Tensor::from_vec(dgamma, &[c]).expect("bn dgamma shape"),
+                );
+                parents[2].accumulate_grad(
+                    &Tensor::from_vec(dbeta, &[c]).expect("bn dbeta shape"),
+                );
+            }),
+        ))
+    }
+}
+
+/// Softmax cross-entropy over logits `(B, K)` against integer labels,
+/// averaged over the batch. Returns a `[1]`-shaped scalar node.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `logits` is not 2-D, `labels.len()` differs
+/// from the batch size, or any label is out of range.
+pub fn cross_entropy_logits(logits: &Var, labels: &[usize]) -> Result<Var, ShapeError> {
+    let x = logits.value();
+    if x.ndim() != 2 {
+        return Err(ShapeError::new(format!(
+            "cross_entropy_logits: expected (B,K) logits, got {:?}",
+            x.shape()
+        )));
+    }
+    let (b, k) = (x.shape()[0], x.shape()[1]);
+    if labels.len() != b {
+        return Err(ShapeError::new(format!(
+            "cross_entropy_logits: {} labels for batch of {b}",
+            labels.len()
+        )));
+    }
+    if let Some(&bad) = labels.iter().find(|&&l| l >= k) {
+        return Err(ShapeError::new(format!(
+            "cross_entropy_logits: label {bad} out of range for {k} classes"
+        )));
+    }
+    let mut loss = 0.0f32;
+    let mut softmax = Tensor::zeros(&[b, k]);
+    for i in 0..b {
+        let row = &x.data()[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|v| (v - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        for j in 0..k {
+            softmax.data_mut()[i * k + j] = exps[j] / z;
+        }
+        loss += z.ln() + m - row[labels[i]];
+    }
+    loss /= b as f32;
+    drop(x);
+    let labels: Vec<usize> = labels.to_vec();
+    Ok(Var::from_op(
+        Tensor::from_vec(vec![loss], &[1]).expect("scalar tensor"),
+        vec![logits.clone()],
+        Box::new(move |g, parents| {
+            let scale = g.data()[0] / b as f32;
+            let mut dx = softmax.clone();
+            for (i, &l) in labels.iter().enumerate() {
+                dx.data_mut()[i * k + l] -= 1.0;
+            }
+            parents[0].accumulate_grad(&dx.scale(scale));
+        }),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    /// Central-difference gradient check: perturbs `param` elementwise and
+    /// compares to the autograd gradient of `loss_fn`.
+    fn grad_check(
+        param: &Var,
+        loss_fn: impl Fn() -> Var,
+        indices: &[usize],
+        eps: f32,
+        tol: f32,
+    ) {
+        param.zero_grad();
+        let loss = loss_fn();
+        loss.backward();
+        let analytic = param.grad().expect("no gradient reached the parameter");
+        for &idx in indices {
+            let orig = param.to_tensor().data()[idx];
+            param.update_value(|t| t.data_mut()[idx] = orig + eps);
+            let lp = loss_fn().to_tensor().data()[0];
+            param.update_value(|t| t.data_mut()[idx] = orig - eps);
+            let lm = loss_fn().to_tensor().data()[0];
+            param.update_value(|t| t.data_mut()[idx] = orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + a.abs().max(numeric.abs())),
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_grads() {
+        let mut rng = Rng::seed_from(40);
+        let a = Var::param(Tensor::randn(&[6], &mut rng));
+        let b = Var::param(Tensor::randn(&[6], &mut rng));
+        grad_check(&a, || a.add(&b).unwrap().mul(&a).unwrap().sum_to_scalar(), &[0, 3, 5], 1e-2, 1e-2);
+        grad_check(&b, || a.sub(&b).unwrap().mul(&b).unwrap().sum_to_scalar(), &[1, 4], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn scale_and_add_scalar_grads() {
+        let x = Var::param(Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap());
+        let loss = x.scale(4.0).add_scalar(3.0).sum_to_scalar();
+        loss.backward();
+        assert_eq!(x.grad().unwrap().data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn scale_by_learned_scalar() {
+        let mut rng = Rng::seed_from(41);
+        let x = Var::param(Tensor::randn(&[5], &mut rng));
+        let s = Var::param(Tensor::from_vec(vec![0.7], &[1]).unwrap());
+        grad_check(&s, || x.scale_by(&s).unwrap().mul(&x).unwrap().sum_to_scalar(), &[0], 1e-2, 1e-2);
+        grad_check(&x, || x.scale_by(&s).unwrap().sum_to_scalar(), &[0, 2], 1e-2, 1e-2);
+        assert!(x.scale_by(&x).is_err());
+    }
+
+    #[test]
+    fn relu_grad_masks_negatives() {
+        let x = Var::param(Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[4]).unwrap());
+        x.relu().sum_to_scalar().backward();
+        assert_eq!(x.grad().unwrap().data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn spike_forward_is_binary() {
+        let u = Var::constant(Tensor::from_vec(vec![0.1, 0.5, 0.9, -0.2], &[4]).unwrap());
+        let s = u.spike(0.5, Surrogate::default());
+        assert_eq!(s.to_tensor().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn spike_backward_uses_surrogate() {
+        let u = Var::param(Tensor::from_vec(vec![0.2, 0.5, 1.2], &[3]).unwrap());
+        let s = u.spike(0.5, Surrogate::Rectangle { width: 1.0 });
+        s.sum_to_scalar().backward();
+        // |u-0.5| < 0.5 for 0.2 and 0.5 (and 1.2 is outside: |0.7| >= 0.5)
+        assert_eq!(u.grad().unwrap().data(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn surrogate_shapes() {
+        let rect = Surrogate::Rectangle { width: 2.0 };
+        assert_eq!(rect.grad(0.0), 0.5);
+        assert_eq!(rect.grad(1.5), 0.0);
+        let tri = Surrogate::Triangle { width: 1.0 };
+        assert_eq!(tri.grad(0.0), 1.0);
+        assert_eq!(tri.grad(1.0), 0.0);
+        assert!((tri.grad(0.5) - 0.5).abs() < 1e-6);
+        let atan = Surrogate::Atan { alpha: 2.0 };
+        assert!(atan.grad(0.0) > atan.grad(1.0));
+    }
+
+    #[test]
+    fn matmul_grads() {
+        let mut rng = Rng::seed_from(42);
+        let a = Var::param(Tensor::randn(&[3, 4], &mut rng));
+        let b = Var::param(Tensor::randn(&[4, 2], &mut rng));
+        grad_check(&a, || a.matmul(&b).unwrap().sum_to_scalar(), &[0, 5, 11], 1e-2, 1e-2);
+        grad_check(&b, || a.matmul(&b).unwrap().sum_to_scalar(), &[0, 7], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn linear_grads() {
+        let mut rng = Rng::seed_from(43);
+        let x = Var::param(Tensor::randn(&[2, 5], &mut rng));
+        let w = Var::param(Tensor::randn(&[3, 5], &mut rng));
+        let b = Var::param(Tensor::randn(&[3], &mut rng));
+        grad_check(&x, || x.linear(&w, &b).unwrap().sum_to_scalar(), &[0, 9], 1e-2, 1e-2);
+        grad_check(&w, || x.linear(&w, &b).unwrap().sum_to_scalar(), &[0, 14], 1e-2, 1e-2);
+        grad_check(&b, || x.linear(&w, &b).unwrap().sum_to_scalar(), &[0, 2], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn linear_rejects_bad_shapes() {
+        let x = Var::constant(Tensor::zeros(&[2, 5]));
+        let w = Var::constant(Tensor::zeros(&[3, 4]));
+        let b = Var::constant(Tensor::zeros(&[3]));
+        assert!(x.linear(&w, &b).is_err());
+    }
+
+    #[test]
+    fn conv2d_grads() {
+        let mut rng = Rng::seed_from(44);
+        let g = Conv2dGeometry::new(2, 3, (5, 5), (3, 3), (1, 1), (1, 1));
+        let x = Var::param(Tensor::randn(&[1, 2, 5, 5], &mut rng));
+        let w = Var::param(Tensor::randn(&[3, 2, 3, 3], &mut rng));
+        grad_check(&x, || x.conv2d(&w, g).unwrap().sum_to_scalar(), &[0, 11, 33], 1e-2, 2e-2);
+        grad_check(&w, || x.conv2d(&w, g).unwrap().sum_to_scalar(), &[0, 25, 53], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn conv2d_asymmetric_kernel_grads() {
+        let mut rng = Rng::seed_from(45);
+        let g = Conv2dGeometry::new(2, 2, (4, 4), (1, 3), (1, 1), (0, 1));
+        let x = Var::param(Tensor::randn(&[1, 2, 4, 4], &mut rng));
+        let w = Var::param(Tensor::randn(&[2, 2, 1, 3], &mut rng));
+        grad_check(&w, || x.conv2d(&w, g).unwrap().sum_to_scalar(), &[0, 5, 11], 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn pooling_grads() {
+        let mut rng = Rng::seed_from(46);
+        let x = Var::param(Tensor::randn(&[1, 2, 4, 4], &mut rng));
+        grad_check(&x, || x.avg_pool2d(2).unwrap().sum_to_scalar(), &[0, 15, 31], 1e-2, 1e-2);
+        grad_check(&x, || x.global_avg_pool().unwrap().sum_to_scalar(), &[3, 17], 1e-2, 1e-2);
+    }
+
+    #[test]
+    fn reshape_grad_flows() {
+        let mut rng = Rng::seed_from(47);
+        let x = Var::param(Tensor::randn(&[2, 6], &mut rng));
+        grad_check(
+            &x,
+            || x.reshape(&[3, 4]).unwrap().mul(&x.reshape(&[3, 4]).unwrap()).unwrap().sum_to_scalar(),
+            &[0, 7],
+            1e-2,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn batch_norm_normalizes() {
+        let mut rng = Rng::seed_from(48);
+        let x = Var::constant(Tensor::randn(&[4, 3, 5, 5], &mut rng).scale(3.0).add_scalar(2.0));
+        let gamma = Var::param(Tensor::ones(&[3]));
+        let beta = Var::param(Tensor::zeros(&[3]));
+        let y = x.batch_norm2d(&gamma, &beta, 1e-5, 1.0).unwrap();
+        let v = y.to_tensor();
+        // per-channel mean ~0, var ~1
+        let plane = 25;
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                let start = (s * 3 + ch) * plane;
+                vals.extend_from_slice(&v.data()[start..start + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_extra_scale_applied() {
+        let mut rng = Rng::seed_from(49);
+        let x = Var::constant(Tensor::randn(&[2, 1, 4, 4], &mut rng));
+        let gamma = Var::param(Tensor::ones(&[1]));
+        let beta = Var::param(Tensor::zeros(&[1]));
+        let y1 = x.batch_norm2d(&gamma, &beta, 1e-5, 1.0).unwrap().to_tensor();
+        let y2 = x.batch_norm2d(&gamma, &beta, 1e-5, 0.5).unwrap().to_tensor();
+        assert!(y1.scale(0.5).max_abs_diff(&y2).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn batch_norm_grads() {
+        let mut rng = Rng::seed_from(50);
+        let x = Var::param(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        let gamma = Var::param(Tensor::rand_uniform(&[2], 0.5, 1.5, &mut rng));
+        let beta = Var::param(Tensor::randn(&[2], &mut rng));
+        let m = Tensor::randn(&[2, 2, 3, 3], &mut rng);
+        let mc = Var::constant(m);
+        let loss_fn = || {
+            x.batch_norm2d(&gamma, &beta, 1e-5, 0.8)
+                .unwrap()
+                .mul(&mc)
+                .unwrap()
+                .sum_to_scalar()
+        };
+        grad_check(&gamma, &loss_fn, &[0, 1], 1e-2, 2e-2);
+        grad_check(&beta, &loss_fn, &[0, 1], 1e-2, 2e-2);
+        grad_check(&x, &loss_fn, &[0, 8, 17, 35], 1e-2, 5e-2);
+    }
+
+    #[test]
+    fn batch_norm_rejects_bad_shapes() {
+        let x = Var::constant(Tensor::zeros(&[2, 3, 4, 4]));
+        let ok = Var::constant(Tensor::zeros(&[3]));
+        let bad = Var::constant(Tensor::zeros(&[2]));
+        assert!(x.batch_norm2d(&bad, &ok, 1e-5, 1.0).is_err());
+        assert!(Var::constant(Tensor::zeros(&[2, 3])).batch_norm2d(&ok, &ok, 1e-5, 1.0).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_known_value() {
+        // uniform logits -> loss = ln(K)
+        let logits = Var::param(Tensor::zeros(&[2, 4]));
+        let loss = cross_entropy_logits(&logits, &[0, 3]).unwrap();
+        assert!((loss.to_tensor().data()[0] - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grads() {
+        let mut rng = Rng::seed_from(51);
+        let logits = Var::param(Tensor::randn(&[3, 5], &mut rng));
+        grad_check(
+            &logits,
+            || cross_entropy_logits(&logits, &[1, 0, 4]).unwrap(),
+            &[0, 6, 14],
+            1e-2,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn cross_entropy_validation() {
+        let logits = Var::constant(Tensor::zeros(&[2, 3]));
+        assert!(cross_entropy_logits(&logits, &[0]).is_err());
+        assert!(cross_entropy_logits(&logits, &[0, 3]).is_err());
+        assert!(cross_entropy_logits(&Var::constant(Tensor::zeros(&[6])), &[0]).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_decreases_under_gradient_step() {
+        let mut rng = Rng::seed_from(52);
+        let logits = Var::param(Tensor::randn(&[4, 3], &mut rng));
+        let labels = [0usize, 1, 2, 0];
+        let l0 = cross_entropy_logits(&logits, &labels).unwrap();
+        l0.backward();
+        let g = logits.grad().unwrap();
+        logits.update_value(|t| t.add_scaled(&g, -0.5).unwrap());
+        let l1 = cross_entropy_logits(&logits, &labels).unwrap();
+        assert!(l1.to_tensor().data()[0] < l0.to_tensor().data()[0]);
+    }
+
+    #[test]
+    fn lif_style_bptt_chain_has_temporal_gradient() {
+        // u_t = 0.25 * u_{t-1} + w * x_t ; s_t = spike(u_t); loss = sum_t s_t
+        // Gradient must flow to w through all timesteps.
+        let w = Var::param(Tensor::from_vec(vec![0.4], &[1]).unwrap());
+        let mut u = Var::constant(Tensor::zeros(&[1]));
+        let mut total = Var::constant(Tensor::zeros(&[1]));
+        for t in 0..4 {
+            let x = Var::constant(Tensor::from_vec(vec![0.5 + 0.1 * t as f32], &[1]).unwrap());
+            let i = w.mul(&x).unwrap();
+            u = u.scale(0.25).add(&i).unwrap();
+            let s = u.spike(0.5, Surrogate::default());
+            total = total.add(&s).unwrap();
+        }
+        total.sum_to_scalar().backward();
+        let g = w.grad().unwrap().data()[0];
+        assert!(g > 0.0, "temporal gradient should be positive, got {g}");
+    }
+}

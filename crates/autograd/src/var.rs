@@ -1,0 +1,417 @@
+use std::cell::{Ref, RefCell};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use ttsnn_tensor::Tensor;
+
+/// Closure that, given the gradient flowing into a node's output, pushes
+/// gradient contributions into the node's parents (via [`Var::add_grad`]).
+pub type BackwardFn = Box<dyn Fn(&Tensor, &[Var])>;
+
+pub(crate) struct VarInner {
+    id: u64,
+    value: RefCell<Tensor>,
+    grad: RefCell<Option<Tensor>>,
+    requires_grad: bool,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+}
+
+thread_local! {
+    static NEXT_ID: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+fn fresh_id() -> u64 {
+    NEXT_ID.with(|c| {
+        let id = c.get();
+        c.set(id + 1);
+        id
+    })
+}
+
+/// A node in the reverse-mode autodiff graph.
+///
+/// `Var` is a cheaply clonable handle (`Rc` inside) to a tensor value plus
+/// the bookkeeping needed to backpropagate through the operation that
+/// produced it. Leaf nodes are created with [`Var::param`] (trainable) or
+/// [`Var::constant`] (inputs); interior nodes come from the ops in
+/// [`crate::ops`], most of which are also exposed as methods.
+///
+/// `Var` is deliberately **not** `Send`/`Sync`: the training loop of the
+/// paper (and of this reproduction) is single-threaded per model, and a
+/// thread-local id counter keeps graph bookkeeping allocation-free.
+///
+/// ```
+/// use ttsnn_autograd::Var;
+/// use ttsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ttsnn_tensor::ShapeError> {
+/// let a = Var::param(Tensor::from_vec(vec![1.0, 2.0], &[2])?);
+/// let b = Var::param(Tensor::from_vec(vec![3.0, 4.0], &[2])?);
+/// let loss = a.mul(&b)?.sum_to_scalar();
+/// loss.backward();
+/// assert_eq!(a.grad().unwrap().data(), &[3.0, 4.0]);
+/// assert_eq!(b.grad().unwrap().data(), &[1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Var(pub(crate) Rc<VarInner>);
+
+impl std::fmt::Debug for Var {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.0.id)
+            .field("shape", &self.0.value.borrow().shape().to_vec())
+            .field("requires_grad", &self.0.requires_grad)
+            .field("parents", &self.0.parents.len())
+            .finish()
+    }
+}
+
+impl Var {
+    /// A trainable leaf: participates in gradient computation.
+    pub fn param(value: Tensor) -> Self {
+        Self(Rc::new(VarInner {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: true,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// A non-trainable leaf (network input, label, constant).
+    pub fn constant(value: Tensor) -> Self {
+        Self(Rc::new(VarInner {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad: false,
+            parents: Vec::new(),
+            backward: None,
+        }))
+    }
+
+    /// Builds a node for a **custom differentiable operation** defined
+    /// outside this crate: `value` is the eagerly computed forward result,
+    /// `parents` the inputs, and `backward` distributes the output
+    /// gradient to the parents with [`Var::add_grad`].
+    ///
+    /// Downstream crates use this to add ops without forking the engine —
+    /// e.g. `ttsnn_core::quant::fake_quant_int8`'s straight-through
+    /// estimator.
+    ///
+    /// ```
+    /// use ttsnn_autograd::Var;
+    /// use ttsnn_tensor::Tensor;
+    ///
+    /// # fn main() -> Result<(), ttsnn_tensor::ShapeError> {
+    /// let x = Var::param(Tensor::from_vec(vec![-1.0, 2.0], &[2])?);
+    /// // custom op: clamp(x, 0, 1) with straight-through gradient
+    /// let y = Var::custom(
+    ///     x.value().map(|v| v.clamp(0.0, 1.0)),
+    ///     vec![x.clone()],
+    ///     Box::new(|g, parents| parents[0].add_grad(g)),
+    /// );
+    /// y.sum_to_scalar().backward();
+    /// assert_eq!(x.grad().unwrap().data(), &[1.0, 1.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn custom(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        Self::from_op(value, parents, backward)
+    }
+
+    /// Accumulates a gradient contribution into this node (no-op for nodes
+    /// that do not require gradients). Intended for use inside
+    /// [`Var::custom`] backward closures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g`'s shape differs from previously accumulated
+    /// gradients.
+    pub fn add_grad(&self, g: &Tensor) {
+        self.accumulate_grad(g);
+    }
+
+    pub(crate) fn from_op(value: Tensor, parents: Vec<Var>, backward: BackwardFn) -> Self {
+        let requires_grad = parents.iter().any(|p| p.0.requires_grad);
+        Self(Rc::new(VarInner {
+            id: fresh_id(),
+            value: RefCell::new(value),
+            grad: RefCell::new(None),
+            requires_grad,
+            parents,
+            backward: if requires_grad { Some(backward) } else { None },
+        }))
+    }
+
+    /// Borrow of the node's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is concurrently mutably borrowed (only possible
+    /// from inside op implementations).
+    pub fn value(&self) -> Ref<'_, Tensor> {
+        self.0.value.borrow()
+    }
+
+    /// Clone of the node's current value.
+    pub fn to_tensor(&self) -> Tensor {
+        self.0.value.borrow().clone()
+    }
+
+    /// The value's shape.
+    pub fn shape(&self) -> Vec<usize> {
+        self.0.value.borrow().shape().to_vec()
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.0.requires_grad
+    }
+
+    /// The accumulated gradient, if [`Var::backward`] has reached this node.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.0.grad.borrow().clone()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&self) {
+        *self.0.grad.borrow_mut() = None;
+    }
+
+    /// Overwrites the value of a **leaf** in place (used by optimizers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new tensor's shape differs from the current one.
+    pub fn set_value(&self, value: Tensor) {
+        assert_eq!(
+            self.0.value.borrow().shape(),
+            value.shape(),
+            "set_value: shape must be preserved"
+        );
+        *self.0.value.borrow_mut() = value;
+    }
+
+    /// Applies `f` to the stored value in place (used by optimizers).
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.0.value.borrow_mut());
+    }
+
+    /// A new leaf sharing this node's current value but cut off from the
+    /// graph — gradients will not flow past it. Mirrors `tensor.detach()` in
+    /// PyTorch; used for the LIF hard-reset path.
+    pub fn detach(&self) -> Var {
+        Var::constant(self.to_tensor())
+    }
+
+    /// Unique node id (useful for debugging graph structure).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    pub(crate) fn accumulate_grad(&self, g: &Tensor) {
+        if !self.0.requires_grad {
+            return;
+        }
+        let mut slot = self.0.grad.borrow_mut();
+        match slot.as_mut() {
+            Some(existing) => {
+                existing
+                    .add_scaled(g, 1.0)
+                    .expect("gradient shape mismatch during accumulation");
+            }
+            None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Runs reverse-mode differentiation from this node, accumulating
+    /// gradients into every `requires_grad` node of the graph.
+    ///
+    /// The seed gradient is a tensor of ones shaped like this node's value,
+    /// so calling `backward` on a scalar loss yields ordinary gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a node with more than one element (reduce to a
+    /// scalar first, e.g. with [`Var::sum_to_scalar`]).
+    pub fn backward(&self) {
+        assert_eq!(
+            self.value().len(),
+            1,
+            "backward: call on a scalar loss (got shape {:?})",
+            self.shape()
+        );
+        self.backward_with_seed(&Tensor::ones(&self.shape()));
+    }
+
+    /// Runs reverse-mode differentiation with an explicit seed gradient
+    /// (vector–Jacobian product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed`'s shape differs from this node's value shape.
+    pub fn backward_with_seed(&self, seed: &Tensor) {
+        assert_eq!(
+            seed.shape(),
+            self.shape().as_slice(),
+            "backward_with_seed: seed shape mismatch"
+        );
+        // Iterative topological sort (post-order DFS) to avoid recursion
+        // depth limits on long BPTT chains.
+        let mut order: Vec<Var> = Vec::new();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<(Var, bool)> = vec![(self.clone(), false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                order.push(node);
+                continue;
+            }
+            if !visited.insert(node.0.id) {
+                continue;
+            }
+            if !node.0.requires_grad {
+                continue;
+            }
+            stack.push((node.clone(), true));
+            for p in &node.0.parents {
+                if p.0.requires_grad && !visited.contains(&p.0.id) {
+                    stack.push((p.clone(), false));
+                }
+            }
+        }
+        self.accumulate_grad(seed);
+        for node in order.iter().rev() {
+            let grad = node.0.grad.borrow().clone();
+            if let (Some(grad), Some(backward)) = (grad, node.0.backward.as_ref()) {
+                backward(&grad, &node.0.parents);
+            }
+        }
+        // Free intermediate gradients: keep only leaves' grads.
+        for node in &order {
+            if node.0.backward.is_some() {
+                *node.0.grad.borrow_mut() = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn leaf_properties() {
+        let p = Var::param(Tensor::ones(&[2, 2]));
+        assert!(p.requires_grad());
+        assert!(p.grad().is_none());
+        let c = Var::constant(Tensor::ones(&[2]));
+        assert!(!c.requires_grad());
+    }
+
+    #[test]
+    fn backward_on_scalar_sets_leaf_grad() {
+        let p = Var::param(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap());
+        let loss = p.sum_to_scalar();
+        loss.backward();
+        assert_eq!(p.grad().unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_on_non_scalar_panics() {
+        let p = Var::param(Tensor::ones(&[3]));
+        p.backward();
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let p = Var::param(Tensor::from_vec(vec![2.0], &[1]).unwrap());
+        let l1 = p.scale(3.0).sum_to_scalar();
+        l1.backward();
+        let l2 = p.scale(5.0).sum_to_scalar();
+        l2.backward();
+        assert_eq!(p.grad().unwrap().data(), &[8.0]);
+        p.zero_grad();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn detach_blocks_gradients() {
+        let p = Var::param(Tensor::from_vec(vec![4.0], &[1]).unwrap());
+        let d = p.detach();
+        let loss = d.scale(10.0).sum_to_scalar();
+        loss.backward();
+        assert!(p.grad().is_none());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = x*x + x  => dy/dx = 2x + 1
+        let x = Var::param(Tensor::from_vec(vec![3.0], &[1]).unwrap());
+        let y = x.mul(&x).unwrap().add(&x).unwrap().sum_to_scalar();
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[7.0]);
+    }
+
+    #[test]
+    fn shared_subexpression_visited_once() {
+        // z = (x+x); y = z*z => dy/dx = 2*z*2 = 8x
+        let x = Var::param(Tensor::from_vec(vec![1.5], &[1]).unwrap());
+        let z = x.add(&x).unwrap();
+        let y = z.mul(&z).unwrap().sum_to_scalar();
+        y.backward();
+        assert_eq!(x.grad().unwrap().data(), &[12.0]);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // 5000-node chain exercises the iterative DFS.
+        let x = Var::param(Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        let mut y = x.clone();
+        for _ in 0..5000 {
+            y = y.add_scalar(0.0);
+        }
+        y.sum_to_scalar().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0]);
+    }
+
+    #[test]
+    fn update_and_set_value() {
+        let p = Var::param(Tensor::zeros(&[2]));
+        p.update_value(|t| t.map_inplace(|_| 5.0));
+        assert_eq!(p.to_tensor().data(), &[5.0, 5.0]);
+        p.set_value(Tensor::ones(&[2]));
+        assert_eq!(p.to_tensor().data(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape")]
+    fn set_value_rejects_shape_change() {
+        let p = Var::param(Tensor::zeros(&[2]));
+        p.set_value(Tensor::zeros(&[3]));
+    }
+
+    #[test]
+    fn constant_only_graph_skips_backward() {
+        let a = Var::constant(Tensor::ones(&[2]));
+        let b = a.scale(2.0);
+        assert!(!b.requires_grad());
+        b.sum_to_scalar(); // no panic, no grads anywhere
+    }
+
+    #[test]
+    fn backward_with_seed_weights_gradient() {
+        let mut rng = Rng::seed_from(1);
+        let p = Var::param(Tensor::randn(&[4], &mut rng));
+        let y = p.scale(2.0);
+        let seed = Tensor::from_vec(vec![1.0, 0.0, -1.0, 0.5], &[4]).unwrap();
+        y.backward_with_seed(&seed);
+        assert_eq!(p.grad().unwrap().data(), &[2.0, 0.0, -2.0, 1.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Micro-bench of the convolution kernels underlying every result: one
+//! dense 3×3 convolution vs the four-stage TT pipelines (STT/PTT) and the
+//! HTT half path, at the same layer geometry.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttsnn_core::{TtConv, TtMode};
+use ttsnn_tensor::{conv, Conv2dGeometry, Rng, Tensor};
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_forward_64ch_16x16");
+    let mut rng = Rng::seed_from(1);
+    let (i, o, hw) = (64usize, 64usize, (16usize, 16usize));
+    let x = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+    let dense_w = Tensor::kaiming(&[o, i, 3, 3], &mut rng);
+    let geom = Conv2dGeometry::new(i, o, hw, (3, 3), (1, 1), (1, 1));
+    group.bench_function("dense_3x3", |b| {
+        b.iter(|| conv::conv2d(&x, &dense_w, &geom).expect("conv"))
+    });
+    // rank ~ paper's VBMF fraction of width
+    let rank = 20;
+    for (name, mode) in [("stt", TtMode::Stt), ("ptt", TtMode::Ptt)] {
+        let layer = TtConv::randn(i, o, rank, mode, &mut rng);
+        group.bench_function(name, |b| b.iter(|| layer.forward_tensor(&x, 0).expect("tt")));
+    }
+    let htt = TtConv::randn(i, o, rank, TtMode::htt_default(4), &mut rng);
+    group.bench_function("htt_half_path", |b| {
+        b.iter(|| htt.forward_tensor(&x, 3).expect("htt half"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv);
+criterion_main!(benches);

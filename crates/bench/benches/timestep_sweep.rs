@@ -1,0 +1,39 @@
+//! Fig. 5(b) as a micro-bench: one full BPTT training step at T ∈ {2,4,6}
+//! for the PTT and HTT pipelines — training time should grow ~linearly
+//! with T, with HTT flattening after T/2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ttsnn_autograd::{Sgd, SgdConfig};
+use ttsnn_core::TtMode;
+use ttsnn_data::StaticImages;
+use ttsnn_snn::trainer::train_step;
+use ttsnn_snn::{ConvPolicy, LossKind, ResNetConfig, ResNetSnn, SpikingModel};
+use ttsnn_tensor::Rng;
+
+fn bench_timesteps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_train_step_by_timestep");
+    group.sample_size(10);
+    for t in [2usize, 4, 6] {
+        let mut rng = Rng::seed_from(1);
+        let ds = StaticImages::cifar10_like(16, 16).dataset(8, &mut rng);
+        let batch = &ds.batches(8, t, &mut rng).expect("batching")[0];
+        for (name, mode) in [("PTT", TtMode::Ptt), ("HTT", TtMode::htt_default(t))] {
+            let mut rng = Rng::seed_from(2);
+            let mut model = ResNetSnn::new(
+                ResNetConfig::resnet18(10, (16, 16), 8),
+                &ConvPolicy::tt(mode),
+                &mut rng,
+            );
+            let mut opt = Sgd::new(model.params(), SgdConfig::default());
+            group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
+                b.iter(|| {
+                    train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("step")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timesteps);
+criterion_main!(benches);

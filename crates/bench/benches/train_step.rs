@@ -1,0 +1,42 @@
+//! Criterion bench for the "training time" column of Table II: one full
+//! optimization step (forward over all timesteps + BPTT backward + SGD)
+//! per method on a width-scaled MS-ResNet18.
+//!
+//! Expected shape: STT/PTT/HTT all beat the baseline; HTT is fastest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ttsnn_autograd::{Sgd, SgdConfig};
+use ttsnn_core::TtMode;
+use ttsnn_data::StaticImages;
+use ttsnn_snn::trainer::train_step;
+use ttsnn_snn::{ConvPolicy, LossKind, ResNetConfig, ResNetSnn, SpikingModel};
+use ttsnn_tensor::Rng;
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_train_step");
+    group.sample_size(10);
+    let timesteps = 4;
+    let mut rng = Rng::seed_from(1);
+    let ds = StaticImages::cifar10_like(16, 16).dataset(16, &mut rng);
+    let batch = &ds.batches(8, timesteps, &mut rng).expect("batching")[0];
+    for (name, policy) in [
+        ("baseline", ConvPolicy::Baseline),
+        ("STT", ConvPolicy::tt(TtMode::Stt)),
+        ("PTT", ConvPolicy::tt(TtMode::Ptt)),
+        ("HTT", ConvPolicy::tt(TtMode::htt_default(timesteps))),
+    ] {
+        let mut rng = Rng::seed_from(2);
+        let mut model =
+            ResNetSnn::new(ResNetConfig::resnet18(10, (16, 16), 8), &policy, &mut rng);
+        let mut opt = Sgd::new(model.params(), SgdConfig::default());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("train step")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 5**: accuracy (a) and per-batch training time (b) of
+//! STT / PTT / HTT as the timestep count sweeps over {2, 4, 6}.
+//!
+//! Expected shape (paper): PTT highest accuracy at every T; HTT fastest at
+//! every T; training time grows roughly linearly with T.
+
+use ttsnn_bench::{train_and_measure, ExperimentConfig};
+use ttsnn_core::TtMode;
+use ttsnn_data::StaticImages;
+use ttsnn_snn::{ConvPolicy, ResNetConfig, ResNetSnn};
+use ttsnn_tensor::Rng;
+
+fn main() {
+    println!("FIG. 5 reproduction: timestep sweep (MS-ResNet18 w/8, CIFAR10-like)");
+    println!("====================================================================");
+    println!(
+        "\n{:<6} {:<6} {:>10} {:>12} {:>12}",
+        "T", "mode", "acc (%)", "train-acc", "time (s)"
+    );
+    for t in [2usize, 4, 6] {
+        let cfg = ExperimentConfig { epochs: 8, ..ExperimentConfig::quick(t) };
+        let mut rng = Rng::seed_from(55);
+        let ds = StaticImages::cifar10_like(16, 16).dataset(cfg.samples, &mut rng);
+        for (name, mode) in [
+            ("STT", TtMode::Stt),
+            ("PTT", TtMode::Ptt),
+            ("HTT", TtMode::htt_default(t)),
+        ] {
+            let policy = ConvPolicy::tt(mode);
+            let runs: Vec<_> = [7u64, 13]
+                .iter()
+                .map(|&seed| {
+                    let mut rng = Rng::seed_from(seed);
+                    let mut model = ResNetSnn::new(
+                        ResNetConfig::resnet18(10, (16, 16), 8),
+                        &policy,
+                        &mut rng,
+                    );
+                    let run_cfg = ExperimentConfig { seed, ..cfg };
+                    train_and_measure(&mut model, name, &ds, &run_cfg)
+                })
+                .collect();
+            let row = ttsnn_bench::harness::average_rows(&runs);
+            println!(
+                "{:<6} {:<6} {:>10.2} {:>12.2} {:>12.4}",
+                t, name, row.test_accuracy, row.train_accuracy, row.step_seconds
+            );
+        }
+    }
+    println!("\npaper reference: PTT is the most accurate and HTT the fastest at");
+    println!("every timestep; training time grows ~linearly with T.");
+}

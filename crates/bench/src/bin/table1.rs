@@ -1,0 +1,29 @@
+//! Regenerates **Table I: Hardware Implementation Parameters**.
+
+use ttsnn_accel::AcceleratorConfig;
+
+fn main() {
+    let c = AcceleratorConfig::paper();
+    println!("TABLE I: Hardware Implementation Parameters");
+    println!("-------------------------------------------");
+    println!("{:<28} {} nm CMOS", "Technology", c.technology_nm);
+    println!("{:<28} {}", "# of Cluster", c.num_clusters);
+    println!("{:<28} {}", "# of PE / Cluster", c.pes_per_cluster);
+    println!("{:<28} {} bytes", "Scratch Pad Size / PE", c.scratchpad_bytes_per_pe);
+    println!(
+        "{:<28} {} KB",
+        "Total Global Buffer Size",
+        c.total_global_buffer_bytes() / 1024
+    );
+    println!("{:<28} {}-bits", "Accumulator Precision", c.accumulator_bits);
+    println!("{:<28} {}-bits", "Multiplier Precision", c.multiplier_bits);
+    println!("{:<28} {} MHz", "Clock", c.clock_mhz);
+    println!();
+    println!("buffer detail: filter {} KB, output {} KB, membrane {} KB, in-spike {} KB, out-spike {} KB",
+        c.filter_buffer_bytes / 1024,
+        c.output_buffer_bytes / 1024,
+        c.membrane_buffer_bytes / 1024,
+        c.input_spike_buffer_bytes / 1024,
+        c.output_spike_buffer_bytes / 1024,
+    );
+}

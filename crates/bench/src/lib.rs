@@ -1,0 +1,30 @@
+//! # ttsnn-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! TT-SNN paper. Each experiment is a binary (`cargo run -p ttsnn-bench
+//! --release --bin <name>`):
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `table1` | Table I — hardware implementation parameters |
+//! | `table2` | Table II — accuracy / training time / params / FLOPs for baseline, STT, PTT, HTT on CIFAR10-like, CIFAR100-like and N-Caltech101-like workloads |
+//! | `table3` | Table III — PTT plugged into tdBN / TEBN / TET / NDA baselines |
+//! | `table4` | Table IV — HTT full/half placement ablation |
+//! | `fig4`   | Fig. 4 — training energy on the existing vs proposed accelerator |
+//! | `fig5`   | Fig. 5 — accuracy and training time vs timestep |
+//!
+//! Criterion micro-benches (`cargo bench -p ttsnn-bench`) cover the
+//! kernel-level claims: per-batch training-step time by method
+//! (`train_step`), dense-vs-TT convolution forward (`conv_kernels`),
+//! merge-back cost (`merge`), rank sensitivity (`rank_sweep`), timestep
+//! scaling (`timestep_sweep`) and the accelerator model itself
+//! (`energy_model`).
+//!
+//! The [`harness`] module holds the shared measured-experiment plumbing;
+//! binaries are thin wrappers.
+
+pub mod harness;
+
+pub use harness::{
+    measured_policies, print_measured_table, train_and_measure, ExperimentConfig, MeasuredRow,
+};

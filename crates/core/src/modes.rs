@@ -1,0 +1,196 @@
+//! The three TT-SNN computation pipelines of the paper.
+//!
+//! * **STT** (Sequential TT, Fig. 1(b)) — the Gabor–Zdunek baseline: the
+//!   four sub-convolutions run in sequence `w1 → w2 → w3 → w4`.
+//! * **PTT** (Parallel TT, Fig. 1(c), Eq. (5)) — the paper's proposal: the
+//!   asymmetric 3×1 and 1×3 cores both consume the output of `w1` and their
+//!   results are summed before `w4`, forming a cross-shaped receptive field
+//!   ("3×3 without the four corner values").
+//! * **HTT** (Half TT, Fig. 2) — PTT at *full* timesteps, but only the two
+//!   1×1 cores (`w1 → w4`) at *half* timesteps, exploiting the temporal
+//!   redundancy of SNNs.
+
+use std::fmt;
+
+/// Per-timestep full/half placement for the HTT module (Fig. 2(a),
+/// Table IV).
+///
+/// `true` marks a **full** timestep (all four sub-convolutions — the PTT
+/// path); `false` marks a **half** timestep (only `w1 → w4`).
+///
+/// ```
+/// use ttsnn_core::HttSchedule;
+///
+/// let s = HttSchedule::first_half_full(4); // the paper's default: F F H H
+/// assert!(s.is_full(0) && s.is_full(1));
+/// assert!(!s.is_full(2) && !s.is_full(3));
+/// assert_eq!(s.to_string(), "FFHH");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HttSchedule {
+    full: Vec<bool>,
+}
+
+impl HttSchedule {
+    /// The paper's default placement: full sub-convolutions in the early
+    /// `ceil(t/2)` timesteps, half sub-convolutions afterwards (for
+    /// CIFAR at T=4 this is `FFHH`; for N-Caltech101 at T=6, `FFFHHH`).
+    pub fn first_half_full(timesteps: usize) -> Self {
+        let cut = timesteps.div_ceil(2);
+        Self { full: (0..timesteps).map(|t| t < cut).collect() }
+    }
+
+    /// Builds a schedule from a pattern string of `F` (full) and `H`
+    /// (half) characters, e.g. `"HFHF"` — the notation of Table IV.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the pattern contains characters other
+    /// than `F`/`H` or is empty.
+    pub fn from_pattern(pattern: &str) -> Result<Self, String> {
+        if pattern.is_empty() {
+            return Err("HttSchedule: empty pattern".to_string());
+        }
+        let full = pattern
+            .chars()
+            .map(|c| match c {
+                'F' | 'f' => Ok(true),
+                'H' | 'h' => Ok(false),
+                other => Err(format!("HttSchedule: invalid character {other:?} (want F/H)")),
+            })
+            .collect::<Result<Vec<bool>, String>>()?;
+        Ok(Self { full })
+    }
+
+    /// Number of timesteps covered by the schedule.
+    pub fn timesteps(&self) -> usize {
+        self.full.len()
+    }
+
+    /// Whether timestep `t` runs the full (PTT) path. Timesteps beyond the
+    /// schedule repeat the last entry, so a schedule built for T=4 degrades
+    /// gracefully if the network is run longer.
+    pub fn is_full(&self, t: usize) -> bool {
+        match self.full.get(t) {
+            Some(&f) => f,
+            None => *self.full.last().expect("schedule is never empty"),
+        }
+    }
+
+    /// Number of full timesteps.
+    pub fn num_full(&self) -> usize {
+        self.full.iter().filter(|&&f| f).count()
+    }
+}
+
+impl fmt::Display for HttSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &full in &self.full {
+            write!(f, "{}", if full { 'F' } else { 'H' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Which TT computation pipeline a [`crate::TtConv`] layer runs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TtMode {
+    /// Sequential TT: `x → w1 → w2 → w3 → w4` (Fig. 1(b)).
+    Stt,
+    /// Parallel TT: `x → w1 → {w2 ∥ w3} → (+) → w4` (Fig. 1(c), Eq. (5)).
+    Ptt,
+    /// Half TT: PTT at full timesteps, `w1 → w4` at half timesteps
+    /// (Fig. 2(a)).
+    Htt(HttSchedule),
+}
+
+impl TtMode {
+    /// The HTT mode with the paper's default first-half-full schedule.
+    pub fn htt_default(timesteps: usize) -> Self {
+        TtMode::Htt(HttSchedule::first_half_full(timesteps))
+    }
+
+    /// Whether timestep `t` executes all four sub-convolutions.
+    pub fn is_full_at(&self, t: usize) -> bool {
+        match self {
+            TtMode::Stt | TtMode::Ptt => true,
+            TtMode::Htt(s) => s.is_full(t),
+        }
+    }
+
+    /// Short display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TtMode::Stt => "STT",
+            TtMode::Ptt => "PTT",
+            TtMode::Htt(_) => "HTT",
+        }
+    }
+}
+
+impl fmt::Display for TtMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TtMode::Htt(s) => write!(f, "HTT[{s}]"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_splits_in_half() {
+        let s4 = HttSchedule::first_half_full(4);
+        assert_eq!(s4.to_string(), "FFHH");
+        let s6 = HttSchedule::first_half_full(6);
+        assert_eq!(s6.to_string(), "FFFHHH");
+        // odd T: early majority full
+        let s5 = HttSchedule::first_half_full(5);
+        assert_eq!(s5.to_string(), "FFFHH");
+        assert_eq!(s5.num_full(), 3);
+    }
+
+    #[test]
+    fn pattern_parsing_table_iv() {
+        for (pat, full_count) in [("FFHH", 2), ("HHFF", 2), ("HFHF", 2), ("FHFH", 2)] {
+            let s = HttSchedule::from_pattern(pat).unwrap();
+            assert_eq!(s.to_string(), pat);
+            assert_eq!(s.num_full(), full_count);
+            assert_eq!(s.timesteps(), 4);
+        }
+    }
+
+    #[test]
+    fn pattern_rejects_garbage() {
+        assert!(HttSchedule::from_pattern("").is_err());
+        assert!(HttSchedule::from_pattern("FFXH").is_err());
+    }
+
+    #[test]
+    fn out_of_range_repeats_last() {
+        let s = HttSchedule::from_pattern("FH").unwrap();
+        assert!(!s.is_full(5));
+        let s = HttSchedule::from_pattern("HF").unwrap();
+        assert!(s.is_full(99));
+    }
+
+    #[test]
+    fn mode_is_full_at() {
+        assert!(TtMode::Stt.is_full_at(3));
+        assert!(TtMode::Ptt.is_full_at(0));
+        let htt = TtMode::htt_default(4);
+        assert!(htt.is_full_at(1));
+        assert!(!htt.is_full_at(3));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(TtMode::Stt.to_string(), "STT");
+        assert_eq!(TtMode::Ptt.to_string(), "PTT");
+        assert_eq!(TtMode::htt_default(4).to_string(), "HTT[FFHH]");
+        assert_eq!(TtMode::htt_default(4).name(), "HTT");
+    }
+}

@@ -1,0 +1,78 @@
+//! The circular weight permutation of Eq. (3):
+//! `W = circular_permute(W, −1) ∈ R^{I×K×K×O}`.
+//!
+//! PyTorch convolution weights are laid out `(O, I, Kh, Kw)`. Gabor &
+//! Zdunek's trick (which the paper adopts) circularly shifts the axes by one
+//! so the tensor reads `(I, K1, K2, O)` — then each TT core of Eq. (4)
+//! corresponds to a small convolution: a 1×1 mapping `I → r`, a 3×1, a 1×3,
+//! and a final 1×1 mapping `r → O` (Fig. 1(b)).
+
+use ttsnn_tensor::{ShapeError, Tensor};
+
+/// Applies the circular permutation of Eq. (3): `(O, I, K1, K2)` →
+/// `(I, K1, K2, O)` (a circular shift of the axes by −1).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `weight` is not 4-D.
+pub fn circular_permute(weight: &Tensor) -> Result<Tensor, ShapeError> {
+    if weight.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "circular_permute: expected 4-D conv weight, got {:?}",
+            weight.shape()
+        )));
+    }
+    weight.permute(&[1, 2, 3, 0])
+}
+
+/// Inverts [`circular_permute`]: `(I, K1, K2, O)` → `(O, I, K1, K2)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `permuted` is not 4-D.
+pub fn circular_unpermute(permuted: &Tensor) -> Result<Tensor, ShapeError> {
+    if permuted.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "circular_unpermute: expected 4-D tensor, got {:?}",
+            permuted.shape()
+        )));
+    }
+    permuted.permute(&[3, 0, 1, 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn permute_moves_axes() {
+        let mut rng = Rng::seed_from(1);
+        let w = Tensor::randn(&[8, 3, 5, 7], &mut rng); // (O,I,K1,K2)
+        let p = circular_permute(&w).unwrap();
+        assert_eq!(p.shape(), &[3, 5, 7, 8]);
+        for o in 0..8 {
+            for i in 0..3 {
+                for k1 in 0..5 {
+                    for k2 in 0..7 {
+                        assert_eq!(p.at(&[i, k1, k2, o]), w.at(&[o, i, k1, k2]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let w = Tensor::randn(&[4, 6, 3, 3], &mut rng);
+        let back = circular_unpermute(&circular_permute(&w).unwrap()).unwrap();
+        assert_eq!(back, w);
+    }
+
+    #[test]
+    fn rejects_non_4d() {
+        assert!(circular_permute(&Tensor::zeros(&[2, 3, 4])).is_err());
+        assert!(circular_unpermute(&Tensor::zeros(&[2, 3])).is_err());
+    }
+}

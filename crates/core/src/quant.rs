@@ -1,0 +1,143 @@
+//! Symmetric 8-bit weight quantization.
+//!
+//! The proposed accelerator (Table I) computes with **8-bit multipliers and
+//! 16-bit accumulators**, so deploying a trained TT-SNN on it implies
+//! quantizing the merged weights to int8. The paper treats quantization as
+//! an orthogonal efficiency technique (§I cites Q-SpiNN and MINT); this
+//! module provides the minimal, standard machinery:
+//!
+//! * [`quantize_int8`] / [`Quantized::dequantize`] — symmetric per-tensor
+//!   int8 quantization with a power-free scale;
+//! * [`fake_quant_int8`] — a straight-through-estimator autograd op for
+//!   quantization-aware fine-tuning of the TT cores.
+
+use ttsnn_autograd::Var;
+use ttsnn_tensor::{ShapeError, Tensor};
+
+/// A tensor quantized to symmetric int8: `value ≈ scale × q`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantized {
+    /// Quantized values in `[-127, 127]`.
+    pub values: Vec<i8>,
+    /// Dequantization scale.
+    pub scale: f32,
+    /// Original shape.
+    pub shape: Vec<usize>,
+}
+
+impl Quantized {
+    /// Reconstructs the floating-point tensor `scale × q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the stored shape is inconsistent with the
+    /// value count (cannot happen through [`quantize_int8`]).
+    pub fn dequantize(&self) -> Result<Tensor, ShapeError> {
+        Tensor::from_vec(
+            self.values.iter().map(|&q| q as f32 * self.scale).collect(),
+            &self.shape,
+        )
+    }
+
+    /// Storage size in bytes (one byte per weight plus the scale).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() + std::mem::size_of::<f32>()
+    }
+}
+
+/// Quantizes a tensor to symmetric int8 with scale `max|x| / 127`.
+///
+/// All-zero tensors quantize to all-zero values with scale 1.
+pub fn quantize_int8(t: &Tensor) -> Quantized {
+    let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    let values = t
+        .data()
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    Quantized { values, scale, shape: t.shape().to_vec() }
+}
+
+/// Straight-through fake quantization: forward emits
+/// `dequantize(quantize_int8(x))`, backward passes the gradient through
+/// unchanged — the standard estimator for quantization-aware training.
+pub fn fake_quant_int8(x: &Var) -> Var {
+    let q = quantize_int8(&x.value());
+    let value = q.dequantize().expect("quantize preserves shape");
+    Var::custom(
+        value,
+        vec![x.clone()],
+        Box::new(|g, parents| parents[0].add_grad(g)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn quantization_error_bounded_by_half_step() {
+        let mut rng = Rng::seed_from(1);
+        let t = Tensor::randn(&[4, 4], &mut rng).scale(3.0);
+        let q = quantize_int8(&t);
+        let back = q.dequantize().unwrap();
+        let max_err = t.max_abs_diff(&back).unwrap();
+        assert!(max_err <= q.scale * 0.5 + 1e-6, "err {max_err} vs half-step {}", q.scale / 2.0);
+    }
+
+    #[test]
+    fn extreme_values_map_to_127() {
+        let t = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
+        let q = quantize_int8(&t);
+        assert_eq!(q.values, vec![-127, 0, 127]);
+        assert!((q.scale - 2.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_tensor_is_stable() {
+        let q = quantize_int8(&Tensor::zeros(&[5]));
+        assert!(q.values.iter().all(|&v| v == 0));
+        assert_eq!(q.dequantize().unwrap(), Tensor::zeros(&[5]));
+    }
+
+    #[test]
+    fn storage_is_4x_smaller_than_f32() {
+        let mut rng = Rng::seed_from(2);
+        let t = Tensor::randn(&[64, 64, 3, 3], &mut rng);
+        let q = quantize_int8(&t);
+        let f32_bytes = t.len() * 4;
+        assert!(q.storage_bytes() * 3 < f32_bytes, "int8 must be ~4x smaller");
+    }
+
+    #[test]
+    fn fake_quant_forward_quantizes_backward_passes_through() {
+        let mut rng = Rng::seed_from(3);
+        let x = Var::param(Tensor::randn(&[6], &mut rng));
+        let y = fake_quant_int8(&x);
+        // forward: values land on the int8 grid
+        let q = quantize_int8(&x.value());
+        assert!(y.to_tensor().max_abs_diff(&q.dequantize().unwrap()).unwrap() < 1e-7);
+        // backward: straight-through
+        y.sum_to_scalar().backward();
+        assert_eq!(x.grad().unwrap().data(), &[1.0; 6]);
+    }
+
+    #[test]
+    fn quantized_tt_cores_still_merge_close() {
+        use crate::merge::merge_ptt;
+        use crate::ttsvd::TtCores;
+        let mut rng = Rng::seed_from(4);
+        let cores = TtCores::randn(8, 8, 4, &mut rng);
+        let mut quantized = cores.clone();
+        quantized.w1 = quantize_int8(&cores.w1).dequantize().unwrap();
+        quantized.w2 = quantize_int8(&cores.w2).dequantize().unwrap();
+        quantized.w3 = quantize_int8(&cores.w3).dequantize().unwrap();
+        quantized.w4 = quantize_int8(&cores.w4).dequantize().unwrap();
+        let a = merge_ptt(&cores).unwrap();
+        let b = merge_ptt(&quantized).unwrap();
+        let rel = a.sub(&b).unwrap().norm() / a.norm();
+        assert!(rel < 0.05, "int8 cores should merge within 5%: {rel}");
+    }
+}

@@ -1,0 +1,360 @@
+//! TT-SVD decomposition of convolution weights into the four cores of
+//! Fig. 1 / Eq. (4).
+//!
+//! Following Eq. (4), the circularly permuted weight
+//! `W ∈ R^{I×K1×K2×O}` is factorized as
+//!
+//! ```text
+//! W[i,k1,k2,o] = Σ_{a,b,c} G1[i,a] · G2[a,k1,b] · G3[b,k2,c] · G4[c,o]
+//! ```
+//!
+//! by three successive truncated SVDs of unfoldings. The cores are stored as
+//! convolution weights in PyTorch `(out, in, kh, kw)` layout, matching the
+//! sub-convolution shapes of Fig. 1:
+//!
+//! | core | tensor shape | role |
+//! |------|--------------|------|
+//! | `w1` | `(r, I, 1, 1)` | channel projection `I → r` |
+//! | `w2` | `(r, r, 3, 1)` | vertical 3×1 |
+//! | `w3` | `(r, r, 1, 3)` | horizontal 1×3 |
+//! | `w4` | `(O, r, 1, 1)` | channel expansion `r → O` |
+//!
+//! The paper (and Fig. 1) uses a single per-layer rank `r` so that PTT's
+//! two parallel branches can be summed; [`decompose`] therefore clamps the
+//! requested rank to `min(rank, I, O)` (the largest uniform rank for which
+//! every unfolding admits a truncation).
+
+use ttsnn_tensor::{linalg, Rng, ShapeError, Tensor};
+
+use crate::permute::circular_permute;
+
+/// The four TT cores of one decomposed convolution layer, stored as conv
+/// weights (see module docs for shapes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TtCores {
+    /// `(r, I, 1, 1)` — 1×1 projection.
+    pub w1: Tensor,
+    /// `(r, r, 3, 1)` — vertical core.
+    pub w2: Tensor,
+    /// `(r, r, 1, 3)` — horizontal core.
+    pub w3: Tensor,
+    /// `(O, r, 1, 1)` — 1×1 expansion.
+    pub w4: Tensor,
+}
+
+impl TtCores {
+    /// Input channel count `I`.
+    pub fn in_channels(&self) -> usize {
+        self.w1.shape()[1]
+    }
+
+    /// Output channel count `O`.
+    pub fn out_channels(&self) -> usize {
+        self.w4.shape()[0]
+    }
+
+    /// The uniform TT-rank `r`.
+    pub fn rank(&self) -> usize {
+        self.w1.shape()[0]
+    }
+
+    /// Total trainable parameters across the four cores:
+    /// `r·I + 3r² + 3r² + r·O`.
+    pub fn num_params(&self) -> usize {
+        self.w1.len() + self.w2.len() + self.w3.len() + self.w4.len()
+    }
+
+    /// Random cores — used when training TT-SNN from scratch rather than
+    /// from a decomposed pre-trained weight.
+    ///
+    /// Each core is drawn Kaiming-normal, then all four are rescaled by a
+    /// common factor so that the *composed* dense kernel (the STT merge)
+    /// has the norm Kaiming initialization would give a dense `(O, I, 3,
+    /// 3)` weight. Without this calibration the variance of the four-core
+    /// product drifts exponentially with depth and TT networks train far
+    /// worse than their dense baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_channels`, `out_channels`, `rank` is zero.
+    pub fn randn(in_channels: usize, out_channels: usize, rank: usize, rng: &mut Rng) -> Self {
+        assert!(
+            in_channels > 0 && out_channels > 0 && rank > 0,
+            "TtCores::randn: dimensions must be positive"
+        );
+        let r = rank.min(in_channels).min(out_channels);
+        let mut cores = Self {
+            w1: Tensor::kaiming(&[r, in_channels, 1, 1], rng),
+            w2: Tensor::kaiming(&[r, r, 3, 1], rng),
+            w3: Tensor::kaiming(&[r, r, 1, 3], rng),
+            w4: Tensor::kaiming(&[out_channels, r, 1, 1], rng),
+        };
+        // Norm a Kaiming-initialized dense (O, I, 3, 3) kernel would have:
+        // std = sqrt(2 / (I*9)), norm = std * sqrt(O*I*9).
+        let fan_in = (in_channels * 9) as f32;
+        let target = (2.0 / fan_in).sqrt() * ((out_channels * in_channels * 9) as f32).sqrt();
+        let actual = crate::merge::merge_stt(&cores)
+            .expect("freshly built cores are consistent")
+            .norm();
+        if actual > 1e-12 {
+            let scale = (target / actual).powf(0.25);
+            cores.w1 = cores.w1.scale(scale);
+            cores.w2 = cores.w2.scale(scale);
+            cores.w3 = cores.w3.scale(scale);
+            cores.w4 = cores.w4.scale(scale);
+        }
+        cores
+    }
+
+    /// Validates internal shape consistency (used by property tests and
+    /// when loading cores from external sources).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] describing the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ShapeError> {
+        let r = self.rank();
+        let checks = [
+            (self.w1.shape() == [r, self.in_channels(), 1, 1], "w1 must be (r, I, 1, 1)"),
+            (self.w2.shape() == [r, r, 3, 1], "w2 must be (r, r, 3, 1)"),
+            (self.w3.shape() == [r, r, 1, 3], "w3 must be (r, r, 1, 3)"),
+            (self.w4.shape() == [self.out_channels(), r, 1, 1], "w4 must be (O, r, 1, 1)"),
+        ];
+        for (ok, msg) in checks {
+            if !ok {
+                return Err(ShapeError::new(format!(
+                    "TtCores::validate: {msg} (w1 {:?}, w2 {:?}, w3 {:?}, w4 {:?})",
+                    self.w1.shape(),
+                    self.w2.shape(),
+                    self.w3.shape(),
+                    self.w4.shape()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The largest uniform TT-rank usable for an `(O, I, 3, 3)` kernel.
+pub fn max_uniform_rank(in_channels: usize, out_channels: usize) -> usize {
+    in_channels.min(out_channels)
+}
+
+/// TT-SVD decomposition (Algorithm 1, line 4) of a dense `(O, I, 3, 3)`
+/// convolution weight into [`TtCores`] at uniform rank
+/// `min(rank, I, O)`.
+///
+/// The decomposition is exact when the weight's TT-ranks are at most the
+/// requested rank, and is the SVD-optimal truncation otherwise.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `weight` is not `(O, I, 3, 3)` or `rank == 0`.
+pub fn decompose(weight: &Tensor, rank: usize) -> Result<TtCores, ShapeError> {
+    if weight.ndim() != 4 || weight.shape()[2] != 3 || weight.shape()[3] != 3 {
+        return Err(ShapeError::new(format!(
+            "decompose: expected (O, I, 3, 3) weight, got {:?}",
+            weight.shape()
+        )));
+    }
+    if rank == 0 {
+        return Err(ShapeError::new("decompose: rank must be at least 1"));
+    }
+    let (o, i) = (weight.shape()[0], weight.shape()[1]);
+    let r = rank.min(max_uniform_rank(i, o));
+    let (k1, k2) = (3usize, 3usize);
+
+    // Eq. (3): circular permute to (I, K1, K2, O).
+    let wp = circular_permute(weight)?;
+
+    // --- sweep 1: unfold (I, K1*K2*O) ------------------------------------
+    let a1 = wp.reshape(&[i, k1 * k2 * o])?;
+    let svd1 = linalg::svd(&a1)?.truncate(r.min(i.min(k1 * k2 * o)));
+    let g1 = pad_cols(&svd1.u, r); // (I, r)
+    let m1 = scale_rows(&svd1.vt, &svd1.s); // (r1, K1*K2*O)
+    let m1 = pad_rows(&m1, r); // (r, K1*K2*O)
+
+    // --- sweep 2: unfold (r*K1, K2*O) ------------------------------------
+    let a2 = m1.reshape(&[r * k1, k2 * o])?;
+    let svd2 = linalg::svd(&a2)?.truncate(r.min((r * k1).min(k2 * o)));
+    let g2 = pad_cols(&svd2.u, r); // (r*K1, r)
+    let m2 = pad_rows(&scale_rows(&svd2.vt, &svd2.s), r); // (r, K2*O)
+
+    // --- sweep 3: unfold (r*K2, O) ----------------------------------------
+    let a3 = m2.reshape(&[r * k2, o])?;
+    let svd3 = linalg::svd(&a3)?.truncate(r.min((r * k2).min(o)));
+    let g3 = pad_cols(&svd3.u, r); // (r*K2, r)
+    let g4 = pad_rows(&scale_rows(&svd3.vt, &svd3.s), r); // (r, O)
+
+    // Repack into conv-weight layout.
+    // g1: (I, r)           -> w1 (r, I, 1, 1): w1[a, i] = g1[i, a]
+    let w1 = g1.transpose()?.reshape(&[r, i, 1, 1])?;
+    // g2: (r*K1, r) indexed [a*K1 + k1, b] -> w2 (b, a, k1, 0)
+    let mut w2 = Tensor::zeros(&[r, r, 3, 1]);
+    for a in 0..r {
+        for kk in 0..k1 {
+            for b in 0..r {
+                *w2.at_mut(&[b, a, kk, 0]) = g2.at(&[a * k1 + kk, b]);
+            }
+        }
+    }
+    // g3: (r*K2, r) indexed [b*K2 + k2, c] -> w3 (c, b, 0, k2)
+    let mut w3 = Tensor::zeros(&[r, r, 1, 3]);
+    for b in 0..r {
+        for kk in 0..k2 {
+            for c in 0..r {
+                *w3.at_mut(&[c, b, 0, kk]) = g3.at(&[b * k2 + kk, c]);
+            }
+        }
+    }
+    // g4: (r, O) -> w4 (O, r, 1, 1): w4[o, c] = g4[c, o]
+    let w4 = g4.transpose()?.reshape(&[o, r, 1, 1])?;
+
+    Ok(TtCores { w1, w2, w3, w4 })
+}
+
+/// Zero-pads a matrix on the right to `cols` columns (no-op if already
+/// wide enough).
+fn pad_cols(m: &Tensor, cols: usize) -> Tensor {
+    let (rows, c) = (m.shape()[0], m.shape()[1]);
+    if c >= cols {
+        return m.clone();
+    }
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for i in 0..rows {
+        for j in 0..c {
+            out.data_mut()[i * cols + j] = m.data()[i * c + j];
+        }
+    }
+    out
+}
+
+/// Zero-pads a matrix at the bottom to `rows` rows.
+fn pad_rows(m: &Tensor, rows: usize) -> Tensor {
+    let (r, c) = (m.shape()[0], m.shape()[1]);
+    if r >= rows {
+        return m.clone();
+    }
+    let mut out = Tensor::zeros(&[rows, c]);
+    out.data_mut()[..r * c].copy_from_slice(m.data());
+    out
+}
+
+/// Multiplies row `i` of `m` by `s[i]` (computes `diag(s) · m`).
+fn scale_rows(m: &Tensor, s: &[f32]) -> Tensor {
+    let (r, c) = (m.shape()[0], m.shape()[1]);
+    debug_assert_eq!(r, s.len());
+    let mut out = m.clone();
+    for i in 0..r {
+        for j in 0..c {
+            out.data_mut()[i * c + j] *= s[i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_stt;
+
+    #[test]
+    fn randn_core_shapes() {
+        let mut rng = Rng::seed_from(1);
+        let cores = TtCores::randn(16, 32, 8, &mut rng);
+        assert_eq!(cores.w1.shape(), &[8, 16, 1, 1]);
+        assert_eq!(cores.w2.shape(), &[8, 8, 3, 1]);
+        assert_eq!(cores.w3.shape(), &[8, 8, 1, 3]);
+        assert_eq!(cores.w4.shape(), &[32, 8, 1, 1]);
+        assert_eq!(cores.rank(), 8);
+        assert_eq!(cores.in_channels(), 16);
+        assert_eq!(cores.out_channels(), 32);
+        cores.validate().unwrap();
+    }
+
+    #[test]
+    fn randn_calibrated_to_kaiming_norm() {
+        let mut rng = Rng::seed_from(99);
+        for (i, o, r) in [(8usize, 8usize, 3usize), (16, 32, 6), (32, 16, 10)] {
+            let cores = TtCores::randn(i, o, r, &mut rng);
+            let merged = merge_stt(&cores).unwrap();
+            let fan_in = (i * 9) as f32;
+            let target = (2.0 / fan_in).sqrt() * ((o * i * 9) as f32).sqrt();
+            let ratio = merged.norm() / target;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "({i},{o},r{r}): composed norm {:.3} vs Kaiming target {target:.3}",
+                merged.norm()
+            );
+        }
+    }
+
+    #[test]
+    fn rank_clamped_to_channels() {
+        let mut rng = Rng::seed_from(2);
+        let cores = TtCores::randn(4, 32, 100, &mut rng);
+        assert_eq!(cores.rank(), 4);
+        assert_eq!(max_uniform_rank(4, 32), 4);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let mut rng = Rng::seed_from(3);
+        let (i, o, r) = (16, 32, 8);
+        let cores = TtCores::randn(i, o, r, &mut rng);
+        assert_eq!(cores.num_params(), r * i + 3 * r * r + 3 * r * r + r * o);
+    }
+
+    #[test]
+    fn decompose_shapes_and_validate() {
+        let mut rng = Rng::seed_from(4);
+        let w = Tensor::randn(&[8, 6, 3, 3], &mut rng);
+        let cores = decompose(&w, 4).unwrap();
+        assert_eq!(cores.rank(), 4);
+        assert_eq!(cores.in_channels(), 6);
+        assert_eq!(cores.out_channels(), 8);
+        cores.validate().unwrap();
+    }
+
+    #[test]
+    fn decompose_rejects_bad_input() {
+        assert!(decompose(&Tensor::zeros(&[4, 4, 5, 5]), 2).is_err());
+        assert!(decompose(&Tensor::zeros(&[4, 4, 3]), 2).is_err());
+        assert!(decompose(&Tensor::zeros(&[4, 4, 3, 3]), 0).is_err());
+    }
+
+    #[test]
+    fn decompose_is_exact_on_low_tt_rank_weight() {
+        // Build a weight that is exactly TT-rank 3, decompose at rank 3,
+        // and check the merged reconstruction matches.
+        let mut rng = Rng::seed_from(5);
+        let truth = TtCores::randn(6, 5, 3, &mut rng);
+        let dense = merge_stt(&truth).unwrap();
+        let cores = decompose(&dense, 3).unwrap();
+        let rebuilt = merge_stt(&cores).unwrap();
+        let err = rebuilt.max_abs_diff(&dense).unwrap();
+        assert!(err < 1e-3, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn decompose_truncation_error_decreases_with_rank() {
+        let mut rng = Rng::seed_from(6);
+        let w = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+        let mut prev = f32::INFINITY;
+        for r in [1usize, 2, 4, 8] {
+            let cores = decompose(&w, r).unwrap();
+            let rebuilt = merge_stt(&cores).unwrap();
+            let err = w.sub(&rebuilt).unwrap().norm();
+            assert!(err <= prev + 1e-4, "rank {r}: error {err} should not exceed {prev}");
+            prev = err;
+        }
+    }
+
+    #[test]
+    fn validate_catches_inconsistency() {
+        let mut rng = Rng::seed_from(7);
+        let mut cores = TtCores::randn(6, 5, 3, &mut rng);
+        cores.w2 = Tensor::zeros(&[3, 3, 1, 3]); // wrong kernel orientation
+        assert!(cores.validate().is_err());
+    }
+}

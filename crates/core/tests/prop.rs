@@ -1,0 +1,110 @@
+//! Property-based tests for the TT-SNN core: merge/forward equivalence and
+//! decomposition invariants over random layer dimensions.
+
+use proptest::prelude::*;
+use ttsnn_core::merge::{merge_ptt, merge_stt};
+use ttsnn_core::ttsvd::{decompose, TtCores};
+use ttsnn_core::{HttSchedule, TtConv, TtMode};
+use ttsnn_tensor::{conv, Conv2dGeometry, Rng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stt_merge_equals_forward_any_dims(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 2 + rng.below(6);
+        let o = 2 + rng.below(6);
+        let r = 1 + rng.below(i.min(o));
+        let hw = (4 + rng.below(4), 4 + rng.below(4));
+        let layer = TtConv::randn(i, o, r, TtMode::Stt, &mut rng);
+        let x = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+        let via_tt = layer.forward_tensor(&x, 0).unwrap();
+        let g = Conv2dGeometry::new(i, o, hw, (3, 3), (1, 1), (1, 1));
+        let via_dense = conv::conv2d(&x, &layer.merge().unwrap(), &g).unwrap();
+        prop_assert!(via_tt.max_abs_diff(&via_dense).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn ptt_merge_equals_forward_any_dims(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 2 + rng.below(6);
+        let o = 2 + rng.below(6);
+        let r = 1 + rng.below(i.min(o));
+        let hw = (4 + rng.below(4), 4 + rng.below(4));
+        let layer = TtConv::randn(i, o, r, TtMode::Ptt, &mut rng);
+        let x = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+        let via_tt = layer.forward_tensor(&x, 0).unwrap();
+        let g = Conv2dGeometry::new(i, o, hw, (3, 3), (1, 1), (1, 1));
+        let via_dense = conv::conv2d(&x, &layer.merge().unwrap(), &g).unwrap();
+        prop_assert!(via_tt.max_abs_diff(&via_dense).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn decompose_exact_at_true_rank(seed in 0u64..300) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 3 + rng.below(5);
+        let o = 3 + rng.below(5);
+        let r = 1 + rng.below(i.min(o).min(4));
+        let truth = TtCores::randn(i, o, r, &mut rng);
+        let dense = merge_stt(&truth).unwrap();
+        let cores = decompose(&dense, r).unwrap();
+        let rebuilt = merge_stt(&cores).unwrap();
+        let scale = dense.norm().max(1e-6);
+        prop_assert!(
+            dense.sub(&rebuilt).unwrap().norm() / scale < 1e-2,
+            "TT-SVD must be exact at the generating rank"
+        );
+    }
+
+    #[test]
+    fn ptt_corners_always_zero(seed in 0u64..300) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 2 + rng.below(5);
+        let o = 2 + rng.below(5);
+        let r = 1 + rng.below(i.min(o));
+        let cores = TtCores::randn(i, o, r, &mut rng);
+        let merged = merge_ptt(&cores).unwrap();
+        for oo in 0..o {
+            for ii in 0..i {
+                for (kh, kw) in [(0, 0), (0, 2), (2, 0), (2, 2)] {
+                    prop_assert_eq!(merged.at(&[oo, ii, kh, kw]), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn param_count_below_dense_for_small_rank(seed in 0u64..300) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 8 + rng.below(24);
+        let o = 8 + rng.below(24);
+        let r = 1 + rng.below(i.min(o) / 4 + 1); // paper-like fraction
+        let cores = TtCores::randn(i, o, r, &mut rng);
+        prop_assert!(cores.num_params() < o * i * 9, "rank {} ({}, {})", r, i, o);
+    }
+
+    #[test]
+    fn schedule_pattern_roundtrips(pattern in proptest::collection::vec(prop_oneof![Just('F'), Just('H')], 1..12)) {
+        let s: String = pattern.iter().collect();
+        let sched = HttSchedule::from_pattern(&s).unwrap();
+        prop_assert_eq!(sched.to_string(), s.clone());
+        prop_assert_eq!(sched.timesteps(), s.len());
+        prop_assert_eq!(sched.num_full(), s.chars().filter(|&c| c == 'F').count());
+    }
+
+    #[test]
+    fn htt_macs_at_most_ptt(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let i = 2 + rng.below(8);
+        let o = 2 + rng.below(8);
+        let r = 1 + rng.below(i.min(o));
+        let t = 2 + rng.below(5);
+        let ptt = TtConv::randn(i, o, r, TtMode::Ptt, &mut rng);
+        let htt = TtConv::randn(i, o, r, TtMode::htt_default(t), &mut rng);
+        let hw = (6, 6);
+        let ptt_total: usize = (0..t).map(|s| ptt.macs(hw, s)).sum();
+        let htt_total: usize = (0..t).map(|s| htt.macs(hw, s)).sum();
+        prop_assert!(htt_total <= ptt_total);
+    }
+}

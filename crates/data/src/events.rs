@@ -1,0 +1,302 @@
+//! Event-camera-like synthetic dynamic datasets.
+//!
+//! Two generators reproduce the temporal statistics the paper's analysis
+//! hinges on (§V-B, "On the characteristics of dynamic datasets"):
+//!
+//! * [`EventStream`] — N-Caltech101-like. An event camera viewing a static
+//!   scene produces events only under motion, so N-Caltech101 records three
+//!   saccades across each image; every timestep sees a *different* slice of
+//!   the scene. We emulate this by sweeping a 2-polarity edge detector over
+//!   a class-conditional pattern along a saccade path: each timestep's
+//!   frame is distinct and carries novel spatial information.
+//! * [`GestureStream`] — DVS128-Gesture-like. The class *is* the motion:
+//!   a blob translating in one of `num_classes` directions. No single
+//!   frame determines the label; the temporal sequence does.
+
+use ttsnn_tensor::{Rng, Tensor};
+
+use crate::batch::{Dataset, Sample};
+use crate::synth::StaticImages;
+
+/// N-Caltech101-like saccadic event-stream generator.
+///
+/// Frames are `(2, H, W)` — ON and OFF polarity channels — and each of the
+/// `timesteps` frames views the underlying class pattern at a different
+/// saccade offset.
+#[derive(Debug, Clone)]
+pub struct EventStream {
+    base: StaticImages,
+    height: usize,
+    width: usize,
+    num_classes: usize,
+    timesteps: usize,
+    event_rate: f32,
+}
+
+impl EventStream {
+    /// An N-Caltech101-like generator: `num_classes` classes of 2-polarity
+    /// `h × w` frames over `timesteps` saccade positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension, the class count or `timesteps` is zero.
+    pub fn ncaltech_like(h: usize, w: usize, num_classes: usize, timesteps: usize) -> Self {
+        assert!(timesteps > 0, "EventStream: timesteps must be positive");
+        Self {
+            base: StaticImages::new(1, h, w, num_classes, 0.0, 0xE7E9_7CA1),
+            height: h,
+            width: w,
+            num_classes,
+            timesteps,
+            event_rate: 0.9,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Frames per sample.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Frame shape `(2, H, W)`.
+    pub fn frame_shape(&self) -> [usize; 3] {
+        [2, self.height, self.width]
+    }
+
+    /// Generates the event frame seen at saccade step `t` of `class`'s
+    /// pattern: the scene is shifted along a triangular saccade path and
+    /// ON/OFF events fire where the shifted intensity gradient is
+    /// positive/negative.
+    fn event_frame(&self, class: usize, t: usize, rng: &mut Rng) -> Tensor {
+        let proto = self.base.prototype(class);
+        // Triangular saccade path across the scene.
+        let phase = t as f32 / self.timesteps.max(1) as f32;
+        let dx = ((phase * 2.0 - 1.0).abs() * 2.0 - 1.0) * (self.width as f32 * 0.25);
+        let dy = (phase * 2.0 * std::f32::consts::PI).sin() * (self.height as f32 * 0.15);
+        let (dxi, dyi) = (dx.round() as isize, dy.round() as isize);
+        let mut frame = Tensor::zeros(&[2, self.height, self.width]);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let sy = y as isize + dyi;
+                let sx = x as isize + dxi;
+                if sy < 0 || sx < 0 || sy as usize >= self.height || sx + 1 >= self.width as isize
+                {
+                    continue;
+                }
+                // Horizontal intensity gradient at the shifted location —
+                // what an event camera sees while sweeping horizontally.
+                let here = proto.at(&[0, sy as usize, sx as usize]);
+                let next = proto.at(&[0, sy as usize, (sx + 1) as usize]);
+                let grad = next - here;
+                let fired = rng.uniform() < self.event_rate;
+                if grad > 0.02 && fired {
+                    *frame.at_mut(&[0, y, x]) = 1.0;
+                } else if grad < -0.02 && fired {
+                    *frame.at_mut(&[1, y, x]) = 1.0;
+                }
+            }
+        }
+        frame
+    }
+
+    /// Draws one sample: `timesteps` distinct event frames.
+    pub fn sample(&self, class: usize, rng: &mut Rng) -> Sample {
+        let frames = (0..self.timesteps).map(|t| self.event_frame(class, t, rng)).collect();
+        Sample { frames, label: class }
+    }
+
+    /// Generates a balanced dataset of `n` samples.
+    pub fn dataset(&self, n: usize, rng: &mut Rng) -> Dataset {
+        let samples = (0..n).map(|i| self.sample(i % self.num_classes, rng)).collect();
+        Dataset::new(samples, self.num_classes)
+    }
+}
+
+/// DVS128-Gesture-like moving-blob generator: the label is the direction of
+/// motion, so classification requires integrating over timesteps.
+#[derive(Debug, Clone)]
+pub struct GestureStream {
+    height: usize,
+    width: usize,
+    num_classes: usize,
+    timesteps: usize,
+}
+
+impl GestureStream {
+    /// A gesture-like generator with `num_classes` motion directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension, class count or `timesteps` is zero.
+    pub fn dvs_gesture_like(h: usize, w: usize, num_classes: usize, timesteps: usize) -> Self {
+        assert!(
+            h > 0 && w > 0 && num_classes > 0 && timesteps > 0,
+            "GestureStream: dimensions must be positive"
+        );
+        Self { height: h, width: w, num_classes, timesteps }
+    }
+
+    /// Number of classes (motion directions).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Frames per sample.
+    pub fn timesteps(&self) -> usize {
+        self.timesteps
+    }
+
+    /// Frame shape `(2, H, W)`.
+    pub fn frame_shape(&self) -> [usize; 3] {
+        [2, self.height, self.width]
+    }
+
+    /// Draws one sample: a blob moving along the class's direction, leading
+    /// edge firing ON events, trailing edge OFF events.
+    pub fn sample(&self, class: usize, rng: &mut Rng) -> Sample {
+        let angle = class as f32 / self.num_classes as f32 * 2.0 * std::f32::consts::PI;
+        let (vx, vy) = (angle.cos(), angle.sin());
+        // Slow enough that the blob stays on-sensor for the whole sample.
+        let speed = rng.uniform_in(0.8, 1.2) * (self.width.min(self.height) as f32)
+            / (4.0 * self.timesteps as f32);
+        let mut cx = self.width as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
+        let mut cy = self.height as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
+        let radius = (self.width.min(self.height) as f32 * 0.18).max(1.5);
+        let mut frames = Vec::with_capacity(self.timesteps);
+        for _ in 0..self.timesteps {
+            let (px, py) = (cx, cy);
+            cx += vx * speed;
+            cy += vy * speed;
+            let mut frame = Tensor::zeros(&[2, self.height, self.width]);
+            for y in 0..self.height {
+                for x in 0..self.width {
+                    let d_new = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
+                    let d_old = ((x as f32 - px).powi(2) + (y as f32 - py).powi(2)).sqrt();
+                    let inside_new = d_new < radius;
+                    let inside_old = d_old < radius;
+                    if inside_new && !inside_old && rng.uniform() < 0.95 {
+                        *frame.at_mut(&[0, y, x]) = 1.0; // leading edge: ON
+                    } else if inside_old && !inside_new && rng.uniform() < 0.95 {
+                        *frame.at_mut(&[1, y, x]) = 1.0; // trailing edge: OFF
+                    }
+                }
+            }
+            frames.push(frame);
+        }
+        Sample { frames, label: class }
+    }
+
+    /// Generates a balanced dataset of `n` samples.
+    pub fn dataset(&self, n: usize, rng: &mut Rng) -> Dataset {
+        let samples = (0..n).map(|i| self.sample(i % self.num_classes, rng)).collect();
+        Dataset::new(samples, self.num_classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_frames_are_binary_two_polarity() {
+        let gen = EventStream::ncaltech_like(12, 12, 5, 6);
+        let mut rng = Rng::seed_from(1);
+        let s = gen.sample(2, &mut rng);
+        assert_eq!(s.frames.len(), 6);
+        for f in &s.frames {
+            assert_eq!(f.shape(), &[2, 12, 12]);
+            assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn event_frames_differ_across_timesteps() {
+        // The defining property of dynamic data (paper §V-B): per-timestep
+        // inputs are distinct.
+        let gen = EventStream::ncaltech_like(16, 16, 4, 6);
+        let mut rng = Rng::seed_from(2);
+        let s = gen.sample(1, &mut rng);
+        let mut distinct_pairs = 0;
+        for t in 1..s.frames.len() {
+            if s.frames[t].max_abs_diff(&s.frames[0]).unwrap() > 0.0 {
+                distinct_pairs += 1;
+            }
+        }
+        assert!(distinct_pairs >= 4, "only {distinct_pairs} frames differ from t=0");
+    }
+
+    #[test]
+    fn event_stream_has_events() {
+        let gen = EventStream::ncaltech_like(16, 16, 4, 6);
+        let mut rng = Rng::seed_from(3);
+        let s = gen.sample(0, &mut rng);
+        let total: f32 = s.frames.iter().map(|f| f.sum()).sum();
+        assert!(total > 10.0, "event stream nearly empty: {total} events");
+    }
+
+    #[test]
+    fn gesture_blob_moves_in_class_direction() {
+        let gen = GestureStream::dvs_gesture_like(20, 20, 4, 6);
+        let mut rng = Rng::seed_from(4);
+        // class 0 => motion along +x: ON-event centroid x should increase.
+        let s = gen.sample(0, &mut rng);
+        let centroid_x = |f: &Tensor| {
+            let mut sx = 0.0f32;
+            let mut n = 0.0f32;
+            for y in 0..20 {
+                for x in 0..20 {
+                    if f.at(&[0, y, x]) > 0.0 {
+                        sx += x as f32;
+                        n += 1.0;
+                    }
+                }
+            }
+            if n > 0.0 {
+                sx / n
+            } else {
+                f32::NAN
+            }
+        };
+        let first = centroid_x(&s.frames[0]);
+        let last = centroid_x(&s.frames[s.frames.len() - 1]);
+        assert!(first.is_finite() && last.is_finite(), "blob left the sensor: {first} -> {last}");
+        assert!(
+            last > first + 1.0,
+            "ON centroid should move right for class 0: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn gesture_classes_are_distinct_motions() {
+        let gen = GestureStream::dvs_gesture_like(16, 16, 8, 5);
+        assert_eq!(gen.num_classes(), 8);
+        let mut rng = Rng::seed_from(5);
+        let ds = gen.dataset(16, &mut rng);
+        assert_eq!(ds.len(), 16);
+        assert_eq!(ds.num_classes(), 8);
+    }
+
+    #[test]
+    fn datasets_are_balanced() {
+        let gen = EventStream::ncaltech_like(10, 10, 5, 4);
+        let mut rng = Rng::seed_from(6);
+        let ds = gen.dataset(25, &mut rng);
+        let mut counts = [0usize; 5];
+        for s in ds.samples() {
+            counts[s.label] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn frame_shapes_reported() {
+        assert_eq!(EventStream::ncaltech_like(8, 9, 3, 4).frame_shape(), [2, 8, 9]);
+        assert_eq!(GestureStream::dvs_gesture_like(8, 9, 3, 4).frame_shape(), [2, 8, 9]);
+        assert_eq!(EventStream::ncaltech_like(8, 9, 3, 4).timesteps(), 4);
+        assert_eq!(GestureStream::dvs_gesture_like(8, 9, 3, 4).timesteps(), 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+use ttsnn_data::{Dataset, EventStream, GestureStream, Sample, StaticImages};
+use ttsnn_tensor::{Rng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn static_samples_always_in_unit_range(seed in 0u64..1000, class in 0usize..10) {
+        let gen = StaticImages::cifar10_like(8, 8);
+        let mut rng = Rng::seed_from(seed);
+        let s = gen.sample(class, &mut rng);
+        prop_assert!(s.frames[0].min() >= 0.0);
+        prop_assert!(s.frames[0].max() <= 1.0);
+        prop_assert_eq!(s.label, class);
+    }
+
+    #[test]
+    fn event_frames_binary_all_classes(seed in 0u64..300, class in 0usize..4) {
+        let gen = EventStream::ncaltech_like(10, 10, 4, 5);
+        let mut rng = Rng::seed_from(seed);
+        let s = gen.sample(class, &mut rng);
+        prop_assert_eq!(s.frames.len(), 5);
+        for f in &s.frames {
+            prop_assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn gesture_frames_binary(seed in 0u64..300, class in 0usize..6) {
+        let gen = GestureStream::dvs_gesture_like(12, 12, 6, 4);
+        let mut rng = Rng::seed_from(seed);
+        let s = gen.sample(class, &mut rng);
+        for f in &s.frames {
+            prop_assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn batches_partition_samples(seed in 0u64..500, batch in 1usize..9, t in 1usize..5) {
+        let samples: Vec<Sample> = (0..24)
+            .map(|i| Sample { frames: vec![Tensor::full(&[1, 2, 2], i as f32)], label: i % 3 })
+            .collect();
+        let ds = Dataset::new(samples, 3);
+        let mut rng = Rng::seed_from(seed);
+        let batches = ds.batches(batch, t, &mut rng).unwrap();
+        prop_assert_eq!(batches.len(), 24 / batch);
+        for b in &batches {
+            prop_assert_eq!(b.len(), batch);
+            prop_assert_eq!(b.timesteps(), t);
+            prop_assert_eq!(b.frames[0].shape(), &[batch, 1, 2, 2]);
+        }
+        // every sample appears at most once across full batches
+        let mut seen = std::collections::HashSet::new();
+        for b in &batches {
+            for i in 0..b.len() {
+                let v = b.frames[0].index_axis0(i).unwrap().data()[0] as i64;
+                prop_assert!(seen.insert(v), "sample {} appeared twice", v);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition(seed in 0u64..500, frac in 0.1f32..0.9) {
+        let samples: Vec<Sample> = (0..20)
+            .map(|i| Sample { frames: vec![Tensor::full(&[1, 1, 1], i as f32)], label: i % 2 })
+            .collect();
+        let ds = Dataset::new(samples, 2);
+        let mut rng = Rng::seed_from(seed);
+        let (a, b) = ds.split(frac, &mut rng);
+        prop_assert_eq!(a.len() + b.len(), 20);
+        let mut vals: Vec<i64> = a
+            .samples()
+            .iter()
+            .chain(b.samples())
+            .map(|s| s.frames[0].data()[0] as i64)
+            .collect();
+        vals.sort_unstable();
+        prop_assert_eq!(vals, (0..20).collect::<Vec<i64>>());
+    }
+}

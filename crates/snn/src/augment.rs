@@ -1,0 +1,164 @@
+//! Neuromorphic data augmentation (NDA, Li et al. — the Table III
+//! baseline that trains VGG11 on DVS-Gesture).
+//!
+//! NDA applies geometric augmentations that are valid for event data:
+//! horizontal flip, rolling translation, and cutout. One transform is
+//! sampled per *sample* and applied identically to every timestep frame,
+//! preserving temporal consistency.
+
+use ttsnn_tensor::{Rng, Tensor};
+
+/// Horizontal flip of a `(C, H, W)` frame.
+pub fn flip_horizontal(frame: &Tensor) -> Tensor {
+    let (c, h, w) = (frame.shape()[0], frame.shape()[1], frame.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(&[ch, y, x]) = frame.at(&[ch, y, w - 1 - x]);
+            }
+        }
+    }
+    out
+}
+
+/// Translation by `(dy, dx)` with zero fill (events roll off the sensor).
+pub fn translate(frame: &Tensor, dy: isize, dx: isize) -> Tensor {
+    let (c, h, w) = (frame.shape()[0], frame.shape()[1], frame.shape()[2]);
+    let mut out = Tensor::zeros(&[c, h, w]);
+    for ch in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                    *out.at_mut(&[ch, y, x]) = frame.at(&[ch, sy as usize, sx as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Zeroes a `size × size` square whose top-left corner is `(y0, x0)`
+/// (clipped to the frame).
+pub fn cutout(frame: &Tensor, y0: usize, x0: usize, size: usize) -> Tensor {
+    let (c, h, w) = (frame.shape()[0], frame.shape()[1], frame.shape()[2]);
+    let mut out = frame.clone();
+    for ch in 0..c {
+        for y in y0..(y0 + size).min(h) {
+            for x in x0..(x0 + size).min(w) {
+                *out.at_mut(&[ch, y, x]) = 0.0;
+            }
+        }
+    }
+    out
+}
+
+/// The NDA policy: samples one geometric transform and applies it to every
+/// frame of the sample (temporal consistency).
+///
+/// # Panics
+///
+/// Panics if `frames` is empty or frames are not 3-D.
+pub fn nda_augment(frames: &[Tensor], rng: &mut Rng) -> Vec<Tensor> {
+    assert!(!frames.is_empty(), "nda_augment: empty frame list");
+    assert!(frames.iter().all(|f| f.ndim() == 3), "nda_augment: frames must be (C, H, W)");
+    let (h, w) = (frames[0].shape()[1], frames[0].shape()[2]);
+    match rng.below(4) {
+        0 => frames.to_vec(), // identity
+        1 => frames.iter().map(flip_horizontal).collect(),
+        2 => {
+            let max_dy = (h / 5).max(1) as isize;
+            let max_dx = (w / 5).max(1) as isize;
+            let dy = rng.below((2 * max_dy + 1) as usize) as isize - max_dy;
+            let dx = rng.below((2 * max_dx + 1) as usize) as isize - max_dx;
+            frames.iter().map(|f| translate(f, dy, dx)).collect()
+        }
+        _ => {
+            let size = (h.min(w) / 4).max(1);
+            let y0 = rng.below(h);
+            let x0 = rng.below(w);
+            frames.iter().map(|f| cutout(f, y0, x0, size)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_frame() -> Tensor {
+        let mut f = Tensor::zeros(&[1, 3, 4]);
+        for y in 0..3 {
+            for x in 0..4 {
+                *f.at_mut(&[0, y, x]) = (y * 4 + x) as f32;
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn flip_reverses_columns() {
+        let f = ramp_frame();
+        let g = flip_horizontal(&f);
+        assert_eq!(g.at(&[0, 0, 0]), f.at(&[0, 0, 3]));
+        assert_eq!(g.at(&[0, 2, 1]), f.at(&[0, 2, 2]));
+        // involution
+        assert_eq!(flip_horizontal(&g), f);
+    }
+
+    #[test]
+    fn translate_shifts_content() {
+        let f = ramp_frame();
+        let g = translate(&f, 1, 1);
+        assert_eq!(g.at(&[0, 1, 1]), f.at(&[0, 0, 0]));
+        assert_eq!(g.at(&[0, 0, 0]), 0.0); // rolled-off region zero-filled
+        let z = translate(&f, 0, 0);
+        assert_eq!(z, f);
+    }
+
+    #[test]
+    fn cutout_zeroes_square() {
+        let f = Tensor::ones(&[2, 6, 6]);
+        let g = cutout(&f, 1, 2, 3);
+        assert_eq!(g.at(&[0, 1, 2]), 0.0);
+        assert_eq!(g.at(&[1, 3, 4]), 0.0);
+        assert_eq!(g.at(&[0, 0, 0]), 1.0);
+        assert_eq!(g.sum(), 2.0 * 36.0 - 2.0 * 9.0);
+    }
+
+    #[test]
+    fn cutout_clips_at_border() {
+        let f = Tensor::ones(&[1, 4, 4]);
+        let g = cutout(&f, 3, 3, 5);
+        assert_eq!(g.sum(), 15.0);
+    }
+
+    #[test]
+    fn nda_is_temporally_consistent() {
+        let mut rng = Rng::seed_from(7);
+        let frames: Vec<Tensor> = (0..4).map(|_| ramp_frame()).collect();
+        for _ in 0..20 {
+            let out = nda_augment(&frames, &mut rng);
+            assert_eq!(out.len(), 4);
+            // identical input frames must stay identical after augmentation
+            for t in 1..4 {
+                assert_eq!(out[t], out[0], "transform differed across timesteps");
+            }
+        }
+    }
+
+    #[test]
+    fn nda_preserves_shape_and_binaryness() {
+        let mut rng = Rng::seed_from(8);
+        let mut f = Tensor::zeros(&[2, 8, 8]);
+        *f.at_mut(&[0, 4, 4]) = 1.0;
+        *f.at_mut(&[1, 2, 6]) = 1.0;
+        for _ in 0..20 {
+            let out = nda_augment(&[f.clone()], &mut rng);
+            assert_eq!(out[0].shape(), &[2, 8, 8]);
+            assert!(out[0].data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Binary checkpointing of model parameters.
+//!
+//! The paper's workflow has three phases — pre-train the base SNN,
+//! decompose + train the TT-SNN, merge back for deployment — and each
+//! phase hands weights to the next. This module provides the persistence
+//! layer: a small, versioned, little-endian binary format holding an
+//! ordered list of tensors (shape + `f32` data).
+//!
+//! Parameters are identified *positionally*: save and load must use the
+//! same architecture (the same [`crate::SpikingModel::params`] order),
+//! which the loader enforces by shape-checking every tensor.
+
+use std::io::{self, Read, Write};
+
+use ttsnn_autograd::Var;
+use ttsnn_tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"TTSN";
+const VERSION: u32 = 1;
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serializes parameter tensors to a writer. Pass `&mut` of anything
+/// `Write` (a `File`, a `Vec<u8>`, …).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn save_params<W: Write>(params: &[Var], mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u64(&mut w, params.len() as u64)?;
+    for p in params {
+        let t = p.value();
+        write_u32(&mut w, t.ndim() as u32)?;
+        for &d in t.shape() {
+            write_u64(&mut w, d as u64)?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads a checkpoint into existing parameters, in order, shape-checked.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error if the stream is not a checkpoint, the
+/// version is unsupported, the parameter count differs, or any tensor's
+/// shape disagrees with the destination parameter.
+pub fn load_params<R: Read>(params: &[Var], mut r: R) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TT-SNN checkpoint (bad magic)"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(format!("unsupported checkpoint version {version}")));
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count != params.len() {
+        return Err(bad(format!(
+            "checkpoint holds {count} tensors but the model has {}",
+            params.len()
+        )));
+    }
+    // Decode everything first so a partial read never leaves the model
+    // half-loaded.
+    let mut tensors = Vec::with_capacity(count);
+    for (i, p) in params.iter().enumerate() {
+        let ndim = read_u32(&mut r)? as usize;
+        if ndim > 8 {
+            return Err(bad(format!("tensor {i}: implausible rank {ndim}")));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        for _ in 0..ndim {
+            shape.push(read_u64(&mut r)? as usize);
+        }
+        if shape != p.shape() {
+            return Err(bad(format!(
+                "tensor {i}: checkpoint shape {:?} vs model shape {:?}",
+                shape,
+                p.shape()
+            )));
+        }
+        let n: usize = shape.iter().product();
+        let mut data = vec![0.0f32; n];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        tensors.push(Tensor::from_vec(data, &shape).map_err(|e| bad(e.to_string()))?);
+    }
+    for (p, t) in params.iter().zip(tensors) {
+        p.set_value(t);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_unit::ConvPolicy;
+    use crate::model::SpikingModel;
+    use crate::resnet::{ResNetConfig, ResNetSnn};
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut rng = Rng::seed_from(1);
+        let params: Vec<Var> = (0..3)
+            .map(|i| Var::param(Tensor::randn(&[2 + i, 3], &mut rng)))
+            .collect();
+        let mut buf = Vec::new();
+        save_params(&params, &mut buf).unwrap();
+        let originals: Vec<Tensor> = params.iter().map(|p| p.to_tensor()).collect();
+        for p in &params {
+            p.update_value(|t| t.map_inplace(|_| 0.0));
+        }
+        load_params(&params, buf.as_slice()).unwrap();
+        for (p, o) in params.iter().zip(&originals) {
+            assert_eq!(&p.to_tensor(), o);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_mismatches() {
+        let p = [Var::param(Tensor::zeros(&[2, 2]))];
+        assert!(load_params(&p, &b"nope"[..]).is_err());
+
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        // wrong parameter count
+        let q = [p[0].clone(), Var::param(Tensor::zeros(&[1]))];
+        assert!(load_params(&q, buf.as_slice()).is_err());
+        // wrong shape
+        let r = [Var::param(Tensor::zeros(&[4]))];
+        assert!(load_params(&r, buf.as_slice()).is_err());
+        // truncated stream
+        assert!(load_params(&p, &buf[..buf.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn version_check() {
+        let p = [Var::param(Tensor::zeros(&[1]))];
+        let mut buf = Vec::new();
+        save_params(&p, &mut buf).unwrap();
+        buf[4] = 99; // corrupt version field
+        assert!(load_params(&p, buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn model_checkpoint_restores_behaviour() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = ResNetConfig::resnet18(3, (8, 8), 16);
+        let mut a = ResNetSnn::new(cfg.clone(), &ConvPolicy::Baseline, &mut rng);
+        let mut b = ResNetSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng));
+        let ya = a.forward_timestep(&x, 0).unwrap().to_tensor();
+        a.reset_state();
+        // b differs from a before loading...
+        let yb = b.forward_timestep(&x, 0).unwrap().to_tensor();
+        b.reset_state();
+        assert!(ya.max_abs_diff(&yb).unwrap() > 0.0 || ya == yb);
+        // ...and matches exactly after.
+        let mut buf = Vec::new();
+        save_params(&a.params(), &mut buf).unwrap();
+        load_params(&b.params(), buf.as_slice()).unwrap();
+        let yb2 = b.forward_timestep(&x, 0).unwrap().to_tensor();
+        assert_eq!(ya, yb2);
+    }
+}

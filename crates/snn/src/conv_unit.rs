@@ -1,0 +1,315 @@
+//! A pluggable convolution slot: dense kernel or TT module.
+//!
+//! The paper's contribution 2 is that TT-SNN "can be easily and flexibly
+//! integrated into SNN convolutional computations" — architectures here
+//! take a [`ConvPolicy`] and every 3×3 convolution slot materializes either
+//! as a dense kernel (the baseline of Table II) or as a
+//! [`ttsnn_core::TtConv`] in the requested mode.
+
+use ttsnn_autograd::Var;
+use ttsnn_core::{TtConv, TtMode};
+use ttsnn_tensor::{Conv2dGeometry, Rng, ShapeError, Tensor};
+
+/// How a network's 3×3 convolutions are realized.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConvPolicy {
+    /// Dense baseline convolutions (Fig. 1(a)).
+    Baseline,
+    /// TT-decomposed convolutions in the given mode, with ranks chosen as
+    /// `max(1, round(fraction · min(I, O)))` per layer — the scaled-width
+    /// analogue of VBMF's channel-proportional ranks.
+    Tt {
+        /// Pipeline (STT / PTT / HTT).
+        mode: TtMode,
+        /// Rank as a fraction of `min(I, O)` (the paper's VBMF ranks are
+        /// roughly 0.25–0.4 of the layer width).
+        rank_fraction: f32,
+    },
+    /// TT-decomposed with explicit per-layer ranks, consumed in network
+    /// order (mirrors Algorithm 1's VBMF rank list).
+    TtWithRanks {
+        /// Pipeline (STT / PTT / HTT).
+        mode: TtMode,
+        /// One rank per decomposed layer, in construction order.
+        ranks: Vec<usize>,
+    },
+}
+
+impl ConvPolicy {
+    /// Convenience TT policy at the paper-typical rank fraction (0.3).
+    pub fn tt(mode: TtMode) -> Self {
+        ConvPolicy::Tt { mode, rank_fraction: 0.3 }
+    }
+
+    /// Resolves the rank for the `index`-th decomposed layer with the given
+    /// channel bounds; `None` for the baseline policy.
+    pub fn rank_for(&self, index: usize, in_ch: usize, out_ch: usize) -> Option<usize> {
+        match self {
+            ConvPolicy::Baseline => None,
+            ConvPolicy::Tt { rank_fraction, .. } => {
+                let bound = in_ch.min(out_ch);
+                Some(((bound as f32 * rank_fraction).round() as usize).clamp(1, bound))
+            }
+            ConvPolicy::TtWithRanks { ranks, .. } => {
+                let bound = in_ch.min(out_ch);
+                Some(ranks.get(index).copied().unwrap_or(bound).clamp(1, bound))
+            }
+        }
+    }
+
+    /// The TT mode, if this policy decomposes.
+    pub fn mode(&self) -> Option<&TtMode> {
+        match self {
+            ConvPolicy::Baseline => None,
+            ConvPolicy::Tt { mode, .. } | ConvPolicy::TtWithRanks { mode, .. } => Some(mode),
+        }
+    }
+
+    /// Short name for reports ("baseline", "STT", "PTT", "HTT").
+    pub fn name(&self) -> &'static str {
+        match self.mode() {
+            None => "baseline",
+            Some(m) => m.name(),
+        }
+    }
+}
+
+/// One convolution layer: dense kernel or TT cores.
+#[derive(Debug)]
+pub enum ConvUnit {
+    /// Dense convolution with an explicit kernel.
+    Dense {
+        /// `(O, I, Kh, Kw)` kernel parameter.
+        weight: Var,
+        /// Kernel spatial size.
+        kernel: (usize, usize),
+        /// Stride.
+        stride: (usize, usize),
+        /// Padding.
+        padding: (usize, usize),
+    },
+    /// A TT-decomposed 3×3 convolution.
+    Tt(TtConv),
+}
+
+impl ConvUnit {
+    /// A dense convolution with Kaiming initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn dense(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && kernel.0 > 0 && kernel.1 > 0);
+        ConvUnit::Dense {
+            weight: Var::param(Tensor::kaiming(&[out_ch, in_ch, kernel.0, kernel.1], rng)),
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Builds the `index`-th 3×3 conv slot of a network under `policy`:
+    /// dense for the baseline, a [`TtConv`] otherwise.
+    pub fn conv3x3(
+        policy: &ConvPolicy,
+        index: usize,
+        in_ch: usize,
+        out_ch: usize,
+        stride: (usize, usize),
+        rng: &mut Rng,
+    ) -> Self {
+        match policy.rank_for(index, in_ch, out_ch) {
+            None => Self::dense(in_ch, out_ch, (3, 3), stride, (1, 1), rng),
+            Some(rank) => {
+                let mode = policy.mode().expect("rank implies TT mode").clone();
+                ConvUnit::Tt(TtConv::randn_strided(in_ch, out_ch, rank, mode, stride, rng))
+            }
+        }
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        match self {
+            ConvUnit::Dense { weight, .. } => weight.shape()[1],
+            ConvUnit::Tt(tt) => tt.in_channels(),
+        }
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        match self {
+            ConvUnit::Dense { weight, .. } => weight.shape()[0],
+            ConvUnit::Tt(tt) => tt.out_channels(),
+        }
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Var> {
+        match self {
+            ConvUnit::Dense { weight, .. } => vec![weight.clone()],
+            ConvUnit::Tt(tt) => tt.params(),
+        }
+    }
+
+    /// Trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        match self {
+            ConvUnit::Dense { weight, .. } => weight.value().len(),
+            ConvUnit::Tt(tt) => tt.num_params(),
+        }
+    }
+
+    /// Forward MAC count for one sample at the given input size and
+    /// timestep.
+    pub fn macs(&self, in_hw: (usize, usize), t: usize) -> usize {
+        match self {
+            ConvUnit::Dense { weight, kernel, stride, padding } => {
+                let s = weight.shape();
+                Conv2dGeometry::new(s[1], s[0], in_hw, *kernel, *stride, *padding).macs()
+            }
+            ConvUnit::Tt(tt) => tt.macs(in_hw, t),
+        }
+    }
+
+    /// Merges a TT unit's cores into a dense 3×3 kernel (Algorithm 1,
+    /// lines 20–22), producing an equivalent [`ConvUnit::Dense`]; returns
+    /// `None` for units that are already dense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the stored cores became inconsistent
+    /// (cannot happen through this API).
+    pub fn merged(&self) -> Result<Option<ConvUnit>, ShapeError> {
+        match self {
+            ConvUnit::Dense { .. } => Ok(None),
+            ConvUnit::Tt(tt) => Ok(Some(ConvUnit::Dense {
+                weight: Var::param(tt.merge()?),
+                kernel: (3, 3),
+                stride: tt.stride(),
+                padding: (1, 1),
+            })),
+        }
+    }
+
+    /// Runs the convolution at timestep `t` (TT units consult their HTT
+    /// schedule; dense units ignore `t`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x`'s shape is incompatible.
+    pub fn forward(&self, x: &Var, t: usize) -> Result<Var, ShapeError> {
+        match self {
+            ConvUnit::Dense { weight, kernel, stride, padding } => {
+                let xs = x.shape();
+                if xs.len() != 4 {
+                    return Err(ShapeError::new(format!(
+                        "ConvUnit::forward: expected 4-D input, got {xs:?}"
+                    )));
+                }
+                let ws = weight.shape();
+                let geom = Conv2dGeometry::new(
+                    ws[1],
+                    ws[0],
+                    (xs[2], xs[3]),
+                    *kernel,
+                    *stride,
+                    *padding,
+                );
+                x.conv2d(weight, geom)
+            }
+            ConvUnit::Tt(tt) => tt.forward(x, t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_policy_is_dense() {
+        let mut rng = Rng::seed_from(1);
+        let unit = ConvUnit::conv3x3(&ConvPolicy::Baseline, 0, 4, 8, (1, 1), &mut rng);
+        assert!(matches!(unit, ConvUnit::Dense { .. }));
+        assert_eq!(unit.num_params(), 8 * 4 * 9);
+        assert_eq!(unit.in_channels(), 4);
+        assert_eq!(unit.out_channels(), 8);
+    }
+
+    #[test]
+    fn tt_policy_builds_tt_unit_with_fraction_rank() {
+        let mut rng = Rng::seed_from(2);
+        let policy = ConvPolicy::Tt { mode: TtMode::Ptt, rank_fraction: 0.5 };
+        let unit = ConvUnit::conv3x3(&policy, 0, 16, 32, (1, 1), &mut rng);
+        match &unit {
+            ConvUnit::Tt(tt) => assert_eq!(tt.rank(), 8), // 0.5 * min(16,32)
+            ConvUnit::Dense { .. } => panic!("expected TT unit"),
+        }
+    }
+
+    #[test]
+    fn explicit_ranks_consumed_in_order() {
+        let mut rng = Rng::seed_from(3);
+        let policy = ConvPolicy::TtWithRanks { mode: TtMode::Stt, ranks: vec![2, 5] };
+        let u0 = ConvUnit::conv3x3(&policy, 0, 8, 8, (1, 1), &mut rng);
+        let u1 = ConvUnit::conv3x3(&policy, 1, 8, 8, (1, 1), &mut rng);
+        let (ConvUnit::Tt(t0), ConvUnit::Tt(t1)) = (&u0, &u1) else {
+            panic!("expected TT units")
+        };
+        assert_eq!(t0.rank(), 2);
+        assert_eq!(t1.rank(), 5);
+        // missing index falls back to channel bound
+        assert_eq!(policy.rank_for(9, 8, 8), Some(8));
+    }
+
+    #[test]
+    fn rank_fraction_clamps() {
+        let p = ConvPolicy::Tt { mode: TtMode::Stt, rank_fraction: 0.01 };
+        assert_eq!(p.rank_for(0, 8, 8), Some(1));
+        let p = ConvPolicy::Tt { mode: TtMode::Stt, rank_fraction: 5.0 };
+        assert_eq!(p.rank_for(0, 8, 16), Some(8));
+    }
+
+    #[test]
+    fn forward_shapes_match_between_dense_and_tt() {
+        let mut rng = Rng::seed_from(4);
+        let x = Var::constant(Tensor::randn(&[2, 6, 8, 8], &mut rng));
+        for policy in [ConvPolicy::Baseline, ConvPolicy::tt(TtMode::Ptt)] {
+            let unit = ConvUnit::conv3x3(&policy, 0, 6, 12, (2, 2), &mut rng);
+            let y = unit.forward(&x, 0).unwrap();
+            assert_eq!(y.shape(), vec![2, 12, 4, 4], "policy {}", policy.name());
+        }
+    }
+
+    #[test]
+    fn dense_1x1_shortcut() {
+        let mut rng = Rng::seed_from(5);
+        let unit = ConvUnit::dense(4, 8, (1, 1), (2, 2), (0, 0), &mut rng);
+        let x = Var::constant(Tensor::randn(&[1, 4, 8, 8], &mut rng));
+        let y = unit.forward(&x, 0).unwrap();
+        assert_eq!(y.shape(), vec![1, 8, 4, 4]);
+    }
+
+    #[test]
+    fn macs_tt_below_dense() {
+        let mut rng = Rng::seed_from(6);
+        let dense = ConvUnit::conv3x3(&ConvPolicy::Baseline, 0, 32, 32, (1, 1), &mut rng);
+        let tt = ConvUnit::conv3x3(&ConvPolicy::tt(TtMode::Ptt), 0, 32, 32, (1, 1), &mut rng);
+        assert!(tt.macs((16, 16), 0) < dense.macs((16, 16), 0));
+        assert!(tt.num_params() < dense.num_params());
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ConvPolicy::Baseline.name(), "baseline");
+        assert_eq!(ConvPolicy::tt(TtMode::Stt).name(), "STT");
+        assert_eq!(ConvPolicy::tt(TtMode::htt_default(4)).name(), "HTT");
+    }
+}

@@ -1,0 +1,43 @@
+//! # ttsnn-snn
+//!
+//! The spiking-neural-network training substrate of the TT-SNN paper:
+//! everything Algorithm 1 needs around the TT modules.
+//!
+//! * [`lif`] — the iterative Leaky-Integrate-and-Fire neuron of Eq. (1)
+//!   (τm = 0.25, V_th = 0.5 by default) with surrogate-gradient BPTT.
+//! * [`norm`] — tdBN (threshold-dependent batch norm, Zheng et al.) and
+//!   TEBN (temporal effective batch norm, Duan et al.), the two
+//!   normalizations used by the paper's baselines (Table III).
+//! * [`conv_unit`] — a convolution slot that is either a dense kernel or a
+//!   [`ttsnn_core::TtConv`]; [`ConvPolicy`] decides per layer, which is how
+//!   "TT-SNN can be easily and flexibly integrated" (contribution 2).
+//! * [`resnet`] / [`vgg`] — MS-ResNet18/34, ResNet20, VGG9/VGG11 spiking
+//!   architectures (the paper's Table II & III model zoo), width-scalable
+//!   for CPU-feasible training runs.
+//! * [`loss`] — summed-logit cross-entropy (Algorithm 1 line 16) and the
+//!   TET per-timestep loss (Deng et al.).
+//! * [`augment`] — NDA-style event-data augmentation (Li et al.).
+//! * [`trainer`] — the BPTT training loop with per-step wall-clock timing
+//!   (the "training time" column of Table II).
+//! * [`checkpoint`] — binary save/load of model parameters (the hand-off
+//!   between pre-training, TT training and merged deployment).
+
+pub mod augment;
+pub mod checkpoint;
+pub mod conv_unit;
+pub mod lif;
+pub mod loss;
+pub mod model;
+pub mod norm;
+pub mod resnet;
+pub mod trainer;
+pub mod vgg;
+
+pub use conv_unit::{ConvPolicy, ConvUnit};
+pub use lif::{Lif, LifConfig};
+pub use loss::LossKind;
+pub use model::SpikingModel;
+pub use norm::{Norm, NormKind};
+pub use resnet::{ResNetConfig, ResNetSnn};
+pub use trainer::{evaluate, train, TrainConfig, TrainReport};
+pub use vgg::{VggConfig, VggSnn};

@@ -1,0 +1,266 @@
+//! The iterative Leaky-Integrate-and-Fire neuron of Eq. (1).
+//!
+//! ```text
+//! u[l,t] = τm · u[l,t−1] · (1 − s[l,t−1]) + Σ_j w_ij · s[j,t]
+//! s[l,t] = H(u[l,t] − V_th)
+//! ```
+//!
+//! The membrane potential leaks with factor τm, integrates the layer's
+//! synaptic input, fires a binary spike through the Heaviside step, and is
+//! hard-reset to zero on firing. During BPTT the Heaviside derivative is
+//! replaced by a surrogate (STBP's rectangular window by default); the
+//! reset factor is detached from the graph, the standard STBP treatment.
+
+use ttsnn_autograd::{Surrogate, Var};
+use ttsnn_tensor::ShapeError;
+
+/// LIF neuron hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifConfig {
+    /// Membrane leak factor τm ∈ (0, 1] (paper: 0.25).
+    pub tau: f32,
+    /// Firing threshold V_th (paper: 0.5).
+    pub vth: f32,
+    /// Surrogate gradient used in place of the Heaviside derivative.
+    pub surrogate: Surrogate,
+}
+
+impl Default for LifConfig {
+    /// The paper's settings: τm = 0.25, V_th = 0.5, rectangular surrogate.
+    fn default() -> Self {
+        Self { tau: 0.25, vth: 0.5, surrogate: Surrogate::default() }
+    }
+}
+
+/// A stateful LIF neuron layer: holds the (post-reset) membrane potential
+/// between timesteps of one BPTT unrolling.
+///
+/// Call [`Lif::reset`] between batches — membrane state must not leak
+/// across independent samples.
+///
+/// ```
+/// use ttsnn_snn::{Lif, LifConfig};
+/// use ttsnn_autograd::Var;
+/// use ttsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ttsnn_tensor::ShapeError> {
+/// let mut lif = Lif::new(LifConfig::default());
+/// let drive = Var::constant(Tensor::full(&[1, 4], 0.3));
+/// let s1 = lif.step(&drive)?; // u = 0.3 < 0.5 -> no spike
+/// assert_eq!(s1.to_tensor().sum(), 0.0);
+/// let s2 = lif.step(&drive)?; // u = 0.25*0.3 + 0.3 = 0.375 -> still quiet
+/// assert_eq!(s2.to_tensor().sum(), 0.0);
+/// let s3 = lif.step(&Var::constant(Tensor::full(&[1, 4], 0.6)))?; // fires
+/// assert_eq!(s3.to_tensor().sum(), 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Lif {
+    config: LifConfig,
+    membrane: Option<Var>,
+    spike_sum: f64,
+    neuron_steps: f64,
+}
+
+impl Lif {
+    /// A fresh neuron layer with zeroed membrane.
+    pub fn new(config: LifConfig) -> Self {
+        Self { config, membrane: None, spike_sum: 0.0, neuron_steps: 0.0 }
+    }
+
+    /// The neuron's configuration.
+    pub fn config(&self) -> LifConfig {
+        self.config
+    }
+
+    /// Clears membrane state (call between batches / samples).
+    pub fn reset(&mut self) {
+        self.membrane = None;
+    }
+
+    /// Whether the membrane currently holds state from a previous step.
+    pub fn has_state(&self) -> bool {
+        self.membrane.is_some()
+    }
+
+    /// Mean spike activity observed since the last
+    /// [`Lif::clear_activity`]: fired spikes / (neurons × steps). `None`
+    /// if no step has run. This is the sparsity statistic SATA-style
+    /// accelerators exploit; feed it into
+    /// `ttsnn_accel::EnergyModel::spike_activity` to replace the default
+    /// 0.25 with a measured value.
+    pub fn activity(&self) -> Option<f64> {
+        if self.neuron_steps > 0.0 {
+            Some(self.spike_sum / self.neuron_steps)
+        } else {
+            None
+        }
+    }
+
+    /// Accumulated (spikes, neuron-steps) counters.
+    pub fn activity_counts(&self) -> (f64, f64) {
+        (self.spike_sum, self.neuron_steps)
+    }
+
+    /// Clears the activity counters (membrane state is untouched).
+    pub fn clear_activity(&mut self) {
+        self.spike_sum = 0.0;
+        self.neuron_steps = 0.0;
+    }
+
+    /// Advances one timestep: integrates `input` into the membrane, emits
+    /// the binary spike tensor, and stores the hard-reset membrane for the
+    /// next step. Gradients flow through the temporal path (τm·u) and the
+    /// surrogate spike; the reset gate uses detached spikes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `input`'s shape differs from the stored
+    /// membrane's (i.e. the caller changed batch shape without
+    /// [`Lif::reset`]).
+    pub fn step(&mut self, input: &Var) -> Result<Var, ShapeError> {
+        let u = match &self.membrane {
+            Some(prev) => {
+                if prev.shape() != input.shape() {
+                    return Err(ShapeError::new(format!(
+                        "Lif::step: input shape {:?} does not match membrane {:?} (missing reset?)",
+                        input.shape(),
+                        prev.shape()
+                    )));
+                }
+                prev.scale(self.config.tau).add(input)?
+            }
+            None => input.add_scalar(0.0),
+        };
+        let spikes = u.spike(self.config.vth, self.config.surrogate);
+        {
+            let s = spikes.value();
+            self.spike_sum += s.sum() as f64;
+            self.neuron_steps += s.len() as f64;
+        }
+        // Hard reset: u <- u * (1 - s), with s detached (STBP convention).
+        let gate = spikes.detach().scale(-1.0).add_scalar(1.0);
+        self.membrane = Some(u.mul(&gate)?);
+        Ok(spikes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::{Rng, Tensor};
+
+    fn drive(v: f32) -> Var {
+        Var::constant(Tensor::full(&[1, 3], v))
+    }
+
+    #[test]
+    fn integrates_and_fires() {
+        let mut lif = Lif::new(LifConfig::default());
+        // u1 = 0.4 (no spike), u2 = 0.25*0.4 + 0.45 = 0.55 >= 0.5 -> spike
+        let s1 = lif.step(&drive(0.4)).unwrap();
+        assert_eq!(s1.to_tensor().sum(), 0.0);
+        let s2 = lif.step(&drive(0.45)).unwrap();
+        assert_eq!(s2.to_tensor().sum(), 3.0);
+    }
+
+    #[test]
+    fn hard_reset_zeroes_membrane_after_spike() {
+        let mut lif = Lif::new(LifConfig::default());
+        let s = lif.step(&drive(1.0)).unwrap();
+        assert_eq!(s.to_tensor().sum(), 3.0);
+        // After the spike the membrane is reset: a sub-threshold drive must
+        // not fire even though 0.25*1.0 + 0.4 would have been 0.65.
+        let s2 = lif.step(&drive(0.4)).unwrap();
+        assert_eq!(s2.to_tensor().sum(), 0.0);
+    }
+
+    #[test]
+    fn leak_decays_subthreshold_membrane() {
+        let cfg = LifConfig { tau: 0.5, vth: 10.0, surrogate: Surrogate::default() };
+        let mut lif = Lif::new(cfg);
+        lif.step(&drive(1.0)).unwrap();
+        lif.step(&drive(0.0)).unwrap();
+        lif.step(&drive(0.0)).unwrap();
+        // membrane after 3 steps = 0.25; next step leaks once more:
+        // u = 0.5*0.25 + 9.9 = 10.025 >= 10 -> fires...
+        let s = lif.step(&drive(9.9)).unwrap();
+        assert_eq!(s.to_tensor().sum(), 3.0);
+        // ...but after reset the same drive alone must not.
+        lif.reset();
+        let s = lif.step(&drive(9.9)).unwrap();
+        assert_eq!(s.to_tensor().sum(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut lif = Lif::new(LifConfig::default());
+        lif.step(&drive(0.3)).unwrap();
+        assert!(lif.has_state());
+        lif.reset();
+        assert!(!lif.has_state());
+    }
+
+    #[test]
+    fn shape_change_without_reset_is_error() {
+        let mut lif = Lif::new(LifConfig::default());
+        lif.step(&drive(0.3)).unwrap();
+        let bad = Var::constant(Tensor::zeros(&[2, 3]));
+        assert!(lif.step(&bad).is_err());
+        lif.reset();
+        assert!(lif.step(&bad).is_ok());
+    }
+
+    #[test]
+    fn spikes_are_binary() {
+        let mut rng = Rng::seed_from(1);
+        let mut lif = Lif::new(LifConfig::default());
+        for _ in 0..5 {
+            let x = Var::constant(Tensor::randn(&[2, 8], &mut rng));
+            let s = lif.step(&x).unwrap();
+            assert!(s.to_tensor().data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn temporal_gradient_flows_to_early_input() {
+        // Input at t=0 influences the spike at t=2 through the membrane.
+        let cfg = LifConfig { tau: 0.9, vth: 0.5, surrogate: Surrogate::default() };
+        let mut lif = Lif::new(cfg);
+        let x0 = Var::param(Tensor::full(&[1, 1], 0.2));
+        let _ = lif.step(&x0).unwrap();
+        let _ = lif.step(&Var::constant(Tensor::full(&[1, 1], 0.1))).unwrap();
+        let s = lif.step(&Var::constant(Tensor::full(&[1, 1], 0.1))).unwrap();
+        s.sum_to_scalar().backward();
+        let g = x0.grad().expect("gradient must reach t=0 input");
+        assert!(g.data()[0] > 0.0, "temporal gradient {}", g.data()[0]);
+    }
+
+    #[test]
+    fn activity_tracks_firing_rate() {
+        let mut lif = Lif::new(LifConfig::default());
+        assert!(lif.activity().is_none());
+        // 3 neurons, first step all fire, second step none fire.
+        lif.step(&drive(1.0)).unwrap();
+        assert_eq!(lif.activity(), Some(1.0));
+        lif.step(&drive(0.0)).unwrap();
+        assert_eq!(lif.activity(), Some(0.5));
+        let (s, n) = lif.activity_counts();
+        assert_eq!((s, n), (3.0, 6.0));
+        lif.clear_activity();
+        assert!(lif.activity().is_none());
+        assert!(lif.has_state(), "clearing stats must not touch the membrane");
+    }
+
+    #[test]
+    fn higher_threshold_fires_less() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::rand_uniform(&[4, 16], 0.0, 1.0, &mut rng);
+        let mut low = Lif::new(LifConfig { vth: 0.2, ..LifConfig::default() });
+        let mut high = Lif::new(LifConfig { vth: 0.9, ..LifConfig::default() });
+        let sl = low.step(&Var::constant(x.clone())).unwrap().to_tensor().sum();
+        let sh = high.step(&Var::constant(x)).unwrap().to_tensor().sum();
+        assert!(sl > sh);
+    }
+}

@@ -1,0 +1,121 @@
+//! Training losses.
+//!
+//! * [`LossKind::SumCe`] — Algorithm 1 line 16: cross-entropy on the
+//!   logits summed over all timesteps, `L = CE(Σ_t y_t, label)`.
+//! * [`LossKind::Tet`] — temporal efficient training (Deng et al., the TET
+//!   baseline of Table III): the average of per-timestep cross-entropies,
+//!   `L = (1/T) Σ_t CE(y_t, label)`, which re-weights gradients toward
+//!   every timestep instead of only the summed output.
+
+use ttsnn_autograd::ops::cross_entropy_logits;
+use ttsnn_autograd::Var;
+use ttsnn_tensor::ShapeError;
+
+/// Which loss the trainer applies to the per-timestep logits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LossKind {
+    /// Cross-entropy on summed logits (the paper's default).
+    #[default]
+    SumCe,
+    /// TET: mean of per-timestep cross-entropies.
+    Tet,
+}
+
+impl LossKind {
+    /// Computes the scalar loss node from per-timestep logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `per_timestep_logits` is empty, shapes are
+    /// inconsistent, or labels are invalid.
+    pub fn compute(&self, per_timestep_logits: &[Var], labels: &[usize]) -> Result<Var, ShapeError> {
+        if per_timestep_logits.is_empty() {
+            return Err(ShapeError::new("loss: need at least one timestep of logits"));
+        }
+        match self {
+            LossKind::SumCe => {
+                let mut sum = per_timestep_logits[0].clone();
+                for l in &per_timestep_logits[1..] {
+                    sum = sum.add(l)?;
+                }
+                cross_entropy_logits(&sum, labels)
+            }
+            LossKind::Tet => {
+                let t = per_timestep_logits.len() as f32;
+                let mut acc: Option<Var> = None;
+                for l in per_timestep_logits {
+                    let ce = cross_entropy_logits(l, labels)?;
+                    acc = Some(match acc {
+                        Some(a) => a.add(&ce)?,
+                        None => ce,
+                    });
+                }
+                Ok(acc.expect("non-empty checked above").scale(1.0 / t))
+            }
+        }
+    }
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LossKind::SumCe => "sum-CE",
+            LossKind::Tet => "TET",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::{Rng, Tensor};
+
+    #[test]
+    fn sum_ce_equals_ce_of_summed_logits() {
+        let mut rng = Rng::seed_from(1);
+        let l1 = Var::constant(Tensor::randn(&[2, 4], &mut rng));
+        let l2 = Var::constant(Tensor::randn(&[2, 4], &mut rng));
+        let loss = LossKind::SumCe.compute(&[l1.clone(), l2.clone()], &[0, 3]).unwrap();
+        let manual = cross_entropy_logits(&l1.add(&l2).unwrap(), &[0, 3]).unwrap();
+        assert!((loss.to_tensor().data()[0] - manual.to_tensor().data()[0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tet_is_mean_of_per_step_ce() {
+        let mut rng = Rng::seed_from(2);
+        let ls: Vec<Var> = (0..3).map(|_| Var::constant(Tensor::randn(&[2, 5], &mut rng))).collect();
+        let loss = LossKind::Tet.compute(&ls, &[1, 4]).unwrap().to_tensor().data()[0];
+        let manual: f32 = ls
+            .iter()
+            .map(|l| cross_entropy_logits(l, &[1, 4]).unwrap().to_tensor().data()[0])
+            .sum::<f32>()
+            / 3.0;
+        assert!((loss - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn losses_differ_in_general() {
+        let mut rng = Rng::seed_from(3);
+        let ls: Vec<Var> = (0..4).map(|_| Var::constant(Tensor::randn(&[3, 4], &mut rng))).collect();
+        let a = LossKind::SumCe.compute(&ls, &[0, 1, 2]).unwrap().to_tensor().data()[0];
+        let b = LossKind::Tet.compute(&ls, &[0, 1, 2]).unwrap().to_tensor().data()[0];
+        assert!((a - b).abs() > 1e-4);
+    }
+
+    #[test]
+    fn empty_logits_error() {
+        assert!(LossKind::SumCe.compute(&[], &[0]).is_err());
+        assert!(LossKind::Tet.compute(&[], &[0]).is_err());
+    }
+
+    #[test]
+    fn gradients_flow_through_both_losses() {
+        let mut rng = Rng::seed_from(4);
+        for kind in [LossKind::SumCe, LossKind::Tet] {
+            let p = Var::param(Tensor::randn(&[2, 3], &mut rng));
+            let ls = vec![p.scale(1.0), p.scale(0.5)];
+            kind.compute(&ls, &[0, 2]).unwrap().backward();
+            assert!(p.grad().is_some(), "{} must backprop", kind.name());
+            p.zero_grad();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The [`SpikingModel`] trait: what the BPTT trainer needs from a network.
+
+use ttsnn_autograd::Var;
+use ttsnn_tensor::ShapeError;
+
+/// A timestep-unrolled spiking network.
+///
+/// Implementations hold LIF membrane state between calls to
+/// [`SpikingModel::forward_timestep`]; the trainer drives the unrolling
+/// (Algorithm 1, lines 7–15): reset, then one forward per timestep, then a
+/// loss on the accumulated logits, then one `backward()` that spans the
+/// entire spatio-temporal graph.
+pub trait SpikingModel {
+    /// Processes the input frame at timestep `t`, returning `(B, K)`
+    /// logits for this timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input does not match the architecture.
+    fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError>;
+
+    /// All trainable parameters.
+    fn params(&self) -> Vec<Var>;
+
+    /// Clears all membrane state (must be called between batches).
+    fn reset_state(&mut self);
+
+    /// Total trainable parameter count.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.value().len()).sum()
+    }
+
+    /// Human-readable architecture name.
+    fn name(&self) -> String;
+
+    /// Forward MAC count for one sample at timestep `t` (for FLOPs
+    /// reporting on the *constructed* network, complementing the analytic
+    /// full-size specs in `ttsnn_core::flops`).
+    fn macs_at(&self, t: usize) -> usize;
+
+    /// Mean spike activity observed across all LIF layers since training
+    /// started (spikes per neuron per timestep), or `None` if the model
+    /// has not run. Default: not tracked.
+    fn mean_spike_activity(&self) -> Option<f64> {
+        None
+    }
+}

@@ -1,0 +1,209 @@
+//! Batch-normalization variants used by the paper and its Table III
+//! baselines.
+//!
+//! * **tdBN** (Zheng et al., AAAI 2021): threshold-dependent batch norm.
+//!   Activations are normalized per channel and scaled by `α·V_th` so the
+//!   pre-activation distribution matches the firing threshold. The paper's
+//!   MS-ResNet baseline uses this (Algorithm 1 line 10).
+//! * **TEBN** (Duan et al., NeurIPS 2022): temporal effective batch norm —
+//!   batch statistics plus a *learned per-timestep* scale that reweights
+//!   each timestep's contribution.
+//!
+//! Statistics are computed per timestep over the batch (the paper's
+//! layer-by-layer, timestep-by-timestep training order makes this the
+//! natural formulation).
+
+use ttsnn_autograd::Var;
+use ttsnn_tensor::{ShapeError, Tensor};
+
+/// Which normalization a [`Norm`] layer applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NormKind {
+    /// Threshold-dependent BN with extra scale `α·V_th`.
+    TdBn {
+        /// The α scaling constant (Zheng et al. use 1).
+        alpha: f32,
+        /// The firing threshold V_th the scale is matched to.
+        vth: f32,
+    },
+    /// Temporal effective BN with a learned scale per timestep.
+    Tebn {
+        /// Number of timesteps `T` the layer is trained for.
+        timesteps: usize,
+    },
+}
+
+/// A trainable normalization layer (γ, β per channel, plus TEBN's
+/// per-timestep scales when selected).
+#[derive(Debug)]
+pub struct Norm {
+    gamma: Var,
+    beta: Var,
+    kind: NormKind,
+    timestep_scales: Vec<Var>,
+    channels: usize,
+    eps: f32,
+}
+
+impl Norm {
+    /// Creates a normalization layer over `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or a TEBN layer is created with zero
+    /// timesteps.
+    pub fn new(channels: usize, kind: NormKind) -> Self {
+        assert!(channels > 0, "Norm: channels must be positive");
+        let timestep_scales = match kind {
+            NormKind::Tebn { timesteps } => {
+                assert!(timesteps > 0, "Norm: TEBN needs at least one timestep");
+                (0..timesteps)
+                    .map(|_| Var::param(Tensor::ones(&[1])))
+                    .collect()
+            }
+            NormKind::TdBn { .. } => Vec::new(),
+        };
+        Self {
+            gamma: Var::param(Tensor::ones(&[channels])),
+            beta: Var::param(Tensor::zeros(&[channels])),
+            kind,
+            timestep_scales,
+            channels,
+            eps: 1e-5,
+        }
+    }
+
+    /// The paper's default: tdBN with α = 1 matched to V_th = 0.5.
+    pub fn td_bn(channels: usize) -> Self {
+        Self::new(channels, NormKind::TdBn { alpha: 1.0, vth: 0.5 })
+    }
+
+    /// TEBN over `timesteps`.
+    pub fn tebn(channels: usize, timesteps: usize) -> Self {
+        Self::new(channels, NormKind::Tebn { timesteps })
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The normalization variant.
+    pub fn kind(&self) -> NormKind {
+        self.kind
+    }
+
+    /// Trainable parameters (γ, β, and TEBN per-timestep scales).
+    pub fn params(&self) -> Vec<Var> {
+        let mut p = vec![self.gamma.clone(), self.beta.clone()];
+        p.extend(self.timestep_scales.iter().cloned());
+        p
+    }
+
+    /// Applies the normalization at timestep `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, C, H, W)` with `C` equal to
+    /// the layer's channel count.
+    pub fn forward(&self, x: &Var, t: usize) -> Result<Var, ShapeError> {
+        match self.kind {
+            NormKind::TdBn { alpha, vth } => {
+                x.batch_norm2d(&self.gamma, &self.beta, self.eps, alpha * vth)
+            }
+            NormKind::Tebn { .. } => {
+                let y = x.batch_norm2d(&self.gamma, &self.beta, self.eps, 1.0)?;
+                let scale =
+                    &self.timestep_scales[t.min(self.timestep_scales.len().saturating_sub(1))];
+                y.scale_by(scale)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn tdbn_scales_to_threshold() {
+        let mut rng = Rng::seed_from(1);
+        let x = Var::constant(Tensor::randn(&[4, 2, 5, 5], &mut rng));
+        let norm = Norm::td_bn(2);
+        let y = norm.forward(&x, 0).unwrap().to_tensor();
+        // per-channel std should be ~ alpha*vth = 0.5
+        let plane = 25;
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let start = (b * 2 + ch) * plane;
+                vals.extend_from_slice(&y.data()[start..start + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let std =
+                (vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32).sqrt();
+            assert!((std - 0.5).abs() < 0.05, "tdBN std {std} should be ~0.5");
+        }
+    }
+
+    #[test]
+    fn tebn_scale_is_per_timestep_and_trainable() {
+        let mut rng = Rng::seed_from(2);
+        let x = Var::constant(Tensor::randn(&[2, 3, 4, 4], &mut rng));
+        let norm = Norm::tebn(3, 4);
+        // Nudging the t=2 scale changes only the t=2 output.
+        let before_t2 = norm.forward(&x, 2).unwrap().to_tensor();
+        let before_t0 = norm.forward(&x, 0).unwrap().to_tensor();
+        norm.timestep_scales[2].update_value(|s| s.data_mut()[0] = 2.0);
+        let after_t2 = norm.forward(&x, 2).unwrap().to_tensor();
+        let after_t0 = norm.forward(&x, 0).unwrap().to_tensor();
+        assert!(before_t2.max_abs_diff(&after_t2).unwrap() > 0.1);
+        assert!(before_t0.max_abs_diff(&after_t0).unwrap() < 1e-6);
+        assert!(after_t2.max_abs_diff(&before_t2.scale(2.0)).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn param_counts() {
+        assert_eq!(Norm::td_bn(8).params().len(), 2);
+        assert_eq!(Norm::tebn(8, 4).params().len(), 6); // gamma, beta, 4 scales
+    }
+
+    #[test]
+    fn gradients_reach_gamma_beta() {
+        let mut rng = Rng::seed_from(3);
+        let x = Var::constant(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        let norm = Norm::td_bn(2);
+        let m = Var::constant(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        norm.forward(&x, 0).unwrap().mul(&m).unwrap().sum_to_scalar().backward();
+        assert!(norm.gamma.grad().is_some());
+        assert!(norm.beta.grad().is_some());
+    }
+
+    #[test]
+    fn tebn_gradients_reach_timestep_scale() {
+        let mut rng = Rng::seed_from(4);
+        let x = Var::constant(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        let norm = Norm::tebn(2, 3);
+        let m = Var::constant(Tensor::randn(&[2, 2, 3, 3], &mut rng));
+        norm.forward(&x, 1).unwrap().mul(&m).unwrap().sum_to_scalar().backward();
+        assert!(norm.timestep_scales[1].grad().is_some());
+        assert!(norm.timestep_scales[0].grad().is_none());
+    }
+
+    #[test]
+    fn forward_validates_channels() {
+        let norm = Norm::td_bn(3);
+        let x = Var::constant(Tensor::zeros(&[1, 4, 2, 2]));
+        assert!(norm.forward(&x, 0).is_err());
+    }
+
+    #[test]
+    fn tebn_timestep_overflow_clamps() {
+        let mut rng = Rng::seed_from(5);
+        let x = Var::constant(Tensor::randn(&[1, 2, 2, 2], &mut rng));
+        let norm = Norm::tebn(2, 2);
+        // t beyond schedule reuses the last scale rather than panicking.
+        assert!(norm.forward(&x, 10).is_ok());
+    }
+}

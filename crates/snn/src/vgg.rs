@@ -1,0 +1,327 @@
+//! Spiking VGG architectures — the TEBN/TET/NDA baselines of Table III.
+//!
+//! Plain convolutional stacks (3×3 conv + BN + LIF) with 2×2 average
+//! pooling between stages and a fully-connected head. As everywhere in this
+//! reproduction, every 3×3 convolution after the stem is a [`ConvUnit`]
+//! slot, so the PTT plug-in experiment of Table III is a one-line policy
+//! change.
+
+use ttsnn_autograd::Var;
+use ttsnn_tensor::{Rng, ShapeError, Tensor};
+
+use crate::conv_unit::{ConvPolicy, ConvUnit};
+use crate::lif::{Lif, LifConfig};
+use crate::model::SpikingModel;
+use crate::norm::{Norm, NormKind};
+
+/// Architecture hyper-parameters for [`VggSnn`].
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    /// Display name.
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input spatial size.
+    pub in_hw: (usize, usize),
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Output channels of each conv layer.
+    pub conv_widths: Vec<usize>,
+    /// Indices (into `conv_widths`) after which a 2×2 average pool runs.
+    pub pool_after: Vec<usize>,
+    /// LIF neuron settings.
+    pub lif: LifConfig,
+    /// Normalization after every convolution.
+    pub norm: NormKind,
+}
+
+impl VggConfig {
+    /// VGG9-style stack at `width_divisor` (TEBN / TET baselines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_divisor == 0`.
+    pub fn vgg9(
+        in_channels: usize,
+        num_classes: usize,
+        in_hw: (usize, usize),
+        width_divisor: usize,
+    ) -> Self {
+        assert!(width_divisor > 0);
+        let w = |c: usize| (c / width_divisor).max(4);
+        Self {
+            name: "VGG9".to_string(),
+            in_channels,
+            in_hw,
+            num_classes,
+            conv_widths: vec![w(64), w(64), w(128), w(128), w(256), w(256)],
+            pool_after: vec![1, 3, 5],
+            lif: LifConfig::default(),
+            norm: NormKind::TdBn { alpha: 1.0, vth: 0.5 },
+        }
+    }
+
+    /// VGG11-style stack at `width_divisor` (NDA baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width_divisor == 0`.
+    pub fn vgg11(
+        in_channels: usize,
+        num_classes: usize,
+        in_hw: (usize, usize),
+        width_divisor: usize,
+    ) -> Self {
+        assert!(width_divisor > 0);
+        let w = |c: usize| (c / width_divisor).max(4);
+        Self {
+            name: "VGG11".to_string(),
+            in_channels,
+            in_hw,
+            num_classes,
+            conv_widths: vec![w(64), w(128), w(256), w(256), w(512), w(512), w(512), w(512)],
+            pool_after: vec![0, 1, 3, 5, 7],
+            lif: LifConfig::default(),
+            norm: NormKind::TdBn { alpha: 1.0, vth: 0.5 },
+        }
+    }
+
+    /// Swaps in TEBN normalization over `timesteps` (the TEBN baseline).
+    pub fn with_tebn(mut self, timesteps: usize) -> Self {
+        self.norm = NormKind::Tebn { timesteps };
+        self
+    }
+}
+
+struct VggLayer {
+    conv: ConvUnit,
+    norm: Norm,
+    lif: Lif,
+    pool: bool,
+    in_hw: (usize, usize),
+}
+
+/// A spiking VGG with pluggable convolution policy.
+pub struct VggSnn {
+    config: VggConfig,
+    policy_name: &'static str,
+    layers: Vec<VggLayer>,
+    fc_w: Var,
+    fc_b: Var,
+}
+
+impl VggSnn {
+    /// Builds the network under the given convolution policy. The first
+    /// convolution stays dense (it is the spike encoder under direct
+    /// coding); all later 3×3 convolutions follow the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pooling would shrink the feature map below 2×2 or an odd
+    /// spatial size meets a 2×2 pool — VGG9 (3 pools) needs at least
+    /// 8×8 inputs, VGG11 (5 pools) at least 32×32.
+    pub fn new(config: VggConfig, policy: &ConvPolicy, rng: &mut Rng) -> Self {
+        let mut layers = Vec::new();
+        let mut hw = config.in_hw;
+        let mut c_in = config.in_channels;
+        let mut conv_index = 0usize;
+        for (i, &width) in config.conv_widths.iter().enumerate() {
+            let conv = if i == 0 {
+                ConvUnit::dense(c_in, width, (3, 3), (1, 1), (1, 1), rng)
+            } else {
+                let unit = ConvUnit::conv3x3(policy, conv_index, c_in, width, (1, 1), rng);
+                conv_index += 1;
+                unit
+            };
+            let pool = config.pool_after.contains(&i);
+            layers.push(VggLayer {
+                conv,
+                norm: Norm::new(width, config.norm),
+                lif: Lif::new(config.lif),
+                pool,
+                in_hw: hw,
+            });
+            if pool {
+                assert!(
+                    hw.0 % 2 == 0 && hw.1 % 2 == 0 && hw.0 >= 2 && hw.1 >= 2,
+                    "2x2 pool needs even spatial dims, got {hw:?}"
+                );
+                hw = (hw.0 / 2, hw.1 / 2);
+            }
+            c_in = width;
+        }
+        let feat = c_in;
+        let fc_w = Var::param(Tensor::kaiming(&[config.num_classes, feat], rng));
+        let fc_b = Var::param(Tensor::zeros(&[config.num_classes]));
+        Self { policy_name: policy.name(), config, layers, fc_w, fc_b }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &VggConfig {
+        &self.config
+    }
+
+    /// Number of conv layers.
+    pub fn num_conv_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Merges every TT convolution back into a dense kernel in place
+    /// (Algorithm 1 lines 20–22). Returns the number of layers merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any layer's cores became inconsistent
+    /// (cannot happen through this API).
+    pub fn merge_into_dense(&mut self) -> Result<usize, ShapeError> {
+        let mut merged = 0usize;
+        for l in &mut self.layers {
+            if let Some(dense) = l.conv.merged()? {
+                l.conv = dense;
+                merged += 1;
+            }
+        }
+        if merged > 0 {
+            self.policy_name = "merged-dense";
+        }
+        Ok(merged)
+    }
+}
+
+impl SpikingModel for VggSnn {
+    fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            let y = layer.conv.forward(&h, t)?;
+            let y = layer.norm.forward(&y, t)?;
+            h = layer.lif.step(&y)?;
+            if layer.pool {
+                h = h.avg_pool2d(2)?;
+            }
+        }
+        let pooled = h.global_avg_pool()?;
+        pooled.linear(&self.fc_w, &self.fc_b)
+    }
+
+    fn params(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        for l in &self.layers {
+            p.extend(l.conv.params());
+            p.extend(l.norm.params());
+        }
+        p.push(self.fc_w.clone());
+        p.push(self.fc_b.clone());
+        p
+    }
+
+    fn reset_state(&mut self) {
+        for l in &mut self.layers {
+            l.lif.reset();
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{} [{}]", self.config.name, self.policy_name)
+    }
+
+    fn macs_at(&self, t: usize) -> usize {
+        let mut total = 0usize;
+        for l in &self.layers {
+            total += l.conv.macs(l.in_hw, t);
+        }
+        total + self.fc_w.value().len()
+    }
+
+    fn mean_spike_activity(&self) -> Option<f64> {
+        let mut spikes = 0.0f64;
+        let mut steps = 0.0f64;
+        for l in &self.layers {
+            let (s, n) = l.lif.activity_counts();
+            spikes += s;
+            steps += n;
+        }
+        if steps > 0.0 {
+            Some(spikes / steps)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_core::TtMode;
+
+    #[test]
+    fn vgg9_forward_shape() {
+        let mut rng = Rng::seed_from(1);
+        let cfg = VggConfig::vgg9(3, 10, (16, 16), 16);
+        let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
+        let x = Var::constant(Tensor::randn(&[2, 3, 16, 16], &mut rng));
+        let y = net.forward_timestep(&x, 0).unwrap();
+        assert_eq!(y.shape(), vec![2, 10]);
+        assert_eq!(net.num_conv_layers(), 6);
+    }
+
+    #[test]
+    fn vgg11_forward_shape_event_input() {
+        let mut rng = Rng::seed_from(2);
+        let cfg = VggConfig::vgg11(2, 11, (32, 32), 32);
+        let mut net = VggSnn::new(cfg, &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+        let x = Var::constant(Tensor::randn(&[1, 2, 32, 32], &mut rng));
+        let y = net.forward_timestep(&x, 0).unwrap();
+        assert_eq!(y.shape(), vec![1, 11]);
+        assert_eq!(net.num_conv_layers(), 8);
+    }
+
+    #[test]
+    fn ptt_plugin_reduces_params() {
+        let mut rng = Rng::seed_from(3);
+        let cfg = VggConfig::vgg9(3, 10, (16, 16), 8);
+        let base = VggSnn::new(cfg.clone(), &ConvPolicy::Baseline, &mut rng);
+        let ptt = VggSnn::new(cfg, &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+        assert!(ptt.num_params() < base.num_params());
+        assert!(ptt.macs_at(0) < base.macs_at(0));
+        assert_eq!(ptt.name(), "VGG9 [PTT]");
+    }
+
+    #[test]
+    fn tebn_config_adds_timestep_params() {
+        let mut rng = Rng::seed_from(4);
+        let plain = VggSnn::new(VggConfig::vgg9(3, 10, (16, 16), 16), &ConvPolicy::Baseline, &mut rng);
+        let tebn = VggSnn::new(
+            VggConfig::vgg9(3, 10, (16, 16), 16).with_tebn(4),
+            &ConvPolicy::Baseline,
+            &mut rng,
+        );
+        assert!(tebn.params().len() > plain.params().len());
+    }
+
+    #[test]
+    fn vgg_merge_into_dense_preserves_outputs() {
+        let mut rng = Rng::seed_from(6);
+        let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+        let mut net = VggSnn::new(cfg, &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng));
+        let before = net.forward_timestep(&x, 0).unwrap().to_tensor();
+        net.reset_state();
+        let merged = net.merge_into_dense().unwrap();
+        assert_eq!(merged, 5); // stem stays dense; 5 of 6 convs were TT
+        let after = net.forward_timestep(&x, 0).unwrap().to_tensor();
+        assert!(before.max_abs_diff(&after).unwrap() < 1e-2);
+        assert_eq!(net.name(), "VGG9 [merged-dense]");
+    }
+
+    #[test]
+    fn state_resets_between_batches() {
+        let mut rng = Rng::seed_from(5);
+        let cfg = VggConfig::vgg9(3, 10, (16, 16), 16);
+        let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
+        let x = Var::constant(Tensor::rand_uniform(&[1, 3, 16, 16], 0.0, 1.0, &mut rng));
+        let a = net.forward_timestep(&x, 0).unwrap().to_tensor();
+        net.reset_state();
+        let b = net.forward_timestep(&x, 0).unwrap().to_tensor();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6, "reset must restore initial state");
+    }
+}

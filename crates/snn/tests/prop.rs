@@ -1,0 +1,86 @@
+//! Property-based tests for the SNN substrate: LIF dynamics invariants and
+//! augmentation safety over random inputs.
+
+use proptest::prelude::*;
+use ttsnn_autograd::Var;
+use ttsnn_snn::augment::{flip_horizontal, nda_augment, translate};
+use ttsnn_snn::{Lif, LifConfig};
+use ttsnn_tensor::{Rng, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lif_spikes_always_binary(seed in 0u64..1000, tau in 0.05f32..1.0, vth in 0.1f32..1.5) {
+        let mut rng = Rng::seed_from(seed);
+        let mut lif = Lif::new(LifConfig { tau, vth, ..LifConfig::default() });
+        for _ in 0..5 {
+            let x = Var::constant(Tensor::randn(&[2, 6], &mut rng));
+            let s = lif.step(&x).unwrap().to_tensor();
+            prop_assert!(s.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn lif_zero_input_never_fires_from_reset(seed in 0u64..500, tau in 0.05f32..1.0) {
+        let mut rng = Rng::seed_from(seed);
+        let mut lif = Lif::new(LifConfig { tau, vth: 0.5, ..LifConfig::default() });
+        let _ = rng.next_u64();
+        for _ in 0..4 {
+            let s = lif.step(&Var::constant(Tensor::zeros(&[1, 4]))).unwrap();
+            prop_assert_eq!(s.to_tensor().sum(), 0.0);
+        }
+    }
+
+    #[test]
+    fn lif_constant_suprathreshold_fires_every_step(v in 0.51f32..5.0) {
+        let mut lif = Lif::new(LifConfig::default());
+        for _ in 0..4 {
+            let s = lif.step(&Var::constant(Tensor::full(&[1, 3], v))).unwrap();
+            prop_assert_eq!(s.to_tensor().sum(), 3.0, "drive {} must fire", v);
+        }
+    }
+
+    #[test]
+    fn lif_reset_makes_steps_independent(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let x = Tensor::randn(&[1, 8], &mut rng);
+        let mut lif = Lif::new(LifConfig::default());
+        let first = lif.step(&Var::constant(x.clone())).unwrap().to_tensor();
+        lif.step(&Var::constant(Tensor::randn(&[1, 8], &mut rng))).unwrap();
+        lif.reset();
+        let again = lif.step(&Var::constant(x)).unwrap().to_tensor();
+        prop_assert_eq!(first, again);
+    }
+
+    #[test]
+    fn flip_is_involution(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let f = Tensor::randn(&[2, 5, 7], &mut rng);
+        prop_assert_eq!(flip_horizontal(&flip_horizontal(&f)), f);
+    }
+
+    #[test]
+    fn translate_preserves_or_reduces_mass(seed in 0u64..500, dy in -4isize..4, dx in -4isize..4) {
+        let mut rng = Rng::seed_from(seed);
+        let f = Tensor::rand_uniform(&[1, 6, 6], 0.0, 1.0, &mut rng);
+        let g = translate(&f, dy, dx);
+        prop_assert!(g.sum() <= f.sum() + 1e-4, "translation must not create events");
+        prop_assert_eq!(g.shape(), f.shape());
+    }
+
+    #[test]
+    fn nda_never_creates_events(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let frames: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::rand_uniform(&[2, 8, 8], 0.0, 1.0, &mut rng).map(|v| v.round()))
+            .collect();
+        let total_before: f32 = frames.iter().map(|f| f.sum()).sum();
+        let out = nda_augment(&frames, &mut rng);
+        let total_after: f32 = out.iter().map(|f| f.sum()).sum();
+        prop_assert!(total_after <= total_before + 1e-3);
+        for f in &out {
+            prop_assert!(f.data().iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! 2-D convolution kernels (forward, input gradient, weight gradient) via
+//! im2col / col2im.
+//!
+//! All functions operate on NCHW activations `(B, C, H, W)` and OIHW weights
+//! `(O, I, Kh, Kw)`. Asymmetric kernels (3×1, 1×3, 1×1) — the shapes the TT
+//! cores of the paper use — are fully supported; padding is specified per
+//! axis so that, e.g., a 3×1 core pads only vertically.
+
+use crate::error::ShapeError;
+use crate::tensor::{matmul_into, Tensor};
+
+/// Static geometry of a 2-D convolution: everything needed to derive output
+/// sizes, FLOP counts and buffer sizes without touching data.
+///
+/// ```
+/// use ttsnn_tensor::Conv2dGeometry;
+///
+/// let g = Conv2dGeometry::new(3, 16, (32, 32), (3, 3), (1, 1), (1, 1));
+/// assert_eq!(g.out_hw(), (32, 32));
+/// assert_eq!(g.macs(), 16 * 32 * 32 * 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Input spatial size `(H, W)`.
+    pub in_hw: (usize, usize),
+    /// Kernel size `(Kh, Kw)`.
+    pub kernel: (usize, usize),
+    /// Stride `(Sh, Sw)`.
+    pub stride: (usize, usize),
+    /// Zero padding `(Ph, Pw)` applied symmetrically per axis.
+    pub padding: (usize, usize),
+}
+
+impl Conv2dGeometry {
+    /// Creates a geometry descriptor.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        in_hw: (usize, usize),
+        kernel: (usize, usize),
+        stride: (usize, usize),
+        padding: (usize, usize),
+    ) -> Self {
+        Self { in_channels, out_channels, in_hw, kernel, stride, padding }
+    }
+
+    /// Output spatial size `(Oh, Ow)`.
+    pub fn out_hw(&self) -> (usize, usize) {
+        let (h, w) = self.in_hw;
+        let (kh, kw) = self.kernel;
+        let (sh, sw) = self.stride;
+        let (ph, pw) = self.padding;
+        ((h + 2 * ph - kh) / sh + 1, (w + 2 * pw - kw) / sw + 1)
+    }
+
+    /// Multiply–accumulate count for one forward pass over one sample.
+    pub fn macs(&self) -> usize {
+        let (oh, ow) = self.out_hw();
+        self.out_channels * oh * ow * self.in_channels * self.kernel.0 * self.kernel.1
+    }
+
+    /// Trainable parameter count (no bias, as in the paper's conv layers).
+    pub fn params(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel.0 * self.kernel.1
+    }
+}
+
+fn check_input(x: &Tensor, g: &Conv2dGeometry) -> Result<(usize, usize, usize), ShapeError> {
+    if x.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "conv2d: expected 4-D NCHW input, got {:?}",
+            x.shape()
+        )));
+    }
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    if c != g.in_channels || (h, w) != g.in_hw {
+        return Err(ShapeError::new(format!(
+            "conv2d: input {:?} does not match geometry (C={}, HW={:?})",
+            x.shape(),
+            g.in_channels,
+            g.in_hw
+        )));
+    }
+    let (oh, ow) = g.out_hw();
+    Ok((b, oh, ow))
+}
+
+fn check_weight(weight: &Tensor, g: &Conv2dGeometry) -> Result<(), ShapeError> {
+    let expect = [g.out_channels, g.in_channels, g.kernel.0, g.kernel.1];
+    if weight.shape() != expect {
+        return Err(ShapeError::new(format!(
+            "conv2d: weight {:?} does not match geometry {:?}",
+            weight.shape(),
+            expect
+        )));
+    }
+    Ok(())
+}
+
+/// Unfolds one sample `(C, H, W)` into the im2col matrix
+/// `(C*Kh*Kw, Oh*Ow)`, stored row-major into `cols`.
+fn im2col_sample(x: &[f32], g: &Conv2dGeometry, cols: &mut [f32]) {
+    let (h, w) = g.in_hw;
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (ph, pw) = g.padding;
+    let (oh, ow) = g.out_hw();
+    let ospatial = oh * ow;
+    for c in 0..g.in_channels {
+        let plane = &x[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (c * kh + ki) * kw + kj;
+                let dst = &mut cols[row * ospatial..(row + 1) * ospatial];
+                for oi in 0..oh {
+                    let src_i = (oi * sh + ki) as isize - ph as isize;
+                    if src_i < 0 || src_i >= h as isize {
+                        dst[oi * ow..(oi + 1) * ow].fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[src_i as usize * w..(src_i as usize + 1) * w];
+                    for oj in 0..ow {
+                        let src_j = (oj * sw + kj) as isize - pw as isize;
+                        dst[oi * ow + oj] = if src_j < 0 || src_j >= w as isize {
+                            0.0
+                        } else {
+                            src_row[src_j as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds an im2col matrix `(C*Kh*Kw, Oh*Ow)` back into a sample gradient
+/// `(C, H, W)`, *accumulating* overlapping contributions (the adjoint of
+/// [`im2col_sample`]).
+fn col2im_sample(cols: &[f32], g: &Conv2dGeometry, x_grad: &mut [f32]) {
+    let (h, w) = g.in_hw;
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (ph, pw) = g.padding;
+    let (oh, ow) = g.out_hw();
+    let ospatial = oh * ow;
+    for c in 0..g.in_channels {
+        let plane = &mut x_grad[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (c * kh + ki) * kw + kj;
+                let src = &cols[row * ospatial..(row + 1) * ospatial];
+                for oi in 0..oh {
+                    let dst_i = (oi * sh + ki) as isize - ph as isize;
+                    if dst_i < 0 || dst_i >= h as isize {
+                        continue;
+                    }
+                    for oj in 0..ow {
+                        let dst_j = (oj * sw + kj) as isize - pw as isize;
+                        if dst_j >= 0 && dst_j < w as isize {
+                            plane[dst_i as usize * w + dst_j as usize] += src[oi * ow + oj];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Convolution forward pass: `y = x (*) weight`.
+///
+/// Input `(B, C, H, W)`, weight `(O, C, Kh, Kw)`, output `(B, O, Oh, Ow)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the input or weight does not match `g`.
+pub fn conv2d(x: &Tensor, weight: &Tensor, g: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
+    let (b, oh, ow) = check_input(x, g)?;
+    check_weight(weight, g)?;
+    let k = g.in_channels * g.kernel.0 * g.kernel.1;
+    let ospatial = oh * ow;
+    let mut cols = vec![0.0f32; k * ospatial];
+    let mut out = Tensor::zeros(&[b, g.out_channels, oh, ow]);
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let out_slab = g.out_channels * ospatial;
+    for s in 0..b {
+        im2col_sample(&x.data()[s * in_slab..(s + 1) * in_slab], g, &mut cols);
+        matmul_into(
+            weight.data(),
+            &cols,
+            &mut out.data_mut()[s * out_slab..(s + 1) * out_slab],
+            g.out_channels,
+            k,
+            ospatial,
+        );
+    }
+    Ok(out)
+}
+
+/// Gradient of the convolution with respect to its **input**:
+/// `dx = weight^T (*) dy` folded via col2im.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `y_grad` or `weight` does not match `g`.
+pub fn conv2d_input_grad(
+    y_grad: &Tensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    check_weight(weight, g)?;
+    let (oh, ow) = g.out_hw();
+    if y_grad.ndim() != 4
+        || y_grad.shape()[1] != g.out_channels
+        || (y_grad.shape()[2], y_grad.shape()[3]) != (oh, ow)
+    {
+        return Err(ShapeError::new(format!(
+            "conv2d_input_grad: output grad {:?} does not match geometry",
+            y_grad.shape()
+        )));
+    }
+    let b = y_grad.shape()[0];
+    let k = g.in_channels * g.kernel.0 * g.kernel.1;
+    let ospatial = oh * ow;
+    // weight^T: (k, O)
+    let wt = weight
+        .reshape(&[g.out_channels, k])
+        .expect("weight reshape cannot fail after check")
+        .transpose()
+        .expect("2-D transpose cannot fail");
+    let mut x_grad = Tensor::zeros(&[b, g.in_channels, g.in_hw.0, g.in_hw.1]);
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let out_slab = g.out_channels * ospatial;
+    let mut cols = vec![0.0f32; k * ospatial];
+    for s in 0..b {
+        cols.fill(0.0);
+        matmul_into(
+            wt.data(),
+            &y_grad.data()[s * out_slab..(s + 1) * out_slab],
+            &mut cols,
+            k,
+            g.out_channels,
+            ospatial,
+        );
+        col2im_sample(&cols, g, &mut x_grad.data_mut()[s * in_slab..(s + 1) * in_slab]);
+    }
+    Ok(x_grad)
+}
+
+/// Gradient of the convolution with respect to its **weight**:
+/// `dW = dy · im2col(x)^T`, summed over the batch.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x` or `y_grad` does not match `g`.
+pub fn conv2d_weight_grad(
+    x: &Tensor,
+    y_grad: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    let (b, oh, ow) = check_input(x, g)?;
+    if y_grad.shape() != [b, g.out_channels, oh, ow] {
+        return Err(ShapeError::new(format!(
+            "conv2d_weight_grad: output grad {:?} does not match geometry",
+            y_grad.shape()
+        )));
+    }
+    let k = g.in_channels * g.kernel.0 * g.kernel.1;
+    let ospatial = oh * ow;
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let out_slab = g.out_channels * ospatial;
+    let mut cols = vec![0.0f32; k * ospatial];
+    let mut colst = vec![0.0f32; ospatial * k];
+    let mut w_grad = Tensor::zeros(&[g.out_channels, g.in_channels, g.kernel.0, g.kernel.1]);
+    for s in 0..b {
+        im2col_sample(&x.data()[s * in_slab..(s + 1) * in_slab], g, &mut cols);
+        // transpose cols (k, ospatial) -> (ospatial, k)
+        for r in 0..k {
+            for c in 0..ospatial {
+                colst[c * k + r] = cols[r * ospatial + c];
+            }
+        }
+        matmul_into(
+            &y_grad.data()[s * out_slab..(s + 1) * out_slab],
+            &colst,
+            w_grad.data_mut(),
+            g.out_channels,
+            ospatial,
+            k,
+        );
+    }
+    Ok(w_grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Direct (loop) convolution used as a reference oracle.
+    fn conv2d_naive(x: &Tensor, w: &Tensor, g: &Conv2dGeometry) -> Tensor {
+        let b = x.shape()[0];
+        let (oh, ow) = g.out_hw();
+        let mut y = Tensor::zeros(&[b, g.out_channels, oh, ow]);
+        for s in 0..b {
+            for o in 0..g.out_channels {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0;
+                        for c in 0..g.in_channels {
+                            for ki in 0..g.kernel.0 {
+                                for kj in 0..g.kernel.1 {
+                                    let ii = (oi * g.stride.0 + ki) as isize - g.padding.0 as isize;
+                                    let jj = (oj * g.stride.1 + kj) as isize - g.padding.1 as isize;
+                                    if ii >= 0
+                                        && jj >= 0
+                                        && (ii as usize) < g.in_hw.0
+                                        && (jj as usize) < g.in_hw.1
+                                    {
+                                        acc += x.at(&[s, c, ii as usize, jj as usize])
+                                            * w.at(&[o, c, ki, kj]);
+                                    }
+                                }
+                            }
+                        }
+                        *y.at_mut(&[s, o, oi, oj]) = acc;
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn geometry_out_hw() {
+        let g = Conv2dGeometry::new(3, 8, (32, 32), (3, 3), (1, 1), (1, 1));
+        assert_eq!(g.out_hw(), (32, 32));
+        let g = Conv2dGeometry::new(3, 8, (32, 32), (3, 3), (2, 2), (1, 1));
+        assert_eq!(g.out_hw(), (16, 16));
+        let g = Conv2dGeometry::new(3, 8, (8, 8), (1, 1), (1, 1), (0, 0));
+        assert_eq!(g.out_hw(), (8, 8));
+        // asymmetric 3x1 with vertical-only padding keeps spatial size
+        let g = Conv2dGeometry::new(4, 4, (8, 8), (3, 1), (1, 1), (1, 0));
+        assert_eq!(g.out_hw(), (8, 8));
+        let g = Conv2dGeometry::new(4, 4, (8, 8), (1, 3), (1, 1), (0, 1));
+        assert_eq!(g.out_hw(), (8, 8));
+    }
+
+    #[test]
+    fn geometry_macs_params() {
+        let g = Conv2dGeometry::new(3, 16, (32, 32), (3, 3), (1, 1), (1, 1));
+        assert_eq!(g.params(), 16 * 3 * 3 * 3);
+        assert_eq!(g.macs(), 16 * 32 * 32 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn conv_matches_naive_3x3() {
+        let mut rng = Rng::seed_from(10);
+        let g = Conv2dGeometry::new(3, 5, (7, 6), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[2, 3, 7, 6], &mut rng);
+        let w = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        let fast = conv2d(&x, &w, &g).unwrap();
+        let slow = conv2d_naive(&x, &w, &g);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn conv_matches_naive_asymmetric() {
+        let mut rng = Rng::seed_from(11);
+        for (kernel, padding) in [((3, 1), (1, 0)), ((1, 3), (0, 1)), ((1, 1), (0, 0))] {
+            let g = Conv2dGeometry::new(4, 3, (6, 5), kernel, (1, 1), padding);
+            let x = Tensor::randn(&[2, 4, 6, 5], &mut rng);
+            let w = Tensor::randn(&[3, 4, kernel.0, kernel.1], &mut rng);
+            let fast = conv2d(&x, &w, &g).unwrap();
+            let slow = conv2d_naive(&x, &w, &g);
+            assert!(
+                fast.max_abs_diff(&slow).unwrap() < 1e-4,
+                "kernel {kernel:?} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_matches_naive_strided() {
+        let mut rng = Rng::seed_from(12);
+        let g = Conv2dGeometry::new(2, 4, (9, 9), (3, 3), (2, 2), (1, 1));
+        let x = Tensor::randn(&[1, 2, 9, 9], &mut rng);
+        let w = Tensor::randn(&[4, 2, 3, 3], &mut rng);
+        let fast = conv2d(&x, &w, &g).unwrap();
+        let slow = conv2d_naive(&x, &w, &g);
+        assert_eq!(fast.shape(), &[1, 4, 5, 5]);
+        assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn conv_rejects_bad_shapes() {
+        let g = Conv2dGeometry::new(3, 5, (8, 8), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let w_bad = Tensor::zeros(&[5, 3, 3, 1]);
+        assert!(conv2d(&x, &w_bad, &g).is_err());
+        let x_bad = Tensor::zeros(&[1, 4, 8, 8]);
+        let w = Tensor::zeros(&[5, 3, 3, 3]);
+        assert!(conv2d(&x_bad, &w, &g).is_err());
+        assert!(conv2d(&Tensor::zeros(&[3, 8, 8]), &w, &g).is_err());
+    }
+
+    /// Finite-difference check of the weight gradient.
+    #[test]
+    fn weight_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from(13);
+        let g = Conv2dGeometry::new(2, 3, (5, 5), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[2, 2, 5, 5], &mut rng);
+        let mut w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        // loss = sum(conv(x, w) * m) for a fixed random m
+        let (oh, ow) = g.out_hw();
+        let m = Tensor::randn(&[2, 3, oh, ow], &mut rng);
+        let analytic = conv2d_weight_grad(&x, &m, &g).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 23, 41, 53] {
+            let orig = w.data()[idx];
+            w.data_mut()[idx] = orig + eps;
+            let lp = conv2d(&x, &w, &g).unwrap().mul(&m).unwrap().sum();
+            w.data_mut()[idx] = orig - eps;
+            let lm = conv2d(&x, &w, &g).unwrap().mul(&m).unwrap().sum();
+            w.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs()),
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// Finite-difference check of the input gradient.
+    #[test]
+    fn input_grad_matches_finite_difference() {
+        let mut rng = Rng::seed_from(14);
+        let g = Conv2dGeometry::new(2, 3, (5, 4), (3, 1), (1, 1), (1, 0));
+        let mut x = Tensor::randn(&[1, 2, 5, 4], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 1], &mut rng);
+        let (oh, ow) = g.out_hw();
+        let m = Tensor::randn(&[1, 3, oh, ow], &mut rng);
+        let analytic = conv2d_input_grad(&m, &w, &g).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 17, 33] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = conv2d(&x, &w, &g).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig - eps;
+            let lm = conv2d(&x, &w, &g).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + a.abs()),
+                "idx {idx}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// conv2d is linear in x: conv(a*x1 + b*x2) == a*conv(x1) + b*conv(x2).
+    #[test]
+    fn conv_is_linear_in_input() {
+        let mut rng = Rng::seed_from(15);
+        let g = Conv2dGeometry::new(3, 4, (6, 6), (3, 3), (1, 1), (1, 1));
+        let x1 = Tensor::randn(&[1, 3, 6, 6], &mut rng);
+        let x2 = Tensor::randn(&[1, 3, 6, 6], &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let lhs = conv2d(&x1.scale(2.0).add(&x2.scale(-0.5)).unwrap(), &w, &g).unwrap();
+        let rhs = conv2d(&x1, &w, &g)
+            .unwrap()
+            .scale(2.0)
+            .add(&conv2d(&x2, &w, &g).unwrap().scale(-0.5))
+            .unwrap();
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+    }
+
+    /// im2col/col2im adjointness: <im2col(x), c> == <x, col2im(c)>.
+    #[test]
+    fn im2col_col2im_adjoint() {
+        let mut rng = Rng::seed_from(16);
+        let g = Conv2dGeometry::new(2, 1, (5, 5), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[2, 5, 5], &mut rng);
+        let k = 2 * 3 * 3;
+        let (oh, ow) = g.out_hw();
+        let mut cols = vec![0.0f32; k * oh * ow];
+        im2col_sample(x.data(), &g, &mut cols);
+        let c = Tensor::randn(&[k * oh * ow], &mut rng);
+        let lhs: f32 = cols.iter().zip(c.data().iter()).map(|(a, b)| a * b).sum();
+        let mut folded = vec![0.0f32; 2 * 5 * 5];
+        col2im_sample(c.data(), &g, &mut folded);
+        let rhs: f32 = folded.iter().zip(x.data().iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}

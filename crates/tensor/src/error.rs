@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Error raised when tensor shapes are incompatible with the requested
+/// operation.
+///
+/// Carries a human-readable description of the mismatch; the offending shapes
+/// are formatted into the message at construction time.
+///
+/// ```
+/// use ttsnn_tensor::Tensor;
+///
+/// let a = Tensor::zeros(&[2, 3]);
+/// let b = Tensor::zeros(&[4, 5]);
+/// let err = a.matmul(&b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    message: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ShapeError::new("bad broadcast");
+        assert_eq!(err.to_string(), "shape error: bad broadcast");
+        assert_eq!(err.message(), "bad broadcast");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

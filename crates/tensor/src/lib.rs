@@ -1,0 +1,48 @@
+//! # ttsnn-tensor
+//!
+//! Dense `f32` tensor kernels for the TT-SNN reproduction.
+//!
+//! This crate is the "PyTorch substrate" of the paper: everything the TT-SNN
+//! modules and the SNN trainer need from a tensor library, implemented from
+//! scratch:
+//!
+//! * [`Tensor`] — a contiguous, row-major n-dimensional `f32` array with
+//!   elementwise arithmetic, reductions, reshaping and permutation.
+//! * [`conv`] — 2-D convolution (forward, input-gradient, weight-gradient)
+//!   via im2col/col2im, supporting the asymmetric kernels (3×1, 1×3, 1×1)
+//!   that the TT cores use.
+//! * [`matmul`] — blocked matrix multiplication.
+//! * [`linalg`] — one-sided Jacobi SVD (used by TT-SVD and VBMF).
+//! * [`pool`] — average pooling and global average pooling with backward.
+//! * [`Rng`] — a small deterministic xoshiro-style RNG so experiments are
+//!   reproducible without threading `rand` generics through every API.
+//!
+//! ```
+//! use ttsnn_tensor::{Tensor, Rng};
+//!
+//! # fn main() -> Result<(), ttsnn_tensor::ShapeError> {
+//! let mut rng = Rng::seed_from(7);
+//! let a = Tensor::randn(&[4, 8], &mut rng);
+//! let b = Tensor::randn(&[8, 3], &mut rng);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[4, 3]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod rng;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod linalg;
+pub mod pool;
+
+pub use error::ShapeError;
+pub use rng::Rng;
+pub use shape::{num_elements, strides_for};
+pub use tensor::Tensor;
+
+/// Convolution geometry shared by the conv kernels and FLOP accounting.
+pub use conv::Conv2dGeometry;

@@ -1,0 +1,240 @@
+//! Average-pooling kernels with backward passes.
+//!
+//! The MS-ResNet architectures in the paper use strided convolutions for
+//! downsampling and a global average pool before the classifier; `avg_pool2d`
+//! additionally supports the 2×2 pooling used by the VGG baselines of
+//! Table III.
+
+use crate::error::ShapeError;
+use crate::tensor::Tensor;
+
+/// Average pooling with a square `k`×`k` window and stride `k`.
+///
+/// Input `(B, C, H, W)`; `H` and `W` must be divisible by `k`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on non-4-D input or indivisible spatial dims.
+pub fn avg_pool2d(x: &Tensor, k: usize) -> Result<Tensor, ShapeError> {
+    if x.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "avg_pool2d: expected 4-D input, got {:?}",
+            x.shape()
+        )));
+    }
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    if k == 0 || h % k != 0 || w % k != 0 {
+        return Err(ShapeError::new(format!(
+            "avg_pool2d: window {k} does not divide spatial dims ({h}, {w})"
+        )));
+    }
+    let (oh, ow) = (h / k, w / k);
+    let mut y = Tensor::zeros(&[b, c, oh, ow]);
+    let inv = 1.0 / (k * k) as f32;
+    for s in 0..b {
+        for ch in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            acc += x.at(&[s, ch, oi * k + di, oj * k + dj]);
+                        }
+                    }
+                    *y.at_mut(&[s, ch, oi, oj]) = acc * inv;
+                }
+            }
+        }
+    }
+    Ok(y)
+}
+
+/// Backward pass of [`avg_pool2d`]: spreads each output gradient uniformly
+/// over its `k`×`k` window.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `y_grad` is not 4-D.
+pub fn avg_pool2d_backward(
+    y_grad: &Tensor,
+    k: usize,
+    in_hw: (usize, usize),
+) -> Result<Tensor, ShapeError> {
+    if y_grad.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "avg_pool2d_backward: expected 4-D grad, got {:?}",
+            y_grad.shape()
+        )));
+    }
+    let (b, c, oh, ow) = (
+        y_grad.shape()[0],
+        y_grad.shape()[1],
+        y_grad.shape()[2],
+        y_grad.shape()[3],
+    );
+    if oh * k != in_hw.0 || ow * k != in_hw.1 {
+        return Err(ShapeError::new(format!(
+            "avg_pool2d_backward: grad {:?} with window {k} does not map to input {in_hw:?}",
+            y_grad.shape()
+        )));
+    }
+    let mut x_grad = Tensor::zeros(&[b, c, in_hw.0, in_hw.1]);
+    let inv = 1.0 / (k * k) as f32;
+    for s in 0..b {
+        for ch in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let g = y_grad.at(&[s, ch, oi, oj]) * inv;
+                    for di in 0..k {
+                        for dj in 0..k {
+                            *x_grad.at_mut(&[s, ch, oi * k + di, oj * k + dj]) += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(x_grad)
+}
+
+/// Global average pooling: `(B, C, H, W) -> (B, C)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on non-4-D input.
+pub fn global_avg_pool(x: &Tensor) -> Result<Tensor, ShapeError> {
+    if x.ndim() != 4 {
+        return Err(ShapeError::new(format!(
+            "global_avg_pool: expected 4-D input, got {:?}",
+            x.shape()
+        )));
+    }
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut y = Tensor::zeros(&[b, c]);
+    let inv = 1.0 / (h * w) as f32;
+    let plane = h * w;
+    for s in 0..b {
+        for ch in 0..c {
+            let start = (s * c + ch) * plane;
+            let acc: f32 = x.data()[start..start + plane].iter().sum();
+            *y.at_mut(&[s, ch]) = acc * inv;
+        }
+    }
+    Ok(y)
+}
+
+/// Backward pass of [`global_avg_pool`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `y_grad` is not 2-D.
+pub fn global_avg_pool_backward(
+    y_grad: &Tensor,
+    in_hw: (usize, usize),
+) -> Result<Tensor, ShapeError> {
+    if y_grad.ndim() != 2 {
+        return Err(ShapeError::new(format!(
+            "global_avg_pool_backward: expected 2-D grad, got {:?}",
+            y_grad.shape()
+        )));
+    }
+    let (b, c) = (y_grad.shape()[0], y_grad.shape()[1]);
+    let (h, w) = in_hw;
+    let inv = 1.0 / (h * w) as f32;
+    let mut x_grad = Tensor::zeros(&[b, c, h, w]);
+    for s in 0..b {
+        for ch in 0..c {
+            let g = y_grad.at(&[s, ch]) * inv;
+            let start = (s * c + ch) * h * w;
+            x_grad.data_mut()[start..start + h * w].fill(g);
+        }
+    }
+    Ok(x_grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn avg_pool_known_values() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = avg_pool2d(&x, 2).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3.5, 5.5, 11.5, 13.5]);
+    }
+
+    #[test]
+    fn avg_pool_rejects_indivisible() {
+        let x = Tensor::zeros(&[1, 1, 5, 4]);
+        assert!(avg_pool2d(&x, 2).is_err());
+        assert!(avg_pool2d(&Tensor::zeros(&[1, 4, 4]), 2).is_err());
+    }
+
+    #[test]
+    fn avg_pool_grad_is_uniform_spread() {
+        let g = Tensor::ones(&[1, 1, 2, 2]);
+        let dx = avg_pool2d_backward(&g, 2, (4, 4)).unwrap();
+        assert_eq!(dx.shape(), &[1, 1, 4, 4]);
+        for &v in dx.data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn avg_pool_grad_finite_difference() {
+        let mut rng = Rng::seed_from(20);
+        let mut x = Tensor::randn(&[1, 2, 4, 4], &mut rng);
+        let m = Tensor::randn(&[1, 2, 2, 2], &mut rng);
+        let analytic = avg_pool2d_backward(&m, 2, (4, 4)).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 9, 21, 31] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = avg_pool2d(&x, 2).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig - eps;
+            let lm = avg_pool2d(&x, 2).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((analytic.data()[idx] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn global_avg_pool_values() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
+        let y = global_avg_pool(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_grad_finite_difference() {
+        let mut rng = Rng::seed_from(21);
+        let mut x = Tensor::randn(&[2, 3, 3, 3], &mut rng);
+        let m = Tensor::randn(&[2, 3], &mut rng);
+        let analytic = global_avg_pool_backward(&m, (3, 3)).unwrap();
+        let eps = 1e-2f32;
+        for idx in [0usize, 13, 26, 40] {
+            let orig = x.data()[idx];
+            x.data_mut()[idx] = orig + eps;
+            let lp = global_avg_pool(&x).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig - eps;
+            let lm = global_avg_pool(&x).unwrap().mul(&m).unwrap().sum();
+            x.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((analytic.data()[idx] - numeric).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn pool_backward_shape_validation() {
+        assert!(avg_pool2d_backward(&Tensor::zeros(&[1, 1, 2, 2]), 2, (5, 4)).is_err());
+        assert!(global_avg_pool_backward(&Tensor::zeros(&[2, 2, 2]), (2, 2)).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Shape and stride arithmetic shared by the tensor kernels.
+
+/// Total number of elements implied by a shape.
+///
+/// ```
+/// assert_eq!(ttsnn_tensor::num_elements(&[2, 3, 4]), 24);
+/// assert_eq!(ttsnn_tensor::num_elements(&[]), 1);
+/// ```
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major (C-order) strides for a shape.
+///
+/// ```
+/// assert_eq!(ttsnn_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Converts a flat index into multi-dimensional coordinates for `shape`.
+pub(crate) fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let mut coords = vec![0usize; shape.len()];
+    for (c, s) in coords.iter_mut().zip(strides.iter()) {
+        *c = flat / s;
+        flat %= s;
+    }
+    coords
+}
+
+/// Converts multi-dimensional coordinates into a flat index for `shape`.
+pub(crate) fn ravel(coords: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(coords.len(), shape.len());
+    let strides = strides_for(shape);
+    coords.iter().zip(strides.iter()).map(|(c, s)| c * s).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides_for(&[2, 3, 4, 5]), vec![60, 20, 5, 1]);
+        assert!(strides_for(&[]).is_empty());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [3, 4, 5];
+        for flat in 0..num_elements(&shape) {
+            let coords = unravel(flat, &shape);
+            assert_eq!(ravel(&coords, &shape), flat);
+        }
+    }
+
+    #[test]
+    fn unravel_known_values() {
+        assert_eq!(unravel(0, &[2, 3]), vec![0, 0]);
+        assert_eq!(unravel(5, &[2, 3]), vec![1, 2]);
+        assert_eq!(unravel(7, &[2, 2, 2]), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,689 @@
+use crate::error::ShapeError;
+use crate::rng::Rng;
+use crate::shape::{num_elements, ravel, strides_for, unravel};
+
+/// A contiguous, row-major n-dimensional `f32` array.
+///
+/// `Tensor` is the single data type flowing through the whole TT-SNN stack:
+/// images, spikes, membrane potentials, convolution weights and TT cores are
+/// all `Tensor`s. The representation is always contiguous; operations that
+/// change element order (e.g. [`Tensor::permute`]) copy.
+///
+/// ```
+/// use ttsnn_tensor::Tensor;
+///
+/// # fn main() -> Result<(), ttsnn_tensor::ShapeError> {
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let y = x.map(|v| v * 2.0);
+/// assert_eq!(y.data(), &[2.0, 4.0, 6.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    // ---------------------------------------------------------------- ctors
+
+    /// A tensor of zeros with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { data: vec![0.0; num_elements(shape)], shape: shape.to_vec() }
+    }
+
+    /// A tensor of ones with the given shape.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self { data: vec![value; num_elements(shape)], shape: shape.to_vec() }
+    }
+
+    /// Builds a tensor from a flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len()` does not match the shape's
+    /// element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, ShapeError> {
+        if data.len() != num_elements(shape) {
+            return Err(ShapeError::new(format!(
+                "from_vec: buffer of {} elements does not fit shape {:?}",
+                data.len(),
+                shape
+            )));
+        }
+        Ok(Self { data, shape: shape.to_vec() })
+    }
+
+    /// Standard-normal random tensor.
+    pub fn randn(shape: &[usize], rng: &mut Rng) -> Self {
+        let data = (0..num_elements(shape)).map(|_| rng.normal()).collect();
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Uniform random tensor in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let data = (0..num_elements(shape)).map(|_| rng.uniform_in(lo, hi)).collect();
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Kaiming-normal initialization for a conv/linear weight: the first
+    /// dimension is treated as the output (fan-out is the rest).
+    ///
+    /// Variance is `2 / fan_in` where `fan_in` is the product of all
+    /// dimensions except the first — the convention for `(O, I, Kh, Kw)`
+    /// convolution weights.
+    pub fn kaiming(shape: &[usize], rng: &mut Rng) -> Self {
+        let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
+        let std = (2.0 / fan_in as f32).sqrt();
+        let data = (0..num_elements(shape)).map(|_| rng.normal() * std).collect();
+        Self { data, shape: shape.to_vec() }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat backing buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat backing buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at multi-dimensional coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` has the wrong rank or is out of bounds.
+    pub fn at(&self, coords: &[usize]) -> f32 {
+        assert_eq!(coords.len(), self.ndim(), "at: rank mismatch");
+        self.data[ravel(coords, &self.shape)]
+    }
+
+    /// Mutable element at multi-dimensional coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` has the wrong rank or is out of bounds.
+    pub fn at_mut(&mut self, coords: &[usize]) -> &mut f32 {
+        assert_eq!(coords.len(), self.ndim(), "at_mut: rank mismatch");
+        let idx = ravel(coords, &self.shape);
+        &mut self.data[idx]
+    }
+
+    // ------------------------------------------------------------- reshape
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, ShapeError> {
+        if num_elements(shape) != self.len() {
+            return Err(ShapeError::new(format!(
+                "reshape: cannot view {:?} ({} elems) as {:?} ({} elems)",
+                self.shape,
+                self.len(),
+                shape,
+                num_elements(shape)
+            )));
+        }
+        Ok(Self { data: self.data.clone(), shape: shape.to_vec() })
+    }
+
+    /// Permutes the axes (copying into a new contiguous tensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `axes` is not a permutation of
+    /// `0..self.ndim()`.
+    pub fn permute(&self, axes: &[usize]) -> Result<Self, ShapeError> {
+        let n = self.ndim();
+        let mut seen = vec![false; n];
+        if axes.len() != n || axes.iter().any(|&a| a >= n || std::mem::replace(&mut seen[a], true)) {
+            return Err(ShapeError::new(format!(
+                "permute: {:?} is not a permutation of 0..{}",
+                axes, n
+            )));
+        }
+        let new_shape: Vec<usize> = axes.iter().map(|&a| self.shape[a]).collect();
+        let mut out = Self::zeros(&new_shape);
+        let old_strides = strides_for(&self.shape);
+        let new_strides = strides_for(&new_shape);
+        for (flat, v) in out.data.iter_mut().enumerate() {
+            // coordinates in the new tensor
+            let mut rem = flat;
+            let mut src = 0usize;
+            for (d, &ns) in new_strides.iter().enumerate() {
+                let c = rem / ns;
+                rem %= ns;
+                src += c * old_strides[axes[d]];
+            }
+            *v = self.data[src];
+        }
+        Ok(out)
+    }
+
+    /// 2-D transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is not 2-D.
+    pub fn transpose(&self) -> Result<Self, ShapeError> {
+        if self.ndim() != 2 {
+            return Err(ShapeError::new(format!(
+                "transpose: expected 2-D tensor, got {:?}",
+                self.shape
+            )));
+        }
+        self.permute(&[1, 0])
+    }
+
+    // --------------------------------------------------------- elementwise
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Applies `f` in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "zip: shape mismatch {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Self { data, shape: self.shape.clone() })
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn sub(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn mul(&self, other: &Self) -> Result<Self, ShapeError> {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Adds `other * alpha` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Self, alpha: f32) -> Result<(), ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "add_scaled: shape mismatch {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Self {
+        self.map(|v| v + s)
+    }
+
+    // ----------------------------------------------------------- reductions
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element (`-inf` for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (`+inf` for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Frobenius / L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element in the flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.is_empty(), "argmax of empty tensor");
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Largest absolute difference from `other`, for approximate-equality
+    /// assertions in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Self) -> Result<f32, ShapeError> {
+        if self.shape != other.shape {
+            return Err(ShapeError::new(format!(
+                "max_abs_diff: shape mismatch {:?} vs {:?}",
+                self.shape, other.shape
+            )));
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    // --------------------------------------------------------------- slices
+
+    /// Extracts the `i`-th slab along axis 0 (e.g. one sample of a batch),
+    /// dropping that axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the tensor is 0-D or `i` is out of range.
+    pub fn index_axis0(&self, i: usize) -> Result<Self, ShapeError> {
+        if self.ndim() == 0 || i >= self.shape[0] {
+            return Err(ShapeError::new(format!(
+                "index_axis0: index {} out of range for shape {:?}",
+                i, self.shape
+            )));
+        }
+        let slab = self.len() / self.shape[0];
+        let data = self.data[i * slab..(i + 1) * slab].to_vec();
+        Ok(Self { data, shape: self.shape[1..].to_vec() })
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `parts` is empty or shapes differ.
+    pub fn stack(parts: &[Self]) -> Result<Self, ShapeError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| ShapeError::new("stack: empty input"))?;
+        let mut data = Vec::with_capacity(first.len() * parts.len());
+        for p in parts {
+            if p.shape != first.shape {
+                return Err(ShapeError::new(format!(
+                    "stack: shape mismatch {:?} vs {:?}",
+                    p.shape, first.shape
+                )));
+            }
+            data.extend_from_slice(&p.data);
+        }
+        let mut shape = vec![parts.len()];
+        shape.extend_from_slice(&first.shape);
+        Ok(Self { data, shape })
+    }
+
+    // --------------------------------------------------------------- matmul
+
+    /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`), with a
+    /// cache-blocked inner loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either tensor is not 2-D or the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.ndim() != 2 || other.ndim() != 2 {
+            return Err(ShapeError::new(format!(
+                "matmul: expected 2-D tensors, got {:?} and {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul: inner dims disagree: {:?} x {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        Ok(Self { data: out, shape: vec![m, n] })
+    }
+
+    /// Sum over the given axis, dropping it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `axis >= self.ndim()`.
+    pub fn sum_axis(&self, axis: usize) -> Result<Self, ShapeError> {
+        if axis >= self.ndim() {
+            return Err(ShapeError::new(format!(
+                "sum_axis: axis {} out of range for shape {:?}",
+                axis, self.shape
+            )));
+        }
+        let mut new_shape = self.shape.clone();
+        new_shape.remove(axis);
+        let mut out = Self::zeros(&new_shape);
+        for flat in 0..self.len() {
+            let mut coords = unravel(flat, &self.shape);
+            coords.remove(axis);
+            let dst = if new_shape.is_empty() { 0 } else { ravel(&coords, &new_shape) };
+            out.data[dst] += self.data[flat];
+        }
+        Ok(out)
+    }
+}
+
+/// `out[m,n] += a[m,k] * b[k,n]`, blocked over k for locality. `out` must be
+/// zero-initialized by the caller if a pure product is wanted.
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    const BLOCK: usize = 64;
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let av = arow[kk];
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+impl Default for Tensor {
+    /// An empty 1-D tensor.
+    fn default() -> Self {
+        Self { data: Vec::new(), shape: vec![0] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn zeros_ones_full() {
+        assert_eq!(Tensor::zeros(&[2, 2]).data(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).data(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 2.5).data(), &[2.5, 2.5]);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 2]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], &[2, 2]).is_ok());
+    }
+
+    #[test]
+    fn at_and_at_mut() {
+        let mut x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(x.at(&[0, 0]), 1.0);
+        assert_eq!(x.at(&[1, 2]), 6.0);
+        *x.at_mut(&[1, 0]) = 9.0;
+        assert_eq!(x.at(&[1, 0]), 9.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let y = x.reshape(&[4]).unwrap();
+        assert_eq!(y.data(), x.data());
+        assert!(x.reshape(&[3]).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let y = x.transpose().unwrap();
+        assert_eq!(y.shape(), &[3, 2]);
+        assert_eq!(y.data(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(t(&[1.0], &[1]).transpose().is_err());
+    }
+
+    #[test]
+    fn permute_matches_manual() {
+        // (2,3,4) -> (4,2,3)
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[2, 3, 4], &mut rng);
+        let y = x.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(y.shape(), &[4, 2, 3]);
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    assert_eq!(y.at(&[c, a, b]), x.at(&[a, b, c]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_rejects_invalid() {
+        let x = Tensor::zeros(&[2, 3]);
+        assert!(x.permute(&[0, 0]).is_err());
+        assert!(x.permute(&[0]).is_err());
+        assert!(x.permute(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn permute_roundtrip() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[3, 4, 5, 2], &mut rng);
+        let y = x.permute(&[3, 1, 0, 2]).unwrap();
+        // inverse of [3,1,0,2] is [2,1,3,0]
+        let z = y.permute(&[2, 1, 3, 0]).unwrap();
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        assert!(a.add(&t(&[1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn add_scaled_axpy() {
+        let mut a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        a.add_scaled(&b, 0.5).unwrap();
+        assert_eq!(a.data(), &[6.0, 12.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let x = t(&[1.0, -2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(x.sum(), 6.0);
+        assert_eq!(x.mean(), 1.5);
+        assert_eq!(x.max(), 4.0);
+        assert_eq!(x.min(), -2.0);
+        assert_eq!(x.argmax(), 3);
+        assert!((x.norm() - (1.0f32 + 4.0 + 9.0 + 16.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sum_axis_drops_axis() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let s0 = x.sum_axis(0).unwrap();
+        assert_eq!(s0.shape(), &[3]);
+        assert_eq!(s0.data(), &[5.0, 7.0, 9.0]);
+        let s1 = x.sum_axis(1).unwrap();
+        assert_eq!(s1.shape(), &[2]);
+        assert_eq!(s1.data(), &[6.0, 15.0]);
+        assert!(x.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Rng::seed_from(3);
+        let a = Tensor::randn(&[4, 4], &mut rng);
+        let i = Tensor::eye(4);
+        let prod = a.matmul(&i).unwrap();
+        assert!(prod.max_abs_diff(&a).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = t(&[2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[3, 4]);
+        assert_eq!(&c.data()[0..4], &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&c.data()[8..12], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&Tensor::zeros(&[4, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn index_axis0_and_stack_roundtrip() {
+        let mut rng = Rng::seed_from(4);
+        let x = Tensor::randn(&[3, 2, 2], &mut rng);
+        let parts: Vec<Tensor> = (0..3).map(|i| x.index_axis0(i).unwrap()).collect();
+        let restacked = Tensor::stack(&parts).unwrap();
+        assert_eq!(restacked, x);
+        assert!(x.index_axis0(3).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let mut rng = Rng::seed_from(5);
+        let w = Tensor::kaiming(&[64, 32, 3, 3], &mut rng);
+        let var = w.data().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / (32.0 * 9.0);
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at(&[0, 0]), 1.0);
+        assert_eq!(i.at(&[1, 2]), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use ttsnn_tensor::{conv, linalg, Conv2dGeometry, Rng, Tensor};
+
+fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = (Vec<f32>, usize)> {
+    (1usize..=max_elems).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-10.0f32..10.0, n),
+            Just(n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes((data, n) in tensor_strategy(64), seed in 0u64..1000) {
+        let a = Tensor::from_vec(data, &[n]).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let b = Tensor::randn(&[n], &mut rng);
+        let ab = a.add(&b).unwrap();
+        let ba = b.add(&a).unwrap();
+        prop_assert!(ab.max_abs_diff(&ba).unwrap() == 0.0);
+    }
+
+    #[test]
+    fn scale_distributes_over_add((data, n) in tensor_strategy(48), s in -5.0f32..5.0) {
+        let a = Tensor::from_vec(data.clone(), &[n]).unwrap();
+        let b = Tensor::from_vec(data.iter().map(|v| v * 0.5 + 1.0).collect(), &[n]).unwrap();
+        let lhs = a.add(&b).unwrap().scale(s);
+        let rhs = a.scale(s).add(&b.scale(s)).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn permute_roundtrips(seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let dims = [
+            1 + (rng.below(4)),
+            1 + (rng.below(4)),
+            1 + (rng.below(4)),
+        ];
+        let x = Tensor::randn(&dims, &mut rng);
+        let mut axes = [0usize, 1, 2];
+        rng.shuffle(&mut axes);
+        let mut inverse = [0usize; 3];
+        for (i, &a) in axes.iter().enumerate() {
+            inverse[a] = i;
+        }
+        let y = x.permute(&axes).unwrap().permute(&inverse).unwrap();
+        prop_assert_eq!(y, x);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(seed in 0u64..500, m in 1usize..8, n in 1usize..8) {
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        let prod = a.matmul(&Tensor::eye(n)).unwrap();
+        prop_assert!(prod.max_abs_diff(&a).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(seed in 0u64..300, m in 1usize..6, k in 1usize..6, n in 1usize..6) {
+        // (A B)^T == B^T A^T
+        let mut rng = Rng::seed_from(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn conv_linearity(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let (i, o) = (1 + rng.below(3), 1 + rng.below(3));
+        let hw = (3 + rng.below(4), 3 + rng.below(4));
+        let g = Conv2dGeometry::new(i, o, hw, (3, 3), (1, 1), (1, 1));
+        let x1 = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+        let x2 = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+        let w = Tensor::randn(&[o, i, 3, 3], &mut rng);
+        let lhs = conv::conv2d(&x1.add(&x2).unwrap(), &w, &g).unwrap();
+        let rhs = conv::conv2d(&x1, &w, &g).unwrap().add(&conv::conv2d(&x2, &w, &g).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn conv_grad_adjointness(seed in 0u64..100) {
+        // <conv(x, w), m> == <x, conv_input_grad(m, w)> — the defining
+        // property of the transposed convolution used in backprop.
+        let mut rng = Rng::seed_from(seed);
+        let (i, o) = (1 + rng.below(2), 1 + rng.below(2));
+        let hw = (4 + rng.below(3), 4 + rng.below(3));
+        let g = Conv2dGeometry::new(i, o, hw, (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[1, i, hw.0, hw.1], &mut rng);
+        let w = Tensor::randn(&[o, i, 3, 3], &mut rng);
+        let (oh, ow) = g.out_hw();
+        let m = Tensor::randn(&[1, o, oh, ow], &mut rng);
+        let lhs: f32 = conv::conv2d(&x, &w, &g).unwrap().mul(&m).unwrap().sum();
+        let rhs: f32 = conv::conv2d_input_grad(&m, &w, &g).unwrap().mul(&x).unwrap().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn svd_reconstructs_random_matrices(seed in 0u64..200) {
+        let mut rng = Rng::seed_from(seed);
+        let m = 2 + rng.below(8);
+        let n = 2 + rng.below(8);
+        let a = Tensor::randn(&[m, n], &mut rng);
+        let dec = linalg::svd(&a).unwrap();
+        prop_assert!(dec.reconstruct().unwrap().max_abs_diff(&a).unwrap() < 2e-3);
+        // singular values sorted and non-negative
+        for w in dec.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(dec.s.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(seed in 0u64..300, axis in 0usize..3) {
+        let mut rng = Rng::seed_from(seed);
+        let dims = [1 + rng.below(4), 1 + rng.below(4), 1 + rng.below(4)];
+        let x = Tensor::randn(&dims, &mut rng);
+        let s = x.sum_axis(axis).unwrap();
+        prop_assert!((s.sum() - x.sum()).abs() < 1e-3 * (1.0 + x.sum().abs()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Cross-crate assertions that the headline numbers of the paper hold in
+//! this reproduction (analytic parts exactly-ish; hardware model within
+//! the documented bands — see EXPERIMENTS.md).
+
+use tt_snn::accel::{simulate, AcceleratorConfig, EnergyModel, Method, Target};
+use tt_snn::core::flops::{resnet18_cifar, resnet34_ncaltech};
+use tt_snn::core::paper_ranks::{RESNET18_RANKS, RESNET34_RANKS};
+use tt_snn::core::TtMode;
+
+#[test]
+fn table2_parameter_columns() {
+    let rn18 = resnet18_cifar(10);
+    // Paper: 11.20M baseline, 1.83M TT (6.13x).
+    assert!((rn18.baseline_params() as f64 / 1e6 - 11.20).abs() < 0.06);
+    assert!((rn18.param_compression() - 6.13).abs() < 0.7);
+    let rn34 = resnet34_ncaltech();
+    // Paper: 21.31M baseline, 2.67M TT (7.98x).
+    assert!((rn34.baseline_params() as f64 / 1e6 - 21.31).abs() < 0.12);
+    assert!((rn34.tt_params() as f64 / 1e6 - 2.67).abs() < 0.1);
+    assert!((rn34.param_compression() - 7.98).abs() < 0.3);
+}
+
+#[test]
+fn table2_flop_columns() {
+    let rn18 = resnet18_cifar(10);
+    // Paper: 2.221G baseline, 5.97x STT/PTT, 7.88x HTT.
+    assert!((rn18.baseline_macs() as f64 / 1e9 - 2.221).abs() < 0.05);
+    assert!((rn18.flop_compression(&TtMode::Ptt) - 5.97).abs() < 0.9);
+    assert!((rn18.flop_compression(&TtMode::htt_default(4)) - 7.88).abs() < 1.0);
+    let rn34 = resnet34_ncaltech();
+    // Paper: 15.65G baseline, 9.25x PTT, 10.75x HTT.
+    assert!((rn34.baseline_macs() as f64 / 1e9 - 15.65).abs() < 0.8);
+    assert!((rn34.flop_compression(&TtMode::Ptt) - 9.25).abs() < 1.2);
+    assert!(
+        rn34.flop_compression(&TtMode::htt_default(6)) > rn34.flop_compression(&TtMode::Ptt)
+    );
+}
+
+#[test]
+fn paper_rank_lists_drive_the_specs() {
+    assert_eq!(RESNET18_RANKS.len(), resnet18_cifar(10).num_decomposed());
+    assert_eq!(RESNET34_RANKS.len(), resnet34_ncaltech().num_decomposed());
+}
+
+#[test]
+fn fig4_relations_hold() {
+    let cfg = AcceleratorConfig::paper();
+    let em = EnergyModel::nm28();
+    let spec = resnet18_cifar(10);
+    let sim = |m, t| simulate(&spec, m, t, &cfg, &em);
+
+    // (a) existing accelerator
+    let base = sim(Method::Baseline, Target::SingleEngine);
+    let stt_a = sim(Method::Stt, Target::SingleEngine);
+    let ptt_a = sim(Method::Ptt, Target::SingleEngine);
+    let htt_a = sim(Method::Htt, Target::SingleEngine);
+    assert!(stt_a.relative_to(&base) < -0.5, "STT must save most of the energy");
+    assert!(ptt_a.relative_to(&stt_a) > 0.0, "PTT pays the DRAM spill on prior HW");
+    assert!(htt_a.relative_to(&stt_a).abs() < 0.15, "HTT ~ STT on prior HW");
+
+    // (b) proposed accelerator
+    let stt_b = sim(Method::Stt, Target::MultiCluster);
+    let ptt_b = sim(Method::Ptt, Target::MultiCluster);
+    let htt_b = sim(Method::Htt, Target::MultiCluster);
+    assert!(ptt_b.relative_to(&stt_b) < -0.12, "PTT must save on the proposed design");
+    assert!(htt_b.relative_to(&stt_b) < ptt_b.relative_to(&stt_b), "HTT saves more");
+}
+
+#[test]
+fn table1_configuration() {
+    let c = AcceleratorConfig::paper();
+    assert_eq!(
+        (c.num_clusters, c.pes_per_cluster, c.total_global_buffer_bytes() / 1024),
+        (4, 32, 272)
+    );
+}

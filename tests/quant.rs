@@ -1,0 +1,66 @@
+//! Integration test of the int8 deployment path: train a TT network,
+//! merge back to dense kernels, quantize the weights to the accelerator's
+//! 8-bit multiplier precision (Table I), and check the prediction
+//! behaviour survives.
+
+use tt_snn::core::quant::quantize_int8;
+use tt_snn::core::TtMode;
+use tt_snn::data::StaticImages;
+use tt_snn::snn::{evaluate, train, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainConfig};
+use tt_snn::tensor::Rng;
+
+#[test]
+fn int8_quantized_merged_model_keeps_predictions() {
+    let timesteps = 2;
+    let mut rng = Rng::seed_from(3);
+    let ds = StaticImages::new(3, 8, 8, 3, 0.15, 80).dataset(48, &mut rng);
+    let (tr, te) = ds.split(0.75, &mut rng);
+    let train_b = tr.batches(12, timesteps, &mut rng).unwrap();
+    let test_b = te.batches(12, timesteps, &mut rng).unwrap();
+
+    let mut model = ResNetSnn::new(
+        ResNetConfig::resnet18(3, (8, 8), 16),
+        &ConvPolicy::tt(TtMode::Ptt),
+        &mut rng,
+    );
+    let cfg = TrainConfig { epochs: 3, lr: 0.05, ..TrainConfig::default() };
+    train(&mut model, &train_b, &test_b, &cfg).unwrap();
+    model.merge_into_dense().unwrap();
+
+    let acc_f32 = evaluate(&mut model, &test_b).unwrap();
+
+    // Quantize every weight tensor to symmetric int8 and write it back.
+    for p in model.params() {
+        if p.shape().len() >= 2 {
+            let q = quantize_int8(&p.value());
+            p.set_value(q.dequantize().unwrap());
+        }
+    }
+    let acc_int8 = evaluate(&mut model, &test_b).unwrap();
+    assert!(
+        (acc_f32 - acc_int8).abs() <= 0.25,
+        "int8 quantization changed accuracy too much: {acc_f32} -> {acc_int8}"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_through_training() {
+    use tt_snn::snn::checkpoint::{load_params, save_params};
+    let timesteps = 2;
+    let mut rng = Rng::seed_from(4);
+    let ds = StaticImages::new(3, 8, 8, 3, 0.15, 81).dataset(36, &mut rng);
+    let batches = ds.batches(12, timesteps, &mut rng).unwrap();
+
+    let cfg = ResNetConfig::resnet18(3, (8, 8), 16);
+    let mut a = ResNetSnn::new(cfg.clone(), &ConvPolicy::tt(TtMode::Stt), &mut rng);
+    let tc = TrainConfig { epochs: 2, lr: 0.05, ..TrainConfig::default() };
+    train(&mut a, &batches, &batches, &tc).unwrap();
+    let acc_a = evaluate(&mut a, &batches).unwrap();
+
+    let mut buf = Vec::new();
+    save_params(&a.params(), &mut buf).unwrap();
+    let mut b = ResNetSnn::new(cfg, &ConvPolicy::tt(TtMode::Stt), &mut rng);
+    load_params(&b.params(), buf.as_slice()).unwrap();
+    let acc_b = evaluate(&mut b, &batches).unwrap();
+    assert_eq!(acc_a, acc_b, "restored model must reproduce accuracy exactly");
+}

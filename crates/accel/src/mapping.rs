@@ -51,12 +51,10 @@ fn layer_energy(
         };
     }
     // --- weight streaming from the filter buffer (every timestep) --------
-    let weight_bytes: f64 =
-        op.stages.iter().map(|s| s.weight_params).sum::<f64>() * m.weight_bytes;
+    let weight_bytes: f64 = op.stages.iter().map(|s| s.weight_params).sum::<f64>() * m.weight_bytes;
     e.sram_pj += weight_bytes * m.sram_pj_per_byte;
     // --- layer input/output activations (spike-coded) --------------------
-    e.sram_pj += (spike_bytes(op.in_elems, m) + spike_bytes(op.out_elems, m))
-        * m.sram_pj_per_byte;
+    e.sram_pj += (spike_bytes(op.in_elems, m) + spike_bytes(op.out_elems, m)) * m.sram_pj_per_byte;
     // --- membrane potentials: read + write, 16-bit, every timestep -------
     e.sram_pj += op.out_elems * 2.0 * 2.0 * m.sram_pj_per_byte;
     // --- inter-stage traffic + BPTT stash of non-spike intermediates -----

@@ -129,10 +129,7 @@ fn tt_op(l: &ConvLayerSpec, rank: usize, mode: &TtMode, t: usize) -> LayerOp {
         (TtMode::Stt, _) => {
             let g2 = Conv2dGeometry::new(r, r, (h, w), (3, 1), (sh, 1), (1, 0));
             let g3 = Conv2dGeometry::new(r, r, (oh, w), (1, 3), (1, sw), (0, 1));
-            (
-                vec![stage(g1, true), stage(g2, false), stage(g3, false), stage(g4, false)],
-                None,
-            )
+            (vec![stage(g1, true), stage(g2, false), stage(g3, false), stage(g4, false)], None)
         }
         (TtMode::Ptt, _) | (TtMode::Htt(_), true) => {
             let g2 = Conv2dGeometry::new(r, r, (h, w), (3, 1), (sh, sw), (1, 0));
@@ -176,13 +173,7 @@ impl NetworkWorkload {
             None => spec.baseline_params() as f64,
             Some(_) => spec.tt_params() as f64,
         };
-        Self {
-            name: spec.name.clone(),
-            method,
-            timesteps: spec.timesteps,
-            steps,
-            total_params,
-        }
+        Self { name: spec.name.clone(), method, timesteps: spec.timesteps, steps, total_params }
     }
 
     /// Total MACs across all timesteps (cross-check against
@@ -229,10 +220,7 @@ mod tests {
     fn ptt_marks_parallel_branches() {
         let spec = resnet18_cifar(10);
         let w = NetworkWorkload::from_spec(&spec, Method::Ptt);
-        let with_pair = w.steps[0]
-            .iter()
-            .filter(|l| l.parallel_pair == Some((1, 2)))
-            .count();
+        let with_pair = w.steps[0].iter().filter(|l| l.parallel_pair == Some((1, 2))).count();
         assert_eq!(with_pair, 16);
         let want = spec.mode_macs(&TtMode::Ptt) as f64;
         assert!((w.total_macs() - want).abs() / want < 1e-9);

@@ -14,16 +14,7 @@ fn random_spec(seed: u64, timesteps: usize) -> ttsnn_core::flops::NetworkSpec {
     let w0 = 32 + rng.below(32);
     let widths = [w0, w0 * 2];
     let ranks: Vec<usize> = (0..8).map(|_| (w0 / 4 + rng.below(w0 / 6 + 1)).max(1)).collect();
-    ms_resnet_spec(
-        "prop",
-        3,
-        (32, 32),
-        10,
-        &[2, 2],
-        &widths,
-        &ranks,
-        timesteps,
-    )
+    ms_resnet_spec("prop", 3, (32, 32), 10, &[2, 2], &widths, &ranks, timesteps)
 }
 
 proptest! {

@@ -172,15 +172,8 @@ impl Var {
             vec![self.clone(), s.clone()],
             Box::new(move |g, parents| {
                 parents[0].accumulate_grad(&g.scale(sv));
-                let ds: f32 = g
-                    .data()
-                    .iter()
-                    .zip(x_val.data().iter())
-                    .map(|(a, b)| a * b)
-                    .sum();
-                parents[1].accumulate_grad(
-                    &Tensor::from_vec(vec![ds], &[1]).expect("scalar grad"),
-                );
+                let ds: f32 = g.data().iter().zip(x_val.data().iter()).map(|(a, b)| a * b).sum();
+                parents[1].accumulate_grad(&Tensor::from_vec(vec![ds], &[1]).expect("scalar grad"));
             }),
         ))
     }
@@ -276,10 +269,14 @@ impl Var {
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
-                let bt = b_val.transpose().expect("matmul backward transpose");
-                parents[0].accumulate_grad(&g.matmul(&bt).expect("matmul backward da"));
-                let at = a_val.transpose().expect("matmul backward transpose");
-                parents[1].accumulate_grad(&at.matmul(g).expect("matmul backward db"));
+                // dA = g · Bᵀ and dB = Aᵀ · g via the runtime's transpose-
+                // reading kernels — no transpose copies.
+                if parents[0].requires_grad() {
+                    parents[0].accumulate_grad(&g.matmul_a_bt(&b_val).expect("matmul backward da"));
+                }
+                if parents[1].requires_grad() {
+                    parents[1].accumulate_grad(&a_val.matmul_at_b(g).expect("matmul backward db"));
+                }
             }),
         ))
     }
@@ -312,8 +309,8 @@ impl Var {
                 b.shape()
             )));
         }
-        let wt = w.transpose()?;
-        let mut y = x.matmul(&wt)?;
+        // y = x · wᵀ read straight from the (O, F) weight layout.
+        let mut y = x.matmul_a_bt(&w)?;
         for i in 0..batch {
             for j in 0..out {
                 y.data_mut()[i * out + j] += b.data()[j];
@@ -327,12 +324,17 @@ impl Var {
             vec![self.clone(), weight.clone(), bias.clone()],
             Box::new(move |g, parents| {
                 // dx = g · w
-                parents[0].accumulate_grad(&g.matmul(&w_val).expect("linear backward dx"));
-                // dw = gᵀ · x
-                let gt = g.transpose().expect("linear backward transpose");
-                parents[1].accumulate_grad(&gt.matmul(&x_val).expect("linear backward dw"));
+                if parents[0].requires_grad() {
+                    parents[0].accumulate_grad(&g.matmul(&w_val).expect("linear backward dx"));
+                }
+                // dw = gᵀ · x without materializing gᵀ
+                if parents[1].requires_grad() {
+                    parents[1].accumulate_grad(&g.matmul_at_b(&x_val).expect("linear backward dw"));
+                }
                 // db = column sums of g
-                parents[2].accumulate_grad(&g.sum_axis(0).expect("linear backward db"));
+                if parents[2].requires_grad() {
+                    parents[2].accumulate_grad(&g.sum_axis(0).expect("linear backward db"));
+                }
             }),
         ))
     }
@@ -353,13 +355,13 @@ impl Var {
             vec![self.clone(), weight.clone()],
             Box::new(move |g, parents| {
                 if parents[0].requires_grad() {
-                    let dx = conv::conv2d_input_grad(g, &w_val, &geometry)
-                        .expect("conv2d backward dx");
+                    let dx =
+                        conv::conv2d_input_grad(g, &w_val, &geometry).expect("conv2d backward dx");
                     parents[0].accumulate_grad(&dx);
                 }
                 if parents[1].requires_grad() {
-                    let dw = conv::conv2d_weight_grad(&x_val, g, &geometry)
-                        .expect("conv2d backward dw");
+                    let dw =
+                        conv::conv2d_weight_grad(&x_val, g, &geometry).expect("conv2d backward dw");
                     parents[1].accumulate_grad(&dw);
                 }
             }),
@@ -514,18 +516,14 @@ impl Var {
                         for i in 0..plane {
                             let dy = g.data()[start + i];
                             let xh = xhat.data()[start + i];
-                            dx.data_mut()[start + i] =
-                                coeff * (n * dy - sum_dy - xh * sum_dy_xhat);
+                            dx.data_mut()[start + i] = coeff * (n * dy - sum_dy - xh * sum_dy_xhat);
                         }
                     }
                 }
                 parents[0].accumulate_grad(&dx);
-                parents[1].accumulate_grad(
-                    &Tensor::from_vec(dgamma, &[c]).expect("bn dgamma shape"),
-                );
-                parents[2].accumulate_grad(
-                    &Tensor::from_vec(dbeta, &[c]).expect("bn dbeta shape"),
-                );
+                parents[1]
+                    .accumulate_grad(&Tensor::from_vec(dgamma, &[c]).expect("bn dgamma shape"));
+                parents[2].accumulate_grad(&Tensor::from_vec(dbeta, &[c]).expect("bn dbeta shape"));
             }),
         ))
     }
@@ -565,8 +563,8 @@ pub fn cross_entropy_logits(logits: &Var, labels: &[usize]) -> Result<Var, Shape
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|v| (v - m).exp()).collect();
         let z: f32 = exps.iter().sum();
-        for j in 0..k {
-            softmax.data_mut()[i * k + j] = exps[j] / z;
+        for (j, &e) in exps.iter().enumerate() {
+            softmax.data_mut()[i * k + j] = e / z;
         }
         loss += z.ln() + m - row[labels[i]];
     }
@@ -594,13 +592,7 @@ mod tests {
 
     /// Central-difference gradient check: perturbs `param` elementwise and
     /// compares to the autograd gradient of `loss_fn`.
-    fn grad_check(
-        param: &Var,
-        loss_fn: impl Fn() -> Var,
-        indices: &[usize],
-        eps: f32,
-        tol: f32,
-    ) {
+    fn grad_check(param: &Var, loss_fn: impl Fn() -> Var, indices: &[usize], eps: f32, tol: f32) {
         param.zero_grad();
         let loss = loss_fn();
         loss.backward();
@@ -626,7 +618,13 @@ mod tests {
         let mut rng = Rng::seed_from(40);
         let a = Var::param(Tensor::randn(&[6], &mut rng));
         let b = Var::param(Tensor::randn(&[6], &mut rng));
-        grad_check(&a, || a.add(&b).unwrap().mul(&a).unwrap().sum_to_scalar(), &[0, 3, 5], 1e-2, 1e-2);
+        grad_check(
+            &a,
+            || a.add(&b).unwrap().mul(&a).unwrap().sum_to_scalar(),
+            &[0, 3, 5],
+            1e-2,
+            1e-2,
+        );
         grad_check(&b, || a.sub(&b).unwrap().mul(&b).unwrap().sum_to_scalar(), &[1, 4], 1e-2, 1e-2);
     }
 
@@ -643,7 +641,13 @@ mod tests {
         let mut rng = Rng::seed_from(41);
         let x = Var::param(Tensor::randn(&[5], &mut rng));
         let s = Var::param(Tensor::from_vec(vec![0.7], &[1]).unwrap());
-        grad_check(&s, || x.scale_by(&s).unwrap().mul(&x).unwrap().sum_to_scalar(), &[0], 1e-2, 1e-2);
+        grad_check(
+            &s,
+            || x.scale_by(&s).unwrap().mul(&x).unwrap().sum_to_scalar(),
+            &[0],
+            1e-2,
+            1e-2,
+        );
         grad_check(&x, || x.scale_by(&s).unwrap().sum_to_scalar(), &[0, 2], 1e-2, 1e-2);
         assert!(x.scale_by(&x).is_err());
     }
@@ -745,7 +749,13 @@ mod tests {
         let x = Var::param(Tensor::randn(&[2, 6], &mut rng));
         grad_check(
             &x,
-            || x.reshape(&[3, 4]).unwrap().mul(&x.reshape(&[3, 4]).unwrap()).unwrap().sum_to_scalar(),
+            || {
+                x.reshape(&[3, 4])
+                    .unwrap()
+                    .mul(&x.reshape(&[3, 4]).unwrap())
+                    .unwrap()
+                    .sum_to_scalar()
+            },
             &[0, 7],
             1e-2,
             1e-2,
@@ -794,16 +804,11 @@ mod tests {
         let beta = Var::param(Tensor::randn(&[2], &mut rng));
         let m = Tensor::randn(&[2, 2, 3, 3], &mut rng);
         let mc = Var::constant(m);
-        let loss_fn = || {
-            x.batch_norm2d(&gamma, &beta, 1e-5, 0.8)
-                .unwrap()
-                .mul(&mc)
-                .unwrap()
-                .sum_to_scalar()
-        };
-        grad_check(&gamma, &loss_fn, &[0, 1], 1e-2, 2e-2);
-        grad_check(&beta, &loss_fn, &[0, 1], 1e-2, 2e-2);
-        grad_check(&x, &loss_fn, &[0, 8, 17, 35], 1e-2, 5e-2);
+        let loss_fn =
+            || x.batch_norm2d(&gamma, &beta, 1e-5, 0.8).unwrap().mul(&mc).unwrap().sum_to_scalar();
+        grad_check(&gamma, loss_fn, &[0, 1], 1e-2, 2e-2);
+        grad_check(&beta, loss_fn, &[0, 1], 1e-2, 2e-2);
+        grad_check(&x, loss_fn, &[0, 8, 17, 35], 1e-2, 5e-2);
     }
 
     #[test]

@@ -127,8 +127,7 @@ impl CosineAnnealing {
             return self.lr_max;
         }
         let e = epoch.min(self.epochs) as f32 / self.epochs as f32;
-        self.lr_min
-            + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * e).cos()) / 2.0
+        self.lr_min + (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * e).cos()) / 2.0
     }
 
     /// Updates `opt`'s learning rate for `epoch`.
@@ -144,10 +143,8 @@ mod tests {
     #[test]
     fn sgd_plain_step() {
         let w = Var::param(Tensor::from_vec(vec![2.0, -1.0], &[2]).unwrap());
-        let mut opt = Sgd::new(
-            vec![w.clone()],
-            SgdConfig { lr: 0.5, momentum: 0.0, weight_decay: 0.0 },
-        );
+        let mut opt =
+            Sgd::new(vec![w.clone()], SgdConfig { lr: 0.5, momentum: 0.0, weight_decay: 0.0 });
         let loss = w.mul(&w).unwrap().sum_to_scalar();
         loss.backward();
         opt.step();
@@ -158,10 +155,8 @@ mod tests {
     #[test]
     fn sgd_momentum_accumulates() {
         let w = Var::param(Tensor::from_vec(vec![0.0], &[1]).unwrap());
-        let mut opt = Sgd::new(
-            vec![w.clone()],
-            SgdConfig { lr: 1.0, momentum: 0.5, weight_decay: 0.0 },
-        );
+        let mut opt =
+            Sgd::new(vec![w.clone()], SgdConfig { lr: 1.0, momentum: 0.5, weight_decay: 0.0 });
         // constant gradient of 1.0 twice
         for _ in 0..2 {
             opt.zero_grad();
@@ -176,10 +171,8 @@ mod tests {
     #[test]
     fn sgd_weight_decay_shrinks_params() {
         let w = Var::param(Tensor::from_vec(vec![10.0], &[1]).unwrap());
-        let mut opt = Sgd::new(
-            vec![w.clone()],
-            SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1 },
-        );
+        let mut opt =
+            Sgd::new(vec![w.clone()], SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1 });
         // zero loss gradient; decay alone should shrink w
         let loss = w.scale(0.0).sum_to_scalar();
         loss.backward();
@@ -253,10 +246,8 @@ mod tests {
         let w_true = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3, 1]).unwrap();
         let y = Var::constant(x.value().matmul(&w_true).unwrap());
         let w = Var::param(Tensor::zeros(&[3, 1]));
-        let mut opt = Sgd::new(
-            vec![w.clone()],
-            SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
-        );
+        let mut opt =
+            Sgd::new(vec![w.clone()], SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
         let mut last = f32::INFINITY;
         for _ in 0..200 {
             opt.zero_grad();

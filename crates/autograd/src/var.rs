@@ -221,9 +221,7 @@ impl Var {
         let mut slot = self.0.grad.borrow_mut();
         match slot.as_mut() {
             Some(existing) => {
-                existing
-                    .add_scaled(g, 1.0)
-                    .expect("gradient shape mismatch during accumulation");
+                existing.add_scaled(g, 1.0).expect("gradient shape mismatch during accumulation");
             }
             None => *slot = Some(g.clone()),
         }

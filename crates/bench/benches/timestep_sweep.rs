@@ -26,9 +26,7 @@ fn bench_timesteps(c: &mut Criterion) {
             );
             let mut opt = Sgd::new(model.params(), SgdConfig::default());
             group.bench_with_input(BenchmarkId::new(name, t), &t, |b, _| {
-                b.iter(|| {
-                    train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("step")
-                })
+                b.iter(|| train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("step"))
             });
         }
     }

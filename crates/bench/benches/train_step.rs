@@ -26,13 +26,10 @@ fn bench_train_step(c: &mut Criterion) {
         ("HTT", ConvPolicy::tt(TtMode::htt_default(timesteps))),
     ] {
         let mut rng = Rng::seed_from(2);
-        let mut model =
-            ResNetSnn::new(ResNetConfig::resnet18(10, (16, 16), 8), &policy, &mut rng);
+        let mut model = ResNetSnn::new(ResNetConfig::resnet18(10, (16, 16), 8), &policy, &mut rng);
         let mut opt = Sgd::new(model.params(), SgdConfig::default());
         group.bench_function(name, |b| {
-            b.iter(|| {
-                train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("train step")
-            })
+            b.iter(|| train_step(&mut model, batch, &mut opt, LossKind::SumCe).expect("train step"))
         });
     }
     group.finish();

@@ -1,0 +1,96 @@
+//! Convolution throughput: serial vs parallel runtime pipeline, GFLOP/s.
+//!
+//! Criterion-free. Times the batch-parallel im2col+GEMM convolution
+//! pipeline (forward, input grad, weight grad) on one thread versus the
+//! machine's full runtime, at the paper's typical layer geometries, and
+//! writes `BENCH_conv_throughput.json` into the working directory.
+//!
+//! ```sh
+//! cargo run -p ttsnn-bench --release --bin conv_throughput
+//! ```
+
+use std::time::Instant;
+
+use ttsnn_bench::harness::micro::{write_json, BenchRecord};
+use ttsnn_tensor::runtime::Runtime;
+use ttsnn_tensor::{conv, Conv2dGeometry, Rng, Tensor};
+
+fn time_best(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    let budget = Instant::now();
+    let mut iters = 0u32;
+    while budget.elapsed().as_secs_f64() < 0.2 || iters < 3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    let rt = Runtime::global();
+    let one = Runtime::new(1);
+    println!("conv_throughput: {} worker thread(s) (TTSNN_NUM_THREADS overrides)\n", rt.threads());
+    let mut rng = Rng::seed_from(7);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>9}",
+        "layer", "1-thr GF/s", "N-thr GF/s", "bwd GF/s", "speedup"
+    );
+    // (B, C, O, HW, kernel, padding): a baseline 3x3 stage plus the TT
+    // cores' asymmetric shapes at paper-like widths.
+    let cases = [
+        (8usize, 64usize, 64usize, (16usize, 16usize), (3usize, 3usize), (1usize, 1usize)),
+        (8, 64, 20, (16, 16), (1, 1), (0, 0)),
+        (8, 20, 20, (16, 16), (3, 1), (1, 0)),
+        (16, 32, 32, (32, 32), (3, 3), (1, 1)),
+    ];
+    for &(b, c, o, hw, kernel, padding) in &cases {
+        let g = Conv2dGeometry::new(c, o, hw, kernel, (1, 1), padding);
+        let x = Tensor::randn(&[b, c, hw.0, hw.1], &mut rng);
+        let w = Tensor::randn(&[o, c, kernel.0, kernel.1], &mut rng);
+        let (oh, ow) = g.out_hw();
+        let dy = Tensor::randn(&[b, o, oh, ow], &mut rng);
+        let fwd_flops = 2 * b * g.macs();
+
+        let serial = time_best(|| {
+            conv::conv2d_with(&one, &x, &w, &g).expect("conv");
+        });
+        let par = time_best(|| {
+            conv::conv2d_with(rt, &x, &w, &g).expect("conv");
+        });
+        // Backward = input grad + weight grad, ~2x forward FLOPs.
+        let bwd = time_best(|| {
+            conv::conv2d_input_grad_with(rt, &dy, &w, &g).expect("dx");
+            conv::conv2d_weight_grad_with(rt, &x, &dy, &g).expect("dw");
+        });
+
+        let label = format!("B{b} {c}->{o} {}x{} @{}x{}", kernel.0, kernel.1, hw.0, hw.1);
+        let gf = |secs: f64, flops: usize| flops as f64 / secs / 1e9;
+        println!(
+            "{label:<26} {:>12.2} {:>12.2} {:>12.2} {:>8.2}x",
+            gf(serial, fwd_flops),
+            gf(par, fwd_flops),
+            gf(bwd, 2 * fwd_flops),
+            serial / par
+        );
+        records.push(BenchRecord {
+            name: format!("conv_{}_{}to{}_{}x{}", b, c, o, kernel.0, kernel.1),
+            metrics: vec![
+                ("serial_gflops".into(), gf(serial, fwd_flops)),
+                ("parallel_gflops".into(), gf(par, fwd_flops)),
+                ("backward_gflops".into(), gf(bwd, 2 * fwd_flops)),
+                ("speedup_vs_serial".into(), serial / par),
+                ("threads".into(), rt.threads() as f64),
+            ],
+        });
+    }
+    let path = "BENCH_conv_throughput.json";
+    write_json(path, &records).expect("write bench json");
+    println!("\nwrote {path}");
+}

@@ -13,29 +13,21 @@ use ttsnn_tensor::Rng;
 fn main() {
     println!("FIG. 5 reproduction: timestep sweep (MS-ResNet18 w/8, CIFAR10-like)");
     println!("====================================================================");
-    println!(
-        "\n{:<6} {:<6} {:>10} {:>12} {:>12}",
-        "T", "mode", "acc (%)", "train-acc", "time (s)"
-    );
+    println!("\n{:<6} {:<6} {:>10} {:>12} {:>12}", "T", "mode", "acc (%)", "train-acc", "time (s)");
     for t in [2usize, 4, 6] {
         let cfg = ExperimentConfig { epochs: 8, ..ExperimentConfig::quick(t) };
         let mut rng = Rng::seed_from(55);
         let ds = StaticImages::cifar10_like(16, 16).dataset(cfg.samples, &mut rng);
-        for (name, mode) in [
-            ("STT", TtMode::Stt),
-            ("PTT", TtMode::Ptt),
-            ("HTT", TtMode::htt_default(t)),
-        ] {
+        for (name, mode) in
+            [("STT", TtMode::Stt), ("PTT", TtMode::Ptt), ("HTT", TtMode::htt_default(t))]
+        {
             let policy = ConvPolicy::tt(mode);
             let runs: Vec<_> = [7u64, 13]
                 .iter()
                 .map(|&seed| {
                     let mut rng = Rng::seed_from(seed);
-                    let mut model = ResNetSnn::new(
-                        ResNetConfig::resnet18(10, (16, 16), 8),
-                        &policy,
-                        &mut rng,
-                    );
+                    let mut model =
+                        ResNetSnn::new(ResNetConfig::resnet18(10, (16, 16), 8), &policy, &mut rng);
                     let run_cfg = ExperimentConfig { seed, ..cfg };
                     train_and_measure(&mut model, name, &ds, &run_cfg)
                 })

@@ -1,0 +1,92 @@
+//! GEMM throughput: seed kernel vs runtime kernels, in GFLOP/s.
+//!
+//! Criterion-free. Measures the seed single-threaded `matmul_into` against
+//! the runtime's `gemm` / `gemm_at_b` / `gemm_a_bt` at several sizes
+//! (including the acceptance-criterion 256×256×256), prints a table, and
+//! writes `BENCH_gemm_throughput.json` into the working directory.
+//!
+//! ```sh
+//! cargo run -p ttsnn-bench --release --bin gemm_throughput
+//! ```
+
+use std::time::Instant;
+
+use ttsnn_bench::harness::micro::{write_json, BenchRecord};
+use ttsnn_tensor::runtime::{self, Runtime};
+use ttsnn_tensor::{matmul_into, Rng};
+
+fn gflops(flops: usize, secs: f64) -> f64 {
+    flops as f64 / secs / 1e9
+}
+
+/// Times `f` adaptively: repeats until ≥ 0.2 s total, reports best-of-run
+/// seconds per call.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    let budget = Instant::now();
+    let mut iters = 0u32;
+    while budget.elapsed().as_secs_f64() < 0.2 || iters < 3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    best
+}
+
+fn main() {
+    let rt = Runtime::global();
+    println!("gemm_throughput: {} worker thread(s) (TTSNN_NUM_THREADS overrides)\n", rt.threads());
+    let mut rng = Rng::seed_from(42);
+    let mut records: Vec<BenchRecord> = Vec::new();
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>8}",
+        "size", "seed GF/s", "gemm GF/s", "at_b GF/s", "a_bt GF/s", "speedup"
+    );
+    for &(m, k, n) in
+        &[(64usize, 64usize, 64usize), (128, 128, 128), (256, 256, 256), (512, 256, 128)]
+    {
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let at: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let mut out = vec![0.0f32; m * n];
+        let flops = 2 * m * k * n;
+
+        let seed_secs = time_best(|| {
+            out.fill(0.0);
+            matmul_into(&a, &b, &mut out, m, k, n);
+        });
+        let gemm_secs = time_best(|| runtime::gemm(rt, &a, &b, &mut out, m, k, n));
+        let atb_secs = time_best(|| runtime::gemm_at_b(rt, &at, &b, &mut out, m, k, n));
+        let abt_secs = time_best(|| runtime::gemm_a_bt(rt, &a, &bt, &mut out, m, k, n));
+
+        let label = format!("{m}x{k}x{n}");
+        println!(
+            "{label:<12} {:>14.2} {:>14.2} {:>14.2} {:>14.2} {:>7.2}x",
+            gflops(flops, seed_secs),
+            gflops(flops, gemm_secs),
+            gflops(flops, atb_secs),
+            gflops(flops, abt_secs),
+            seed_secs / gemm_secs
+        );
+        records.push(BenchRecord {
+            name: format!("gemm_{label}"),
+            metrics: vec![
+                ("seed_gflops".into(), gflops(flops, seed_secs)),
+                ("runtime_gemm_gflops".into(), gflops(flops, gemm_secs)),
+                ("runtime_gemm_at_b_gflops".into(), gflops(flops, atb_secs)),
+                ("runtime_gemm_a_bt_gflops".into(), gflops(flops, abt_secs)),
+                ("speedup_vs_seed".into(), seed_secs / gemm_secs),
+                ("threads".into(), rt.threads() as f64),
+            ],
+        });
+    }
+    let path = "BENCH_gemm_throughput.json";
+    write_json(path, &records).expect("write bench json");
+    println!("\nwrote {path}");
+}

@@ -10,11 +10,7 @@ fn main() {
     println!("{:<28} {}", "# of Cluster", c.num_clusters);
     println!("{:<28} {}", "# of PE / Cluster", c.pes_per_cluster);
     println!("{:<28} {} bytes", "Scratch Pad Size / PE", c.scratchpad_bytes_per_pe);
-    println!(
-        "{:<28} {} KB",
-        "Total Global Buffer Size",
-        c.total_global_buffer_bytes() / 1024
-    );
+    println!("{:<28} {} KB", "Total Global Buffer Size", c.total_global_buffer_bytes() / 1024);
     println!("{:<28} {}-bits", "Accumulator Precision", c.accumulator_bits);
     println!("{:<28} {}-bits", "Multiplier Precision", c.multiplier_bits);
     println!("{:<28} {} MHz", "Clock", c.clock_mhz);

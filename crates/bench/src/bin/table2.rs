@@ -30,11 +30,9 @@ fn analytic_block(spec: &NetworkSpec) {
     let bf = spec.baseline_macs() as f64 / 1e9;
     println!("{:<10} params {:>7.2} M            FLOPs {:>7.3} G", "baseline", bp, bf);
     let tp = spec.tt_params() as f64 / 1e6;
-    for (name, mode) in [
-        ("STT", TtMode::Stt),
-        ("PTT", TtMode::Ptt),
-        ("HTT", TtMode::htt_default(spec.timesteps)),
-    ] {
+    for (name, mode) in
+        [("STT", TtMode::Stt), ("PTT", TtMode::Ptt), ("HTT", TtMode::htt_default(spec.timesteps))]
+    {
         let f = spec.mode_macs(&mode) as f64 / 1e9;
         println!(
             "{:<10} params {:>7.2} M ({:>5.2}x)   FLOPs {:>7.3} G ({:>5.2}x)",

@@ -10,9 +10,7 @@ use ttsnn_bench::{train_and_measure, ExperimentConfig, MeasuredRow};
 use ttsnn_core::TtMode;
 use ttsnn_data::{Dataset, GestureStream, StaticImages};
 use ttsnn_snn::augment::nda_augment;
-use ttsnn_snn::{
-    ConvPolicy, LossKind, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn,
-};
+use ttsnn_snn::{ConvPolicy, LossKind, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn};
 use ttsnn_tensor::Rng;
 
 enum Arch {
@@ -27,11 +25,9 @@ fn build(arch: &Arch, policy: &ConvPolicy, t: usize, rng: &mut Rng) -> Box<dyn S
         Arch::ResNet20 => {
             Box::new(ResNetSnn::new(ResNetConfig::resnet20(10, (16, 16), 2), policy, rng))
         }
-        Arch::Vgg9Tebn => Box::new(VggSnn::new(
-            VggConfig::vgg9(3, 10, (16, 16), 8).with_tebn(t),
-            policy,
-            rng,
-        )),
+        Arch::Vgg9Tebn => {
+            Box::new(VggSnn::new(VggConfig::vgg9(3, 10, (16, 16), 8).with_tebn(t), policy, rng))
+        }
         Arch::Vgg9 => Box::new(VggSnn::new(VggConfig::vgg9(2, 6, (16, 16), 8), policy, rng)),
         // VGG11 pools five times, so it needs a 32x32 input.
         Arch::Vgg11 => Box::new(VggSnn::new(VggConfig::vgg11(2, 6, (32, 32), 16), policy, rng)),
@@ -74,10 +70,8 @@ fn main() {
     for (label, arch, ds, t, loss) in rows {
         let cfg = ExperimentConfig { timesteps: t, epochs: 4, loss, ..ExperimentConfig::quick(t) };
         let mut measured: Vec<MeasuredRow> = Vec::new();
-        for (name, policy) in [
-            ("base", ConvPolicy::Baseline),
-            ("PTT", ConvPolicy::tt(TtMode::Ptt)),
-        ] {
+        for (name, policy) in [("base", ConvPolicy::Baseline), ("PTT", ConvPolicy::tt(TtMode::Ptt))]
+        {
             let mut rng = Rng::seed_from(cfg.seed);
             let mut model = build(&arch, &policy, t, &mut rng);
             measured.push(train_and_measure(model.as_mut(), name, ds, &cfg));

@@ -7,9 +7,7 @@
 
 use ttsnn_core::TtMode;
 use ttsnn_data::Dataset;
-use ttsnn_snn::{
-    evaluate, train, ConvPolicy, LossKind, SpikingModel, TrainConfig,
-};
+use ttsnn_snn::{evaluate, train, ConvPolicy, LossKind, SpikingModel, TrainConfig};
 use ttsnn_tensor::Rng;
 
 /// One measured row of a results table.
@@ -126,9 +124,8 @@ pub fn train_and_measure(
 ) -> MeasuredRow {
     let mut rng = Rng::seed_from(cfg.seed ^ 0xBEEF);
     let (train_ds, test_ds) = dataset.clone().split(0.8, &mut rng);
-    let train_batches = train_ds
-        .batches(cfg.batch_size, cfg.timesteps, &mut rng)
-        .expect("train batching failed");
+    let train_batches =
+        train_ds.batches(cfg.batch_size, cfg.timesteps, &mut rng).expect("train batching failed");
     let test_batches = test_ds
         .batches(cfg.batch_size.min(test_ds.len().max(1)), cfg.timesteps, &mut rng)
         .expect("test batching failed");
@@ -189,6 +186,41 @@ pub fn print_measured_table(title: &str, rows: &[MeasuredRow]) {
     }
 }
 
+/// Criterion-free micro-bench plumbing: named metric records and the
+/// hand-rolled JSON writer behind the `BENCH_*.json` artifacts (no serde
+/// backend ships in this environment).
+pub mod micro {
+    use std::io::Write;
+
+    /// One benchmark's named scalar metrics.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark identifier (e.g. `gemm_256x256x256`).
+        pub name: String,
+        /// `(metric name, value)` pairs.
+        pub metrics: Vec<(String, f64)>,
+    }
+
+    /// Writes records as a stable, diff-friendly JSON array:
+    /// `[{"name": ..., "metric": value, ...}, ...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing `path`.
+    pub fn write_json(path: &str, records: &[BenchRecord]) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        writeln!(f, "[")?;
+        for (i, rec) in records.iter().enumerate() {
+            let comma = if i + 1 < records.len() { "," } else { "" };
+            let metrics: Vec<String> =
+                rec.metrics.iter().map(|(k, v)| format!("\"{k}\": {v:.4}")).collect();
+            writeln!(f, "  {{\"name\": \"{}\", {}}}{comma}", rec.name, metrics.join(", "))?;
+        }
+        writeln!(f, "]")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,11 +271,8 @@ mod tests {
             loss: LossKind::SumCe,
             seed: 1,
         };
-        let mut model = ResNetSnn::new(
-            ResNetConfig::resnet18(3, (8, 8), 16),
-            &ConvPolicy::Baseline,
-            &mut rng,
-        );
+        let mut model =
+            ResNetSnn::new(ResNetConfig::resnet18(3, (8, 8), 16), &ConvPolicy::Baseline, &mut rng);
         let row = train_and_measure(&mut model, "baseline", &ds, &cfg);
         assert!(row.step_seconds > 0.0);
         assert!(row.params > 0);

@@ -146,10 +146,7 @@ impl NetworkSpec {
 
     /// Number of decomposed layers.
     pub fn num_decomposed(&self) -> usize {
-        self.conv_layers
-            .iter()
-            .filter(|l| matches!(l.kind, LayerKind::Decomposed { .. }))
-            .count()
+        self.conv_layers.iter().filter(|l| matches!(l.kind, LayerKind::Decomposed { .. })).count()
     }
 }
 
@@ -163,6 +160,7 @@ impl NetworkSpec {
 /// # Panics
 ///
 /// Panics if `ranks.len()` differs from `2 × Σ stage_blocks`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's spec table columns
 pub fn ms_resnet_spec(
     name: &str,
     in_channels: usize,
@@ -223,13 +221,7 @@ pub fn ms_resnet_spec(
         }
     }
     let fc_params = c_in * num_classes + num_classes;
-    NetworkSpec {
-        name: name.to_string(),
-        conv_layers: layers,
-        fc_params,
-        bn_params,
-        timesteps,
-    }
+    NetworkSpec { name: name.to_string(), conv_layers: layers, fc_params, bn_params, timesteps }
 }
 
 /// Full-size MS-ResNet18 on CIFAR (32×32 RGB), T=4, with the paper's

@@ -9,7 +9,7 @@
 //! STT.
 
 use ttsnn_autograd::Var;
-use ttsnn_tensor::{Conv2dGeometry, Rng, ShapeError, Tensor};
+use ttsnn_tensor::{conv, Conv2dGeometry, Rng, ShapeError, Tensor};
 
 use crate::merge::{merge_ptt, merge_stt};
 use crate::modes::TtMode;
@@ -134,11 +134,8 @@ impl TtConv {
         // their training dynamics — drifts from the dense baseline's.
         if !matches!(mode, TtMode::Stt) {
             let fan_in = (in_channels * 9) as f32;
-            let target =
-                (2.0 / fan_in).sqrt() * ((out_channels * in_channels * 9) as f32).sqrt();
-            let actual = merge_ptt(&cores)
-                .expect("freshly built cores are consistent")
-                .norm();
+            let target = (2.0 / fan_in).sqrt() * ((out_channels * in_channels * 9) as f32).sqrt();
+            let actual = merge_ptt(&cores).expect("freshly built cores are consistent").norm();
             if actual > 1e-12 {
                 // A common factor c on all four cores scales the 3-factor
                 // PTT kernel by c^3.
@@ -257,14 +254,44 @@ impl TtConv {
         }
     }
 
-    /// Convenience forward on plain tensors (no gradient tracking).
+    /// Forward on plain tensors with **no gradient tracking**: runs the
+    /// sub-convolution chain directly on the runtime kernels, building no
+    /// autograd graph — the inference path. Intermediates between cores
+    /// come from the runtime's per-thread scratch-arena-backed conv
+    /// pipeline, so a timestep loop allocates only its outputs.
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] under the same conditions as
     /// [`TtConv::forward`].
     pub fn forward_tensor(&self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
-        Ok(self.forward(&Var::constant(x.clone()), t)?.to_tensor())
+        let shape = x.shape();
+        if shape.len() != 4 || shape[1] != self.in_channels {
+            return Err(ShapeError::new(format!(
+                "TtConv::forward_tensor: expected (B, {}, H, W), got {:?}",
+                self.in_channels, shape
+            )));
+        }
+        let g = self.geometry_for((shape[2], shape[3]));
+        let (w1, w2, w3, w4) = (self.w1.value(), self.w2.value(), self.w3.value(), self.w4.value());
+        match (&self.mode, self.mode.is_full_at(t)) {
+            (TtMode::Stt, _) => {
+                let o = conv::conv2d(x, &w1, &g.g1)?;
+                let o = conv::conv2d(&o, &w2, &g.g2_seq)?;
+                let o = conv::conv2d(&o, &w3, &g.g3_seq)?;
+                conv::conv2d(&o, &w4, &g.g4)
+            }
+            (TtMode::Ptt, _) | (TtMode::Htt(_), true) => {
+                let o = conv::conv2d(x, &w1, &g.g1)?;
+                let vertical = conv::conv2d(&o, &w2, &g.g2_par)?;
+                let horizontal = conv::conv2d(&o, &w3, &g.g3_par)?;
+                conv::conv2d(&vertical.add(&horizontal)?, &w4, &g.g4)
+            }
+            (TtMode::Htt(_), false) => {
+                let o = conv::conv2d(x, &w1, &g.g1_half)?;
+                conv::conv2d(&o, &w4, &g.g4_half)
+            }
+        }
     }
 
     /// Merges the trained cores back into one dense `(O, I, 3, 3)` kernel
@@ -289,9 +316,7 @@ impl TtConv {
     pub fn macs(&self, in_hw: (usize, usize), t: usize) -> usize {
         let g = self.geometry_for(in_hw);
         match (&self.mode, self.mode.is_full_at(t)) {
-            (TtMode::Stt, _) => {
-                g.g1.macs() + g.g2_seq.macs() + g.g3_seq.macs() + g.g4.macs()
-            }
+            (TtMode::Stt, _) => g.g1.macs() + g.g2_seq.macs() + g.g3_seq.macs() + g.g4.macs(),
             (TtMode::Ptt, _) | (TtMode::Htt(_), true) => {
                 g.g1.macs() + g.g2_par.macs() + g.g3_par.macs() + g.g4.macs()
             }

@@ -9,6 +9,7 @@
 //! * [`merge_ptt`] — `W = w1 ×₁ w2 ×₁ w4 + w1 ×₁ w3 ×₁ w4` (Eq. (6)):
 //!   the cross-shaped kernel whose four corners are structurally zero.
 
+use ttsnn_tensor::runtime::with_scratch_zeroed;
 use ttsnn_tensor::{ShapeError, Tensor};
 
 use crate::ttsvd::TtCores;
@@ -32,58 +33,55 @@ pub fn merge_stt(cores: &TtCores) -> Result<Tensor, ShapeError> {
     //   out[oo, ii, kh, kw] = Σ_a w1[a, ii] · t[a, oo, kh, kw]   O(9 r I O)
     // w2 layout: (b, a, kh, 1) -> idx (b*r + a)*3 + kh
     // w3 layout: (c, b, 1, kw) -> idx (c*r + b)*3 + kw
-    let mut m = vec![0.0f32; r * r * 9];
-    for b in 0..r {
-        for a in 0..r {
-            for kh in 0..3 {
-                let w2v = w2[(b * r + a) * 3 + kh];
-                if w2v == 0.0 {
-                    continue;
-                }
-                for c in 0..r {
-                    let mrow = &mut m[(a * r + c) * 9 + kh * 3..(a * r + c) * 9 + kh * 3 + 3];
-                    let w3row = &w3[(c * r + b) * 3..(c * r + b) * 3 + 3];
-                    for kw in 0..3 {
-                        mrow[kw] += w2v * w3row[kw];
+    //
+    // The two intermediates live in the runtime's per-thread scratch arena:
+    // merge-back runs once per layer per timestep in HTT ablations, and the
+    // arena keeps it allocation-free after the first call.
+    let mut out = Tensor::zeros(&[o, i, 3, 3]);
+    with_scratch_zeroed(r * r * 9, |m| {
+        for b in 0..r {
+            for a in 0..r {
+                for kh in 0..3 {
+                    let w2v = w2[(b * r + a) * 3 + kh];
+                    for c in 0..r {
+                        let mrow = &mut m[(a * r + c) * 9 + kh * 3..(a * r + c) * 9 + kh * 3 + 3];
+                        let w3row = &w3[(c * r + b) * 3..(c * r + b) * 3 + 3];
+                        for kw in 0..3 {
+                            mrow[kw] += w2v * w3row[kw];
+                        }
                     }
                 }
             }
         }
-    }
-    // t[a, oo, kh, kw]
-    let mut t = vec![0.0f32; r * o * 9];
-    for a in 0..r {
-        for oo in 0..o {
-            let trow = &mut t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
-            for c in 0..r {
-                let w4v = w4[oo * r + c];
-                if w4v == 0.0 {
-                    continue;
-                }
-                let mrow = &m[(a * r + c) * 9..(a * r + c) * 9 + 9];
-                for k in 0..9 {
-                    trow[k] += w4v * mrow[k];
+        // t[a, oo, kh, kw]
+        with_scratch_zeroed(r * o * 9, |t| {
+            for a in 0..r {
+                for oo in 0..o {
+                    let trow = &mut t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
+                    for c in 0..r {
+                        let w4v = w4[oo * r + c];
+                        let mrow = &m[(a * r + c) * 9..(a * r + c) * 9 + 9];
+                        for k in 0..9 {
+                            trow[k] += w4v * mrow[k];
+                        }
+                    }
                 }
             }
-        }
-    }
-    let mut out = Tensor::zeros(&[o, i, 3, 3]);
-    let out_data = out.data_mut();
-    for a in 0..r {
-        for ii in 0..i {
-            let w1v = w1[a * i + ii];
-            if w1v == 0.0 {
-                continue;
-            }
-            for oo in 0..o {
-                let trow = &t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
-                let orow = &mut out_data[(oo * i + ii) * 9..(oo * i + ii) * 9 + 9];
-                for k in 0..9 {
-                    orow[k] += w1v * trow[k];
+            let out_data = out.data_mut();
+            for a in 0..r {
+                for ii in 0..i {
+                    let w1v = w1[a * i + ii];
+                    for oo in 0..o {
+                        let trow = &t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
+                        let orow = &mut out_data[(oo * i + ii) * 9..(oo * i + ii) * 9 + 9];
+                        for k in 0..9 {
+                            orow[k] += w1v * trow[k];
+                        }
+                    }
                 }
             }
-        }
-    }
+        });
+    });
     Ok(out)
 }
 
@@ -104,47 +102,44 @@ pub fn merge_ptt(cores: &TtCores) -> Result<Tensor, ShapeError> {
     let (i, o, r) = (cores.in_channels(), cores.out_channels(), cores.rank());
     let (w1, w2, w3, w4) = (cores.w1.data(), cores.w2.data(), cores.w3.data(), cores.w4.data());
     // cross[a, b, kh, kw] = w2[b, a, kh]·δ(kw=1) + w3[b, a, kw]·δ(kh=1),
-    // then contract with w4 over b and w1 over a, as in merge_stt.
-    let mut t = vec![0.0f32; r * o * 9]; // t[a, oo, kh, kw]
-    for a in 0..r {
-        for b in 0..r {
-            // assemble the 3x3 cross for this (a, b)
-            let mut cross = [0.0f32; 9];
-            for kh in 0..3 {
-                cross[kh * 3 + 1] += w2[(b * r + a) * 3 + kh];
-            }
-            for kw in 0..3 {
-                cross[3 + kw] += w3[(b * r + a) * 3 + kw];
-            }
-            for oo in 0..o {
-                let w4v = w4[oo * r + b];
-                if w4v == 0.0 {
-                    continue;
-                }
-                let trow = &mut t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
-                for k in 0..9 {
-                    trow[k] += w4v * cross[k];
-                }
-            }
-        }
-    }
+    // then contract with w4 over b and w1 over a, as in merge_stt. The
+    // intermediate lives in the runtime's per-thread scratch arena.
     let mut out = Tensor::zeros(&[o, i, 3, 3]);
-    let out_data = out.data_mut();
-    for a in 0..r {
-        for ii in 0..i {
-            let w1v = w1[a * i + ii];
-            if w1v == 0.0 {
-                continue;
-            }
-            for oo in 0..o {
-                let trow = &t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
-                let orow = &mut out_data[(oo * i + ii) * 9..(oo * i + ii) * 9 + 9];
-                for k in 0..9 {
-                    orow[k] += w1v * trow[k];
+    with_scratch_zeroed(r * o * 9, |t| {
+        // t[a, oo, kh, kw]
+        for a in 0..r {
+            for b in 0..r {
+                // assemble the 3x3 cross for this (a, b)
+                let mut cross = [0.0f32; 9];
+                for kh in 0..3 {
+                    cross[kh * 3 + 1] += w2[(b * r + a) * 3 + kh];
+                }
+                for kw in 0..3 {
+                    cross[3 + kw] += w3[(b * r + a) * 3 + kw];
+                }
+                for oo in 0..o {
+                    let w4v = w4[oo * r + b];
+                    let trow = &mut t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
+                    for k in 0..9 {
+                        trow[k] += w4v * cross[k];
+                    }
                 }
             }
         }
-    }
+        let out_data = out.data_mut();
+        for a in 0..r {
+            for ii in 0..i {
+                let w1v = w1[a * i + ii];
+                for oo in 0..o {
+                    let trow = &t[(a * o + oo) * 9..(a * o + oo) * 9 + 9];
+                    let orow = &mut out_data[(oo * i + ii) * 9..(oo * i + ii) * 9 + 9];
+                    for k in 0..9 {
+                        orow[k] += w1v * trow[k];
+                    }
+                }
+            }
+        }
+    });
     Ok(out)
 }
 
@@ -258,9 +253,8 @@ mod tests {
             }
         }
         // center equals w4·w1 product
-        let expect: f32 = (0..2)
-            .map(|a| cores.w1.at(&[a, 0, 0, 0]) * cores.w4.at(&[0, a, 0, 0]))
-            .sum();
+        let expect: f32 =
+            (0..2).map(|a| cores.w1.at(&[a, 0, 0, 0]) * cores.w4.at(&[0, a, 0, 0])).sum();
         assert!((merged.at(&[0, 0, 1, 1]) - expect).abs() < 1e-6);
     }
 

@@ -13,8 +13,8 @@ pub const RESNET18_RANKS: [usize; 16] =
 /// TT-ranks for the 32 decomposed convolutions of MS-ResNet34
 /// (N-Caltech101), in network order: 16 basic blocks × 2 convolutions.
 pub const RESNET34_RANKS: [usize; 32] = [
-    24, 23, 22, 17, 16, 12, 22, 31, 25, 25, 24, 21, 20, 19, 48, 79, 64, 69, 63, 69, 60, 65, 63,
-    63, 62, 58, 121, 170, 173, 147, 161, 108,
+    24, 23, 22, 17, 16, 12, 22, 31, 25, 25, 24, 21, 20, 19, 48, 79, 64, 69, 63, 69, 60, 65, 63, 63,
+    62, 58, 121, 170, 173, 147, 161, 108,
 ];
 
 #[cfg(test)]
@@ -26,13 +26,13 @@ mod tests {
         assert_eq!(RESNET18_RANKS.len(), 16);
         // Every rank must be positive and at most the layer's channel bound
         // (<= 512, the widest stage).
-        assert!(RESNET18_RANKS.iter().all(|&r| r >= 1 && r <= 512));
+        assert!(RESNET18_RANKS.iter().all(|&r| (1..=512).contains(&r)));
     }
 
     #[test]
     fn resnet34_has_32_ranks_for_16_blocks() {
         assert_eq!(RESNET34_RANKS.len(), 32);
-        assert!(RESNET34_RANKS.iter().all(|&r| r >= 1 && r <= 512));
+        assert!(RESNET34_RANKS.iter().all(|&r| (1..=512).contains(&r)));
     }
 
     #[test]

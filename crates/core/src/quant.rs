@@ -33,10 +33,7 @@ impl Quantized {
     /// Returns [`ShapeError`] if the stored shape is inconsistent with the
     /// value count (cannot happen through [`quantize_int8`]).
     pub fn dequantize(&self) -> Result<Tensor, ShapeError> {
-        Tensor::from_vec(
-            self.values.iter().map(|&q| q as f32 * self.scale).collect(),
-            &self.shape,
-        )
+        Tensor::from_vec(self.values.iter().map(|&q| q as f32 * self.scale).collect(), &self.shape)
     }
 
     /// Storage size in bytes (one byte per weight plus the scale).
@@ -51,11 +48,7 @@ impl Quantized {
 pub fn quantize_int8(t: &Tensor) -> Quantized {
     let max_abs = t.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
-    let values = t
-        .data()
-        .iter()
-        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-        .collect();
+    let values = t.data().iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect();
     Quantized { values, scale, shape: t.shape().to_vec() }
 }
 
@@ -65,11 +58,7 @@ pub fn quantize_int8(t: &Tensor) -> Quantized {
 pub fn fake_quant_int8(x: &Var) -> Var {
     let q = quantize_int8(&x.value());
     let value = q.dequantize().expect("quantize preserves shape");
-    Var::custom(
-        value,
-        vec![x.clone()],
-        Box::new(|g, parents| parents[0].add_grad(g)),
-    )
+    Var::custom(value, vec![x.clone()], Box::new(|g, parents| parents[0].add_grad(g)))
 }
 
 #[cfg(test)]

@@ -93,9 +93,8 @@ impl TtCores {
         // std = sqrt(2 / (I*9)), norm = std * sqrt(O*I*9).
         let fan_in = (in_channels * 9) as f32;
         let target = (2.0 / fan_in).sqrt() * ((out_channels * in_channels * 9) as f32).sqrt();
-        let actual = crate::merge::merge_stt(&cores)
-            .expect("freshly built cores are consistent")
-            .norm();
+        let actual =
+            crate::merge::merge_stt(&cores).expect("freshly built cores are consistent").norm();
         if actual > 1e-12 {
             let scale = (target / actual).powf(0.25);
             cores.w1 = cores.w1.scale(scale);
@@ -245,9 +244,9 @@ fn scale_rows(m: &Tensor, s: &[f32]) -> Tensor {
     let (r, c) = (m.shape()[0], m.shape()[1]);
     debug_assert_eq!(r, s.len());
     let mut out = m.clone();
-    for i in 0..r {
+    for (i, &si) in s.iter().enumerate().take(r) {
         for j in 0..c {
-            out.data_mut()[i * c + j] *= s[i];
+            out.data_mut()[i * c + j] *= si;
         }
     }
     out

@@ -60,37 +60,25 @@ pub fn evbmf(y: &Tensor) -> Result<VbmfEstimate, ShapeError> {
     let xubar = (1.0 + tauubar) * (1.0 + alpha / tauubar);
 
     // Bounds for the noise-variance search (Nakajima et al., Sec. 6).
-    let eh_ub = (((l / (1.0 + alpha)).ceil() as usize).saturating_sub(1))
-        .min(h)
-        .saturating_sub(1);
+    let eh_ub = (((l / (1.0 + alpha)).ceil() as usize).saturating_sub(1)).min(h).saturating_sub(1);
     let tail_start = (eh_ub + 1).min(h - 1);
     let sum_s2: f64 = s.iter().map(|x| x * x).sum();
     let upper_bound = sum_s2 / (l * m);
     let tail: &[f64] = &s[tail_start..];
     let tail_mean_sq = tail.iter().map(|x| x * x).sum::<f64>() / tail.len().max(1) as f64;
-    let lower_bound = (s[tail_start] * s[tail_start] / (m * xubar))
-        .max(tail_mean_sq / m)
-        .max(1e-12);
+    let lower_bound =
+        (s[tail_start] * s[tail_start] / (m * xubar)).max(tail_mean_sq / m).max(1e-12);
 
     let sigma2 = if lower_bound >= upper_bound {
         upper_bound.max(1e-12)
     } else {
-        golden_section(
-            |sig| evb_free_energy(sig, l, m, &s, xubar),
-            lower_bound,
-            upper_bound,
-            200,
-        )
+        golden_section(|sig| evb_free_energy(sig, l, m, &s, xubar), lower_bound, upper_bound, 200)
     };
 
     // Analytic shrinkage threshold: retain s_i with s_i² > M·σ²·xubar.
     let threshold = (m * sigma2 * xubar).sqrt();
     let rank = s.iter().filter(|&&x| x > threshold).count();
-    Ok(VbmfEstimate {
-        rank,
-        sigma2: sigma2 as f32,
-        singular_values: dec.s.clone(),
-    })
+    Ok(VbmfEstimate { rank, sigma2: sigma2 as f32, singular_values: dec.s.clone() })
 }
 
 /// The σ²-dependent part of the EVB free energy (to be minimized).
@@ -260,7 +248,7 @@ mod tests {
         // Full-rank random weight: estimate must still be <= min(I, O).
         let w = Tensor::randn(&[8, 4, 3, 3], &mut rng);
         let r = estimate_conv_rank(&w).unwrap();
-        assert!(r >= 1 && r <= 4);
+        assert!((1..=4).contains(&r));
     }
 
     #[test]

@@ -150,10 +150,8 @@ impl Dataset {
                 }
                 labels.push(s.label);
             }
-            let frames = frames_t
-                .into_iter()
-                .map(|fs| Tensor::stack(&fs))
-                .collect::<Result<Vec<_>, _>>()?;
+            let frames =
+                frames_t.into_iter().map(|fs| Tensor::stack(&fs)).collect::<Result<Vec<_>, _>>()?;
             out.push(Batch { frames, labels });
         }
         Ok(out)
@@ -223,9 +221,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "label")]
     fn new_validates_labels() {
-        Dataset::new(
-            vec![Sample { frames: vec![Tensor::zeros(&[1, 2, 2])], label: 5 }],
-            3,
-        );
+        Dataset::new(vec![Sample { frames: vec![Tensor::zeros(&[1, 2, 2])], label: 5 }], 3);
     }
 }

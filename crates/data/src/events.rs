@@ -83,8 +83,7 @@ impl EventStream {
             for x in 0..self.width {
                 let sy = y as isize + dyi;
                 let sx = x as isize + dxi;
-                if sy < 0 || sx < 0 || sy as usize >= self.height || sx + 1 >= self.width as isize
-                {
+                if sy < 0 || sx < 0 || sy as usize >= self.height || sx + 1 >= self.width as isize {
                     continue;
                 }
                 // Horizontal intensity gradient at the shifted location —
@@ -264,10 +263,7 @@ mod tests {
         let first = centroid_x(&s.frames[0]);
         let last = centroid_x(&s.frames[s.frames.len() - 1]);
         assert!(first.is_finite() && last.is_finite(), "blob left the sensor: {first} -> {last}");
-        assert!(
-            last > first + 1.0,
-            "ON centroid should move right for class 0: {first} -> {last}"
-        );
+        assert!(last > first + 1.0, "ON centroid should move right for class 0: {first} -> {last}");
     }
 
     #[test]

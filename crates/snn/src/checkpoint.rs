@@ -134,9 +134,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_values() {
         let mut rng = Rng::seed_from(1);
-        let params: Vec<Var> = (0..3)
-            .map(|i| Var::param(Tensor::randn(&[2 + i, 3], &mut rng)))
-            .collect();
+        let params: Vec<Var> =
+            (0..3).map(|i| Var::param(Tensor::randn(&[2 + i, 3], &mut rng))).collect();
         let mut buf = Vec::new();
         save_params(&params, &mut buf).unwrap();
         let originals: Vec<Tensor> = params.iter().map(|p| p.to_tensor()).collect();

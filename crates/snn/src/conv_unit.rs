@@ -8,7 +8,7 @@
 
 use ttsnn_autograd::Var;
 use ttsnn_core::{TtConv, TtMode};
-use ttsnn_tensor::{Conv2dGeometry, Rng, ShapeError, Tensor};
+use ttsnn_tensor::{conv, Conv2dGeometry, Rng, ShapeError, Tensor};
 
 /// How a network's 3×3 convolutions are realized.
 #[derive(Debug, Clone, PartialEq)]
@@ -214,17 +214,37 @@ impl ConvUnit {
                     )));
                 }
                 let ws = weight.shape();
-                let geom = Conv2dGeometry::new(
-                    ws[1],
-                    ws[0],
-                    (xs[2], xs[3]),
-                    *kernel,
-                    *stride,
-                    *padding,
-                );
+                let geom =
+                    Conv2dGeometry::new(ws[1], ws[0], (xs[2], xs[3]), *kernel, *stride, *padding);
                 x.conv2d(weight, geom)
             }
             ConvUnit::Tt(tt) => tt.forward(x, t),
+        }
+    }
+
+    /// Runs the convolution on plain tensors with **no gradient tracking**
+    /// — the inference path (e.g. merged-deployment evaluation). Goes
+    /// straight to the batch-parallel runtime kernels without building an
+    /// autograd graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x`'s shape is incompatible.
+    pub fn forward_tensor(&self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
+        match self {
+            ConvUnit::Dense { weight, kernel, stride, padding } => {
+                let xs = x.shape();
+                if xs.len() != 4 {
+                    return Err(ShapeError::new(format!(
+                        "ConvUnit::forward_tensor: expected 4-D input, got {xs:?}"
+                    )));
+                }
+                let ws = weight.shape();
+                let geom =
+                    Conv2dGeometry::new(ws[1], ws[0], (xs[2], xs[3]), *kernel, *stride, *padding);
+                conv::conv2d(x, &weight.value(), &geom)
+            }
+            ConvUnit::Tt(tt) => tt.forward_tensor(x, t),
         }
     }
 }
@@ -260,9 +280,7 @@ mod tests {
         let policy = ConvPolicy::TtWithRanks { mode: TtMode::Stt, ranks: vec![2, 5] };
         let u0 = ConvUnit::conv3x3(&policy, 0, 8, 8, (1, 1), &mut rng);
         let u1 = ConvUnit::conv3x3(&policy, 1, 8, 8, (1, 1), &mut rng);
-        let (ConvUnit::Tt(t0), ConvUnit::Tt(t1)) = (&u0, &u1) else {
-            panic!("expected TT units")
-        };
+        let (ConvUnit::Tt(t0), ConvUnit::Tt(t1)) = (&u0, &u1) else { panic!("expected TT units") };
         assert_eq!(t0.rank(), 2);
         assert_eq!(t1.rank(), 5);
         // missing index falls back to channel bound
@@ -285,6 +303,20 @@ mod tests {
             let unit = ConvUnit::conv3x3(&policy, 0, 6, 12, (2, 2), &mut rng);
             let y = unit.forward(&x, 0).unwrap();
             assert_eq!(y.shape(), vec![2, 12, 4, 4], "policy {}", policy.name());
+        }
+    }
+
+    #[test]
+    fn forward_tensor_matches_autograd_forward() {
+        let mut rng = Rng::seed_from(7);
+        let x = Tensor::randn(&[2, 6, 8, 8], &mut rng);
+        for policy in
+            [ConvPolicy::Baseline, ConvPolicy::tt(TtMode::Ptt), ConvPolicy::tt(TtMode::Stt)]
+        {
+            let unit = ConvUnit::conv3x3(&policy, 0, 6, 12, (1, 1), &mut rng);
+            let via_var = unit.forward(&Var::constant(x.clone()), 0).unwrap().to_tensor();
+            let via_tensor = unit.forward_tensor(&x, 0).unwrap();
+            assert!(via_tensor.max_abs_diff(&via_var).unwrap() < 1e-6, "policy {}", policy.name());
         }
     }
 

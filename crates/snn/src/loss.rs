@@ -28,7 +28,11 @@ impl LossKind {
     ///
     /// Returns [`ShapeError`] if `per_timestep_logits` is empty, shapes are
     /// inconsistent, or labels are invalid.
-    pub fn compute(&self, per_timestep_logits: &[Var], labels: &[usize]) -> Result<Var, ShapeError> {
+    pub fn compute(
+        &self,
+        per_timestep_logits: &[Var],
+        labels: &[usize],
+    ) -> Result<Var, ShapeError> {
         if per_timestep_logits.is_empty() {
             return Err(ShapeError::new("loss: need at least one timestep of logits"));
         }
@@ -82,7 +86,8 @@ mod tests {
     #[test]
     fn tet_is_mean_of_per_step_ce() {
         let mut rng = Rng::seed_from(2);
-        let ls: Vec<Var> = (0..3).map(|_| Var::constant(Tensor::randn(&[2, 5], &mut rng))).collect();
+        let ls: Vec<Var> =
+            (0..3).map(|_| Var::constant(Tensor::randn(&[2, 5], &mut rng))).collect();
         let loss = LossKind::Tet.compute(&ls, &[1, 4]).unwrap().to_tensor().data()[0];
         let manual: f32 = ls
             .iter()
@@ -95,7 +100,8 @@ mod tests {
     #[test]
     fn losses_differ_in_general() {
         let mut rng = Rng::seed_from(3);
-        let ls: Vec<Var> = (0..4).map(|_| Var::constant(Tensor::randn(&[3, 4], &mut rng))).collect();
+        let ls: Vec<Var> =
+            (0..4).map(|_| Var::constant(Tensor::randn(&[3, 4], &mut rng))).collect();
         let a = LossKind::SumCe.compute(&ls, &[0, 1, 2]).unwrap().to_tensor().data()[0];
         let b = LossKind::Tet.compute(&ls, &[0, 1, 2]).unwrap().to_tensor().data()[0];
         assert!((a - b).abs() > 1e-4);

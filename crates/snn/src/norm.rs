@@ -57,9 +57,7 @@ impl Norm {
         let timestep_scales = match kind {
             NormKind::Tebn { timesteps } => {
                 assert!(timesteps > 0, "Norm: TEBN needs at least one timestep");
-                (0..timesteps)
-                    .map(|_| Var::param(Tensor::ones(&[1])))
-                    .collect()
+                (0..timesteps).map(|_| Var::param(Tensor::ones(&[1]))).collect()
             }
             NormKind::TdBn { .. } => Vec::new(),
         };

@@ -75,10 +75,7 @@ impl ResNetConfig {
     /// ResNet20 topology (tdBN baseline of Table III): 3 stages of widths
     /// 16/32/64 before scaling.
     pub fn resnet20(num_classes: usize, in_hw: (usize, usize), width_divisor: usize) -> Self {
-        let widths = [16usize, 32, 64]
-            .iter()
-            .map(|w| (w / width_divisor).max(4))
-            .collect();
+        let widths = [16usize, 32, 64].iter().map(|w| (w / width_divisor).max(4)).collect();
         Self {
             name: "ResNet20".to_string(),
             in_channels: 3,
@@ -100,10 +97,7 @@ impl ResNetConfig {
         width_divisor: usize,
     ) -> Self {
         assert!(width_divisor > 0, "width_divisor must be positive");
-        let widths = [64usize, 128, 256, 512]
-            .iter()
-            .map(|w| (w / width_divisor).max(4))
-            .collect();
+        let widths = [64usize, 128, 256, 512].iter().map(|w| (w / width_divisor).max(4)).collect();
         Self {
             name: name.to_string(),
             in_channels,
@@ -170,11 +164,7 @@ impl ResNetSnn {
     /// Panics if `config.stage_blocks` and `config.widths` lengths differ
     /// or the input is too small for the stage downsampling.
     pub fn new(config: ResNetConfig, policy: &ConvPolicy, rng: &mut Rng) -> Self {
-        assert_eq!(
-            config.stage_blocks.len(),
-            config.widths.len(),
-            "stage/width lists must align"
-        );
+        assert_eq!(config.stage_blocks.len(), config.widths.len(), "stage/width lists must align");
         let stem_out = config.widths[0];
         let stem = ConvUnit::dense(config.in_channels, stem_out, (3, 3), (1, 1), (1, 1), rng);
         let stem_norm = config.make_norm(stem_out);
@@ -189,11 +179,7 @@ impl ResNetSnn {
             for b in 0..nblocks {
                 let downsample = stage > 0 && b == 0;
                 let stride = if downsample { (2, 2) } else { (1, 1) };
-                let out_hw = if downsample {
-                    (hw.0.div_ceil(2), hw.1.div_ceil(2))
-                } else {
-                    hw
-                };
+                let out_hw = if downsample { (hw.0.div_ceil(2), hw.1.div_ceil(2)) } else { hw };
                 assert!(out_hw.0 >= 1 && out_hw.1 >= 1, "input too small for architecture");
                 let conv_a = ConvUnit::conv3x3(policy, conv_index, c_in, width, stride, rng);
                 conv_index += 1;
@@ -224,16 +210,7 @@ impl ResNetSnn {
         }
         let fc_w = Var::param(Tensor::kaiming(&[config.num_classes, c_in], rng));
         let fc_b = Var::param(Tensor::zeros(&[config.num_classes]));
-        Self {
-            policy_name: policy.name(),
-            config,
-            stem,
-            stem_norm,
-            stem_lif,
-            blocks,
-            fc_w,
-            fc_b,
-        }
+        Self { policy_name: policy.name(), config, stem, stem_norm, stem_lif, blocks, fc_w, fc_b }
     }
 
     /// The architecture configuration.

@@ -5,8 +5,19 @@
 //! passes on a single batch*; [`train`] therefore times every optimization
 //! step and reports the mean per-batch seconds alongside loss/accuracy
 //! curves.
+//!
+//! # Threading
+//!
+//! The loop itself is single-threaded per model (the autograd graph is
+//! `Rc`-based by design), but every conv/matmul it executes — forward over
+//! all timesteps and the whole BPTT backward sweep — is batch- and
+//! row-parallel through [`ttsnn_tensor::runtime`]. Thread count comes from
+//! the machine (override with `TTSNN_NUM_THREADS`); [`TrainReport::threads`]
+//! records what a run actually used so timing numbers are comparable.
 
 use std::time::Instant;
+
+use ttsnn_tensor::runtime::Runtime;
 
 use ttsnn_autograd::{CosineAnnealing, Sgd, SgdConfig, Var};
 use ttsnn_data::Batch;
@@ -59,6 +70,8 @@ pub struct TrainReport {
     /// Mean seconds per optimization step across all epochs — the
     /// "training time" column of Table II.
     pub mean_step_seconds: f64,
+    /// Worker threads the kernel runtime used for this run.
+    pub threads: usize,
 }
 
 impl TrainReport {
@@ -79,10 +92,7 @@ impl TrainReport {
 /// # Errors
 ///
 /// Returns [`ShapeError`] if the batch does not match the model.
-pub fn forward_batch(
-    model: &mut dyn SpikingModel,
-    batch: &Batch,
-) -> Result<Vec<Var>, ShapeError> {
+pub fn forward_batch(model: &mut dyn SpikingModel, batch: &Batch) -> Result<Vec<Var>, ShapeError> {
     model.reset_state();
     let mut logits = Vec::with_capacity(batch.timesteps());
     for (t, frame) in batch.frames.iter().enumerate() {
@@ -124,11 +134,11 @@ pub fn evaluate(model: &mut dyn SpikingModel, batches: &[Batch]) -> Result<f32, 
     let mut total = 0usize;
     for batch in batches {
         let logits = forward_batch(model, batch)?;
-        let mut sum = logits[0].clone();
+        // Plain tensor sum: evaluation needs no autograd nodes.
+        let mut preds = logits[0].to_tensor();
         for l in &logits[1..] {
-            sum = sum.add(l)?;
+            preds.add_scaled(&l.value(), 1.0)?;
         }
-        let preds = sum.to_tensor();
         let k = preds.shape()[1];
         for (i, &label) in batch.labels.iter().enumerate() {
             let row = &preds.data()[i * k..(i + 1) * k];
@@ -191,6 +201,7 @@ pub fn train(
         epochs,
         test_accuracy,
         mean_step_seconds: if total_steps > 0 { total_time / total_steps as f64 } else { 0.0 },
+        threads: Runtime::global().threads(),
     })
 }
 
@@ -252,7 +263,8 @@ mod tests {
     #[test]
     fn tet_loss_trains() {
         let (mut net, train_b, test_b) = tiny_setup(&ConvPolicy::Baseline, 4);
-        let cfg = TrainConfig { epochs: 3, lr: 0.05, loss: LossKind::Tet, ..TrainConfig::default() };
+        let cfg =
+            TrainConfig { epochs: 3, lr: 0.05, loss: LossKind::Tet, ..TrainConfig::default() };
         let report = train(&mut net, &train_b, &test_b, &cfg).unwrap();
         assert!(report.final_loss() < report.first_loss());
     }

@@ -143,7 +143,7 @@ impl VggSnn {
             });
             if pool {
                 assert!(
-                    hw.0 % 2 == 0 && hw.1 % 2 == 0 && hw.0 >= 2 && hw.1 >= 2,
+                    hw.0.is_multiple_of(2) && hw.1.is_multiple_of(2) && hw.0 >= 2 && hw.1 >= 2,
                     "2x2 pool needs even spatial dims, got {hw:?}"
                 );
                 hw = (hw.0 / 2, hw.1 / 2);
@@ -289,7 +289,8 @@ mod tests {
     #[test]
     fn tebn_config_adds_timestep_params() {
         let mut rng = Rng::seed_from(4);
-        let plain = VggSnn::new(VggConfig::vgg9(3, 10, (16, 16), 16), &ConvPolicy::Baseline, &mut rng);
+        let plain =
+            VggSnn::new(VggConfig::vgg9(3, 10, (16, 16), 16), &ConvPolicy::Baseline, &mut rng);
         let tebn = VggSnn::new(
             VggConfig::vgg9(3, 10, (16, 16), 16).with_tebn(4),
             &ConvPolicy::Baseline,

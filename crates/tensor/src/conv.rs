@@ -1,13 +1,25 @@
 //! 2-D convolution kernels (forward, input gradient, weight gradient) via
-//! im2col / col2im.
+//! im2col / col2im, batch-parallel through [`crate::runtime`].
 //!
 //! All functions operate on NCHW activations `(B, C, H, W)` and OIHW weights
 //! `(O, I, Kh, Kw)`. Asymmetric kernels (3×1, 1×3, 1×1) — the shapes the TT
 //! cores of the paper use — are fully supported; padding is specified per
 //! axis so that, e.g., a 3×1 core pads only vertically.
+//!
+//! Parallelization strategy: samples are independent, so the batch
+//! dimension is split across the runtime's workers, each unfolding into its
+//! own per-thread scratch arena buffer ([`crate::runtime::with_scratch`]:
+//! at most one im2col allocation per worker per region, and none at all on
+//! the calling thread once its arena is warm) and running a serial GEMM
+//! per sample.
+//! Single-sample calls fall through to the row-parallel GEMM instead, so
+//! both ends of the batch-size spectrum use all cores. Every output element
+//! is computed by exactly one thread in a fixed order — results are
+//! bit-identical across thread counts.
 
 use crate::error::ShapeError;
-use crate::tensor::{matmul_into, Tensor};
+use crate::runtime::{self, with_scratch, Runtime};
+use crate::tensor::Tensor;
 
 /// Static geometry of a 2-D convolution: everything needed to derive output
 /// sizes, FLOP counts and buffer sizes without touching data.
@@ -178,26 +190,53 @@ fn col2im_sample(cols: &[f32], g: &Conv2dGeometry, x_grad: &mut [f32]) {
 ///
 /// Returns [`ShapeError`] if the input or weight does not match `g`.
 pub fn conv2d(x: &Tensor, weight: &Tensor, g: &Conv2dGeometry) -> Result<Tensor, ShapeError> {
+    conv2d_with(Runtime::global(), x, weight, g)
+}
+
+/// [`conv2d`] on an explicit [`Runtime`] (tests pin thread counts with
+/// this; production code uses the global runtime wrapper).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the input or weight does not match `g`.
+pub fn conv2d_with(
+    rt: &Runtime,
+    x: &Tensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
     let (b, oh, ow) = check_input(x, g)?;
     check_weight(weight, g)?;
     let k = g.in_channels * g.kernel.0 * g.kernel.1;
     let ospatial = oh * ow;
-    let mut cols = vec![0.0f32; k * ospatial];
     let mut out = Tensor::zeros(&[b, g.out_channels, oh, ow]);
     let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
     let out_slab = g.out_channels * ospatial;
-    for s in 0..b {
-        im2col_sample(&x.data()[s * in_slab..(s + 1) * in_slab], g, &mut cols);
-        matmul_into(
-            weight.data(),
-            &cols,
-            &mut out.data_mut()[s * out_slab..(s + 1) * out_slab],
-            g.out_channels,
-            k,
-            ospatial,
-        );
+    if b == 1 {
+        // One sample: parallelize inside the GEMM over output rows.
+        with_scratch(k * ospatial, |cols| {
+            im2col_sample(&x.data()[..in_slab], g, cols);
+            runtime::gemm(rt, weight.data(), cols, out.data_mut(), g.out_channels, k, ospatial);
+        });
+        return Ok(out);
     }
+    let serial = Runtime::new(1);
+    let min_samples = samples_per_fork(2 * g.out_channels * k * ospatial);
+    let (xd, wd) = (x.data(), weight.data());
+    rt.parallel_over_slabs(out.data_mut(), out_slab, min_samples, |s, out_s| {
+        with_scratch(k * ospatial, |cols| {
+            im2col_sample(&xd[s * in_slab..(s + 1) * in_slab], g, cols);
+            runtime::gemm(&serial, wd, cols, out_s, g.out_channels, k, ospatial);
+        });
+    });
     Ok(out)
+}
+
+/// Minimum samples per forked range so each worker gets enough
+/// multiply-adds to amortize its spawn (same threshold as the GEMM row
+/// split).
+fn samples_per_fork(flops_per_sample: usize) -> usize {
+    (runtime::PAR_THRESHOLD / flops_per_sample.max(1)).max(1)
 }
 
 /// Gradient of the convolution with respect to its **input**:
@@ -207,6 +246,20 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, g: &Conv2dGeometry) -> Result<Tensor,
 ///
 /// Returns [`ShapeError`] if `y_grad` or `weight` does not match `g`.
 pub fn conv2d_input_grad(
+    y_grad: &Tensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    conv2d_input_grad_with(Runtime::global(), y_grad, weight, g)
+}
+
+/// [`conv2d_input_grad`] on an explicit [`Runtime`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `y_grad` or `weight` does not match `g`.
+pub fn conv2d_input_grad_with(
+    rt: &Runtime,
     y_grad: &Tensor,
     weight: &Tensor,
     g: &Conv2dGeometry,
@@ -225,28 +278,35 @@ pub fn conv2d_input_grad(
     let b = y_grad.shape()[0];
     let k = g.in_channels * g.kernel.0 * g.kernel.1;
     let ospatial = oh * ow;
-    // weight^T: (k, O)
-    let wt = weight
-        .reshape(&[g.out_channels, k])
-        .expect("weight reshape cannot fail after check")
-        .transpose()
-        .expect("2-D transpose cannot fail");
     let mut x_grad = Tensor::zeros(&[b, g.in_channels, g.in_hw.0, g.in_hw.1]);
     let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
     let out_slab = g.out_channels * ospatial;
-    let mut cols = vec![0.0f32; k * ospatial];
-    for s in 0..b {
-        cols.fill(0.0);
-        matmul_into(
-            wt.data(),
-            &y_grad.data()[s * out_slab..(s + 1) * out_slab],
-            &mut cols,
-            k,
-            g.out_channels,
-            ospatial,
-        );
-        col2im_sample(&cols, g, &mut x_grad.data_mut()[s * in_slab..(s + 1) * in_slab]);
+    // dx_cols = Wᵀ · dy, read directly from the (O, k) weight layout — no
+    // transpose copy.
+    let (wd, gd) = (weight.data(), y_grad.data());
+    if b == 1 {
+        with_scratch(k * ospatial, |cols| {
+            runtime::gemm_at_b(rt, wd, gd, cols, k, g.out_channels, ospatial);
+            col2im_sample(cols, g, x_grad.data_mut());
+        });
+        return Ok(x_grad);
     }
+    let serial = Runtime::new(1);
+    let min_samples = samples_per_fork(2 * g.out_channels * k * ospatial);
+    rt.parallel_over_slabs(x_grad.data_mut(), in_slab, min_samples, |s, xg_s| {
+        with_scratch(k * ospatial, |cols| {
+            runtime::gemm_at_b(
+                &serial,
+                wd,
+                &gd[s * out_slab..(s + 1) * out_slab],
+                cols,
+                k,
+                g.out_channels,
+                ospatial,
+            );
+            col2im_sample(cols, g, xg_s);
+        });
+    });
     Ok(x_grad)
 }
 
@@ -257,6 +317,20 @@ pub fn conv2d_input_grad(
 ///
 /// Returns [`ShapeError`] if `x` or `y_grad` does not match `g`.
 pub fn conv2d_weight_grad(
+    x: &Tensor,
+    y_grad: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    conv2d_weight_grad_with(Runtime::global(), x, y_grad, g)
+}
+
+/// [`conv2d_weight_grad`] on an explicit [`Runtime`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `x` or `y_grad` does not match `g`.
+pub fn conv2d_weight_grad_with(
+    rt: &Runtime,
     x: &Tensor,
     y_grad: &Tensor,
     g: &Conv2dGeometry,
@@ -272,25 +346,59 @@ pub fn conv2d_weight_grad(
     let ospatial = oh * ow;
     let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
     let out_slab = g.out_channels * ospatial;
-    let mut cols = vec![0.0f32; k * ospatial];
-    let mut colst = vec![0.0f32; ospatial * k];
+    let wlen = g.out_channels * k;
     let mut w_grad = Tensor::zeros(&[g.out_channels, g.in_channels, g.kernel.0, g.kernel.1]);
-    for s in 0..b {
-        im2col_sample(&x.data()[s * in_slab..(s + 1) * in_slab], g, &mut cols);
-        // transpose cols (k, ospatial) -> (ospatial, k)
-        for r in 0..k {
-            for c in 0..ospatial {
-                colst[c * k + r] = cols[r * ospatial + c];
+    let (xd, gd) = (x.data(), y_grad.data());
+    // Per sample: dW_s = dy_s · im2col(x_s)ᵀ (gemm_a_bt — the caller-side
+    // (k, ospatial) → (ospatial, k) transpose copy of the seed
+    // implementation is gone; the kernel stages any transpose it needs in
+    // arena scratch).
+    if b == 1 {
+        with_scratch(k * ospatial, |cols| {
+            im2col_sample(&xd[..in_slab], g, cols);
+            // cols is (k, ospatial); dy · colsᵀ needs B rows contiguous in
+            // the shared dim, i.e. B = cols viewed as (k, ospatial) — rows
+            // of colsᵀ are columns of cols. gemm_a_bt wants `b` as (n, k̂)
+            // with k̂ = ospatial: that is cols itself, n = k rows.
+            runtime::gemm_a_bt(rt, gd, cols, w_grad.data_mut(), g.out_channels, ospatial, k);
+        });
+        return Ok(w_grad);
+    }
+    // Batch-parallel: each worker produces per-sample partials in a
+    // disjoint slab; the batch reduction then runs in fixed sample order so
+    // results do not depend on the thread count. The batch is processed in
+    // fixed-size chunks so partials memory stays bounded (≤ ~64 MiB) on
+    // wide layers × large batches; chunk boundaries are a constant, never
+    // a function of the thread count, preserving determinism.
+    let serial = Runtime::new(1);
+    let min_samples = samples_per_fork(2 * g.out_channels * k * ospatial);
+    const MAX_PARTIAL_ELEMS: usize = 16 * 1024 * 1024;
+    let chunk = (MAX_PARTIAL_ELEMS / wlen).clamp(1, b);
+    let mut partials = vec![0.0f32; chunk * wlen];
+    for c0 in (0..b).step_by(chunk) {
+        let cn = chunk.min(b - c0);
+        let part = &mut partials[..cn * wlen];
+        rt.parallel_over_slabs(part, wlen, min_samples, |i, dw_s| {
+            let s = c0 + i;
+            with_scratch(k * ospatial, |cols| {
+                im2col_sample(&xd[s * in_slab..(s + 1) * in_slab], g, cols);
+                runtime::gemm_a_bt(
+                    &serial,
+                    &gd[s * out_slab..(s + 1) * out_slab],
+                    cols,
+                    dw_s,
+                    g.out_channels,
+                    ospatial,
+                    k,
+                );
+            });
+        });
+        let acc = w_grad.data_mut();
+        for dw_s in part.chunks(wlen) {
+            for (a, &v) in acc.iter_mut().zip(dw_s.iter()) {
+                *a += v;
             }
         }
-        matmul_into(
-            &y_grad.data()[s * out_slab..(s + 1) * out_slab],
-            &colst,
-            w_grad.data_mut(),
-            g.out_channels,
-            ospatial,
-            k,
-        );
     }
     Ok(w_grad)
 }
@@ -376,10 +484,7 @@ mod tests {
             let w = Tensor::randn(&[3, 4, kernel.0, kernel.1], &mut rng);
             let fast = conv2d(&x, &w, &g).unwrap();
             let slow = conv2d_naive(&x, &w, &g);
-            assert!(
-                fast.max_abs_diff(&slow).unwrap() < 1e-4,
-                "kernel {kernel:?} mismatch"
-            );
+            assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4, "kernel {kernel:?} mismatch");
         }
     }
 

@@ -8,10 +8,14 @@
 //!
 //! * [`Tensor`] — a contiguous, row-major n-dimensional `f32` array with
 //!   elementwise arithmetic, reductions, reshaping and permutation.
+//! * [`runtime`] — the parallel kernel runtime: a scoped-thread worker
+//!   pool (sized from `available_parallelism`, overridable with
+//!   `TTSNN_NUM_THREADS`), the blocked multi-threaded GEMM family
+//!   (`gemm`, `gemm_at_b`, `gemm_a_bt`), and per-thread scratch arenas.
 //! * [`conv`] — 2-D convolution (forward, input-gradient, weight-gradient)
-//!   via im2col/col2im, supporting the asymmetric kernels (3×1, 1×3, 1×1)
-//!   that the TT cores use.
-//! * [`matmul`] — blocked matrix multiplication.
+//!   via im2col/col2im, batch-parallel through the runtime, supporting the
+//!   asymmetric kernels (3×1, 1×3, 1×1) that the TT cores use.
+//! * [`Tensor::matmul`] — matrix multiplication over the runtime kernels.
 //! * [`linalg`] — one-sided Jacobi SVD (used by TT-SVD and VBMF).
 //! * [`pool`] — average pooling and global average pooling with backward.
 //! * [`Rng`] — a small deterministic xoshiro-style RNG so experiments are
@@ -38,11 +42,12 @@ mod tensor;
 pub mod conv;
 pub mod linalg;
 pub mod pool;
+pub mod runtime;
 
 pub use error::ShapeError;
 pub use rng::Rng;
 pub use shape::{num_elements, strides_for};
-pub use tensor::Tensor;
+pub use tensor::{matmul_into, Tensor};
 
 /// Convolution geometry shared by the conv kernels and FLOP accounting.
 pub use conv::Conv2dGeometry;

@@ -66,12 +66,8 @@ pub fn avg_pool2d_backward(
             y_grad.shape()
         )));
     }
-    let (b, c, oh, ow) = (
-        y_grad.shape()[0],
-        y_grad.shape()[1],
-        y_grad.shape()[2],
-        y_grad.shape()[3],
-    );
+    let (b, c, oh, ow) =
+        (y_grad.shape()[0], y_grad.shape()[1], y_grad.shape()[2], y_grad.shape()[3]);
     if oh * k != in_hw.0 || ow * k != in_hw.1 {
         return Err(ShapeError::new(format!(
             "avg_pool2d_backward: grad {:?} with window {k} does not map to input {in_hw:?}",
@@ -160,7 +156,10 @@ mod tests {
     #[test]
     fn avg_pool_known_values() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();
@@ -207,7 +206,8 @@ mod tests {
 
     #[test]
     fn global_avg_pool_values() {
-        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[1, 2, 2, 2]).unwrap();
         let y = global_avg_pool(&x).unwrap();
         assert_eq!(y.shape(), &[1, 2]);
         assert_eq!(y.data(), &[4.0, 2.0]);

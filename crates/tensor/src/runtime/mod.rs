@@ -1,0 +1,46 @@
+//! The parallel kernel runtime: a scoped-thread worker pool, a blocked
+//! multi-threaded GEMM family, and per-thread scratch arenas.
+//!
+//! Every matmul/conv hot path in the workspace routes through this module.
+//! Three pieces compose:
+//!
+//! * [`Runtime`] ([`pool`]) — a std-only fork/join helper sized from
+//!   [`std::thread::available_parallelism`], overridable with the
+//!   `TTSNN_NUM_THREADS` environment variable. Work is split into
+//!   contiguous index ranges and executed on scoped threads, so closures
+//!   may borrow from the caller's stack.
+//! * [`gemm`]/[`gemm_at_b`]/[`gemm_a_bt`] ([`gemm`](self::gemm()))
+//!   — register-tiled, cache-blocked matrix kernels parallelized over
+//!   disjoint output row ranges. The transpose variants take `A`ᵀ or `B`ᵀ
+//!   as stored, eliminating the explicit `.transpose()` copies the
+//!   autograd backward passes used to make (any transpose staging a
+//!   kernel still wants internally lives in arena scratch — see the
+//!   [`gemm`](self::gemm) module docs).
+//! * [`with_scratch`] ([`arena`]) — a per-thread buffer arena so im2col /
+//!   col2im and TT-core intermediates stop allocating per sample.
+//!
+//! # Determinism
+//!
+//! Each output element is computed entirely by one task, with a summation
+//! order that does not depend on how the index space was split. Results are
+//! therefore **bit-identical across thread counts** — a property the
+//! tensor crate's tests assert for 1–8 threads.
+//!
+//! ```
+//! use ttsnn_tensor::runtime::{self, Runtime};
+//!
+//! let a = vec![1.0f32; 6]; // 2x3
+//! let b = vec![2.0f32; 12]; // 3x4
+//! let mut out = vec![0.0f32; 8]; // 2x4
+//! runtime::gemm(Runtime::global(), &a, &b, &mut out, 2, 3, 4);
+//! assert_eq!(out, vec![6.0f32; 8]);
+//! ```
+
+mod arena;
+mod gemm;
+mod pool;
+
+pub use arena::{scratch_depth, with_scratch, with_scratch_zeroed};
+pub(crate) use gemm::PAR_THRESHOLD;
+pub use gemm::{gemm, gemm_a_bt, gemm_at_b, reference_gemm};
+pub use pool::Runtime;

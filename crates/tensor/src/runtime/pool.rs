@@ -1,0 +1,217 @@
+//! Scoped-thread fork/join pool.
+//!
+//! [`Runtime`] carries only a thread-count policy; each parallel region
+//! spawns scoped workers (`std::thread::scope`), which keeps the design
+//! std-only and lets work closures borrow the caller's stack. Spawn cost is
+//! a few microseconds per region, which the kernels amortize by refusing to
+//! fork below a work threshold — and a one-thread runtime never spawns.
+
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+/// Thread-count policy for the parallel kernels.
+///
+/// The global instance ([`Runtime::global`]) is sized from
+/// `TTSNN_NUM_THREADS` if set (clamped to ≥ 1), otherwise from
+/// [`std::thread::available_parallelism`]. Tests construct explicit
+/// runtimes with [`Runtime::new`] to pin thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+
+impl Runtime {
+    /// A runtime that uses exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The process-wide runtime, sized once from `TTSNN_NUM_THREADS` or the
+    /// machine's available parallelism.
+    pub fn global() -> &'static Runtime {
+        GLOBAL.get_or_init(|| {
+            let from_env = std::env::var("TTSNN_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0);
+            let threads = from_env.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            });
+            Runtime::new(threads)
+        })
+    }
+
+    /// Number of worker threads parallel regions may use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(start, end)` over a partition of `0..n` into at most
+    /// `threads` contiguous ranges. `min_chunk` is the smallest range worth
+    /// forking for: with `n <= min_chunk` (or one thread) everything runs
+    /// inline on the caller's thread.
+    ///
+    /// The partition never affects *what* each index computes, so callers
+    /// that keep per-index work self-contained get thread-count-independent
+    /// results for free.
+    pub fn parallel_for(&self, n: usize, min_chunk: usize, f: impl Fn(usize, usize) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let workers = self.threads.min(n.div_ceil(min_chunk.max(1))).max(1);
+        if workers == 1 {
+            f(0, n);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let fref = &f;
+            // Ranges after the first run on spawned workers; the first runs
+            // on the caller's thread, saving one spawn per region.
+            for w in 1..workers {
+                let (start, end) = (w * chunk, ((w + 1) * chunk).min(n));
+                if start < end {
+                    s.spawn(move || fref(start, end));
+                }
+            }
+            fref(0, chunk.min(n));
+        });
+    }
+
+    /// Splits `data` into `n = data.len() / slab` equal slabs and hands each
+    /// worker one disjoint contiguous **run** of slabs:
+    /// `f(first_slab_index, run)` with `run.len()` a multiple of `slab`.
+    /// This is the mutable-output counterpart of [`Runtime::parallel_for`] —
+    /// kernels tile freely within their run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `slab` (with `slab > 0`).
+    pub fn parallel_over_ranges<T: Send>(
+        &self,
+        data: &mut [T],
+        slab: usize,
+        min_slabs: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        if data.is_empty() {
+            return;
+        }
+        assert!(slab > 0 && data.len().is_multiple_of(slab), "parallel_over_ranges: uneven slabs");
+        let n = data.len() / slab;
+        let workers = self.threads.min(n.div_ceil(min_slabs.max(1))).max(1);
+        if workers == 1 {
+            f(0, data);
+            return;
+        }
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let fref = &f;
+            let mut rest = data;
+            let mut next = 0usize;
+            while next < n {
+                let take = chunk.min(n - next);
+                let (head, tail) = rest.split_at_mut(take * slab);
+                rest = tail;
+                let base = next;
+                if next + take < n {
+                    scope.spawn(move || fref(base, head));
+                } else {
+                    // Final run executes on the caller's thread.
+                    fref(base, head);
+                }
+                next += take;
+            }
+        });
+    }
+
+    /// Per-slab convenience over [`Runtime::parallel_over_ranges`]:
+    /// `f(slab_index, slab)` for every slab, parallel across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `slab` (with `slab > 0`).
+    pub fn parallel_over_slabs<T: Send>(
+        &self,
+        data: &mut [T],
+        slab: usize,
+        min_slabs: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        self.parallel_over_ranges(data, slab, min_slabs, |base, run| {
+            for (i, s) in run.chunks_mut(slab).enumerate() {
+                f(base + i, s);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn new_clamps_to_one() {
+        assert_eq!(Runtime::new(0).threads(), 1);
+        assert_eq!(Runtime::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn global_is_positive_and_stable() {
+        let a = Runtime::global().threads();
+        assert!(a >= 1);
+        assert_eq!(Runtime::global().threads(), a);
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        for threads in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 7, 64, 65] {
+                let rt = Runtime::new(threads);
+                let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                rt.parallel_for(n, 1, |start, end| {
+                    for h in &hits[start..end] {
+                        h.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                    "threads={threads} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_for_respects_min_chunk_inline() {
+        // n <= min_chunk must run inline: observable as exactly one range.
+        let ranges = std::sync::Mutex::new(Vec::new());
+        Runtime::new(8).parallel_for(10, 16, |s, e| ranges.lock().unwrap().push((s, e)));
+        assert_eq!(*ranges.lock().unwrap(), vec![(0, 10)]);
+    }
+
+    #[test]
+    fn parallel_over_slabs_writes_disjoint() {
+        for threads in [1usize, 2, 5] {
+            let mut data = vec![0u32; 12 * 4];
+            Runtime::new(threads).parallel_over_slabs(&mut data, 4, 1, |i, slab| {
+                for v in slab.iter_mut() {
+                    *v = i as u32 + 1;
+                }
+            });
+            for (i, chunk) in data.chunks(4).enumerate() {
+                assert!(chunk.iter().all(|&v| v == i as u32 + 1), "threads={threads} slab={i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "uneven")]
+    fn parallel_over_slabs_rejects_uneven() {
+        let mut data = vec![0u32; 10];
+        Runtime::new(2).parallel_over_slabs(&mut data, 4, 1, |_, _| {});
+    }
+}

@@ -1,5 +1,6 @@
 use crate::error::ShapeError;
 use crate::rng::Rng;
+use crate::runtime::{self, Runtime};
 use crate::shape::{num_elements, ravel, strides_for, unravel};
 
 /// A contiguous, row-major n-dimensional `f32` array.
@@ -181,7 +182,8 @@ impl Tensor {
     pub fn permute(&self, axes: &[usize]) -> Result<Self, ShapeError> {
         let n = self.ndim();
         let mut seen = vec![false; n];
-        if axes.len() != n || axes.iter().any(|&a| a >= n || std::mem::replace(&mut seen[a], true)) {
+        if axes.len() != n || axes.iter().any(|&a| a >= n || std::mem::replace(&mut seen[a], true))
+        {
             return Err(ShapeError::new(format!(
                 "permute: {:?} is not a permutation of 0..{}",
                 axes, n
@@ -365,12 +367,7 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max))
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max))
     }
 
     // --------------------------------------------------------------- slices
@@ -399,9 +396,7 @@ impl Tensor {
     ///
     /// Returns [`ShapeError`] if `parts` is empty or shapes differ.
     pub fn stack(parts: &[Self]) -> Result<Self, ShapeError> {
-        let first = parts
-            .first()
-            .ok_or_else(|| ShapeError::new("stack: empty input"))?;
+        let first = parts.first().ok_or_else(|| ShapeError::new("stack: empty input"))?;
         let mut data = Vec::with_capacity(first.len() * parts.len());
         for p in parts {
             if p.shape != first.shape {
@@ -419,8 +414,8 @@ impl Tensor {
 
     // --------------------------------------------------------------- matmul
 
-    /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`), with a
-    /// cache-blocked inner loop.
+    /// Matrix product of two 2-D tensors (`[m,k] x [k,n] -> [m,n]`) through
+    /// the parallel runtime GEMM ([`crate::runtime::gemm`]).
     ///
     /// # Errors
     ///
@@ -442,7 +437,63 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
-        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        runtime::gemm(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
+        Ok(Self { data: out, shape: vec![m, n] })
+    }
+
+    /// `selfᵀ · other` for 2-D tensors (`self [k,m]`, `other [k,n]` →
+    /// `[m,n]`) **without materializing the transpose** — the backward-pass
+    /// companion of [`Tensor::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either tensor is not 2-D or the shared
+    /// `k` dimensions disagree.
+    pub fn matmul_at_b(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.ndim() != 2 || other.ndim() != 2 {
+            return Err(ShapeError::new(format!(
+                "matmul_at_b: expected 2-D tensors, got {:?} and {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_at_b: leading dims disagree: {:?}ᵀ x {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        runtime::gemm_at_b(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
+        Ok(Self { data: out, shape: vec![m, n] })
+    }
+
+    /// `self · otherᵀ` for 2-D tensors (`self [m,k]`, `other [n,k]` →
+    /// `[m,n]`) **without materializing the transpose** — used by linear
+    /// layers (`x · Wᵀ`) and matmul backward (`dA = g · Bᵀ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if either tensor is not 2-D or the shared
+    /// `k` dimensions disagree.
+    pub fn matmul_a_bt(&self, other: &Self) -> Result<Self, ShapeError> {
+        if self.ndim() != 2 || other.ndim() != 2 {
+            return Err(ShapeError::new(format!(
+                "matmul_a_bt: expected 2-D tensors, got {:?} and {:?}",
+                self.shape, other.shape
+            )));
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(ShapeError::new(format!(
+                "matmul_a_bt: trailing dims disagree: {:?} x {:?}ᵀ",
+                self.shape, other.shape
+            )));
+        }
+        let mut out = vec![0.0f32; m * n];
+        runtime::gemm_a_bt(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
         Ok(Self { data: out, shape: vec![m, n] })
     }
 
@@ -473,7 +524,15 @@ impl Tensor {
 
 /// `out[m,n] += a[m,k] * b[k,n]`, blocked over k for locality. `out` must be
 /// zero-initialized by the caller if a pure product is wanted.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+///
+/// This is the **seed kernel**: single-threaded, kept only as the baseline
+/// for the `gemm_throughput` bench and as a second oracle in tests. All
+/// production paths route through [`crate::runtime`] instead.
+///
+/// (An earlier version skipped `a` coefficients equal to `0.0`, which
+/// silently dropped NaN/Inf propagation — `0.0 * NaN` must stay NaN — and
+/// put a branch in the innermost loop. The skip is gone.)
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     const BLOCK: usize = 64;
     for kb in (0..k).step_by(BLOCK) {
         let kend = (kb + BLOCK).min(k);
@@ -482,9 +541,6 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
             let orow = &mut out[i * n..(i + 1) * n];
             for kk in kb..kend {
                 let av = arow[kk];
-                if av == 0.0 {
-                    continue;
-                }
                 let brow = &b[kk * n..(kk + 1) * n];
                 for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
                     *o += av * bv;
@@ -657,6 +713,43 @@ mod tests {
         let a = Tensor::zeros(&[2, 3]);
         assert!(a.matmul(&Tensor::zeros(&[4, 2])).is_err());
         assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn matmul_transpose_variants_match_explicit_transpose() {
+        let mut rng = Rng::seed_from(30);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[7, 4], &mut rng);
+        let want = a.matmul(&b).unwrap();
+        // Aᵀ stored, multiplied via matmul_at_b, must equal A·B.
+        let at = a.transpose().unwrap();
+        let got = at.matmul_at_b(&b).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+        // Bᵀ stored, multiplied via matmul_a_bt, must equal A·B.
+        let bt = b.transpose().unwrap();
+        let got = a.matmul_a_bt(&bt).unwrap();
+        assert!(got.max_abs_diff(&want).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_transpose_variants_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul_at_b(&Tensor::zeros(&[3, 4])).is_err()); // k mismatch (2 vs 3)
+        assert!(a.matmul_a_bt(&Tensor::zeros(&[4, 2])).is_err()); // k mismatch (3 vs 2)
+        assert!(a.matmul_at_b(&Tensor::zeros(&[2])).is_err());
+        assert!(a.matmul_a_bt(&Tensor::zeros(&[2])).is_err());
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero() {
+        // 0.0 * NaN must be NaN — the seed kernel's zero-skip hid this.
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = t(&[f32::NAN, 2.0], &[2, 1]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.data()[0].is_nan());
+        let mut out = [0.0f32; 1];
+        matmul_into(a.data(), b.data(), &mut out, 1, 2, 1);
+        assert!(out[0].is_nan(), "seed matmul_into must also propagate NaN");
     }
 
     #[test]

@@ -4,12 +4,7 @@ use proptest::prelude::*;
 use ttsnn_tensor::{conv, linalg, Conv2dGeometry, Rng, Tensor};
 
 fn tensor_strategy(max_elems: usize) -> impl Strategy<Value = (Vec<f32>, usize)> {
-    (1usize..=max_elems).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(-10.0f32..10.0, n),
-            Just(n),
-        )
-    })
+    (1usize..=max_elems).prop_flat_map(|n| (proptest::collection::vec(-10.0f32..10.0, n), Just(n)))
 }
 
 proptest! {

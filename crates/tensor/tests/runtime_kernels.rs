@@ -1,0 +1,195 @@
+//! Property tests for the parallel runtime kernels: the GEMM family and
+//! the batch-parallel convolution pipeline must match naive references
+//! within 1e-5 across odd shapes, and be **deterministic across thread
+//! counts** (1–8 threads).
+
+use proptest::prelude::*;
+use ttsnn_tensor::runtime::{self, Runtime};
+use ttsnn_tensor::{conv, matmul_into, Conv2dGeometry, Rng, Tensor};
+
+/// The ISSUE's shape grid: every m/k/n combination from {1, 3, 17, 64}.
+const DIMS: [usize; 4] = [1, 3, 17, 64];
+
+fn randv(len: usize, rng: &mut Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+fn max_diff(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+#[test]
+fn gemm_matches_reference_on_shape_grid_across_threads() {
+    let mut rng = Rng::seed_from(1);
+    for &m in &DIMS {
+        for &k in &DIMS {
+            for &n in &DIMS {
+                let a = randv(m * k, &mut rng);
+                let b = randv(k * n, &mut rng);
+                let mut want = vec![0.0; m * n];
+                runtime::reference_gemm(&a, &b, &mut want, m, k, n);
+                // The seed kernel is a second, independent oracle.
+                let mut seed = vec![0.0; m * n];
+                matmul_into(&a, &b, &mut seed, m, k, n);
+                assert!(max_diff(&seed, &want) < 1e-4 * k as f32, "seed vs naive ({m},{k},{n})");
+                for threads in 1..=8 {
+                    let mut got = vec![f32::NAN; m * n];
+                    runtime::gemm(&Runtime::new(threads), &a, &b, &mut got, m, k, n);
+                    assert!(
+                        max_diff(&got, &want) < 1e-5 * (k as f32).max(1.0),
+                        "gemm ({m},{k},{n}) threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn transpose_variants_match_reference_on_shape_grid() {
+    let mut rng = Rng::seed_from(2);
+    for &m in &DIMS {
+        for &k in &DIMS {
+            for &n in &DIMS {
+                let a = randv(m * k, &mut rng); // logical A (m,k)
+                let b = randv(k * n, &mut rng); // logical B (k,n)
+                let mut want = vec![0.0; m * n];
+                runtime::reference_gemm(&a, &b, &mut want, m, k, n);
+                // Store Aᵀ as (k,m) and Bᵀ as (n,k).
+                let mut at = vec![0.0; k * m];
+                for i in 0..m {
+                    for kk in 0..k {
+                        at[kk * m + i] = a[i * k + kk];
+                    }
+                }
+                let mut bt = vec![0.0; n * k];
+                for kk in 0..k {
+                    for j in 0..n {
+                        bt[j * k + kk] = b[kk * n + j];
+                    }
+                }
+                for threads in [1usize, 2, 3, 5, 8] {
+                    let rt = Runtime::new(threads);
+                    let mut got = vec![f32::NAN; m * n];
+                    runtime::gemm_at_b(&rt, &at, &b, &mut got, m, k, n);
+                    assert!(
+                        max_diff(&got, &want) < 1e-5 * (k as f32).max(1.0),
+                        "gemm_at_b ({m},{k},{n}) threads={threads}"
+                    );
+                    let mut got = vec![f32::NAN; m * n];
+                    runtime::gemm_a_bt(&rt, &a, &bt, &mut got, m, k, n);
+                    assert!(
+                        max_diff(&got, &want) < 1e-5 * (k as f32).max(1.0),
+                        "gemm_a_bt ({m},{k},{n}) threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_family_bitwise_deterministic_across_threads() {
+    let mut rng = Rng::seed_from(3);
+    for &(m, k, n) in &[(17, 64, 3), (64, 17, 64), (5, 129, 33)] {
+        let a = randv(m * k, &mut rng);
+        let b = randv(k * n, &mut rng);
+        let at = randv(k * m, &mut rng);
+        let bt = randv(n * k, &mut rng);
+        let mut base = vec![0.0; m * n];
+        let mut base_atb = vec![0.0; m * n];
+        let mut base_abt = vec![0.0; m * n];
+        runtime::gemm(&Runtime::new(1), &a, &b, &mut base, m, k, n);
+        runtime::gemm_at_b(&Runtime::new(1), &at, &b, &mut base_atb, m, k, n);
+        runtime::gemm_a_bt(&Runtime::new(1), &a, &bt, &mut base_abt, m, k, n);
+        for threads in 2..=8 {
+            let rt = Runtime::new(threads);
+            let mut out = vec![0.0; m * n];
+            runtime::gemm(&rt, &a, &b, &mut out, m, k, n);
+            assert_eq!(out, base, "gemm bits differ at {threads} threads");
+            runtime::gemm_at_b(&rt, &at, &b, &mut out, m, k, n);
+            assert_eq!(out, base_atb, "gemm_at_b bits differ at {threads} threads");
+            runtime::gemm_a_bt(&rt, &a, &bt, &mut out, m, k, n);
+            assert_eq!(out, base_abt, "gemm_a_bt bits differ at {threads} threads");
+        }
+    }
+}
+
+/// Direct (sextuple-loop) convolution oracle.
+fn conv2d_naive(x: &Tensor, w: &Tensor, g: &Conv2dGeometry) -> Tensor {
+    let b = x.shape()[0];
+    let (oh, ow) = g.out_hw();
+    let mut y = Tensor::zeros(&[b, g.out_channels, oh, ow]);
+    for s in 0..b {
+        for o in 0..g.out_channels {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut acc = 0.0;
+                    for c in 0..g.in_channels {
+                        for ki in 0..g.kernel.0 {
+                            for kj in 0..g.kernel.1 {
+                                let ii = (oi * g.stride.0 + ki) as isize - g.padding.0 as isize;
+                                let jj = (oj * g.stride.1 + kj) as isize - g.padding.1 as isize;
+                                if ii >= 0
+                                    && jj >= 0
+                                    && (ii as usize) < g.in_hw.0
+                                    && (jj as usize) < g.in_hw.1
+                                {
+                                    acc += x.at(&[s, c, ii as usize, jj as usize])
+                                        * w.at(&[o, c, ki, kj]);
+                                }
+                            }
+                        }
+                    }
+                    *y.at_mut(&[s, o, oi, oj]) = acc;
+                }
+            }
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch-parallel conv forward matches the naive oracle for random
+    /// geometries, including the TT cores' asymmetric kernels.
+    #[test]
+    fn conv_forward_matches_naive(seed in 0u64..10_000, batch in 1usize..6) {
+        let mut rng = Rng::seed_from(seed);
+        let kernels = [((3usize, 3usize), (1usize, 1usize)), ((3, 1), (1, 0)), ((1, 3), (0, 1)), ((1, 1), (0, 0))];
+        let (kernel, padding) = kernels[(seed % 4) as usize];
+        let g = Conv2dGeometry::new(3, 4, (7, 6), kernel, (1, 1), padding);
+        let x = Tensor::randn(&[batch, 3, 7, 6], &mut rng);
+        let w = Tensor::randn(&[4, 3, kernel.0, kernel.1], &mut rng);
+        let fast = conv::conv2d(&x, &w, &g).unwrap();
+        let slow = conv2d_naive(&x, &w, &g);
+        prop_assert!(fast.max_abs_diff(&slow).unwrap() < 1e-4, "kernel {kernel:?} batch {batch}");
+    }
+
+    /// The whole conv pipeline (forward, input grad, weight grad) is
+    /// bitwise deterministic across 1–8 threads: the batch-parallel
+    /// partition never splits one sample's accumulation, and the batch
+    /// reduction runs in fixed sample order.
+    #[test]
+    fn conv_pipeline_deterministic_across_threads(seed in 0u64..10_000, batch in 1usize..6) {
+        let mut rng = Rng::seed_from(seed);
+        let g = Conv2dGeometry::new(2, 3, (5, 5), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[batch, 2, 5, 5], &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], &mut rng);
+        let dy = Tensor::randn(&[batch, 3, 5, 5], &mut rng);
+        let one = Runtime::new(1);
+        let y1 = conv::conv2d_with(&one, &x, &w, &g).unwrap();
+        let dx1 = conv::conv2d_input_grad_with(&one, &dy, &w, &g).unwrap();
+        let dw1 = conv::conv2d_weight_grad_with(&one, &x, &dy, &g).unwrap();
+        for threads in 2..=8 {
+            let rt = Runtime::new(threads);
+            let y = conv::conv2d_with(&rt, &x, &w, &g).unwrap();
+            prop_assert_eq!(y.data(), y1.data(), "forward bits differ at {} threads", threads);
+            let dx = conv::conv2d_input_grad_with(&rt, &dy, &w, &g).unwrap();
+            prop_assert_eq!(dx.data(), dx1.data(), "dx bits differ at {} threads", threads);
+            let dw = conv::conv2d_weight_grad_with(&rt, &x, &dy, &g).unwrap();
+            prop_assert_eq!(dw.data(), dw1.data(), "dw bits differ at {} threads", threads);
+        }
+    }
+}

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_b = test_ds.batches(12, timesteps, &mut rng)?;
 
     let cfg = TrainConfig { epochs: 5, lr: 0.08, ..TrainConfig::default() };
-    println!("dynamic event data: {} train / {} test batches, T={timesteps}", train_b.len(), test_b.len());
+    println!(
+        "dynamic event data: {} train / {} test batches, T={timesteps}",
+        train_b.len(),
+        test_b.len()
+    );
 
     for (name, mode) in [("PTT", TtMode::Ptt), ("HTT", TtMode::htt_default(timesteps))] {
         let mut rng = Rng::seed_from(10);

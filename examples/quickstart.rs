@@ -47,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let geom = Conv2dGeometry::new(32, 32, (16, 16), (3, 3), (1, 1), (1, 1));
     let via_dense = conv::conv2d(&x, &merged, &geom)?;
     let via_tt = stt.forward_tensor(&x, 0)?;
-    println!(
-        "merge-back check (STT): max |dense - TT| = {:.2e}",
-        via_dense.max_abs_diff(&via_tt)?
-    );
+    println!("merge-back check (STT): max |dense - TT| = {:.2e}", via_dense.max_abs_diff(&via_tt)?);
 
     // And how well does the rank-r STT approximate the original kernel?
     let err = merged.sub(&dense)?.norm() / dense.norm();

@@ -7,7 +7,9 @@ use tt_snn::accel::{simulate, AcceleratorConfig, EnergyModel, Method, Target};
 use tt_snn::core::flops::resnet18_cifar;
 use tt_snn::core::TtMode;
 use tt_snn::data::StaticImages;
-use tt_snn::snn::{evaluate, train, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainConfig};
+use tt_snn::snn::{
+    evaluate, train, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainConfig,
+};
 use tt_snn::tensor::Rng;
 
 #[test]
@@ -50,13 +52,9 @@ fn measured_spike_activity_feeds_energy_model() {
     );
     assert!(model.mean_spike_activity().is_none(), "no activity before any forward");
     evaluate(&mut model, &batches).unwrap();
-    let activity = model
-        .mean_spike_activity()
-        .expect("activity must be recorded after a forward pass");
-    assert!(
-        (0.0..=1.0).contains(&activity),
-        "activity {activity} must be a firing rate"
-    );
+    let activity =
+        model.mean_spike_activity().expect("activity must be recorded after a forward pass");
+    assert!((0.0..=1.0).contains(&activity), "activity {activity} must be a firing rate");
 
     // Bridge: price the training energy with the measured sparsity rather
     // than the default constant. Lower activity => lower spike-driven

@@ -13,10 +13,7 @@ fn static_batches(
     let mut rng = Rng::seed_from(seed);
     let ds = StaticImages::new(3, 8, 8, 4, 0.15, 5).dataset(64, &mut rng);
     let (tr, te) = ds.split(0.75, &mut rng);
-    (
-        tr.batches(12, timesteps, &mut rng).unwrap(),
-        te.batches(12, timesteps, &mut rng).unwrap(),
-    )
+    (tr.batches(12, timesteps, &mut rng).unwrap(), te.batches(12, timesteps, &mut rng).unwrap())
 }
 
 #[test]
@@ -31,8 +28,7 @@ fn all_four_methods_train_and_loss_decreases() {
         ConvPolicy::tt(TtMode::htt_default(timesteps)),
     ] {
         let mut rng = Rng::seed_from(2);
-        let mut model =
-            ResNetSnn::new(ResNetConfig::resnet18(4, (8, 8), 16), &policy, &mut rng);
+        let mut model = ResNetSnn::new(ResNetConfig::resnet18(4, (8, 8), 16), &policy, &mut rng);
         let report = train(&mut model, &train_b, &test_b, &cfg).unwrap();
         assert!(
             report.final_loss() < report.first_loss(),
@@ -54,16 +50,12 @@ fn tt_methods_train_faster_per_batch_than_baseline() {
     let cfg = TrainConfig { epochs: 2, lr: 0.05, ..TrainConfig::default() };
     let time_of = |policy: &ConvPolicy| {
         let mut rng = Rng::seed_from(4);
-        let mut model =
-            ResNetSnn::new(ResNetConfig::resnet18(4, (8, 8), 4), policy, &mut rng);
+        let mut model = ResNetSnn::new(ResNetConfig::resnet18(4, (8, 8), 4), policy, &mut rng);
         train(&mut model, &train_b, &test_b, &cfg).unwrap().mean_step_seconds
     };
     let t_base = time_of(&ConvPolicy::Baseline);
     let t_ptt = time_of(&ConvPolicy::tt(TtMode::Ptt));
-    assert!(
-        t_ptt < t_base,
-        "PTT per-batch time {t_ptt:.4}s should beat baseline {t_base:.4}s"
-    );
+    assert!(t_ptt < t_base, "PTT per-batch time {t_ptt:.4}s should beat baseline {t_base:.4}s");
 }
 
 #[test]

@@ -31,9 +31,7 @@ fn table2_flop_columns() {
     // Paper: 15.65G baseline, 9.25x PTT, 10.75x HTT.
     assert!((rn34.baseline_macs() as f64 / 1e9 - 15.65).abs() < 0.8);
     assert!((rn34.flop_compression(&TtMode::Ptt) - 9.25).abs() < 1.2);
-    assert!(
-        rn34.flop_compression(&TtMode::htt_default(6)) > rn34.flop_compression(&TtMode::Ptt)
-    );
+    assert!(rn34.flop_compression(&TtMode::htt_default(6)) > rn34.flop_compression(&TtMode::Ptt));
 }
 
 #[test]

@@ -18,10 +18,8 @@ fn decompose_train_merge_pipeline() {
     // mimic the target on random inputs.
     let start = merge::merge_stt(&ttsvd::TtCores::randn(8, 8, 4, &mut rng)).unwrap();
     let layer = TtConv::from_dense(&start, 6, TtMode::Ptt).unwrap();
-    let mut opt = Sgd::new(
-        layer.params(),
-        SgdConfig { lr: 0.002, momentum: 0.8, weight_decay: 0.0 },
-    );
+    let mut opt =
+        Sgd::new(layer.params(), SgdConfig { lr: 0.002, momentum: 0.8, weight_decay: 0.0 });
 
     let mut first_loss = None;
     let mut last_loss = 0.0f32;
@@ -63,19 +61,10 @@ fn vbmf_guides_rank_selection_on_structured_weight() {
         .add(&Tensor::randn(&[24, 24, 3, 3], &mut rng).scale(2e-3))
         .unwrap();
     let rank = estimate_conv_rank(&dense).unwrap();
-    assert!(
-        (3..=8).contains(&rank),
-        "VBMF should land near the true TT-rank 5, got {rank}"
-    );
+    assert!((3..=8).contains(&rank), "VBMF should land near the true TT-rank 5, got {rank}");
     // The selected rank must reconstruct well.
     let layer = TtConv::from_dense(&dense, rank, TtMode::Stt).unwrap();
-    let rel = layer
-        .merge()
-        .unwrap()
-        .sub(&dense)
-        .unwrap()
-        .norm()
-        / dense.norm();
+    let rel = layer.merge().unwrap().sub(&dense).unwrap().norm() / dense.norm();
     assert!(rel < 0.25, "reconstruction at VBMF rank too lossy: {rel}");
 }
 

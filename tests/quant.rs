@@ -6,7 +6,9 @@
 use tt_snn::core::quant::quantize_int8;
 use tt_snn::core::TtMode;
 use tt_snn::data::StaticImages;
-use tt_snn::snn::{evaluate, train, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainConfig};
+use tt_snn::snn::{
+    evaluate, train, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainConfig,
+};
 use tt_snn::tensor::Rng;
 
 #[test]

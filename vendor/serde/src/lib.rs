@@ -1,0 +1,17 @@
+//! Minimal, offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! framework, vendored because this build environment has no network access.
+//!
+//! The workspace only uses serde as a **marker**: types derive
+//! `Serialize`/`Deserialize` so they are ready for a real serialization
+//! backend, and tests assert the bounds hold. No serializer ships in this
+//! environment, so the traits here are empty markers and the derive macros
+//! emit empty impls. Swapping in real serde later requires no source
+//! changes — only replacing this vendored crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (empty stand-in).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (empty stand-in).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,39 @@
+//! Derive macros for the vendored `serde` marker-trait stand-in: each derive
+//! emits an empty trait impl for the annotated type. Plain (non-generic)
+//! structs and enums only — which is all the workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive shim: could not find a struct/enum name in derive input");
+}
+
+/// Emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}").parse().expect("valid impl block")
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}").parse().expect("valid impl block")
+}

@@ -1,0 +1,144 @@
+//! Data-parallel training throughput: sharded vs single-shard, plus the
+//! persistent pool's region-dispatch cost vs the old scoped-spawn design.
+//!
+//! Criterion-free. Two experiments, both recorded into
+//! `BENCH_train_sharded.json` in the working directory:
+//!
+//! 1. **`train_sharded`** — optimizer steps/second of a
+//!    [`ShardedTrainer`] at 1 shard vs `TTSNN_NUM_SHARDS` (default 2)
+//!    shards, identical micro-batch size (so the two runs produce
+//!    bit-identical weights — only wall-clock differs).
+//! 2. **`pool_dispatch`** — microseconds per two-thread parallel region
+//!    for the persistent channel-fed pool against an inline
+//!    scoped-spawn-per-region baseline (the PR 1 design), i.e. the
+//!    spawn-amortization win for small regions.
+//!
+//! ```sh
+//! TTSNN_NUM_SHARDS=4 cargo run -p ttsnn-bench --release --bin train_sharded
+//! ```
+
+use std::time::Instant;
+
+use ttsnn_autograd::SgdConfig;
+use ttsnn_bench::harness::micro::{write_json, BenchRecord};
+use ttsnn_data::{Batch, StaticImages};
+use ttsnn_snn::conv_unit::ConvPolicy;
+use ttsnn_snn::{LossKind, ResNetConfig, ResNetSnn, ShardConfig, ShardedTrainer};
+use ttsnn_tensor::runtime::Runtime;
+use ttsnn_tensor::Rng;
+
+const BATCH: usize = 16;
+const MICRO: usize = 4;
+const TIMESTEPS: usize = 2;
+const STEPS: usize = 4;
+
+fn factory() -> impl Fn() -> ResNetSnn + Send + Sync + Clone + 'static {
+    || {
+        let mut rng = Rng::seed_from(42);
+        ResNetSnn::new(ResNetConfig::resnet18(4, (8, 8), 8), &ConvPolicy::Baseline, &mut rng)
+    }
+}
+
+fn data() -> Vec<Batch> {
+    let mut rng = Rng::seed_from(1);
+    StaticImages::new(3, 8, 8, 4, 0.15, 9)
+        .dataset(BATCH * 2, &mut rng)
+        .batches(BATCH, TIMESTEPS, &mut rng)
+        .expect("bench batches")
+}
+
+/// Optimizer steps per second at the given shard count.
+fn steps_per_sec(shards: usize, batches: &[Batch]) -> f64 {
+    let mut trainer = ShardedTrainer::new(ShardConfig::new(shards, MICRO), factory());
+    let sgd = SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 1e-4 };
+    // Warmup (first step pays model/arena setup).
+    trainer.step(&batches[0], LossKind::SumCe, sgd).expect("warmup step");
+    let start = Instant::now();
+    for s in 0..STEPS {
+        trainer.step(&batches[s % batches.len()], LossKind::SumCe, sgd).expect("bench step");
+    }
+    STEPS as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Scoped fork/join region over two ranges — the per-region thread-spawn
+/// design this pool replaced, reproduced inline as the baseline.
+fn scoped_region(n: usize, f: impl Fn(usize, usize) + Sync) {
+    let mid = n / 2;
+    std::thread::scope(|s| {
+        let fref = &f;
+        s.spawn(move || fref(mid, n));
+        fref(0, mid);
+    });
+}
+
+/// Microseconds per two-worker region, persistent pool vs scoped spawn,
+/// on a deliberately tiny region (the dispatch overhead dominates).
+fn dispatch_cost() -> (f64, f64) {
+    let rt = Runtime::new(2);
+    let sink = std::sync::atomic::AtomicUsize::new(0);
+    let body = |start: usize, end: usize| {
+        sink.fetch_add(end - start, std::sync::atomic::Ordering::Relaxed);
+    };
+    let iters = 2000u32;
+    // Warmup spawns the pool workers.
+    rt.parallel_for(2, 1, body);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        rt.parallel_for(2, 1, body);
+    }
+    let pool_us = t0.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    scoped_region(2, body);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        scoped_region(2, body);
+    }
+    let scoped_us = t1.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    (pool_us, scoped_us)
+}
+
+fn main() {
+    let threads = Runtime::global().threads();
+    let shards = ShardConfig::from_env(MICRO).num_shards.max(2);
+    println!(
+        "train_sharded: {threads} kernel thread(s), comparing 1 vs {shards} shard(s) \
+         (TTSNN_NUM_THREADS / TTSNN_NUM_SHARDS override)\n"
+    );
+    let batches = data();
+
+    let single = steps_per_sec(1, &batches);
+    let sharded = steps_per_sec(shards, &batches);
+    println!("{:<24} {:>12.2} steps/s", "1 shard", single);
+    println!("{:<24} {:>12.2} steps/s", format!("{shards} shards"), sharded);
+    println!("{:<24} {:>12.2}x", "speedup", sharded / single);
+
+    let (pool_us, scoped_us) = dispatch_cost();
+    println!("\n{:<24} {:>12.2} us/region", "persistent pool", pool_us);
+    println!("{:<24} {:>12.2} us/region", "scoped spawn (PR 1)", scoped_us);
+    println!("{:<24} {:>12.2}x", "spawn amortization", scoped_us / pool_us);
+
+    let records = vec![
+        BenchRecord {
+            name: "train_sharded".into(),
+            metrics: vec![
+                ("steps_per_sec_1_shard".into(), single),
+                ("steps_per_sec_n_shards".into(), sharded),
+                ("speedup".into(), sharded / single),
+                ("shards".into(), shards as f64),
+                ("micro_batch".into(), MICRO as f64),
+                ("batch".into(), BATCH as f64),
+                ("threads".into(), threads as f64),
+            ],
+        },
+        BenchRecord {
+            name: "pool_dispatch".into(),
+            metrics: vec![
+                ("pool_region_us".into(), pool_us),
+                ("scoped_region_us".into(), scoped_us),
+                ("amortization_x".into(), scoped_us / pool_us),
+            ],
+        },
+    ];
+    let path = "BENCH_train_sharded.json";
+    write_json(path, &records).expect("write bench json");
+    println!("\nwrote {path}");
+}

@@ -19,8 +19,12 @@
 //! * [`augment`] — NDA-style event-data augmentation (Li et al.).
 //! * [`trainer`] — the BPTT training loop with per-step wall-clock timing
 //!   (the "training time" column of Table II).
+//! * [`sharded`] — data-parallel training: N model replicas on persistent
+//!   worker threads, micro-batch gradient accumulation, and a fixed-order
+//!   all-reduce that keeps results bit-identical across shard counts.
 //! * [`checkpoint`] — binary save/load of model parameters (the hand-off
-//!   between pre-training, TT training and merged deployment).
+//!   between pre-training, TT training and merged deployment), shared by
+//!   the classic and sharded trainers.
 
 pub mod augment;
 pub mod checkpoint;
@@ -30,6 +34,7 @@ pub mod loss;
 pub mod model;
 pub mod norm;
 pub mod resnet;
+pub mod sharded;
 pub mod trainer;
 pub mod vgg;
 
@@ -39,5 +44,6 @@ pub use loss::LossKind;
 pub use model::SpikingModel;
 pub use norm::{Norm, NormKind};
 pub use resnet::{ResNetConfig, ResNetSnn};
-pub use trainer::{evaluate, train, TrainConfig, TrainReport};
+pub use sharded::{ShardConfig, ShardedTrainer};
+pub use trainer::{evaluate, evaluate_counts, train, TrainConfig, TrainReport};
 pub use vgg::{VggConfig, VggSnn};

@@ -72,6 +72,9 @@ pub struct TrainReport {
     pub mean_step_seconds: f64,
     /// Worker threads the kernel runtime used for this run.
     pub threads: usize,
+    /// Data-parallel model replicas the run used (1 for [`train`]; the
+    /// shard count for [`crate::ShardedTrainer::train`]).
+    pub shards: usize,
 }
 
 impl TrainReport {
@@ -130,6 +133,22 @@ pub fn train_step(
 ///
 /// Returns [`ShapeError`] if shapes are inconsistent.
 pub fn evaluate(model: &mut dyn SpikingModel, batches: &[Batch]) -> Result<f32, ShapeError> {
+    let (correct, total) = evaluate_counts(model, batches)?;
+    Ok(if total == 0 { 0.0 } else { correct as f32 / total as f32 })
+}
+
+/// Raw `(correct, total)` prediction counts behind [`evaluate`]. The
+/// data-parallel trainer evaluates disjoint batch subsets on each replica
+/// and sums these integer counts — an order-free reduction, so sharded
+/// evaluation is trivially deterministic.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes are inconsistent.
+pub fn evaluate_counts(
+    model: &mut dyn SpikingModel,
+    batches: &[Batch],
+) -> Result<(usize, usize), ShapeError> {
     let mut correct = 0usize;
     let mut total = 0usize;
     for batch in batches {
@@ -154,7 +173,7 @@ pub fn evaluate(model: &mut dyn SpikingModel, batches: &[Batch]) -> Result<f32, 
             total += 1;
         }
     }
-    Ok(if total == 0 { 0.0 } else { correct as f32 / total as f32 })
+    Ok((correct, total))
 }
 
 /// Trains a model with SGD + cosine annealing (Algorithm 1, lines 6–19) and
@@ -202,6 +221,7 @@ pub fn train(
         test_accuracy,
         mean_step_seconds: if total_steps > 0 { total_time / total_steps as f64 } else { 0.0 },
         threads: Runtime::global().threads(),
+        shards: 1,
     })
 }
 

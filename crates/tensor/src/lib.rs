@@ -8,8 +8,8 @@
 //!
 //! * [`Tensor`] — a contiguous, row-major n-dimensional `f32` array with
 //!   elementwise arithmetic, reductions, reshaping and permutation.
-//! * [`runtime`] — the parallel kernel runtime: a scoped-thread worker
-//!   pool (sized from `available_parallelism`, overridable with
+//! * [`runtime`] — the parallel kernel runtime: a persistent channel-fed
+//!   worker pool (sized from `available_parallelism`, overridable with
 //!   `TTSNN_NUM_THREADS`), the blocked multi-threaded GEMM family
 //!   (`gemm`, `gemm_at_b`, `gemm_a_bt`), and per-thread scratch arenas.
 //! * [`conv`] — 2-D convolution (forward, input-gradient, weight-gradient)
@@ -33,6 +33,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 mod error;
 mod rng;

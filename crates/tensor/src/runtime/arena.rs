@@ -4,8 +4,11 @@
 //! large temporary buffers every call; allocating them per sample dominated
 //! small-batch profiles in the seed implementation. [`with_scratch`] hands
 //! out thread-local buffers that are recycled across calls — zero
-//! steady-state allocation, and safe under the runtime's scoped threads
-//! because each worker thread owns its own arena.
+//! steady-state allocation, and safe under the runtime's workers because
+//! each thread owns its own arena. With the persistent pool, a worker's
+//! arena survives across parallel regions, so steady-state kernels stop
+//! allocating entirely (the scoped-thread design re-warmed arenas once per
+//! region).
 //!
 //! Buffers come back **uninitialized** (contents are whatever the previous
 //! user left); callers that need zeros use [`with_scratch_zeroed`]. Calls

@@ -1,22 +1,26 @@
-//! The parallel kernel runtime: a scoped-thread worker pool, a blocked
-//! multi-threaded GEMM family, and per-thread scratch arenas.
+//! The parallel kernel runtime: a persistent channel-fed worker pool, a
+//! blocked multi-threaded GEMM family, and per-thread scratch arenas.
 //!
 //! Every matmul/conv hot path in the workspace routes through this module.
 //! Three pieces compose:
 //!
-//! * [`Runtime`] ([`pool`]) — a std-only fork/join helper sized from
+//! * [`Runtime`] — a std-only fork/join helper over long-lived
+//!   worker threads, sized from
 //!   [`std::thread::available_parallelism`], overridable with the
 //!   `TTSNN_NUM_THREADS` environment variable. Work is split into
-//!   contiguous index ranges and executed on scoped threads, so closures
-//!   may borrow from the caller's stack.
-//! * [`gemm`]/[`gemm_at_b`]/[`gemm_a_bt`] ([`gemm`](self::gemm()))
+//!   contiguous index ranges and pushed onto a shared injector queue;
+//!   workers are spawned once per runtime (lazily) and parked between
+//!   regions, so dispatching a region costs a queue push instead of a
+//!   thread spawn. Closures still borrow from the caller's stack: the
+//!   region does not return until every task has completed.
+//! * [`gemm`](self::gemm())/[`gemm_at_b`]/[`gemm_a_bt`]
 //!   — register-tiled, cache-blocked matrix kernels parallelized over
 //!   disjoint output row ranges. The transpose variants take `A`ᵀ or `B`ᵀ
 //!   as stored, eliminating the explicit `.transpose()` copies the
 //!   autograd backward passes used to make (any transpose staging a
 //!   kernel still wants internally lives in arena scratch — see the
-//!   [`gemm`](self::gemm) module docs).
-//! * [`with_scratch`] ([`arena`]) — a per-thread buffer arena so im2col /
+//!   `gemm` module docs).
+//! * [`with_scratch`] — a per-thread buffer arena so im2col /
 //!   col2im and TT-core intermediates stop allocating per sample.
 //!
 //! # Determinism

@@ -42,7 +42,7 @@ mod var;
 pub mod ops;
 
 pub use optim::{CosineAnnealing, GradReduce, Sgd, SgdConfig};
-pub use var::{BackwardFn, Var};
+pub use var::{nodes_created, BackwardFn, Var};
 
 /// Surrogate-gradient shapes for the spiking nonlinearity (see [`ops`]).
 pub use ops::Surrogate;

@@ -29,6 +29,17 @@ fn fresh_id() -> u64 {
     })
 }
 
+/// Total autograd nodes ever created on this thread (leaves and interior
+/// nodes alike). Monotonic; never reset.
+///
+/// This is the observable behind the inference plane's "graph-free"
+/// contract: code that must not build autograd graphs (e.g.
+/// `ttsnn_snn::evaluate` routed through `InferForward`) is tested by
+/// asserting the counter does not move across the call.
+pub fn nodes_created() -> u64 {
+    NEXT_ID.with(|c| c.get())
+}
+
 /// A node in the reverse-mode autodiff graph.
 ///
 /// `Var` is a cheaply clonable handle (`Rc` inside) to a tensor value plus

@@ -10,7 +10,7 @@ use ttsnn_bench::{train_and_measure, ExperimentConfig, MeasuredRow};
 use ttsnn_core::TtMode;
 use ttsnn_data::{Dataset, GestureStream, StaticImages};
 use ttsnn_snn::augment::nda_augment;
-use ttsnn_snn::{ConvPolicy, LossKind, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn};
+use ttsnn_snn::{ConvPolicy, LossKind, Model, ResNetConfig, ResNetSnn, VggConfig, VggSnn};
 use ttsnn_tensor::Rng;
 
 enum Arch {
@@ -20,7 +20,7 @@ enum Arch {
     Vgg11,
 }
 
-fn build(arch: &Arch, policy: &ConvPolicy, t: usize, rng: &mut Rng) -> Box<dyn SpikingModel> {
+fn build(arch: &Arch, policy: &ConvPolicy, t: usize, rng: &mut Rng) -> Box<dyn Model> {
     match arch {
         Arch::ResNet20 => {
             Box::new(ResNetSnn::new(ResNetConfig::resnet20(10, (16, 16), 2), policy, rng))

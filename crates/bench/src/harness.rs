@@ -7,7 +7,7 @@
 
 use ttsnn_core::TtMode;
 use ttsnn_data::Dataset;
-use ttsnn_snn::{evaluate, train, ConvPolicy, LossKind, SpikingModel, TrainConfig};
+use ttsnn_snn::{evaluate, train, ConvPolicy, LossKind, Model, TrainConfig};
 use ttsnn_tensor::Rng;
 
 /// One measured row of a results table.
@@ -117,7 +117,7 @@ pub fn measured_policies(timesteps: usize) -> Vec<(&'static str, ConvPolicy)> {
 /// Panics if the dataset is too small to form a single batch, or on
 /// internal shape errors (which indicate a bug, not bad input).
 pub fn train_and_measure(
-    model: &mut dyn SpikingModel,
+    model: &mut dyn Model,
     method: &str,
     dataset: &Dataset,
     cfg: &ExperimentConfig,
@@ -137,9 +137,9 @@ pub fn train_and_measure(
         weight_decay: 1e-4,
         loss: cfg.loss,
     };
-    let report = train(model, &train_batches, &test_batches, &tc).expect("training failed");
+    let report = train(&mut *model, &train_batches, &test_batches, &tc).expect("training failed");
     let test_accuracy = if test_batches.is_empty() {
-        evaluate(model, &train_batches).expect("evaluation failed")
+        evaluate(&mut *model, &train_batches).expect("evaluation failed")
     } else {
         report.test_accuracy
     };

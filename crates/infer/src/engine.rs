@@ -1,0 +1,467 @@
+//! The batched inference engine: frozen plans, request coalescing,
+//! tickets.
+//!
+//! # Threading model
+//!
+//! The autograd graph handles inside a model (`Var`) are `Rc`-based and
+//! deliberately not `Send`, so — like `ttsnn_snn::ShardedTrainer`'s
+//! replicas — the plan's model is **built on the executor thread** from
+//! `Send` ingredients (the architecture config and the raw checkpoint
+//! bytes) and never leaves it. Sessions talk to the executor over an
+//! `mpsc` channel; replies travel back through per-request channels
+//! wrapped in [`Ticket`]s. Inside the executor every conv/GEMM still fans
+//! out across the kernel runtime's persistent worker pool, so one engine
+//! uses all cores even while serving a single request.
+//!
+//! # Batching policy
+//!
+//! The executor blocks for the first request, then keeps admitting
+//! requests until the batch holds [`BatchPolicy::max_batch`] samples or
+//! [`BatchPolicy::max_wait`] has elapsed since the batch opened —
+//! classic dynamic micro-batching. Because the plan runs in per-sample
+//! mode (see the crate docs), the policy is a pure latency/throughput
+//! trade-off: it cannot change any output bit.
+
+use std::io::{self, Read};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ttsnn_snn::{
+    checkpoint, ConvPolicy, InferStats, Model, ResNetConfig, ResNetSnn, SpikingModel, VggConfig,
+    VggSnn,
+};
+use ttsnn_tensor::{runtime, Rng, Tensor};
+
+/// Which architecture the engine instantiates before loading weights.
+#[derive(Debug, Clone)]
+pub enum ArchSpec {
+    /// A spiking VGG (`ttsnn_snn::VggSnn`).
+    Vgg(VggConfig),
+    /// A spiking (MS-)ResNet (`ttsnn_snn::ResNetSnn`).
+    ResNet(ResNetConfig),
+}
+
+impl ArchSpec {
+    /// Expected per-frame input shape `(C, H, W)`.
+    fn frame_shape(&self) -> [usize; 3] {
+        match self {
+            ArchSpec::Vgg(c) => [c.in_channels, c.in_hw.0, c.in_hw.1],
+            ArchSpec::ResNet(c) => [c.in_channels, c.in_hw.0, c.in_hw.1],
+        }
+    }
+}
+
+/// Dynamic micro-batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Hard cap on requests coalesced into one forward pass (≥ 1).
+    pub max_batch: usize,
+    /// How long an open batch waits for co-travellers before executing.
+    /// `Duration::ZERO` serves every request the moment it arrives.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchPolicy {
+    /// Up to 8 requests per batch, 2 ms collection window.
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait: Duration::from_millis(2) }
+    }
+}
+
+/// Everything needed to freeze an execution plan.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Architecture to instantiate.
+    pub arch: ArchSpec,
+    /// Convolution policy the checkpoint was trained under.
+    pub policy: ConvPolicy,
+    /// Timesteps per request (the `T` of the BPTT unrolling).
+    pub timesteps: usize,
+    /// Merge TT cores back into dense kernels after loading (the paper's
+    /// deployment pipeline). No-op for dense checkpoints.
+    pub merge_into_dense: bool,
+    /// Request-coalescing policy.
+    pub batching: BatchPolicy,
+}
+
+impl EngineConfig {
+    /// A config with default batching and no merge-back.
+    pub fn new(arch: ArchSpec, policy: ConvPolicy, timesteps: usize) -> Self {
+        Self { arch, policy, timesteps, merge_into_dense: false, batching: BatchPolicy::default() }
+    }
+
+    /// Enables TT→dense merge-back at load time.
+    pub fn merged(mut self) -> Self {
+        self.merge_into_dense = true;
+        self
+    }
+
+    /// Overrides the batching policy.
+    pub fn with_batching(mut self, batching: BatchPolicy) -> Self {
+        self.batching = batching;
+        self
+    }
+}
+
+/// What a loaded plan looks like (reported by [`Engine::info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanInfo {
+    /// Model name, e.g. `"VGG9 [merged-dense]"`.
+    pub model: String,
+    /// Trainable parameter count of the serving model.
+    pub num_params: usize,
+    /// TT layers merged into dense kernels at load time.
+    pub merged_layers: usize,
+    /// Classes per logit vector.
+    pub num_classes: usize,
+}
+
+/// Errors surfaced by submission and tickets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// The request's input tensor does not match the plan.
+    Shape(String),
+    /// The engine (executor thread) has shut down.
+    EngineClosed,
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::Shape(msg) => write!(f, "shape error: {msg}"),
+            InferError::EngineClosed => write!(f, "inference engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+struct Request {
+    /// `(C, H, W)` — one frame repeated across timesteps — or
+    /// `(T, C, H, W)` — explicit per-timestep frames (event data).
+    input: Tensor,
+    reply: Sender<Result<Tensor, InferError>>,
+}
+
+/// Channel protocol between sessions/engine and the executor. `Shutdown`
+/// comes only from `Engine::drop` — sessions may outlive the engine, so
+/// the executor cannot rely on sender-count-zero to terminate.
+enum Msg {
+    Job(Request),
+    Shutdown,
+}
+
+/// A handle on one in-flight request. [`Ticket::wait`] blocks until the
+/// executor has served the batch the request rode in.
+pub struct Ticket {
+    rx: Receiver<Result<Tensor, InferError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request's `(K,)` logits are ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::Shape`] if the input did not match the plan,
+    /// or [`InferError::EngineClosed`] if the engine shut down first.
+    pub fn wait(self) -> Result<Tensor, InferError> {
+        self.rx.recv().map_err(|_| InferError::EngineClosed)?
+    }
+}
+
+/// A clonable, `Send` submission handle. All sessions of one engine feed
+/// the same executor; clone freely across threads.
+#[derive(Clone)]
+pub struct Session {
+    tx: Sender<Msg>,
+}
+
+impl Session {
+    /// Submits one sample — `(C, H, W)` for direct coding (the frame is
+    /// repeated at every timestep) or `(T, C, H, W)` for explicit
+    /// per-timestep frames — and returns a [`Ticket`] for its logits.
+    /// Shape validation happens on the executor; a bad input fails its
+    /// own ticket without disturbing the batch it arrived with.
+    pub fn submit(&self, input: Tensor) -> Ticket {
+        let (reply, rx) = channel();
+        // If the engine is gone the reply sender is dropped here and the
+        // ticket reports EngineClosed.
+        let _ = self.tx.send(Msg::Job(Request { input, reply }));
+        Ticket { rx }
+    }
+
+    /// Submit-and-wait convenience for synchronous callers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Ticket::wait`].
+    pub fn infer(&self, input: Tensor) -> Result<Tensor, InferError> {
+        self.submit(input).wait()
+    }
+}
+
+/// A frozen, serving-ready model plus its executor thread.
+///
+/// Dropping the engine hangs up all sessions, drains nothing further, and
+/// joins the executor.
+pub struct Engine {
+    tx: Option<Sender<Msg>>,
+    handle: Option<JoinHandle<()>>,
+    info: PlanInfo,
+}
+
+impl Engine {
+    /// Builds the architecture, loads the checkpoint into it, optionally
+    /// merges TT cores into dense kernels, and starts the executor.
+    ///
+    /// The model is constructed on the executor thread (autograd handles
+    /// are not `Send`); `load` blocks until the plan is ready or failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if the checkpoint does not match the
+    /// architecture (see `ttsnn_snn::checkpoint::load_params`), plus any
+    /// I/O error from `checkpoint`.
+    pub fn load(config: EngineConfig, mut checkpoint: impl Read) -> io::Result<Engine> {
+        let mut bytes = Vec::new();
+        checkpoint.read_to_end(&mut bytes)?;
+        let (tx, rx) = channel::<Msg>();
+        let (ready_tx, ready_rx) = channel::<Result<PlanInfo, String>>();
+        let cfg = config.clone();
+        let handle = std::thread::Builder::new()
+            .name("ttsnn-infer-executor".to_string())
+            .spawn(move || {
+                let (mut model, info) = match build_plan(&cfg, &bytes) {
+                    Ok(built) => built,
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                        return;
+                    }
+                };
+                if ready_tx.send(Ok(info)).is_err() {
+                    return; // loader gave up
+                }
+                executor(model.as_mut(), &cfg, &rx);
+            })
+            .expect("spawn inference executor");
+        match ready_rx.recv() {
+            Ok(Ok(info)) => Ok(Engine { tx: Some(tx), handle: Some(handle), info }),
+            Ok(Err(msg)) => {
+                drop(tx);
+                let _ = handle.join();
+                Err(io::Error::new(io::ErrorKind::InvalidData, msg))
+            }
+            Err(_) => {
+                drop(tx);
+                let panic_msg = match handle.join() {
+                    Err(_) => "inference executor panicked during plan construction",
+                    Ok(()) => "inference executor exited during plan construction",
+                };
+                Err(io::Error::other(panic_msg))
+            }
+        }
+    }
+
+    /// What the loaded plan looks like.
+    pub fn info(&self) -> &PlanInfo {
+        &self.info
+    }
+
+    /// A new submission handle. Sessions are cheap; clone them across
+    /// client threads at will.
+    pub fn session(&self) -> Session {
+        Session { tx: self.tx.as_ref().expect("engine running").clone() }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // An explicit shutdown message, not a sender hang-up: outstanding
+        // `Session` clones may keep the channel alive indefinitely.
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(handle) = self.handle.take() {
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("inference executor panicked");
+            }
+        }
+    }
+}
+
+/// Constructs the model on the executor thread and freezes the plan.
+/// Checkpoint loading and TT→dense merge-back both happen here, on the
+/// concrete type, before it is type-erased behind `dyn Model`.
+fn build_plan(cfg: &EngineConfig, ckpt: &[u8]) -> Result<(Box<dyn Model>, PlanInfo), String> {
+    if cfg.timesteps == 0 {
+        return Err("EngineConfig.timesteps must be at least 1".to_string());
+    }
+    // Weights are overwritten by the checkpoint; the seed is irrelevant.
+    let mut rng = Rng::seed_from(0);
+    let merge = cfg.merge_into_dense;
+    let (model, num_classes, merged_layers): (Box<dyn Model>, usize, usize) = match &cfg.arch {
+        ArchSpec::Vgg(c) => {
+            let mut m = VggSnn::new(c.clone(), &cfg.policy, &mut rng);
+            checkpoint::load_params(&m.params(), ckpt).map_err(|e| e.to_string())?;
+            let merged = if merge { m.merge_into_dense().map_err(|e| e.to_string())? } else { 0 };
+            (Box::new(m), c.num_classes, merged)
+        }
+        ArchSpec::ResNet(c) => {
+            let mut m = ResNetSnn::new(c.clone(), &cfg.policy, &mut rng);
+            checkpoint::load_params(&m.params(), ckpt).map_err(|e| e.to_string())?;
+            let merged = if merge { m.merge_into_dense().map_err(|e| e.to_string())? } else { 0 };
+            (Box::new(m), c.num_classes, merged)
+        }
+    };
+    let mut model = model;
+    // The serving contract: per-sample semantics, whatever the batch.
+    model.set_infer_stats(InferStats::PerSample);
+    let info = PlanInfo {
+        model: model.name(),
+        num_params: model.num_params(),
+        merged_layers,
+        num_classes,
+    };
+    Ok((model, info))
+}
+
+/// The executor loop: coalesce → forward T timesteps → scatter replies.
+/// Exits on [`Msg::Shutdown`] (from `Engine::drop`) or when every sender
+/// is gone; a shutdown received mid-collection still serves the batch
+/// already admitted.
+fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
+    let frame_shape = cfg.arch.frame_shape();
+    let max_batch = cfg.batching.max_batch.max(1);
+    loop {
+        let first = match rx.recv() {
+            Ok(Msg::Job(r)) => r,
+            Ok(Msg::Shutdown) | Err(_) => return,
+        };
+        let mut pending = vec![first];
+        let mut shutting_down = false;
+        // `checked_add`: huge `max_wait` values (e.g. `Duration::MAX` as a
+        // "wait until the batch fills" sentinel) would overflow `Instant`
+        // arithmetic; `None` means no deadline — block until full.
+        let deadline = Instant::now().checked_add(cfg.batching.max_wait);
+        while pending.len() < max_batch {
+            let msg = match deadline {
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        // Zero-wait policies still drain what already queued.
+                        match rx.try_recv() {
+                            Ok(m) => m,
+                            Err(_) => break,
+                        }
+                    } else {
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(m) => m,
+                            Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                                break
+                            }
+                        }
+                    }
+                }
+            };
+            match msg {
+                Msg::Job(r) => pending.push(r),
+                Msg::Shutdown => {
+                    shutting_down = true;
+                    break;
+                }
+            }
+        }
+        serve_batch(model, cfg.timesteps, frame_shape, pending);
+        if shutting_down {
+            return;
+        }
+    }
+}
+
+/// Validates, stacks, runs and scatters one coalesced batch.
+fn serve_batch(
+    model: &mut dyn Model,
+    timesteps: usize,
+    frame_shape: [usize; 3],
+    pending: Vec<Request>,
+) {
+    // Validate each request independently: a malformed input must fail its
+    // own ticket, not its co-travellers'.
+    let mut accepted: Vec<Request> = Vec::with_capacity(pending.len());
+    for req in pending {
+        match validate(&req.input, timesteps, frame_shape) {
+            Ok(()) => accepted.push(req),
+            Err(msg) => {
+                let _ = req.reply.send(Err(InferError::Shape(msg)));
+            }
+        }
+    }
+    if accepted.is_empty() {
+        return;
+    }
+    let b = accepted.len();
+    let [c, h, w] = frame_shape;
+    let frame_len = c * h * w;
+    model.reset_state();
+    // One arena-recycled stacking buffer, refilled per timestep; consumed
+    // logits also go back to the arena — the serving hot loop's only
+    // steady-state allocations are the model's own conv outputs.
+    let mut stack_buf = runtime::take_buffer(b * frame_len);
+    let mut summed: Option<Tensor> = None;
+    for t in 0..timesteps {
+        // Stack each request's frame for timestep t into (B, C, H, W).
+        for (slot, req) in stack_buf.chunks_mut(frame_len).zip(&accepted) {
+            let offset = if req.input.ndim() == 4 { t * frame_len } else { 0 };
+            slot.copy_from_slice(&req.input.data()[offset..offset + frame_len]);
+        }
+        let batch = Tensor::from_vec(std::mem::take(&mut stack_buf), &[b, c, h, w])
+            .expect("stacked batch shape");
+        let step = model.forward_timestep_tensor(&batch, t);
+        stack_buf = batch.into_vec();
+        match step {
+            Ok(logits) => match summed.as_mut() {
+                Some(s) => {
+                    s.add_scaled(&logits, 1.0).expect("logit accumulation shape");
+                    runtime::recycle_buffer(logits.into_vec());
+                }
+                None => summed = Some(logits),
+            },
+            Err(e) => {
+                // Should be unreachable after validation; fail the batch.
+                model.reset_state();
+                runtime::recycle_buffer(stack_buf);
+                for req in accepted {
+                    let _ = req.reply.send(Err(InferError::Shape(e.to_string())));
+                }
+                return;
+            }
+        }
+    }
+    runtime::recycle_buffer(stack_buf);
+    let summed = summed.expect("timesteps >= 1");
+    let k = summed.len() / b;
+    for (i, req) in accepted.into_iter().enumerate() {
+        let row = summed.data()[i * k..(i + 1) * k].to_vec();
+        let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
+        let _ = req.reply.send(Ok(logits));
+    }
+    runtime::recycle_buffer(summed.into_vec());
+}
+
+fn validate(input: &Tensor, timesteps: usize, frame_shape: [usize; 3]) -> Result<(), String> {
+    let [c, h, w] = frame_shape;
+    match input.ndim() {
+        3 if input.shape() == [c, h, w] => Ok(()),
+        4 if input.shape() == [timesteps, c, h, w] => Ok(()),
+        _ => Err(format!(
+            "request input {:?} does not match the plan: expected ({c}, {h}, {w}) or \
+             ({timesteps}, {c}, {h}, {w})",
+            input.shape()
+        )),
+    }
+}

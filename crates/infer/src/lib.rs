@@ -1,0 +1,54 @@
+//! # ttsnn-infer
+//!
+//! The serving side of the two-plane model API: an [`Engine`] loads a
+//! **frozen execution plan** — architecture config + checkpoint,
+//! optionally merged back into dense kernels (Algorithm 1, lines 20–22) —
+//! onto a dedicated executor thread, and [`Session`]s feed it concurrent
+//! single-sample requests. Requests are **coalesced into micro-batches**
+//! under a [`BatchPolicy`] (`max_batch` / `max_wait`) and executed
+//! graph-free on the inference plane (`ttsnn_snn::InferForward`), where
+//! every conv/GEMM fans out over the persistent kernel worker pool.
+//!
+//! ## Determinism contract
+//!
+//! The plan runs in [`ttsnn_snn::InferStats::PerSample`] mode: every
+//! sample is processed exactly as if it were alone in a batch. A
+//! request's logits are therefore **bit-identical** whatever requests it
+//! happened to be coalesced with, whatever the arrival order, and
+//! whatever `TTSNN_NUM_THREADS` says — and equal, bit for bit, to a
+//! batch-of-1 pass through the training plane. Batching changes
+//! wall-clock only. `crates/infer/tests/engine.rs` pins all of this.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ttsnn_infer::{ArchSpec, BatchPolicy, Engine, EngineConfig};
+//! use ttsnn_snn::{checkpoint, ConvPolicy, SpikingModel, VggConfig, VggSnn};
+//! use ttsnn_tensor::{Rng, Tensor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Train-side: build (or train) a model and checkpoint it.
+//! let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+//! let model = VggSnn::new(cfg.clone(), &ConvPolicy::Baseline, &mut Rng::seed_from(7));
+//! let mut ckpt = Vec::new();
+//! checkpoint::save_params(&model.params(), &mut ckpt)?;
+//!
+//! // Serve-side: freeze a plan and submit a request.
+//! let engine = Engine::load(
+//!     EngineConfig::new(ArchSpec::Vgg(cfg), ConvPolicy::Baseline, 2),
+//!     ckpt.as_slice(),
+//! )?;
+//! let session = engine.session();
+//! let logits = session.infer(Tensor::zeros(&[3, 8, 8]))?;
+//! assert_eq!(logits.shape(), &[5]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+
+pub use engine::{
+    ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanInfo, Session, Ticket,
+};

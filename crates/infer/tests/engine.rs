@@ -1,0 +1,245 @@
+//! Engine/session determinism and robustness tests.
+//!
+//! The headline property: a request's logits are **bit-identical**
+//! whatever batch the dynamic micro-batcher coalesced it into, whatever
+//! the submission concurrency, and equal to a batch-of-1 pass through the
+//! *training* plane of the same checkpoint — the serving extension of the
+//! workspace determinism contract. CI re-runs this suite under
+//! `TTSNN_NUM_THREADS=2` and `8`.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ttsnn_autograd::Var;
+use ttsnn_core::TtMode;
+use ttsnn_infer::{ArchSpec, BatchPolicy, Engine, EngineConfig, InferError};
+use ttsnn_snn::{
+    checkpoint, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainForward, VggConfig, VggSnn,
+};
+use ttsnn_tensor::{Rng, Tensor};
+
+const T: usize = 2;
+
+fn vgg_cfg() -> VggConfig {
+    VggConfig::vgg9(3, 5, (8, 8), 16)
+}
+
+fn resnet_cfg() -> ResNetConfig {
+    ResNetConfig::resnet20(4, (8, 8), 4)
+}
+
+/// Builds a model, checkpoints it, and returns (checkpoint, model).
+fn vgg_checkpoint(policy: &ConvPolicy, seed: u64) -> (Vec<u8>, VggSnn) {
+    let mut rng = Rng::seed_from(seed);
+    let model = VggSnn::new(vgg_cfg(), policy, &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).unwrap();
+    (ckpt, model)
+}
+
+fn samples(seed: u64, n: usize) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from(seed ^ 0xABCD);
+    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+}
+
+/// Reference: the training plane on a batch of one — per-sample summed
+/// logits under direct coding (frame repeated every timestep).
+fn train_plane_reference(model: &mut impl TrainForward, sample: &Tensor) -> Tensor {
+    model.reset_state();
+    // (C,H,W) -> (1,C,H,W)
+    let mut batched_shape = vec![1usize];
+    batched_shape.extend_from_slice(sample.shape());
+    let x = Var::constant(Tensor::from_vec(sample.data().to_vec(), &batched_shape).unwrap());
+    let mut sum: Option<Tensor> = None;
+    for t in 0..T {
+        let logits = model.forward_timestep(&x, t).unwrap().to_tensor();
+        match sum.as_mut() {
+            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
+            None => sum = Some(logits),
+        }
+    }
+    let s = sum.unwrap();
+    let k = s.shape()[1];
+    Tensor::from_vec(s.data().to_vec(), &[k]).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Coalescing policy cannot change a single output bit, and serving
+    /// equals the training plane at batch size 1.
+    #[test]
+    fn batching_invariance_and_train_plane_parity(seed in 0u64..500) {
+        let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::tt(TtMode::Ptt), seed);
+        let inputs = samples(seed, 6);
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|s| train_plane_reference(&mut reference_model, s))
+            .collect();
+        for (max_batch, max_wait_ms) in [(1usize, 0u64), (3, 40), (6, 40)] {
+            let engine = Engine::load(
+                EngineConfig::new(
+                    ArchSpec::Vgg(vgg_cfg()),
+                    ConvPolicy::tt(TtMode::Ptt),
+                    T,
+                )
+                .with_batching(BatchPolicy {
+                    max_batch,
+                    max_wait: Duration::from_millis(max_wait_ms),
+                }),
+                ckpt.as_slice(),
+            )
+            .unwrap();
+            let session = engine.session();
+            // Submit everything first so the batcher actually coalesces.
+            let tickets: Vec<_> = inputs.iter().map(|s| session.submit(s.clone())).collect();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                let got = ticket.wait().unwrap();
+                prop_assert_eq!(
+                    &got, &expected[i],
+                    "sample {} diverged under max_batch={} (batching must be invisible)",
+                    i, max_batch
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_sessions_get_bit_identical_answers() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 77);
+    let inputs = samples(77, 8);
+    let expected: Vec<Tensor> =
+        inputs.iter().map(|s| train_plane_reference(&mut reference_model, s)).collect();
+    let engine = Engine::load(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T)
+            .with_batching(BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(30) }),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let results: Vec<(usize, Tensor)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let session = engine.session();
+            handles.push(scope.spawn(move || (i, session.infer(input.clone()).unwrap())));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, got) in results {
+        assert_eq!(got, expected[i], "concurrent request {i} diverged");
+    }
+}
+
+#[test]
+fn merged_plan_approximates_tt_plan_and_reports_merge() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::tt(TtMode::Ptt), 5);
+    let base = EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::tt(TtMode::Ptt), T);
+    let tt_engine = Engine::load(base.clone(), ckpt.as_slice()).unwrap();
+    let merged_engine = Engine::load(base.merged(), ckpt.as_slice()).unwrap();
+    assert_eq!(tt_engine.info().merged_layers, 0);
+    assert_eq!(merged_engine.info().merged_layers, 5); // VGG9: stem stays dense
+    assert!(merged_engine.info().model.contains("merged-dense"));
+    let x = samples(5, 1).remove(0);
+    let tt = tt_engine.session().infer(x.clone()).unwrap();
+    let merged = merged_engine.session().infer(x).unwrap();
+    assert!(
+        tt.max_abs_diff(&merged).unwrap() < 1e-2,
+        "merged-dense serving must reproduce the TT plan"
+    );
+}
+
+#[test]
+fn resnet_event_style_requests_with_per_timestep_frames() {
+    let mut rng = Rng::seed_from(9);
+    let model = ResNetSnn::new(resnet_cfg(), &ConvPolicy::tt(TtMode::Stt), &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).unwrap();
+    let engine = Engine::load(
+        EngineConfig::new(ArchSpec::ResNet(resnet_cfg()), ConvPolicy::tt(TtMode::Stt), T),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = engine.session();
+    // (T, C, H, W): explicit per-timestep frames.
+    let x = Tensor::rand_uniform(&[T, 3, 8, 8], 0.0, 1.0, &mut rng);
+    let logits = session.infer(x).unwrap();
+    assert_eq!(logits.shape(), &[4]);
+    assert_eq!(engine.info().num_classes, 4);
+}
+
+#[test]
+fn duration_max_means_wait_until_full() {
+    // `max_wait: Duration::MAX` is a natural "hold until max_batch"
+    // sentinel; it must not overflow Instant arithmetic and panic the
+    // executor.
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 8);
+    let engine = Engine::load(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T)
+            .with_batching(BatchPolicy { max_batch: 2, max_wait: Duration::MAX }),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = engine.session();
+    let inputs = samples(8, 2);
+    // Submit exactly max_batch requests; the batch fills and executes.
+    let t0 = session.submit(inputs[0].clone());
+    let t1 = session.submit(inputs[1].clone());
+    assert_eq!(t0.wait().unwrap(), train_plane_reference(&mut reference_model, &inputs[0]));
+    assert_eq!(t1.wait().unwrap(), train_plane_reference(&mut reference_model, &inputs[1]));
+}
+
+#[test]
+fn bad_inputs_fail_their_own_ticket_only() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 3);
+    let engine = Engine::load(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T)
+            .with_batching(BatchPolicy { max_batch: 3, max_wait: Duration::from_millis(30) }),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = engine.session();
+    let good_input = samples(3, 1).remove(0);
+    let good = session.submit(good_input.clone());
+    let bad = session.submit(Tensor::zeros(&[2, 8, 8])); // wrong channels
+    let expected = train_plane_reference(&mut reference_model, &good_input);
+    assert_eq!(good.wait().unwrap(), expected, "good request must survive a bad co-traveller");
+    match bad.wait() {
+        Err(InferError::Shape(msg)) => assert!(msg.contains("does not match the plan"), "{msg}"),
+        other => panic!("expected shape error, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_rejects_mismatched_checkpoint() {
+    let mut rng = Rng::seed_from(4);
+    // Checkpoint from a *different* architecture (ResNet20 vs VGG9).
+    let wrong = ResNetSnn::new(resnet_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&wrong.params(), &mut ckpt).unwrap();
+    let result = Engine::load(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T),
+        ckpt.as_slice(),
+    );
+    match result {
+        Err(err) => assert_eq!(err.kind(), std::io::ErrorKind::InvalidData),
+        Ok(_) => panic!("mismatched checkpoint must be rejected"),
+    }
+}
+
+#[test]
+fn tickets_report_engine_shutdown() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::Baseline, 6);
+    let session = {
+        let engine = Engine::load(
+            EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T),
+            ckpt.as_slice(),
+        )
+        .unwrap();
+        engine.session()
+        // engine dropped here: executor joins
+    };
+    match session.infer(samples(6, 1).remove(0)) {
+        Err(InferError::EngineClosed) => {}
+        other => panic!("expected EngineClosed, got {other:?}"),
+    }
+}

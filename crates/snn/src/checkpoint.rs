@@ -9,6 +9,18 @@
 //! Parameters are identified *positionally*: save and load must use the
 //! same architecture (the same [`crate::SpikingModel::params`] order),
 //! which the loader enforces by shape-checking every tensor.
+//!
+//! # Format history
+//!
+//! * **v2** (written by [`save_params`]): magic `TTSN`, `u32` version,
+//!   `u64` tensor count, a **length table** (`u64` element count per
+//!   tensor), then the tensors (`u32` rank, `u64` dims, `f32` data). The
+//!   table lets the loader reject an architecture mismatch with a precise
+//!   per-tensor error *before* reading megabytes of weights.
+//! * **v1**: as v2 but without the length table. Still readable.
+//! * **v0** (headerless, pre-versioning): the bare tensor list with no
+//!   magic/version/count. Still readable — the loader detects the missing
+//!   magic and falls back.
 
 use std::io::{self, Read, Write};
 
@@ -16,7 +28,7 @@ use ttsnn_autograd::Var;
 use ttsnn_tensor::Tensor;
 
 const MAGIC: &[u8; 4] = b"TTSN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
@@ -42,8 +54,8 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Serializes parameter tensors to a writer. Pass `&mut` of anything
-/// `Write` (a `File`, a `Vec<u8>`, …).
+/// Serializes parameter tensors to a writer in the current (v2) format.
+/// Pass `&mut` of anything `Write` (a `File`, a `Vec<u8>`, …).
 ///
 /// # Errors
 ///
@@ -52,6 +64,10 @@ pub fn save_params<W: Write>(params: &[Var], mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
     write_u64(&mut w, params.len() as u64)?;
+    // v2 length table: element count per tensor, up front.
+    for p in params {
+        write_u64(&mut w, p.value().len() as u64)?;
+    }
     for p in params {
         let t = p.value();
         write_u32(&mut w, t.ndim() as u32)?;
@@ -65,22 +81,86 @@ pub fn save_params<W: Write>(params: &[Var], mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Reads one tensor record (`u32` rank, `u64` dims, `f32` data),
+/// shape-checked against destination parameter `p`.
+fn read_tensor<R: Read>(r: &mut R, p: &Var, i: usize) -> io::Result<Tensor> {
+    let ndim = read_u32(r)? as usize;
+    if ndim > 8 {
+        return Err(bad(format!("tensor {i}: implausible rank {ndim}")));
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        shape.push(read_u64(r)? as usize);
+    }
+    if shape != p.shape() {
+        return Err(bad(format!(
+            "tensor {i}: checkpoint shape {:?} vs model shape {:?}",
+            shape,
+            p.shape()
+        )));
+    }
+    let n: usize = shape.iter().product();
+    let mut data = vec![0.0f32; n];
+    for v in &mut data {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *v = f32::from_le_bytes(b);
+    }
+    Tensor::from_vec(data, &shape).map_err(|e| bad(e.to_string()))
+}
+
+/// Decodes the tensor list shared by every format version. Callers
+/// install the result only once the whole stream validated, so a partial
+/// read never leaves the model half-loaded.
+fn decode_tensor_list<R: Read>(params: &[Var], r: &mut R) -> io::Result<Vec<Tensor>> {
+    let mut tensors = Vec::with_capacity(params.len());
+    for (i, p) in params.iter().enumerate() {
+        tensors.push(read_tensor(r, p, i)?);
+    }
+    Ok(tensors)
+}
+
+fn install(params: &[Var], tensors: Vec<Tensor>) {
+    for (p, t) in params.iter().zip(tensors) {
+        p.set_value(t);
+    }
+}
+
 /// Loads a checkpoint into existing parameters, in order, shape-checked.
+/// Understands the current v2 format plus the legacy v1 (no length table)
+/// and v0 (headerless) streams.
 ///
 /// # Errors
 ///
 /// Returns an `InvalidData` error if the stream is not a checkpoint, the
-/// version is unsupported, the parameter count differs, or any tensor's
-/// shape disagrees with the destination parameter.
+/// version is unsupported, the parameter count differs, any length-table
+/// entry disagrees with the destination parameter (v2 — reported before
+/// any weight data is read), or any tensor's shape disagrees with the
+/// destination parameter.
 pub fn load_params<R: Read>(params: &[Var], mut r: R) -> io::Result<()> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(bad("not a TT-SNN checkpoint (bad magic)"));
+        // v0: headerless tensor list — the four bytes we consumed are the
+        // first tensor's rank field.
+        let mut chained = magic.as_slice().chain(r);
+        let tensors = decode_tensor_list(params, &mut chained)?;
+        let mut probe = [0u8; 1];
+        if chained.read(&mut probe)? != 0 {
+            return Err(bad(format!(
+                "headerless checkpoint has trailing data after {} tensors \
+                 (architecture mismatch?)",
+                params.len()
+            )));
+        }
+        install(params, tensors);
+        return Ok(());
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(bad(format!("unsupported checkpoint version {version}")));
+    if version == 0 || version > VERSION {
+        return Err(bad(format!(
+            "unsupported checkpoint version {version} (this build reads v0..=v{VERSION})"
+        )));
     }
     let count = read_u64(&mut r)? as usize;
     if count != params.len() {
@@ -89,37 +169,23 @@ pub fn load_params<R: Read>(params: &[Var], mut r: R) -> io::Result<()> {
             params.len()
         )));
     }
-    // Decode everything first so a partial read never leaves the model
-    // half-loaded.
-    let mut tensors = Vec::with_capacity(count);
-    for (i, p) in params.iter().enumerate() {
-        let ndim = read_u32(&mut r)? as usize;
-        if ndim > 8 {
-            return Err(bad(format!("tensor {i}: implausible rank {ndim}")));
+    if version >= 2 {
+        // Length table: catch architecture mismatches up front with a
+        // per-tensor message instead of failing mid-stream.
+        for (i, p) in params.iter().enumerate() {
+            let len = read_u64(&mut r)? as usize;
+            let want = p.value().len();
+            if len != want {
+                return Err(bad(format!(
+                    "tensor {i}: checkpoint holds {len} elements but the model parameter \
+                     has {want} (shape {:?}) — architecture mismatch?",
+                    p.shape()
+                )));
+            }
         }
-        let mut shape = Vec::with_capacity(ndim);
-        for _ in 0..ndim {
-            shape.push(read_u64(&mut r)? as usize);
-        }
-        if shape != p.shape() {
-            return Err(bad(format!(
-                "tensor {i}: checkpoint shape {:?} vs model shape {:?}",
-                shape,
-                p.shape()
-            )));
-        }
-        let n: usize = shape.iter().product();
-        let mut data = vec![0.0f32; n];
-        for v in &mut data {
-            let mut b = [0u8; 4];
-            r.read_exact(&mut b)?;
-            *v = f32::from_le_bytes(b);
-        }
-        tensors.push(Tensor::from_vec(data, &shape).map_err(|e| bad(e.to_string()))?);
     }
-    for (p, t) in params.iter().zip(tensors) {
-        p.set_value(t);
-    }
+    let tensors = decode_tensor_list(params, &mut r)?;
+    install(params, tensors);
     Ok(())
 }
 
@@ -127,7 +193,7 @@ pub fn load_params<R: Read>(params: &[Var], mut r: R) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::conv_unit::ConvPolicy;
-    use crate::model::SpikingModel;
+    use crate::model::{SpikingModel, TrainForward};
     use crate::resnet::{ResNetConfig, ResNetSnn};
     use ttsnn_tensor::Rng;
 
@@ -172,6 +238,67 @@ mod tests {
         save_params(&p, &mut buf).unwrap();
         buf[4] = 99; // corrupt version field
         assert!(load_params(&p, buf.as_slice()).is_err());
+    }
+
+    /// Writes the given tensors in a legacy format: v0 has no header at
+    /// all, v1 has magic + version + count but no length table.
+    fn write_legacy(params: &[Var], version: u32) -> Vec<u8> {
+        let mut buf = Vec::new();
+        if version >= 1 {
+            buf.extend_from_slice(MAGIC);
+            buf.extend_from_slice(&version.to_le_bytes());
+            buf.extend_from_slice(&(params.len() as u64).to_le_bytes());
+        }
+        for p in params {
+            let t = p.value();
+            buf.extend_from_slice(&(t.ndim() as u32).to_le_bytes());
+            for &d in t.shape() {
+                buf.extend_from_slice(&(d as u64).to_le_bytes());
+            }
+            for &v in t.data() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        buf
+    }
+
+    #[test]
+    fn reads_legacy_v1_and_v0_streams() {
+        let mut rng = Rng::seed_from(5);
+        let src: Vec<Var> =
+            (0..3).map(|i| Var::param(Tensor::randn(&[2, i + 1], &mut rng))).collect();
+        for version in [0u32, 1] {
+            let buf = write_legacy(&src, version);
+            let dst: Vec<Var> = (0..3).map(|i| Var::param(Tensor::zeros(&[2, i + 1]))).collect();
+            load_params(&dst, buf.as_slice()).unwrap();
+            for (s, d) in src.iter().zip(&dst) {
+                assert_eq!(s.to_tensor(), d.to_tensor(), "legacy v{version} roundtrip");
+            }
+        }
+    }
+
+    #[test]
+    fn v0_trailing_data_is_rejected_without_installing() {
+        let src = [Var::param(Tensor::ones(&[2]))];
+        let mut buf = write_legacy(&src, 0);
+        buf.extend_from_slice(&write_legacy(&[Var::param(Tensor::ones(&[1]))], 0));
+        let dst = [Var::param(Tensor::zeros(&[2]))];
+        assert!(load_params(&dst, buf.as_slice()).is_err());
+        assert_eq!(dst[0].to_tensor().data(), &[0.0, 0.0], "failed load must not install");
+    }
+
+    #[test]
+    fn v2_length_table_reports_mismatch_before_weights() {
+        let src = [Var::param(Tensor::ones(&[4]))];
+        let mut buf = Vec::new();
+        save_params(&src, &mut buf).unwrap();
+        let dst = [Var::param(Tensor::zeros(&[5]))];
+        let err = load_params(&dst, buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("4 elements") && msg.contains("architecture mismatch"),
+            "length-table error should name the offending tensor, got: {msg}"
+        );
     }
 
     #[test]

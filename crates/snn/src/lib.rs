@@ -25,6 +25,18 @@
 //! * [`checkpoint`] — binary save/load of model parameters (the hand-off
 //!   between pre-training, TT training and merged deployment), shared by
 //!   the classic and sharded trainers.
+//!
+//! # The two execution planes
+//!
+//! The model API is split ([`model`]): [`SpikingModel`] is the structural
+//! trait, [`TrainForward`] the autograd (`Var`) plane both trainers
+//! drive, and [`InferForward`] the graph-free tensor plane that
+//! [`evaluate`] and the `ttsnn_infer` serving engine run on. A network
+//! implementing both is a [`Model`]. [`InferStats`] selects between
+//! batch-faithful statistics (bit-identical to the training plane) and
+//! per-sample statistics (batch-composition-invariant serving).
+
+#![warn(missing_docs)]
 
 pub mod augment;
 pub mod checkpoint;
@@ -41,7 +53,7 @@ pub mod vgg;
 pub use conv_unit::{ConvPolicy, ConvUnit};
 pub use lif::{Lif, LifConfig};
 pub use loss::LossKind;
-pub use model::SpikingModel;
+pub use model::{InferForward, InferStats, Model, SpikingModel, TrainForward};
 pub use norm::{Norm, NormKind};
 pub use resnet::{ResNetConfig, ResNetSnn};
 pub use sharded::{ShardConfig, ShardedTrainer};

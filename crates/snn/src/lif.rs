@@ -12,7 +12,7 @@
 //! reset factor is detached from the graph, the standard STBP treatment.
 
 use ttsnn_autograd::{Surrogate, Var};
-use ttsnn_tensor::ShapeError;
+use ttsnn_tensor::{runtime, ShapeError, Tensor};
 
 /// LIF neuron hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +59,7 @@ impl Default for LifConfig {
 pub struct Lif {
     config: LifConfig,
     membrane: Option<Var>,
+    membrane_tensor: Option<Tensor>,
     spike_sum: f64,
     neuron_steps: f64,
 }
@@ -66,7 +67,7 @@ pub struct Lif {
 impl Lif {
     /// A fresh neuron layer with zeroed membrane.
     pub fn new(config: LifConfig) -> Self {
-        Self { config, membrane: None, spike_sum: 0.0, neuron_steps: 0.0 }
+        Self { config, membrane: None, membrane_tensor: None, spike_sum: 0.0, neuron_steps: 0.0 }
     }
 
     /// The neuron's configuration.
@@ -74,14 +75,20 @@ impl Lif {
         self.config
     }
 
-    /// Clears membrane state (call between batches / samples).
+    /// Clears membrane state on both planes (call between batches /
+    /// samples). The tensor plane's membrane buffer goes back to the
+    /// runtime arena for reuse.
     pub fn reset(&mut self) {
         self.membrane = None;
+        if let Some(m) = self.membrane_tensor.take() {
+            runtime::recycle_buffer(m.into_vec());
+        }
     }
 
-    /// Whether the membrane currently holds state from a previous step.
+    /// Whether the membrane currently holds state from a previous step on
+    /// either plane.
     pub fn has_state(&self) -> bool {
-        self.membrane.is_some()
+        self.membrane.is_some() || self.membrane_tensor.is_some()
     }
 
     /// Mean spike activity observed since the last
@@ -143,6 +150,68 @@ impl Lif {
         let gate = spikes.detach().scale(-1.0).add_scalar(1.0);
         self.membrane = Some(u.mul(&gate)?);
         Ok(spikes)
+    }
+
+    /// Advances one timestep on the **inference plane**: the same
+    /// arithmetic as [`Lif::step`] — integrate, fire, hard-reset —
+    /// executed on plain tensors with no autograd bookkeeping. Outputs are
+    /// bit-identical to the `Var` path on identical inputs.
+    ///
+    /// Takes `input` by value and reuses its buffer as the next membrane;
+    /// the spike output rides the previous membrane's buffer (or an arena
+    /// buffer on the first step), so steady-state timestep loops allocate
+    /// nothing here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `input`'s shape differs from the stored
+    /// membrane's (i.e. the caller changed batch shape without
+    /// [`Lif::reset`]).
+    pub fn step_tensor(&mut self, mut input: Tensor) -> Result<Tensor, ShapeError> {
+        let shape = input.shape().to_vec();
+        // u = τm · u_prev + x, written over `input`; the retired membrane's
+        // buffer becomes the spike output.
+        let mut spike_buf = match self.membrane_tensor.take() {
+            Some(prev) => {
+                if prev.shape() != shape.as_slice() {
+                    let prev_shape = prev.shape().to_vec();
+                    self.membrane_tensor = Some(prev);
+                    return Err(ShapeError::new(format!(
+                        "Lif::step_tensor: input shape {shape:?} does not match membrane \
+                         {prev_shape:?} (missing reset?)"
+                    )));
+                }
+                let tau = self.config.tau;
+                // `p * tau + u`: bit-equal to the Var path (float addition
+                // is commutative, only associativity is not).
+                for (u, &p) in input.data_mut().iter_mut().zip(prev.data()) {
+                    *u += p * tau;
+                }
+                prev.into_vec()
+            }
+            None => {
+                // Mirrors the Var path's `input.add_scalar(0.0)` first step.
+                for u in input.data_mut() {
+                    *u += 0.0;
+                }
+                runtime::take_buffer(shape.iter().product())
+            }
+        };
+        let vth = self.config.vth;
+        let mut fired = 0.0f32;
+        for (s, &u) in spike_buf.iter_mut().zip(input.data()) {
+            *s = if u >= vth { 1.0 } else { 0.0 };
+            fired += *s;
+        }
+        self.spike_sum += fired as f64;
+        self.neuron_steps += spike_buf.len() as f64;
+        // Hard reset, same value as the Var path's detached gate
+        // u · ((s · -1) + 1): negation is an exact sign flip.
+        for (u, &s) in input.data_mut().iter_mut().zip(spike_buf.iter()) {
+            *u *= -s + 1.0;
+        }
+        self.membrane_tensor = Some(input);
+        Tensor::from_vec(spike_buf, &shape)
     }
 }
 
@@ -251,6 +320,41 @@ mod tests {
         lif.clear_activity();
         assert!(lif.activity().is_none());
         assert!(lif.has_state(), "clearing stats must not touch the membrane");
+    }
+
+    #[test]
+    fn step_tensor_matches_var_step_bitwise() {
+        let mut rng = Rng::seed_from(3);
+        let mut var_lif = Lif::new(LifConfig::default());
+        let mut tsr_lif = Lif::new(LifConfig::default());
+        for _ in 0..6 {
+            let x = Tensor::randn(&[2, 5], &mut rng);
+            let via_var = var_lif.step(&Var::constant(x.clone())).unwrap().to_tensor();
+            let via_tensor = tsr_lif.step_tensor(x).unwrap();
+            assert_eq!(via_var, via_tensor);
+        }
+        assert_eq!(var_lif.activity_counts(), tsr_lif.activity_counts());
+    }
+
+    #[test]
+    fn step_tensor_shape_change_without_reset_is_error() {
+        let mut lif = Lif::new(LifConfig::default());
+        lif.step_tensor(Tensor::zeros(&[1, 3])).unwrap();
+        assert!(lif.has_state());
+        assert!(lif.step_tensor(Tensor::zeros(&[2, 3])).is_err());
+        lif.reset();
+        assert!(!lif.has_state());
+        assert!(lif.step_tensor(Tensor::zeros(&[2, 3])).is_ok());
+    }
+
+    #[test]
+    fn planes_hold_independent_state() {
+        let mut lif = Lif::new(LifConfig::default());
+        lif.step(&drive(0.3)).unwrap();
+        lif.step_tensor(Tensor::full(&[1, 3], 0.3)).unwrap();
+        assert!(lif.has_state());
+        lif.reset();
+        assert!(!lif.has_state());
     }
 
     #[test]

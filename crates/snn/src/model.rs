@@ -1,28 +1,72 @@
-//! The [`SpikingModel`] trait: what the BPTT trainer needs from a network.
+//! The model API, split into two **execution planes**.
+//!
+//! * [`SpikingModel`] — the structural trait: parameters, state reset,
+//!   naming and MAC accounting. Everything that is true of a network
+//!   regardless of how it is executed.
+//! * [`TrainForward`] — the training plane: timestep forward on autograd
+//!   [`Var`]s, building the BPTT tape the trainers differentiate
+//!   (Algorithm 1, lines 7–15).
+//! * [`InferForward`] — the inference plane: timestep forward on plain
+//!   [`Tensor`]s. No autograd nodes are allocated (a property
+//!   `crates/snn/tests/infer_parity.rs` pins with the
+//!   `ttsnn_autograd::nodes_created` counter), intermediates ride the
+//!   runtime's per-thread scratch arenas, and the plane carries the
+//!   serving-side determinism contract via [`InferStats`].
+//! * [`Model`] — the blanket-implemented combination of both planes; the
+//!   trainers take `&mut dyn Model` so one network object can train and
+//!   then serve.
+//!
+//! # Why two planes
+//!
+//! The paper's deployment story is train once, serve cheaply (optionally
+//! after merging TT cores back into dense kernels). A `Var` forward
+//! allocates one tape node per op per timestep — pure waste when nothing
+//! will ever call `backward()`. The inference plane runs the identical
+//! arithmetic straight on the runtime kernels: in [`InferStats::Batch`]
+//! mode it is **bit-identical** to the training plane on the same batch,
+//! which is what lets [`crate::trainer::evaluate`] route through it
+//! without changing a single reported number.
 
 use ttsnn_autograd::Var;
-use ttsnn_tensor::ShapeError;
+use ttsnn_tensor::runtime::{self, Runtime};
+use ttsnn_tensor::{ShapeError, Tensor};
 
-/// A timestep-unrolled spiking network.
+/// Which statistics — and which batching semantics — the inference plane
+/// uses. See the variants for the exact contract; both coincide at batch
+/// size 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InferStats {
+    /// Faithful to the training plane: normalization statistics are
+    /// computed per channel over the **whole batch** (exactly like
+    /// `Var::batch_norm2d`) and the classifier GEMM runs batched. Output
+    /// logits are bit-identical to [`TrainForward`] on the same batch —
+    /// the mode [`crate::trainer::evaluate`] uses.
+    #[default]
+    Batch,
+    /// Serving mode: every sample is processed **exactly as if it were
+    /// alone in the batch** — normalization statistics per sample, the
+    /// classifier GEMM row by row. Per-sample outputs are therefore
+    /// invariant to how requests were coalesced into batches (the
+    /// `ttsnn_infer` engine's determinism contract) and bit-identical to a
+    /// batch-size-1 [`TrainForward`] pass on that sample.
+    PerSample,
+}
+
+/// The structural view of a timestep-unrolled spiking network: what every
+/// consumer — trainer, serving engine, FLOPs accounting — needs regardless
+/// of the execution plane.
 ///
-/// Implementations hold LIF membrane state between calls to
-/// [`SpikingModel::forward_timestep`]; the trainer drives the unrolling
-/// (Algorithm 1, lines 7–15): reset, then one forward per timestep, then a
-/// loss on the accumulated logits, then one `backward()` that spans the
-/// entire spatio-temporal graph.
+/// Implementations hold LIF membrane state between timestep calls on
+/// either plane; the driver performs the unrolling: reset, then one
+/// forward per timestep, then (on the training plane) a loss on the
+/// accumulated logits and one `backward()` spanning the whole
+/// spatio-temporal graph.
 pub trait SpikingModel {
-    /// Processes the input frame at timestep `t`, returning `(B, K)`
-    /// logits for this timestep.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ShapeError`] if the input does not match the architecture.
-    fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError>;
-
     /// All trainable parameters.
     fn params(&self) -> Vec<Var>;
 
-    /// Clears all membrane state (must be called between batches).
+    /// Clears all membrane state on **both** planes (must be called
+    /// between batches).
     fn reset_state(&mut self);
 
     /// Total trainable parameter count.
@@ -43,5 +87,162 @@ pub trait SpikingModel {
     /// has not run. Default: not tracked.
     fn mean_spike_activity(&self) -> Option<f64> {
         None
+    }
+}
+
+/// The **training plane**: timestep forward on autograd [`Var`]s,
+/// recording the BPTT tape.
+pub trait TrainForward: SpikingModel {
+    /// Processes the input frame at timestep `t`, returning `(B, K)`
+    /// logits for this timestep as a graph node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input does not match the architecture.
+    fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError>;
+}
+
+/// The **inference plane**: timestep forward on plain [`Tensor`]s.
+///
+/// Implementations must allocate **zero autograd nodes** and route their
+/// heavy kernels through `ttsnn_tensor::runtime` (arena-backed
+/// intermediates). The semantics knob is [`InferStats`]: `Batch` is
+/// bit-faithful to [`TrainForward`] on the same batch, `PerSample` is
+/// batch-composition-invariant for serving.
+pub trait InferForward: SpikingModel {
+    /// Processes the input frame at timestep `t`, returning `(B, K)`
+    /// logits, without building any autograd graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input does not match the architecture.
+    fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError>;
+
+    /// Selects the inference-plane statistics/batching semantics. Takes
+    /// effect immediately — switch only between sequences (i.e. around a
+    /// [`SpikingModel::reset_state`]): changing it mid-unrolling would mix
+    /// the two semantics within membrane state built under the other mode,
+    /// voiding both determinism contracts for that sequence.
+    fn set_infer_stats(&mut self, stats: InferStats);
+
+    /// The currently selected inference-plane semantics.
+    fn infer_stats(&self) -> InferStats;
+}
+
+/// A network usable on **both** execution planes — what the trainers
+/// require, since they train on the `Var` plane and evaluate on the
+/// tensor plane. Blanket-implemented; never implement it manually.
+pub trait Model: TrainForward + InferForward {}
+
+impl<T: TrainForward + InferForward> Model for T {}
+
+/// Tensor-plane fully connected layer `y = x · wᵀ + b` with `x: (B, F)`,
+/// `w: (O, F)`, `b: (O)` — the graph-free twin of `Var::linear`.
+///
+/// In [`InferStats::Batch`] mode the product runs as one batched GEMM
+/// (bit-identical to the `Var` path); in [`InferStats::PerSample`] mode it
+/// runs row by row, so each sample's logits are computed by the exact
+/// kernel a batch-of-1 call would use, whatever the batch size.
+pub(crate) fn linear_tensor(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    stats: InferStats,
+) -> Result<Tensor, ShapeError> {
+    if x.ndim() != 2 || w.ndim() != 2 || b.ndim() != 1 {
+        return Err(ShapeError::new(format!(
+            "linear_tensor: expected x:(B,F) w:(O,F) b:(O), got {:?} {:?} {:?}",
+            x.shape(),
+            w.shape(),
+            b.shape()
+        )));
+    }
+    let (batch, feat) = (x.shape()[0], x.shape()[1]);
+    let (out, feat2) = (w.shape()[0], w.shape()[1]);
+    if feat != feat2 || b.shape()[0] != out {
+        return Err(ShapeError::new(format!(
+            "linear_tensor: inconsistent dims x:{:?} w:{:?} b:{:?}",
+            x.shape(),
+            w.shape(),
+            b.shape()
+        )));
+    }
+    let mut y = match stats {
+        InferStats::Batch => x.matmul_a_bt(w)?,
+        InferStats::PerSample => {
+            let mut y = Tensor::from_vec(runtime::take_buffer(batch * out), &[batch, out])?;
+            let rt = Runtime::global();
+            for s in 0..batch {
+                runtime::gemm_a_bt(
+                    rt,
+                    &x.data()[s * feat..(s + 1) * feat],
+                    w.data(),
+                    &mut y.data_mut()[s * out..(s + 1) * out],
+                    1,
+                    feat,
+                    out,
+                );
+            }
+            y
+        }
+    };
+    for i in 0..batch {
+        for j in 0..out {
+            y.data_mut()[i * out + j] += b.data()[j];
+        }
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ttsnn_tensor::Rng;
+
+    #[test]
+    fn linear_tensor_matches_var_linear_in_batch_mode() {
+        let mut rng = Rng::seed_from(1);
+        let x = Tensor::randn(&[9, 7], &mut rng); // 9 rows: batched-GEMM path
+        let w = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[5], &mut rng);
+        let via_var = Var::constant(x.clone())
+            .linear(&Var::constant(w.clone()), &Var::constant(b.clone()))
+            .unwrap()
+            .to_tensor();
+        let via_tensor = linear_tensor(&x, &w, &b, InferStats::Batch).unwrap();
+        assert_eq!(via_var, via_tensor, "batch mode must be bit-identical to the Var plane");
+    }
+
+    #[test]
+    fn linear_tensor_per_sample_is_batch_invariant() {
+        let mut rng = Rng::seed_from(2);
+        let x = Tensor::randn(&[12, 6], &mut rng); // > 8 rows: the batched
+        let w = Tensor::randn(&[4, 6], &mut rng); // GEMM would switch kernels
+        let b = Tensor::randn(&[4], &mut rng);
+        let batched = linear_tensor(&x, &w, &b, InferStats::PerSample).unwrap();
+        for s in 0..12 {
+            let row = Tensor::from_vec(x.data()[s * 6..(s + 1) * 6].to_vec(), &[1, 6]).unwrap();
+            let solo = linear_tensor(&row, &w, &b, InferStats::PerSample).unwrap();
+            assert_eq!(
+                &batched.data()[s * 4..(s + 1) * 4],
+                solo.data(),
+                "row {s} must not depend on batch composition"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_tensor_rejects_bad_shapes() {
+        let x = Tensor::zeros(&[2, 5]);
+        let w = Tensor::zeros(&[3, 4]);
+        let b = Tensor::zeros(&[3]);
+        assert!(linear_tensor(&x, &w, &b, InferStats::Batch).is_err());
+        assert!(linear_tensor(
+            &x,
+            &Tensor::zeros(&[3, 5]),
+            &Tensor::zeros(&[2]),
+            InferStats::Batch
+        )
+        .is_err());
     }
 }

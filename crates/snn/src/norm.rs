@@ -16,6 +16,8 @@
 use ttsnn_autograd::Var;
 use ttsnn_tensor::{ShapeError, Tensor};
 
+use crate::model::InferStats;
+
 /// Which normalization a [`Norm`] layer applies.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum NormKind {
@@ -117,6 +119,93 @@ impl Norm {
             }
         }
     }
+
+    /// Applies the normalization at timestep `t` on the **inference
+    /// plane**, in place, with no autograd bookkeeping.
+    ///
+    /// With [`InferStats::Batch`] the statistics are computed per channel
+    /// over the whole batch in exactly the summation order of
+    /// `Var::batch_norm2d`, so the result is bit-identical to
+    /// [`Norm::forward`] on the same input. With [`InferStats::PerSample`]
+    /// each sample is normalized by its own statistics (the serving mode:
+    /// invariant to batch composition, and equal to `Batch` at B = 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x` is not `(B, C, H, W)` with `C` equal
+    /// to the layer's channel count.
+    pub fn forward_tensor(
+        &self,
+        x: &mut Tensor,
+        t: usize,
+        stats: InferStats,
+    ) -> Result<(), ShapeError> {
+        if x.ndim() != 4 {
+            return Err(ShapeError::new(format!(
+                "Norm::forward_tensor: expected 4-D input, got {:?}",
+                x.shape()
+            )));
+        }
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        if c != self.channels {
+            return Err(ShapeError::new(format!(
+                "Norm::forward_tensor: input has {c} channels, layer expects {}",
+                self.channels
+            )));
+        }
+        // The tdBN extra scale and the TEBN per-timestep scale, exactly as
+        // the Var path composes them: y = (γ · extra · x̂ + β) · sv.
+        let (extra, sv) = match self.kind {
+            NormKind::TdBn { alpha, vth } => (alpha * vth, 1.0f32),
+            NormKind::Tebn { .. } => {
+                let idx = t.min(self.timestep_scales.len().saturating_sub(1));
+                (1.0, self.timestep_scales[idx].value().data()[0])
+            }
+        };
+        let plane = h * w;
+        let eps = self.eps;
+        let gamma = self.gamma.value();
+        let beta = self.beta.value();
+        // One (start-offset, sample-count) statistics group per reduction
+        // unit: the whole batch in Batch mode, one sample in PerSample.
+        let groups: Vec<(usize, usize)> = match stats {
+            InferStats::Batch => vec![(0, b)],
+            InferStats::PerSample => (0..b).map(|s| (s, 1)).collect(),
+        };
+        for &(s0, ns) in &groups {
+            let n = (ns * h * w) as f32;
+            for ch in 0..c {
+                // Mirrors Var::batch_norm2d: per-plane slab sums folded in
+                // sample order, then a second pass for the variance.
+                let mut acc = 0.0f32;
+                for s in s0..s0 + ns {
+                    let start = (s * c + ch) * plane;
+                    acc += x.data()[start..start + plane].iter().sum::<f32>();
+                }
+                let mean = acc / n;
+                let mut vacc = 0.0f32;
+                for s in s0..s0 + ns {
+                    let start = (s * c + ch) * plane;
+                    vacc += x.data()[start..start + plane]
+                        .iter()
+                        .map(|v| (v - mean).powi(2))
+                        .sum::<f32>();
+                }
+                let var = vacc / n;
+                let inv = 1.0 / (var + eps).sqrt();
+                let g = gamma.data()[ch];
+                let bv = beta.data()[ch];
+                for s in s0..s0 + ns {
+                    let start = (s * c + ch) * plane;
+                    for v in &mut x.data_mut()[start..start + plane] {
+                        let xh = (*v - mean) * inv;
+                        *v = (g * extra * xh + bv) * sv;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +276,49 @@ mod tests {
         norm.forward(&x, 1).unwrap().mul(&m).unwrap().sum_to_scalar().backward();
         assert!(norm.timestep_scales[1].grad().is_some());
         assert!(norm.timestep_scales[0].grad().is_none());
+    }
+
+    #[test]
+    fn forward_tensor_batch_mode_matches_var_bitwise() {
+        let mut rng = Rng::seed_from(6);
+        for norm in [Norm::td_bn(3), Norm::tebn(3, 4)] {
+            norm.timestep_scales.iter().enumerate().for_each(|(i, s)| {
+                s.update_value(|t| t.data_mut()[0] = 1.0 + 0.25 * i as f32);
+            });
+            for t in 0..3 {
+                let x = Tensor::randn(&[4, 3, 5, 5], &mut rng);
+                let via_var = norm.forward(&Var::constant(x.clone()), t).unwrap().to_tensor();
+                let mut via_tensor = x;
+                norm.forward_tensor(&mut via_tensor, t, InferStats::Batch).unwrap();
+                assert_eq!(via_var, via_tensor, "t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_tensor_per_sample_is_batch_invariant() {
+        let mut rng = Rng::seed_from(7);
+        let norm = Norm::td_bn(2);
+        let x = Tensor::randn(&[5, 2, 4, 4], &mut rng);
+        let mut batched = x.clone();
+        norm.forward_tensor(&mut batched, 0, InferStats::PerSample).unwrap();
+        let slab = 2 * 16;
+        for s in 0..5 {
+            let mut solo =
+                Tensor::from_vec(x.data()[s * slab..(s + 1) * slab].to_vec(), &[1, 2, 4, 4])
+                    .unwrap();
+            norm.forward_tensor(&mut solo, 0, InferStats::PerSample).unwrap();
+            assert_eq!(&batched.data()[s * slab..(s + 1) * slab], solo.data(), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn forward_tensor_validates_shapes() {
+        let norm = Norm::td_bn(3);
+        let mut bad_c = Tensor::zeros(&[1, 4, 2, 2]);
+        assert!(norm.forward_tensor(&mut bad_c, 0, InferStats::Batch).is_err());
+        let mut bad_rank = Tensor::zeros(&[3, 2, 2]);
+        assert!(norm.forward_tensor(&mut bad_rank, 0, InferStats::Batch).is_err());
     }
 
     #[test]

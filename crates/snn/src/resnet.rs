@@ -14,11 +14,11 @@
 //! whose analytic params/FLOPs live in `ttsnn_core::flops`.
 
 use ttsnn_autograd::Var;
-use ttsnn_tensor::{Rng, ShapeError, Tensor};
+use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::SpikingModel;
+use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
 
 /// Architecture hyper-parameters for [`ResNetSnn`].
@@ -130,7 +130,7 @@ struct BasicBlock {
 /// A spiking residual network with pluggable convolution policy.
 ///
 /// ```
-/// use ttsnn_snn::{ResNetConfig, ResNetSnn, ConvPolicy, SpikingModel};
+/// use ttsnn_snn::{ResNetConfig, ResNetSnn, ConvPolicy, SpikingModel, TrainForward};
 /// use ttsnn_core::TtMode;
 /// use ttsnn_autograd::Var;
 /// use ttsnn_tensor::{Rng, Tensor};
@@ -154,6 +154,7 @@ pub struct ResNetSnn {
     blocks: Vec<BasicBlock>,
     fc_w: Var,
     fc_b: Var,
+    infer_stats: InferStats,
 }
 
 impl ResNetSnn {
@@ -210,7 +211,17 @@ impl ResNetSnn {
         }
         let fc_w = Var::param(Tensor::kaiming(&[config.num_classes, c_in], rng));
         let fc_b = Var::param(Tensor::zeros(&[config.num_classes]));
-        Self { policy_name: policy.name(), config, stem, stem_norm, stem_lif, blocks, fc_w, fc_b }
+        Self {
+            policy_name: policy.name(),
+            config,
+            stem,
+            stem_norm,
+            stem_lif,
+            blocks,
+            fc_w,
+            fc_b,
+            infer_stats: InferStats::default(),
+        }
     }
 
     /// The architecture configuration.
@@ -267,7 +278,7 @@ impl ResNetSnn {
     }
 }
 
-impl SpikingModel for ResNetSnn {
+impl TrainForward for ResNetSnn {
     fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError> {
         let y = self.stem.forward(x, t)?;
         let y = self.stem_norm.forward(&y, t)?;
@@ -290,7 +301,49 @@ impl SpikingModel for ResNetSnn {
         let pooled = spikes.global_avg_pool()?;
         pooled.linear(&self.fc_w, &self.fc_b)
     }
+}
 
+impl InferForward for ResNetSnn {
+    fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
+        let stats = self.infer_stats;
+        let mut y = self.stem.forward_tensor(x, t)?;
+        self.stem_norm.forward_tensor(&mut y, t, stats)?;
+        let mut spikes = self.stem_lif.step_tensor(y)?;
+        for block in &mut self.blocks {
+            let mut h = block.conv_a.forward_tensor(&spikes, t)?;
+            block.norm_a.forward_tensor(&mut h, t, stats)?;
+            let h = block.lif_a.step_tensor(h)?;
+            let mut y = block.conv_b.forward_tensor(&h, t)?;
+            runtime::recycle_buffer(h.into_vec());
+            block.norm_b.forward_tensor(&mut y, t, stats)?;
+            // y += shortcut, the tensor twin of the Var path's y.add(&sc).
+            match &block.shortcut {
+                Some((conv, norm)) => {
+                    let mut sc = conv.forward_tensor(&spikes, t)?;
+                    norm.forward_tensor(&mut sc, t, stats)?;
+                    y.add_scaled(&sc, 1.0)?;
+                    runtime::recycle_buffer(sc.into_vec());
+                }
+                None => y.add_scaled(&spikes, 1.0)?,
+            }
+            runtime::recycle_buffer(spikes.into_vec());
+            spikes = block.lif_b.step_tensor(y)?;
+        }
+        let pooled = pool::global_avg_pool(&spikes)?;
+        runtime::recycle_buffer(spikes.into_vec());
+        linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats)
+    }
+
+    fn set_infer_stats(&mut self, stats: InferStats) {
+        self.infer_stats = stats;
+    }
+
+    fn infer_stats(&self) -> InferStats {
+        self.infer_stats
+    }
+}
+
+impl SpikingModel for ResNetSnn {
     fn params(&self) -> Vec<Var> {
         let mut p = self.stem.params();
         p.extend(self.stem_norm.params());

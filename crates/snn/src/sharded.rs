@@ -1,6 +1,6 @@
 //! Data-parallel training over persistent model-replica workers.
 //!
-//! [`ShardedTrainer`] runs `N` replicas of a [`SpikingModel`] on `N`
+//! [`ShardedTrainer`] runs `N` replicas of a [`crate::SpikingModel`] on `N`
 //! long-lived worker threads. Each optimizer step cuts the batch into
 //! fixed-size **micro-batches**, farms them out to the replicas
 //! (round-robin), runs forward + BPTT backward per micro-batch, and
@@ -54,7 +54,7 @@ use ttsnn_tensor::{ShapeError, Tensor};
 
 use crate::checkpoint;
 use crate::loss::LossKind;
-use crate::model::SpikingModel;
+use crate::model::Model;
 use crate::trainer::{evaluate_counts, forward_batch, EpochStats, TrainConfig, TrainReport};
 
 /// Shape of the data parallelism: how many replicas, and the fixed
@@ -134,7 +134,7 @@ struct Worker {
 
 /// The replica worker's event loop: owns the (non-`Send`) model and its
 /// replicated optimizer, exits when the trainer drops the command channel.
-fn worker_main<M: SpikingModel>(mut model: M, rx: &Receiver<Cmd>) {
+fn worker_main<M: Model>(mut model: M, rx: &Receiver<Cmd>) {
     let mut opt = Sgd::new(model.params(), SgdConfig::default());
     while let Ok(cmd) = rx.recv() {
         match cmd {
@@ -246,7 +246,7 @@ impl ShardedTrainer {
     /// parameter shapes (a non-deterministic factory).
     pub fn new<M, F>(config: ShardConfig, factory: F) -> Self
     where
-        M: SpikingModel + 'static,
+        M: Model + 'static,
         F: Fn() -> M + Send + Sync + 'static,
     {
         let factory = Arc::new(factory);
@@ -489,7 +489,7 @@ impl ShardedTrainer {
     }
 
     /// Snapshot of replica `shard`'s parameter tensors, in
-    /// [`SpikingModel::params`] order.
+    /// [`crate::SpikingModel::params`] order.
     ///
     /// # Panics
     ///

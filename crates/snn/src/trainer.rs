@@ -21,10 +21,10 @@ use ttsnn_tensor::runtime::Runtime;
 
 use ttsnn_autograd::{CosineAnnealing, Sgd, SgdConfig, Var};
 use ttsnn_data::Batch;
-use ttsnn_tensor::ShapeError;
+use ttsnn_tensor::{ShapeError, Tensor};
 
 use crate::loss::LossKind;
-use crate::model::SpikingModel;
+use crate::model::{InferForward, InferStats, Model, TrainForward};
 
 /// Hyper-parameters for a training run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,7 +95,7 @@ impl TrainReport {
 /// # Errors
 ///
 /// Returns [`ShapeError`] if the batch does not match the model.
-pub fn forward_batch(model: &mut dyn SpikingModel, batch: &Batch) -> Result<Vec<Var>, ShapeError> {
+pub fn forward_batch(model: &mut dyn TrainForward, batch: &Batch) -> Result<Vec<Var>, ShapeError> {
     model.reset_state();
     let mut logits = Vec::with_capacity(batch.timesteps());
     for (t, frame) in batch.frames.iter().enumerate() {
@@ -112,7 +112,7 @@ pub fn forward_batch(model: &mut dyn SpikingModel, batch: &Batch) -> Result<Vec<
 ///
 /// Returns [`ShapeError`] if shapes are inconsistent.
 pub fn train_step(
-    model: &mut dyn SpikingModel,
+    model: &mut dyn TrainForward,
     batch: &Batch,
     opt: &mut Sgd,
     loss_kind: LossKind,
@@ -127,12 +127,13 @@ pub fn train_step(
     Ok((loss_value, start.elapsed().as_secs_f64()))
 }
 
-/// Accuracy of summed-logit predictions over batches.
+/// Accuracy of summed-logit predictions over batches, computed on the
+/// **inference plane** ([`InferForward`]) — graph-free.
 ///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if shapes are inconsistent.
-pub fn evaluate(model: &mut dyn SpikingModel, batches: &[Batch]) -> Result<f32, ShapeError> {
+pub fn evaluate(model: &mut dyn InferForward, batches: &[Batch]) -> Result<f32, ShapeError> {
     let (correct, total) = evaluate_counts(model, batches)?;
     Ok(if total == 0 { 0.0 } else { correct as f32 / total as f32 })
 }
@@ -142,22 +143,48 @@ pub fn evaluate(model: &mut dyn SpikingModel, batches: &[Batch]) -> Result<f32, 
 /// and sums these integer counts — an order-free reduction, so sharded
 /// evaluation is trivially deterministic.
 ///
+/// Runs entirely on the inference plane: **zero autograd nodes** are
+/// allocated (asserted by `crates/snn/tests/infer_parity.rs` via
+/// `ttsnn_autograd::nodes_created`). The model is pinned to
+/// [`crate::InferStats::Batch`] for the duration of the call (and
+/// restored afterwards), so the per-timestep logits are bit-identical to
+/// the `Var` plane's and reported accuracies match the old tape-building
+/// implementation exactly — even for a model that was switched to
+/// serving (`PerSample`) mode in between.
+///
 /// # Errors
 ///
-/// Returns [`ShapeError`] if shapes are inconsistent.
+/// Returns [`ShapeError`] if shapes are inconsistent or a batch has no
+/// timesteps.
 pub fn evaluate_counts(
-    model: &mut dyn SpikingModel,
+    model: &mut dyn InferForward,
+    batches: &[Batch],
+) -> Result<(usize, usize), ShapeError> {
+    let saved_stats = model.infer_stats();
+    model.set_infer_stats(InferStats::Batch);
+    let result = evaluate_counts_inner(model, batches);
+    model.set_infer_stats(saved_stats);
+    result
+}
+
+fn evaluate_counts_inner(
+    model: &mut dyn InferForward,
     batches: &[Batch],
 ) -> Result<(usize, usize), ShapeError> {
     let mut correct = 0usize;
     let mut total = 0usize;
     for batch in batches {
-        let logits = forward_batch(model, batch)?;
-        // Plain tensor sum: evaluation needs no autograd nodes.
-        let mut preds = logits[0].to_tensor();
-        for l in &logits[1..] {
-            preds.add_scaled(&l.value(), 1.0)?;
+        model.reset_state();
+        let mut preds: Option<Tensor> = None;
+        for (t, frame) in batch.frames.iter().enumerate() {
+            let logits = model.forward_timestep_tensor(frame, t)?;
+            match preds.as_mut() {
+                Some(p) => p.add_scaled(&logits, 1.0)?,
+                None => preds = Some(logits),
+            }
         }
+        let preds =
+            preds.ok_or_else(|| ShapeError::new("evaluate_counts: batch has no timesteps"))?;
         let k = preds.shape()[1];
         for (i, &label) in batch.labels.iter().enumerate() {
             let row = &preds.data()[i * k..(i + 1) * k];
@@ -179,11 +206,15 @@ pub fn evaluate_counts(
 /// Trains a model with SGD + cosine annealing (Algorithm 1, lines 6–19) and
 /// reports loss/accuracy curves plus mean per-step wall-clock time.
 ///
+/// Takes a [`Model`] — both execution planes — because optimization steps
+/// run on the training plane while the per-epoch accuracy evaluation runs
+/// graph-free on the inference plane.
+///
 /// # Errors
 ///
 /// Returns [`ShapeError`] if any batch does not match the model.
 pub fn train(
-    model: &mut dyn SpikingModel,
+    model: &mut dyn Model,
     train_batches: &[Batch],
     test_batches: &[Batch],
     cfg: &TrainConfig,
@@ -201,11 +232,11 @@ pub fn train(
         let mut loss_sum = 0.0f32;
         let mut time_sum = 0.0f64;
         for batch in train_batches {
-            let (loss, secs) = train_step(model, batch, &mut opt, cfg.loss)?;
+            let (loss, secs) = train_step(&mut *model, batch, &mut opt, cfg.loss)?;
             loss_sum += loss;
             time_sum += secs;
         }
-        let accuracy = evaluate(model, train_batches)?;
+        let accuracy = evaluate(&mut *model, train_batches)?;
         let n = train_batches.len().max(1);
         epochs.push(EpochStats {
             loss: loss_sum / n as f32,
@@ -215,7 +246,7 @@ pub fn train(
         total_time += time_sum;
         total_steps += train_batches.len();
     }
-    let test_accuracy = evaluate(model, test_batches)?;
+    let test_accuracy = evaluate(&mut *model, test_batches)?;
     Ok(TrainReport {
         epochs,
         test_accuracy,

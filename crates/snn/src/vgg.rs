@@ -7,11 +7,11 @@
 //! change.
 
 use ttsnn_autograd::Var;
-use ttsnn_tensor::{Rng, ShapeError, Tensor};
+use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::SpikingModel;
+use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
 
 /// Architecture hyper-parameters for [`VggSnn`].
@@ -101,13 +101,15 @@ struct VggLayer {
     in_hw: (usize, usize),
 }
 
-/// A spiking VGG with pluggable convolution policy.
+/// A spiking VGG with pluggable convolution policy, executable on both
+/// planes ([`TrainForward`] for BPTT, [`InferForward`] graph-free).
 pub struct VggSnn {
     config: VggConfig,
     policy_name: &'static str,
     layers: Vec<VggLayer>,
     fc_w: Var,
     fc_b: Var,
+    infer_stats: InferStats,
 }
 
 impl VggSnn {
@@ -153,7 +155,14 @@ impl VggSnn {
         let feat = c_in;
         let fc_w = Var::param(Tensor::kaiming(&[config.num_classes, feat], rng));
         let fc_b = Var::param(Tensor::zeros(&[config.num_classes]));
-        Self { policy_name: policy.name(), config, layers, fc_w, fc_b }
+        Self {
+            policy_name: policy.name(),
+            config,
+            layers,
+            fc_w,
+            fc_b,
+            infer_stats: InferStats::default(),
+        }
     }
 
     /// The architecture configuration.
@@ -188,7 +197,7 @@ impl VggSnn {
     }
 }
 
-impl SpikingModel for VggSnn {
+impl TrainForward for VggSnn {
     fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError> {
         let mut h = x.clone();
         for layer in &mut self.layers {
@@ -202,7 +211,46 @@ impl SpikingModel for VggSnn {
         let pooled = h.global_avg_pool()?;
         pooled.linear(&self.fc_w, &self.fc_b)
     }
+}
 
+impl InferForward for VggSnn {
+    fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
+        let stats = self.infer_stats;
+        let mut h: Option<Tensor> = None;
+        for layer in &mut self.layers {
+            let mut y = layer.conv.forward_tensor(h.as_ref().unwrap_or(x), t)?;
+            if let Some(spent) = h.take() {
+                runtime::recycle_buffer(spent.into_vec());
+            }
+            layer.norm.forward_tensor(&mut y, t, stats)?;
+            let s = layer.lif.step_tensor(y)?;
+            h = Some(if layer.pool {
+                let pooled = pool::avg_pool2d(&s, 2)?;
+                runtime::recycle_buffer(s.into_vec());
+                pooled
+            } else {
+                s
+            });
+        }
+        let feats = match h {
+            Some(f) => f,
+            None => x.clone(),
+        };
+        let pooled = pool::global_avg_pool(&feats)?;
+        runtime::recycle_buffer(feats.into_vec());
+        linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats)
+    }
+
+    fn set_infer_stats(&mut self, stats: InferStats) {
+        self.infer_stats = stats;
+    }
+
+    fn infer_stats(&self) -> InferStats {
+        self.infer_stats
+    }
+}
+
+impl SpikingModel for VggSnn {
     fn params(&self) -> Vec<Var> {
         let mut p = Vec::new();
         for l in &self.layers {

@@ -1,0 +1,236 @@
+//! Train/infer execution-plane parity and serving-determinism properties.
+//!
+//! Three contracts, over VGG9 and ResNet20 under dense and TT policies:
+//!
+//! 1. **Batch-mode parity** — [`InferForward::forward_timestep_tensor`] in
+//!    the default [`InferStats::Batch`] mode is **bit-identical** to the
+//!    autograd plane's [`TrainForward::forward_timestep`] on the same
+//!    batch, timestep by timestep.
+//! 2. **Per-sample invariance** — in [`InferStats::PerSample`] mode every
+//!    sample's logits are independent of the batch it rode in, and equal
+//!    to a batch-of-1 `TrainForward` pass bit for bit (the `ttsnn_infer`
+//!    serving contract).
+//! 3. **Graph-free evaluation** — `evaluate_counts` allocates **zero**
+//!    autograd nodes (`ttsnn_autograd::nodes_created` does not move).
+//!
+//! The kernel runtime is bit-identical across thread counts (asserted in
+//! `crates/tensor/tests/runtime_kernels.rs`), so CI re-runs this suite
+//! under `TTSNN_NUM_THREADS=2` and `8` to pin the parity × thread-count
+//! matrix, like the sharded suite.
+
+use proptest::prelude::*;
+use ttsnn_autograd::{nodes_created, Var};
+use ttsnn_core::TtMode;
+use ttsnn_data::StaticImages;
+use ttsnn_snn::trainer::{evaluate, evaluate_counts, forward_batch};
+use ttsnn_snn::{
+    ConvPolicy, InferStats, Model, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn,
+};
+use ttsnn_tensor::{Rng, Tensor};
+
+const TIMESTEPS: usize = 3;
+
+/// The two architectures × two policies the acceptance criteria name.
+fn builds(seed: u64) -> Vec<(String, Box<dyn Model>)> {
+    let mut rng = Rng::seed_from(seed);
+    let mut out: Vec<(String, Box<dyn Model>)> = Vec::new();
+    for policy in [ConvPolicy::Baseline, ConvPolicy::tt(TtMode::Ptt)] {
+        let vgg = VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &policy, &mut rng);
+        out.push((vgg.name(), Box::new(vgg)));
+        let res = ResNetSnn::new(ResNetConfig::resnet20(5, (8, 8), 4), &policy, &mut rng);
+        out.push((res.name(), Box::new(res)));
+    }
+    out
+}
+
+fn frames(seed: u64, batch: usize) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from(seed ^ 0xF00D);
+    (0..TIMESTEPS).map(|_| Tensor::rand_uniform(&[batch, 3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+}
+
+/// Per-timestep logits on the training (Var) plane.
+fn var_logits(model: &mut dyn Model, frames: &[Tensor]) -> Vec<Tensor> {
+    model.reset_state();
+    frames
+        .iter()
+        .enumerate()
+        .map(|(t, f)| {
+            model.forward_timestep(&Var::constant(f.clone()), t).expect("var forward").to_tensor()
+        })
+        .collect()
+}
+
+/// Per-timestep logits on the inference (tensor) plane.
+fn tensor_logits(model: &mut dyn Model, frames: &[Tensor], stats: InferStats) -> Vec<Tensor> {
+    model.set_infer_stats(stats);
+    model.reset_state();
+    frames
+        .iter()
+        .enumerate()
+        .map(|(t, f)| model.forward_timestep_tensor(f, t).expect("tensor forward"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Contract 1: Batch mode is bit-identical to the Var plane.
+    #[test]
+    fn infer_plane_bit_identical_to_train_plane(seed in 0u64..1000) {
+        let input = frames(seed, 4);
+        for (name, mut model) in builds(seed) {
+            let via_var = var_logits(model.as_mut(), &input);
+            let via_tensor = tensor_logits(model.as_mut(), &input, InferStats::Batch);
+            for (t, (a, b)) in via_var.iter().zip(&via_tensor).enumerate() {
+                prop_assert_eq!(a, b, "{} t={} diverged between planes", &name, t);
+            }
+        }
+    }
+
+    /// Contract 2: PerSample logits are invariant to batch composition and
+    /// equal to a batch-of-1 Var-plane pass.
+    #[test]
+    fn per_sample_mode_invariant_to_batch_composition(seed in 0u64..1000) {
+        let batch = 5usize;
+        let input = frames(seed, batch);
+        let k_of = |t: &Tensor| t.shape()[1];
+        for (name, mut model) in builds(seed) {
+            let batched = tensor_logits(model.as_mut(), &input, InferStats::PerSample);
+            let k = k_of(&batched[0]);
+            for s in 0..batch {
+                // The same sample alone, through the training plane.
+                let solo: Vec<Tensor> = input
+                    .iter()
+                    .map(|f| {
+                        let slab = f.len() / batch;
+                        Tensor::from_vec(
+                            f.data()[s * slab..(s + 1) * slab].to_vec(),
+                            &[1, 3, 8, 8],
+                        )
+                        .unwrap()
+                    })
+                    .collect();
+                let solo_var = var_logits(model.as_mut(), &solo);
+                for t in 0..TIMESTEPS {
+                    prop_assert_eq!(
+                        &batched[t].data()[s * k..(s + 1) * k],
+                        solo_var[t].data(),
+                        "{} sample {} t={}: serving logits must equal a B=1 train pass",
+                        &name, s, t
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Contract 3: evaluation is graph-free — not a single autograd node.
+#[test]
+fn evaluate_allocates_zero_autograd_nodes() {
+    let mut rng = Rng::seed_from(11);
+    let data = StaticImages::new(3, 8, 8, 4, 0.15, 9)
+        .dataset(24, &mut rng)
+        .batches(12, 2, &mut rng)
+        .unwrap();
+    for (name, mut model) in builds(11) {
+        // Warm up once (first call may intern nothing, but keep it honest).
+        evaluate_counts(model.as_mut(), &data).unwrap();
+        let before = nodes_created();
+        let (correct, total) = evaluate_counts(model.as_mut(), &data).unwrap();
+        let after = nodes_created();
+        assert_eq!(after - before, 0, "{name}: evaluation built {} autograd nodes", after - before);
+        assert_eq!(total, 24);
+        assert!(correct <= total);
+    }
+}
+
+/// The rerouted `evaluate` reports byte-for-byte the accuracy the old
+/// tape-building implementation (Var forward + tensor logit sum) reported.
+#[test]
+fn evaluate_matches_tape_building_reference() {
+    let mut rng = Rng::seed_from(12);
+    let data = StaticImages::new(3, 8, 8, 5, 0.15, 21)
+        .dataset(24, &mut rng)
+        .batches(12, 2, &mut rng)
+        .unwrap();
+    for (name, mut model) in builds(12) {
+        // Reference: the seed implementation of evaluate_counts.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for batch in &data {
+            let logits = forward_batch(model.as_mut(), batch).unwrap();
+            let mut preds = logits[0].to_tensor();
+            for l in &logits[1..] {
+                preds.add_scaled(&l.value(), 1.0).unwrap();
+            }
+            let k = preds.shape()[1];
+            for (i, &label) in batch.labels.iter().enumerate() {
+                let row = &preds.data()[i * k..(i + 1) * k];
+                let argmax = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0);
+                if argmax == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let via_infer = evaluate_counts(model.as_mut(), &data).unwrap();
+        assert_eq!(via_infer, (correct, total), "{name}: rerouted evaluate changed counts");
+        let acc = evaluate(model.as_mut(), &data).unwrap();
+        assert_eq!(acc, correct as f32 / total as f32, "{name}");
+    }
+}
+
+/// `evaluate` must report training-plane numbers even for a model that
+/// was switched to serving (`PerSample`) mode — it pins `Batch` for the
+/// call and restores the caller's mode afterwards.
+#[test]
+fn evaluate_pins_batch_stats_and_restores_mode() {
+    let mut rng = Rng::seed_from(14);
+    let data = StaticImages::new(3, 8, 8, 4, 0.15, 33)
+        .dataset(24, &mut rng)
+        .batches(12, 2, &mut rng)
+        .unwrap();
+    for (name, mut model) in builds(14) {
+        let reference = evaluate_counts(model.as_mut(), &data).unwrap();
+        model.set_infer_stats(InferStats::PerSample);
+        let serving_mode = evaluate_counts(model.as_mut(), &data).unwrap();
+        assert_eq!(serving_mode, reference, "{name}: evaluate must pin Batch statistics");
+        assert_eq!(
+            model.infer_stats(),
+            InferStats::PerSample,
+            "{name}: evaluate must restore the caller's InferStats"
+        );
+    }
+}
+
+/// Merged-dense serving: after `merge_into_dense` the inference plane
+/// still mirrors the training plane bit for bit (the merged kernels are
+/// shared parameters, not copies).
+#[test]
+fn merged_dense_models_keep_plane_parity() {
+    let mut rng = Rng::seed_from(13);
+    let input = frames(13, 3);
+    let mut vgg =
+        VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    vgg.merge_into_dense().unwrap();
+    let mut res = ResNetSnn::new(
+        ResNetConfig::resnet20(5, (8, 8), 4),
+        &ConvPolicy::tt(TtMode::Stt),
+        &mut rng,
+    );
+    res.merge_into_dense().unwrap();
+    let mut models: Vec<(String, Box<dyn Model>)> =
+        vec![(vgg.name(), Box::new(vgg)), (res.name(), Box::new(res))];
+    for (name, model) in &mut models {
+        let via_var = var_logits(model.as_mut(), &input);
+        let via_tensor = tensor_logits(model.as_mut(), &input, InferStats::Batch);
+        for (t, (a, b)) in via_var.iter().zip(&via_tensor).enumerate() {
+            assert_eq!(a, b, "{name} t={t} diverged after merge");
+        }
+    }
+}

@@ -46,6 +46,29 @@ pub fn with_scratch_zeroed<R>(len: usize, f: impl FnOnce(&mut [f32]) -> R) -> R 
     })
 }
 
+/// Checks a recycled buffer **out** of this thread's arena, sized to
+/// exactly `len` elements. Contents are **unspecified** on entry.
+///
+/// Unlike [`with_scratch`] the buffer escapes the call — it can back a
+/// long-lived value (e.g. a `Tensor` built with `Tensor::from_vec`). Pair
+/// with [`recycle_buffer`] when the value is dropped to keep the arena's
+/// zero-steady-state-allocation property; forgetting to recycle is safe,
+/// it just allocates again next time.
+pub fn take_buffer(len: usize) -> Vec<f32> {
+    let mut buf = ARENA.with(|a| a.borrow_mut().pop()).unwrap_or_default();
+    buf.resize(len, 0.0);
+    buf
+}
+
+/// Checks a buffer back **in** to this thread's arena for reuse by
+/// [`take_buffer`] / [`with_scratch`]. Oversized buffers (> 64 MiB of
+/// f32) are dropped instead, bounding steady-state memory.
+pub fn recycle_buffer(buf: Vec<f32>) {
+    if buf.len() <= MAX_KEEP {
+        ARENA.with(|a| a.borrow_mut().push(buf));
+    }
+}
+
 /// Number of idle buffers currently parked in this thread's arena
 /// (diagnostics / tests).
 pub fn scratch_depth() -> usize {
@@ -76,6 +99,19 @@ mod tests {
         let depth = scratch_depth();
         with_scratch(256, |_| {});
         assert_eq!(scratch_depth(), depth);
+    }
+
+    #[test]
+    fn take_recycle_roundtrip_reuses_buffer() {
+        let mut buf = take_buffer(128);
+        assert_eq!(buf.len(), 128);
+        buf.fill(9.0);
+        recycle_buffer(buf);
+        let depth = scratch_depth();
+        let again = take_buffer(64);
+        assert_eq!(again.len(), 64);
+        assert_eq!(scratch_depth(), depth - 1, "take_buffer must pop, not allocate");
+        recycle_buffer(again);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod arena;
 mod gemm;
 mod pool;
 
-pub use arena::{scratch_depth, with_scratch, with_scratch_zeroed};
+pub use arena::{recycle_buffer, scratch_depth, take_buffer, with_scratch, with_scratch_zeroed};
 pub(crate) use gemm::PAR_THRESHOLD;
 pub use gemm::{gemm, gemm_a_bt, gemm_at_b, reference_gemm};
 pub use pool::Runtime;

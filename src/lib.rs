@@ -12,7 +12,12 @@
 //!   and analytic params/FLOPs accounting.
 //! * [`snn`] — the SNN training substrate: LIF neurons, surrogate gradients,
 //!   direct coding, tdBN/TEBN, MS-ResNet/VGG architectures, TET loss, NDA
-//!   augmentation, and the BPTT trainer.
+//!   augmentation, and the BPTT trainer — with the model API split into a
+//!   training plane (`TrainForward`, autograd) and an inference plane
+//!   (`InferForward`, graph-free tensors).
+//! * [`infer`] — the batched serving engine: frozen plans from
+//!   architecture config + checkpoint (optionally merged into dense
+//!   kernels), dynamic request micro-batching, per-sample determinism.
 //! * [`data`] — synthetic static (CIFAR-like) and dynamic (N-Caltech101-like,
 //!   DVS-Gesture-like) dataset generators.
 //! * [`accel`] — the multi-cluster systolic-array training-accelerator energy
@@ -40,5 +45,6 @@ pub use ttsnn_accel as accel;
 pub use ttsnn_autograd as autograd;
 pub use ttsnn_core as core;
 pub use ttsnn_data as data;
+pub use ttsnn_infer as infer;
 pub use ttsnn_snn as snn;
 pub use ttsnn_tensor as tensor;

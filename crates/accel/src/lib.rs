@@ -28,6 +28,8 @@
 //!   buffer round-trips (why PTT/HTT save ~28%/~44% vs STT on the proposed
 //!   design, Fig. 4(b)).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod energy;
 pub mod mapping;

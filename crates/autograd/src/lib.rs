@@ -36,6 +36,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod optim;
 mod var;
 

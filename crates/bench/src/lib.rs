@@ -23,6 +23,8 @@
 //! The [`harness`] module holds the shared measured-experiment plumbing;
 //! binaries are thin wrappers.
 
+#![warn(missing_docs)]
+
 pub mod harness;
 
 pub use harness::{

@@ -41,6 +41,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod flops;
 pub mod layer;
 pub mod merge;

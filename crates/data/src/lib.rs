@@ -23,6 +23,8 @@
 //! Batching ([`Batch`], [`Dataset::batches`]) produces per-timestep NCHW
 //! tensors ready for the BPTT trainer in `ttsnn-snn`.
 
+#![warn(missing_docs)]
+
 mod batch;
 mod events;
 mod synth;

@@ -1,0 +1,456 @@
+//! The serving cluster: one frozen plan, N executor replicas, one
+//! scheduler.
+//!
+//! # Shape
+//!
+//! [`Cluster::load`] freezes a plan exactly like [`crate::Engine::load`]
+//! — architecture config + checkpoint, optional TT→dense merge — and fans
+//! it out across `N` executor replicas (explicit, or the
+//! `TTSNN_NUM_REPLICAS` environment variable, defaulting to
+//! [`std::thread::available_parallelism`]). In front of the replicas sits
+//! the central priority/deadline scheduler of [`crate::sched`]; behind
+//! them, the [`crate::metrics`] snapshot keeps the whole thing observable.
+//!
+//! # Weights are loaded once
+//!
+//! Autograd handles are not `Send`, so each replica's *model object* is
+//! built on its own thread (the `ShardedTrainer` pattern) — but the
+//! **weights** are not duplicated: replica 0 loads the checkpoint (and
+//! merges, if configured), converts every parameter to `Arc`-shared
+//! tensor storage ([`ttsnn_snn::checkpoint::share_params`]), and ships
+//! O(1) handles to the other replicas, which install them with
+//! [`ttsnn_snn::checkpoint::install_params`]. Steady-state memory is one
+//! copy of the plan plus per-replica membrane state, whatever `N` is.
+//!
+//! # Determinism contract
+//!
+//! Every replica aliases the same frozen weights and runs
+//! [`ttsnn_snn::InferStats::PerSample`], and the runtime kernels are
+//! bit-identical across thread counts — so a request's logits are
+//! **bit-identical** whatever the replica count, which replica served it,
+//! how requests were coalesced or prioritized, and which other requests
+//! were cancelled. `crates/infer/tests/cluster.rs` pins this across
+//! `TTSNN_NUM_REPLICAS=1..=3` × thread counts × random
+//! cancellation/priority interleavings.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ttsnn_snn::{checkpoint, InferStats, Model, ResNetSnn, VggSnn};
+use ttsnn_tensor::{runtime, Rng, Tensor};
+
+use crate::engine::{self, ArchSpec, EngineConfig, InferError, PlanInfo};
+use crate::metrics::ClusterMetrics;
+use crate::sched::{Scheduler, SubmitError, SubmitOptions};
+
+/// Shape of the serving cluster: the frozen-plan config plus the replica
+/// fan-out and queue bound.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The plan: architecture, checkpoint policy, timesteps, merge,
+    /// per-replica batching knobs.
+    pub engine: EngineConfig,
+    /// Executor replicas (must be ≥ 1). [`ClusterConfig::new`] seeds this
+    /// from [`ClusterConfig::replicas_from_env`].
+    pub num_replicas: usize,
+    /// Bound on **outstanding** requests — admitted and not yet
+    /// served/cancelled/expired/failed (must be ≥ 1). Submissions beyond
+    /// it block ([`ClusterSession::submit`]) or fail fast with
+    /// [`SubmitError::Saturated`] ([`ClusterSession::try_submit`]).
+    pub queue_capacity: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster config with the replica count from the environment and a
+    /// 1024-request queue bound.
+    pub fn new(engine: EngineConfig) -> Self {
+        Self { engine, num_replicas: Self::replicas_from_env(), queue_capacity: 1024 }
+    }
+
+    /// Overrides the replica count.
+    pub fn with_replicas(mut self, num_replicas: usize) -> Self {
+        self.num_replicas = num_replicas;
+        self
+    }
+
+    /// Overrides the queue bound.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Replica count from the `TTSNN_NUM_REPLICAS` environment variable,
+    /// defaulting to [`std::thread::available_parallelism`] (and 1 if even
+    /// that is unavailable).
+    pub fn replicas_from_env() -> usize {
+        std::env::var("TTSNN_NUM_REPLICAS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+}
+
+/// A handle on one in-flight cluster request.
+///
+/// [`ClusterTicket::wait`] blocks until the logits arrive. **Dropping the
+/// ticket cancels the request**: if it is still queued (or sitting in an
+/// open batch) when a replica would pick it up, the scheduler reaps it
+/// without executing — observable as a
+/// [`cancelled`](crate::metrics::PriorityStats::cancelled) count. A
+/// request already executing completes normally; its reply is simply
+/// discarded.
+pub struct ClusterTicket {
+    rx: Receiver<Result<Tensor, InferError>>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl ClusterTicket {
+    /// Blocks until the request's `(K,)` logits are ready.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Shape`] if the input did not match the plan,
+    /// [`InferError::DeadlineExpired`] if the request's deadline passed
+    /// while it was still queued, or [`InferError::EngineClosed`] if the
+    /// cluster shut down first.
+    pub fn wait(self) -> Result<Tensor, InferError> {
+        self.rx.recv().map_err(|_| InferError::EngineClosed)?
+    }
+
+    /// Cancels the request explicitly (identical to dropping the ticket).
+    pub fn cancel(self) {}
+}
+
+impl Drop for ClusterTicket {
+    fn drop(&mut self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+}
+
+/// A clonable, `Send` submission handle onto the cluster's scheduler.
+#[derive(Clone)]
+pub struct ClusterSession {
+    sched: Arc<Scheduler>,
+}
+
+impl ClusterSession {
+    /// Submits one sample — `(C, H, W)` direct coding or `(T, C, H, W)`
+    /// per-timestep frames — at [`crate::Priority::Normal`] with no
+    /// deadline, blocking while the queue is saturated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the cluster has shut down.
+    pub fn submit(&self, input: Tensor) -> Result<ClusterTicket, SubmitError> {
+        self.submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`ClusterSession::submit`] with explicit priority/deadline options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the cluster has shut down.
+    pub fn submit_with(
+        &self,
+        input: Tensor,
+        opts: SubmitOptions,
+    ) -> Result<ClusterTicket, SubmitError> {
+        let (reply, rx) = channel();
+        let cancelled = self.sched.submit(input, opts, reply)?;
+        Ok(ClusterTicket { rx, cancelled })
+    }
+
+    /// Non-blocking submission at default options: fails fast instead of
+    /// waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] while the queue is at capacity (the
+    /// backpressure signal), [`SubmitError::Closed`] after shutdown.
+    pub fn try_submit(&self, input: Tensor) -> Result<ClusterTicket, SubmitError> {
+        self.try_submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`ClusterSession::try_submit`] with explicit priority/deadline
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterSession::try_submit`].
+    pub fn try_submit_with(
+        &self,
+        input: Tensor,
+        opts: SubmitOptions,
+    ) -> Result<ClusterTicket, SubmitError> {
+        let (reply, rx) = channel();
+        let cancelled = self.sched.try_submit(input, opts, reply)?;
+        Ok(ClusterTicket { rx, cancelled })
+    }
+
+    /// Submit-and-wait convenience for synchronous callers (blocking
+    /// backpressure, default options).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterTicket::wait`].
+    pub fn infer(&self, input: Tensor) -> Result<Tensor, InferError> {
+        match self.submit(input) {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => Err(InferError::EngineClosed),
+        }
+    }
+}
+
+/// A frozen plan served by N executor replicas behind one
+/// priority/deadline scheduler.
+///
+/// Dropping the cluster stops admission, drops still-queued requests
+/// (their tickets report [`InferError::EngineClosed`]), lets replicas
+/// finish the batches they already admitted, and joins every thread.
+pub struct Cluster {
+    sched: Arc<Scheduler>,
+    handles: Vec<JoinHandle<()>>,
+    info: PlanInfo,
+    replicas: usize,
+}
+
+impl Cluster {
+    /// Builds the plan once and fans it out: replica 0 loads the
+    /// checkpoint (and merges, if configured) exactly like
+    /// [`crate::Engine::load`], converts the parameters to shared storage,
+    /// and every other replica rebuilds the architecture locally and
+    /// installs O(1) handles to the same weight buffers. `load` blocks
+    /// until every replica is serving or any of them failed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an invalid config (`timesteps == 0`,
+    /// `max_batch == 0`, `num_replicas == 0`, `queue_capacity == 0`);
+    /// `InvalidData` if the checkpoint does not match the architecture;
+    /// plus any I/O error from reading `checkpoint`.
+    pub fn load(config: ClusterConfig, mut checkpoint: impl Read) -> io::Result<Cluster> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        engine::validate_config(&config.engine).map_err(invalid)?;
+        if config.num_replicas == 0 {
+            return Err(invalid("ClusterConfig.num_replicas must be at least 1".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(invalid("ClusterConfig.queue_capacity must be at least 1".into()));
+        }
+        let mut bytes = Vec::new();
+        checkpoint.read_to_end(&mut bytes)?;
+
+        let replicas = config.num_replicas;
+        let sched = Arc::new(Scheduler::new(config.queue_capacity, replicas));
+        let mut handles = Vec::with_capacity(replicas);
+
+        // Replica 0: the plan builder. Loads + merges + shares weights,
+        // then serves like any other replica.
+        let (ready_tx, ready_rx) = channel::<Result<(PlanInfo, Vec<Tensor>), String>>();
+        {
+            let cfg = config.engine.clone();
+            let sched = Arc::clone(&sched);
+            handles.push(spawn_replica(0, move || {
+                let (mut model, info) = match engine::build_plan(&cfg, &bytes) {
+                    Ok(built) => built,
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                        return;
+                    }
+                };
+                let weights = checkpoint::share_params(&model.params());
+                if ready_tx.send(Ok((info, weights))).is_err() {
+                    return; // loader gave up
+                }
+                worker_loop(model.as_mut(), &cfg, &sched);
+            })?);
+        }
+        let (info, weights) = match ready_rx.recv() {
+            Ok(Ok(ready)) => ready,
+            Ok(Err(msg)) => {
+                let _ = handles.pop().map(JoinHandle::join);
+                return Err(io::Error::new(io::ErrorKind::InvalidData, msg));
+            }
+            Err(_) => {
+                let panic_msg = match handles.pop().map(JoinHandle::join) {
+                    Some(Err(_)) => "cluster replica 0 panicked during plan construction",
+                    _ => "cluster replica 0 exited during plan construction",
+                };
+                return Err(io::Error::other(panic_msg));
+            }
+        };
+
+        // Replicas 1..N: rebuild the architecture, alias the shared
+        // weights. They come up in parallel; load waits for all of them.
+        let (rep_tx, rep_rx) = channel::<Result<(), String>>();
+        for i in 1..replicas {
+            let cfg = config.engine.clone();
+            let replica_sched = Arc::clone(&sched);
+            let weights = weights.clone(); // O(1) Arc handles per tensor
+            let rep_tx = rep_tx.clone();
+            let spawned = spawn_replica(i, move || {
+                let mut model = match build_replica(&cfg, &weights) {
+                    Ok(model) => model,
+                    Err(e) => {
+                        let _ = rep_tx.send(Err(e));
+                        return;
+                    }
+                };
+                if rep_tx.send(Ok(())).is_err() {
+                    return;
+                }
+                worker_loop(model.as_mut(), &cfg, &replica_sched);
+            });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Earlier replicas are already serving; without a
+                    // shutdown they would park in the scheduler forever.
+                    sched.shutdown();
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        drop(rep_tx);
+        for _ in 1..replicas {
+            let up = match rep_rx.recv() {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(msg)) => Err(io::Error::new(io::ErrorKind::InvalidData, msg)),
+                Err(_) => Err(io::Error::other("a cluster replica died while starting")),
+            };
+            if let Err(e) = up {
+                sched.shutdown();
+                for h in handles {
+                    let _ = h.join();
+                }
+                return Err(e);
+            }
+        }
+
+        Ok(Cluster { sched, handles, info, replicas })
+    }
+
+    /// What the loaded plan looks like (identical on every replica).
+    pub fn info(&self) -> &PlanInfo {
+        &self.info
+    }
+
+    /// Number of executor replicas serving the plan.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// A consistent point-in-time snapshot of queue depth, per-priority
+    /// lifecycle counters, and batch-size/latency histograms.
+    pub fn metrics(&self) -> ClusterMetrics {
+        self.sched.metrics()
+    }
+
+    /// A new submission handle. Sessions are cheap; clone them across
+    /// client threads at will.
+    pub fn session(&self) -> ClusterSession {
+        ClusterSession { sched: Arc::clone(&self.sched) }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.sched.shutdown();
+        let mut worker_panicked = false;
+        for handle in self.handles.drain(..) {
+            worker_panicked |= handle.join().is_err();
+        }
+        if worker_panicked && !std::thread::panicking() {
+            panic!("a cluster replica panicked");
+        }
+    }
+}
+
+fn spawn_replica(index: usize, f: impl FnOnce() + Send + 'static) -> io::Result<JoinHandle<()>> {
+    std::thread::Builder::new().name(format!("ttsnn-cluster-replica-{index}")).spawn(f)
+}
+
+/// Builds a replica's model object locally and points its parameters at
+/// the plan's shared weight buffers. The architecture (including the
+/// merged-dense structure, when configured) must match the plan builder's
+/// so the parameter lists line up; the randomly initialized — or, after a
+/// structural merge, garbage — local values are discarded by the install.
+fn build_replica(cfg: &EngineConfig, weights: &[Tensor]) -> Result<Box<dyn Model>, String> {
+    // Weights are replaced by the shared plan state; the seed is
+    // irrelevant.
+    let mut rng = Rng::seed_from(0);
+    let mut model: Box<dyn Model> = match &cfg.arch {
+        ArchSpec::Vgg(c) => {
+            let mut m = VggSnn::new(c.clone(), &cfg.policy, &mut rng);
+            if cfg.merge_into_dense {
+                m.merge_into_dense().map_err(|e| e.to_string())?;
+            }
+            Box::new(m)
+        }
+        ArchSpec::ResNet(c) => {
+            let mut m = ResNetSnn::new(c.clone(), &cfg.policy, &mut rng);
+            if cfg.merge_into_dense {
+                m.merge_into_dense().map_err(|e| e.to_string())?;
+            }
+            Box::new(m)
+        }
+    };
+    checkpoint::install_params(&model.params(), weights).map_err(|e| e.to_string())?;
+    // The serving contract: per-sample semantics, whatever the batch.
+    model.set_infer_stats(InferStats::PerSample);
+    Ok(model)
+}
+
+/// One replica's serve loop: pull a batch from the scheduler, validate,
+/// forward, scatter replies, record metrics. Exits when the scheduler
+/// shuts down.
+fn worker_loop(model: &mut dyn Model, cfg: &EngineConfig, sched: &Scheduler) {
+    let frame_shape = cfg.arch.frame_shape();
+    while let Some(batch) = sched.next_batch(cfg.batching.max_batch, cfg.batching.max_wait) {
+        // Validate each request independently: a malformed input fails its
+        // own ticket, not its co-travellers'.
+        let mut accepted = Vec::with_capacity(batch.len());
+        for job in batch {
+            match engine::validate(&job.input, cfg.timesteps, frame_shape) {
+                Ok(()) => accepted.push(job),
+                Err(msg) => {
+                    let _ = job.reply.send(Err(InferError::Shape(msg)));
+                    sched.record_failed(job.priority);
+                }
+            }
+        }
+        if accepted.is_empty() {
+            continue;
+        }
+        let inputs: Vec<&Tensor> = accepted.iter().map(|j| &j.input).collect();
+        match engine::forward_requests(model, cfg.timesteps, frame_shape, &inputs) {
+            Ok(summed) => {
+                let k = summed.len() / accepted.len();
+                let mut served = Vec::with_capacity(accepted.len());
+                for (i, job) in accepted.iter().enumerate() {
+                    let row = summed.data()[i * k..(i + 1) * k].to_vec();
+                    let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
+                    let _ = job.reply.send(Ok(logits));
+                    served.push((job.priority, job.submitted.elapsed()));
+                }
+                let batch_size = accepted.len();
+                runtime::recycle_buffer(summed.into_vec());
+                sched.record_batch(&served, batch_size);
+            }
+            Err(e) => {
+                // Should be unreachable after validation; fail the batch.
+                for job in accepted {
+                    let _ = job.reply.send(Err(InferError::Shape(e.clone())));
+                    sched.record_failed(job.priority);
+                }
+            }
+        }
+    }
+}

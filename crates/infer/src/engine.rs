@@ -44,7 +44,7 @@ pub enum ArchSpec {
 
 impl ArchSpec {
     /// Expected per-frame input shape `(C, H, W)`.
-    fn frame_shape(&self) -> [usize; 3] {
+    pub(crate) fn frame_shape(&self) -> [usize; 3] {
         match self {
             ArchSpec::Vgg(c) => [c.in_channels, c.in_hw.0, c.in_hw.1],
             ArchSpec::ResNet(c) => [c.in_channels, c.in_hw.0, c.in_hw.1],
@@ -124,6 +124,10 @@ pub enum InferError {
     Shape(String),
     /// The engine (executor thread) has shut down.
     EngineClosed,
+    /// The request's deadline passed while it was still queued, so the
+    /// scheduler dropped it without executing (cluster serving only; see
+    /// `ttsnn_infer::sched`).
+    DeadlineExpired,
 }
 
 impl std::fmt::Display for InferError {
@@ -131,6 +135,9 @@ impl std::fmt::Display for InferError {
         match self {
             InferError::Shape(msg) => write!(f, "shape error: {msg}"),
             InferError::EngineClosed => write!(f, "inference engine has shut down"),
+            InferError::DeadlineExpired => {
+                write!(f, "request deadline expired before execution started")
+            }
         }
     }
 }
@@ -224,6 +231,7 @@ impl Engine {
     /// architecture (see `ttsnn_snn::checkpoint::load_params`), plus any
     /// I/O error from `checkpoint`.
     pub fn load(config: EngineConfig, mut checkpoint: impl Read) -> io::Result<Engine> {
+        validate_config(&config).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         let mut bytes = Vec::new();
         checkpoint.read_to_end(&mut bytes)?;
         let (tx, rx) = channel::<Msg>();
@@ -293,10 +301,11 @@ impl Drop for Engine {
 /// Constructs the model on the executor thread and freezes the plan.
 /// Checkpoint loading and TT→dense merge-back both happen here, on the
 /// concrete type, before it is type-erased behind `dyn Model`.
-fn build_plan(cfg: &EngineConfig, ckpt: &[u8]) -> Result<(Box<dyn Model>, PlanInfo), String> {
-    if cfg.timesteps == 0 {
-        return Err("EngineConfig.timesteps must be at least 1".to_string());
-    }
+pub(crate) fn build_plan(
+    cfg: &EngineConfig,
+    ckpt: &[u8],
+) -> Result<(Box<dyn Model>, PlanInfo), String> {
+    validate_config(cfg)?;
     // Weights are overwritten by the checkpoint; the seed is irrelevant.
     let mut rng = Rng::seed_from(0);
     let merge = cfg.merge_into_dense;
@@ -326,13 +335,31 @@ fn build_plan(cfg: &EngineConfig, ckpt: &[u8]) -> Result<(Box<dyn Model>, PlanIn
     Ok((model, info))
 }
 
+/// Rejects plan configurations that would wedge or never serve: a
+/// `max_batch` of 0 admits no request into any batch, so the executor loop
+/// would pop requests it can never serve (the engine used to paper over it
+/// with a silent clamp; the cluster scheduler cannot). Checked by
+/// [`Engine::load`] and `Cluster::load` before any thread is spawned.
+pub(crate) fn validate_config(cfg: &EngineConfig) -> Result<(), String> {
+    if cfg.timesteps == 0 {
+        return Err("EngineConfig.timesteps must be at least 1".to_string());
+    }
+    if cfg.batching.max_batch == 0 {
+        return Err("BatchPolicy.max_batch must be at least 1 (0 would admit no request into \
+             any batch and wedge the executor)"
+            .to_string());
+    }
+    Ok(())
+}
+
 /// The executor loop: coalesce → forward T timesteps → scatter replies.
 /// Exits on [`Msg::Shutdown`] (from `Engine::drop`) or when every sender
 /// is gone; a shutdown received mid-collection still serves the batch
 /// already admitted.
 fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
     let frame_shape = cfg.arch.frame_shape();
-    let max_batch = cfg.batching.max_batch.max(1);
+    // validate_config guarantees max_batch >= 1 before the executor spawns.
+    let max_batch = cfg.batching.max_batch;
     loop {
         let first = match rx.recv() {
             Ok(Msg::Job(r)) => r,
@@ -404,20 +431,59 @@ fn serve_batch(
     if accepted.is_empty() {
         return;
     }
-    let b = accepted.len();
+    let inputs: Vec<&Tensor> = accepted.iter().map(|r| &r.input).collect();
+    match forward_requests(model, timesteps, frame_shape, &inputs) {
+        Ok(summed) => {
+            let k = summed.len() / accepted.len();
+            for (i, req) in accepted.into_iter().enumerate() {
+                let row = summed.data()[i * k..(i + 1) * k].to_vec();
+                let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
+                let _ = req.reply.send(Ok(logits));
+            }
+            runtime::recycle_buffer(summed.into_vec());
+        }
+        Err(e) => {
+            // Should be unreachable after validation; fail the batch.
+            for req in accepted {
+                let _ = req.reply.send(Err(InferError::Shape(e.clone())));
+            }
+        }
+    }
+}
+
+/// Stacks pre-validated same-plan inputs timestep by timestep, runs the
+/// frozen plan, and returns the time-summed `(B, K)` logits. The shared
+/// forward core of the single-executor engine and every cluster replica.
+///
+/// Inputs are `(C, H, W)` direct-coding frames (repeated at each timestep)
+/// or `(T, C, H, W)` per-timestep frames, already [`validate`]d. The only
+/// steady-state allocations are the model's own conv outputs: the stacking
+/// buffer and consumed per-timestep logits ride the runtime arena, and the
+/// returned tensor's buffer should be recycled by the caller once
+/// scattered.
+///
+/// # Errors
+///
+/// Returns the model's own error message if a forward pass rejects the
+/// stacked batch (unreachable for validated inputs); the model's state is
+/// reset before returning.
+pub(crate) fn forward_requests(
+    model: &mut dyn Model,
+    timesteps: usize,
+    frame_shape: [usize; 3],
+    inputs: &[&Tensor],
+) -> Result<Tensor, String> {
+    let b = inputs.len();
     let [c, h, w] = frame_shape;
     let frame_len = c * h * w;
     model.reset_state();
-    // One arena-recycled stacking buffer, refilled per timestep; consumed
-    // logits also go back to the arena — the serving hot loop's only
-    // steady-state allocations are the model's own conv outputs.
     let mut stack_buf = runtime::take_buffer(b * frame_len);
     let mut summed: Option<Tensor> = None;
     for t in 0..timesteps {
         // Stack each request's frame for timestep t into (B, C, H, W).
-        for (slot, req) in stack_buf.chunks_mut(frame_len).zip(&accepted) {
-            let offset = if req.input.ndim() == 4 { t * frame_len } else { 0 };
-            slot.copy_from_slice(&req.input.data()[offset..offset + frame_len]);
+        for (slot, input) in stack_buf.chunks_mut(frame_len).zip(inputs) {
+            let offset = if input.ndim() == 4 { t * frame_len } else { 0 };
+            slot.copy_from_slice(&input.data()[offset..offset + frame_len]);
         }
         let batch = Tensor::from_vec(std::mem::take(&mut stack_buf), &[b, c, h, w])
             .expect("stacked batch shape");
@@ -432,28 +498,21 @@ fn serve_batch(
                 None => summed = Some(logits),
             },
             Err(e) => {
-                // Should be unreachable after validation; fail the batch.
                 model.reset_state();
                 runtime::recycle_buffer(stack_buf);
-                for req in accepted {
-                    let _ = req.reply.send(Err(InferError::Shape(e.to_string())));
-                }
-                return;
+                return Err(e.to_string());
             }
         }
     }
     runtime::recycle_buffer(stack_buf);
-    let summed = summed.expect("timesteps >= 1");
-    let k = summed.len() / b;
-    for (i, req) in accepted.into_iter().enumerate() {
-        let row = summed.data()[i * k..(i + 1) * k].to_vec();
-        let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
-        let _ = req.reply.send(Ok(logits));
-    }
-    runtime::recycle_buffer(summed.into_vec());
+    Ok(summed.expect("timesteps >= 1"))
 }
 
-fn validate(input: &Tensor, timesteps: usize, frame_shape: [usize; 3]) -> Result<(), String> {
+pub(crate) fn validate(
+    input: &Tensor,
+    timesteps: usize,
+    frame_shape: [usize; 3],
+) -> Result<(), String> {
     let [c, h, w] = frame_shape;
     match input.ndim() {
         3 if input.shape() == [c, h, w] => Ok(()),

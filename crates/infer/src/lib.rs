@@ -45,10 +45,31 @@
 //! # }
 //! ```
 
+//! ## Scaling out: the serving cluster
+//!
+//! One executor thread saturates one machine's kernel pool per batch, but
+//! per-request latency under load wants **replicas**: [`Cluster`] freezes
+//! the same plan once and serves it from N executor replicas behind a
+//! central priority/deadline scheduler — weights `Arc`-shared (loaded
+//! once, never duplicated), requests carrying [`Priority`] classes and
+//! optional deadlines, cancellation by dropping a [`ClusterTicket`],
+//! bounded-queue backpressure via [`ClusterSession::try_submit`], and
+//! live [`ClusterMetrics`]. The determinism contract extends verbatim:
+//! per-sample logits are bit-identical whatever the replica count,
+//! scheduling order, or cancellation interleaving. See [`cluster`],
+//! [`sched`] and [`metrics`].
+
 #![warn(missing_docs)]
 
 mod engine;
 
+pub mod cluster;
+pub mod metrics;
+pub mod sched;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterSession, ClusterTicket};
 pub use engine::{
     ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanInfo, Session, Ticket,
 };
+pub use metrics::ClusterMetrics;
+pub use sched::{Priority, SubmitError, SubmitOptions};

@@ -1,0 +1,205 @@
+//! Live observability for the serving cluster: counters and fixed-bucket
+//! histograms, snapshot on demand.
+//!
+//! The cluster records everything inside the scheduler's existing mutex
+//! (every counted event — submit, cancel, expiry, batch completion —
+//! already holds it), so metrics cost no extra synchronization on the hot
+//! path and need no external crates. [`crate::Cluster::metrics`] clones a
+//! consistent [`ClusterMetrics`] snapshot; nothing is sampled or averaged
+//! away — histograms keep full fixed-edge bucket counts so p50/p99 can be
+//! read off at any time.
+
+use crate::sched::Priority;
+
+/// Upper bucket edges (in **seconds**) of the request latency histogram:
+/// 100 µs to 10 s, roughly 2.5× apart, plus an implicit overflow bucket.
+/// Fixed edges keep snapshots comparable across runs and replica counts.
+pub const LATENCY_EDGES_SECS: [f64; 12] =
+    [0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.1, 0.5, 2.0, 10.0];
+
+/// Upper bucket edges of the executed-batch-size histogram (requests per
+/// forward pass), plus an implicit overflow bucket.
+pub const BATCH_SIZE_EDGES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// A fixed-bucket histogram: cumulative-style observability without
+/// external crates. Bucket `i` counts observations `<= edges[i]` (and
+/// `> edges[i-1]`); one extra overflow bucket counts the rest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: &'static [f64],
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    pub(crate) fn new(edges: &'static [f64]) -> Self {
+        Self { edges, counts: vec![0; edges.len() + 1], total: 0, sum: 0.0 }
+    }
+
+    pub(crate) fn record(&mut self, value: f64) {
+        let idx = self.edges.iter().position(|&e| value <= e).unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all recorded observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Upper bucket edge containing the `q`-quantile (`0.0..=1.0`), i.e.
+    /// an upper bound on the true quantile at bucket resolution. Returns
+    /// `f64::INFINITY` if the quantile falls in the overflow bucket, and
+    /// `0.0` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.edges.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// `(upper_edge, count)` per bucket; the final entry's edge is
+    /// `f64::INFINITY` (the overflow bucket).
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.edges.get(i).copied().unwrap_or(f64::INFINITY), c))
+            .collect()
+    }
+}
+
+/// Lifecycle counters for one priority class. Every submitted request ends
+/// in exactly one of the four terminal states, so after a drain
+/// `submitted == served + cancelled + expired + failed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PriorityStats {
+    /// Requests admitted into the queue (rejected `try_submit`s are not
+    /// submissions).
+    pub submitted: u64,
+    /// Requests whose logits were computed and delivered.
+    pub served: u64,
+    /// Requests whose [`crate::ClusterTicket`] was dropped while they were
+    /// still queued — skipped before consuming any executor time.
+    pub cancelled: u64,
+    /// Requests whose deadline passed while still queued — dropped with
+    /// [`crate::InferError::DeadlineExpired`], never executed.
+    pub expired: u64,
+    /// Requests rejected by plan shape validation (failed their own
+    /// ticket, not their batch).
+    pub failed: u64,
+}
+
+/// A consistent point-in-time snapshot of cluster activity — queue state,
+/// per-priority lifecycle counters, and batch-size / latency histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMetrics {
+    /// Requests currently waiting in the scheduler queue (including
+    /// cancelled entries not yet reaped).
+    pub queue_depth: usize,
+    /// Requests admitted but not yet finished (queued + in an open or
+    /// executing batch) — what the bounded queue's backpressure counts.
+    pub outstanding: usize,
+    /// Executor replicas serving the plan.
+    pub replicas: usize,
+    /// Forward passes executed across all replicas.
+    pub batches_executed: u64,
+    /// Lifecycle counters, indexed by [`Priority`] (see
+    /// [`ClusterMetrics::priority`]).
+    pub per_priority: [PriorityStats; Priority::COUNT],
+    /// Requests per executed forward pass (fixed edges:
+    /// [`BATCH_SIZE_EDGES`]).
+    pub batch_sizes: Histogram,
+    /// Submit→reply latency in seconds of served requests (fixed edges:
+    /// [`LATENCY_EDGES_SECS`]).
+    pub latency: Histogram,
+}
+
+impl ClusterMetrics {
+    pub(crate) fn new(replicas: usize) -> Self {
+        Self {
+            queue_depth: 0,
+            outstanding: 0,
+            replicas,
+            batches_executed: 0,
+            per_priority: [PriorityStats::default(); Priority::COUNT],
+            batch_sizes: Histogram::new(&BATCH_SIZE_EDGES),
+            latency: Histogram::new(&LATENCY_EDGES_SECS),
+        }
+    }
+
+    /// The lifecycle counters of one priority class.
+    pub fn priority(&self, p: Priority) -> &PriorityStats {
+        &self.per_priority[p.index()]
+    }
+
+    pub(crate) fn priority_mut(&mut self, p: Priority) -> &mut PriorityStats {
+        &mut self.per_priority[p.index()]
+    }
+
+    /// Lifecycle counters summed over all priority classes.
+    pub fn totals(&self) -> PriorityStats {
+        let mut t = PriorityStats::default();
+        for s in &self.per_priority {
+            t.submitted += s.submitted;
+            t.served += s.served;
+            t.cancelled += s.cancelled;
+            t.expired += s.expired;
+            t.failed += s.failed;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new(&BATCH_SIZE_EDGES);
+        for v in [1.0, 1.0, 2.0, 3.0, 200.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 207.0 / 5.0).abs() < 1e-9);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (1.0, 2)); // two 1.0s
+        assert_eq!(buckets[1], (2.0, 1));
+        assert_eq!(buckets[2], (4.0, 1)); // 3.0 lands in (2, 4]
+        assert_eq!(buckets.last().unwrap(), &(f64::INFINITY, 1)); // overflow
+        assert_eq!(h.quantile(0.5), 2.0); // 3rd of 5 observations
+        assert_eq!(h.quantile(0.99), f64::INFINITY); // the overflow sample
+        assert_eq!(Histogram::new(&LATENCY_EDGES_SECS).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_priorities() {
+        let mut m = ClusterMetrics::new(2);
+        m.priority_mut(Priority::High).served = 3;
+        m.priority_mut(Priority::Low).served = 4;
+        m.priority_mut(Priority::Normal).cancelled = 1;
+        let t = m.totals();
+        assert_eq!((t.served, t.cancelled), (7, 1));
+        assert_eq!(m.priority(Priority::High).served, 3);
+    }
+}

@@ -1,0 +1,563 @@
+//! The cluster's central scheduler: one bounded priority/deadline queue
+//! feeding every executor replica.
+//!
+//! # Queueing discipline
+//!
+//! Requests carry a [`Priority`] class and an optional relative deadline
+//! ([`SubmitOptions`]). Batch formation pops the most urgent live request
+//! first: strictly by priority class, **earliest-deadline-first within a
+//! class** (deadline-less requests rank after any deadlined one, FIFO among
+//! themselves). A single binary heap over the composite key
+//! `(priority, deadline, sequence)` implements this in `O(log n)` per
+//! operation.
+//!
+//! # Cancellation and expiry
+//!
+//! Dropping a `ClusterTicket` flips the request's shared cancel flag.
+//! Cancelled requests are reaped when popped — and re-checked when a
+//! collecting batch closes — so a request cancelled before execution
+//! **never consumes executor time** and is counted in
+//! [`crate::metrics::PriorityStats::cancelled`]. A request whose deadline
+//! passes while still queued is dropped the same way, with
+//! [`InferError::DeadlineExpired`] delivered to its ticket: the deadline
+//! bounds *queueing delay* — a request popped into an executing batch
+//! before its deadline runs to completion.
+//!
+//! # Backpressure
+//!
+//! The queue is bounded by "outstanding" requests — admitted and not yet
+//! in a terminal state (served / cancelled / expired / failed). Blocking
+//! `submit` waits for space; `try_submit` fails fast with
+//! [`SubmitError::Saturated`] so ingestion layers can shed load instead of
+//! buffering without bound.
+//!
+//! # Why not per-replica queues
+//!
+//! A single queue keeps the determinism story trivial (any replica may
+//! serve any request — outputs are bit-identical because every replica
+//! aliases the same frozen weights and runs
+//! [`ttsnn_snn::InferStats::PerSample`]), gives free work stealing (a slow
+//! batch on one replica never blocks requests behind it), and makes
+//! priorities global rather than per-replica.
+
+use std::cmp::{Ordering as CmpOrdering, Reverse};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ttsnn_tensor::Tensor;
+
+use crate::engine::InferError;
+use crate::metrics::ClusterMetrics;
+
+/// Scheduling class of a request. Higher classes always form batches
+/// first; within a class the earliest deadline wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic — always scheduled before the others.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Throughput traffic that yields to everything else.
+    Low,
+}
+
+impl Priority {
+    /// Number of priority classes (array dimension for per-priority
+    /// metrics).
+    pub const COUNT: usize = 3;
+
+    /// All classes, most urgent first.
+    pub const ALL: [Priority; Priority::COUNT] = [Priority::High, Priority::Normal, Priority::Low];
+
+    /// Stable index of this class (0 = most urgent), e.g. into
+    /// [`crate::metrics::ClusterMetrics::per_priority`].
+    pub fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Per-request scheduling knobs for `ClusterSession::submit_with`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOptions {
+    /// Scheduling class ([`Priority::Normal`] by default).
+    pub priority: Priority,
+    /// Optional **relative** deadline: if the request is still queued this
+    /// long after submission, the scheduler drops it with
+    /// [`InferError::DeadlineExpired`] instead of executing stale work.
+    /// `None` (default) never expires. Values too large to represent as an
+    /// absolute instant (e.g. `Duration::MAX`) behave like `None`.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options with the given priority and no deadline.
+    pub fn priority(priority: Priority) -> Self {
+        Self { priority, deadline: None }
+    }
+
+    /// Returns these options with a relative deadline set.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full ([`try_submit`](crate::ClusterSession::try_submit)
+    /// only): shed the request or retry later — this is the backpressure
+    /// signal.
+    Saturated,
+    /// The cluster has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Saturated => write!(f, "cluster queue is saturated (backpressure)"),
+            SubmitError::Closed => write!(f, "cluster has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One admitted request, owned by the queue until popped into a batch.
+pub(crate) struct Job {
+    /// Global admission number — the FIFO tie-breaker.
+    pub(crate) seq: u64,
+    /// `(C, H, W)` or `(T, C, H, W)` input, validated by the executing
+    /// replica.
+    pub(crate) input: Tensor,
+    /// Scheduling class.
+    pub(crate) priority: Priority,
+    /// Absolute queueing deadline, if any.
+    pub(crate) deadline: Option<Instant>,
+    /// Set by `ClusterTicket::drop`; checked at pop and at batch close.
+    pub(crate) cancelled: Arc<AtomicBool>,
+    /// Where the logits (or the error) go.
+    pub(crate) reply: Sender<Result<Tensor, InferError>>,
+    /// Submission instant, for the latency histogram.
+    pub(crate) submitted: Instant,
+}
+
+impl Job {
+    /// Urgency key: priority class, then deadline (deadline-less last),
+    /// then admission order. Smaller = more urgent.
+    fn key(&self) -> (usize, Option<Instant>, u64) {
+        (self.priority.index(), self.deadline, self.seq)
+    }
+
+    fn cmp_key(&self, other: &Self) -> CmpOrdering {
+        let (pa, da, sa) = self.key();
+        let (pb, db, sb) = other.key();
+        pa.cmp(&pb)
+            .then_with(|| match (da, db) {
+                (Some(a), Some(b)) => a.cmp(&b),
+                (Some(_), None) => CmpOrdering::Less,
+                (None, Some(_)) => CmpOrdering::Greater,
+                (None, None) => CmpOrdering::Equal,
+            })
+            .then_with(|| sa.cmp(&sb))
+    }
+}
+
+impl PartialEq for Job {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Job {}
+impl PartialOrd for Job {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Job {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        self.cmp_key(other)
+    }
+}
+
+struct State {
+    /// Min-by-urgency via `Reverse` (`BinaryHeap` is a max-heap).
+    queue: BinaryHeap<Reverse<Job>>,
+    /// Admitted, not yet terminal — the backpressure quantity.
+    outstanding: usize,
+    shutdown: bool,
+    next_seq: u64,
+    metrics: ClusterMetrics,
+}
+
+/// The shared scheduler: sessions push, replicas pull batches, metrics
+/// snapshot on demand. All state sits behind one mutex — every transition
+/// is a few pointer moves, so contention is negligible next to a forward
+/// pass.
+pub(crate) struct Scheduler {
+    capacity: usize,
+    state: Mutex<State>,
+    /// Signalled when work arrives (and on shutdown).
+    work: Condvar,
+    /// Signalled when outstanding drops (and on shutdown).
+    space: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(capacity: usize, replicas: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                queue: BinaryHeap::new(),
+                outstanding: 0,
+                shutdown: false,
+                next_seq: 0,
+                metrics: ClusterMetrics::new(replicas),
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn enqueue_locked(
+        &self,
+        st: &mut State,
+        input: Tensor,
+        opts: SubmitOptions,
+        reply: Sender<Result<Tensor, InferError>>,
+    ) -> Arc<AtomicBool> {
+        let now = Instant::now();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let cancelled = Arc::new(AtomicBool::new(false));
+        st.metrics.priority_mut(opts.priority).submitted += 1;
+        st.outstanding += 1;
+        st.queue.push(Reverse(Job {
+            seq,
+            input,
+            priority: opts.priority,
+            // Unrepresentable deadlines (`Duration::MAX`) mean "never".
+            deadline: opts.deadline.and_then(|d| now.checked_add(d)),
+            cancelled: cancelled.clone(),
+            reply,
+            submitted: now,
+        }));
+        self.work.notify_all();
+        cancelled
+    }
+
+    /// Admits a request, blocking while the queue is saturated.
+    pub(crate) fn submit(
+        &self,
+        input: Tensor,
+        opts: SubmitOptions,
+        reply: Sender<Result<Tensor, InferError>>,
+    ) -> Result<Arc<AtomicBool>, SubmitError> {
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::Closed);
+            }
+            if st.outstanding < self.capacity {
+                return Ok(self.enqueue_locked(&mut st, input, opts, reply));
+            }
+            st = self.space.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Admits a request or fails fast — the backpressure edge.
+    pub(crate) fn try_submit(
+        &self,
+        input: Tensor,
+        opts: SubmitOptions,
+        reply: Sender<Result<Tensor, InferError>>,
+    ) -> Result<Arc<AtomicBool>, SubmitError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::Closed);
+        }
+        if st.outstanding >= self.capacity {
+            return Err(SubmitError::Saturated);
+        }
+        Ok(self.enqueue_locked(&mut st, input, opts, reply))
+    }
+
+    /// One request reached a terminal state: free its backpressure slot.
+    fn finish_one(&self, st: &mut State) {
+        st.outstanding -= 1;
+        self.space.notify_all();
+    }
+
+    /// Pops the most urgent **live** job, reaping cancelled and expired
+    /// entries on the way (they never reach an executor).
+    fn pop_live(&self, st: &mut State, now: Instant) -> Option<Job> {
+        while let Some(Reverse(job)) = st.queue.pop() {
+            if job.cancelled.load(Ordering::SeqCst) {
+                st.metrics.priority_mut(job.priority).cancelled += 1;
+                self.finish_one(st);
+                continue;
+            }
+            if job.deadline.is_some_and(|d| now >= d) {
+                st.metrics.priority_mut(job.priority).expired += 1;
+                let _ = job.reply.send(Err(InferError::DeadlineExpired));
+                self.finish_one(st);
+                continue;
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    /// Blocks for the next batch: waits for a first live request, then
+    /// admits co-travellers until the batch holds `max_batch` requests or
+    /// `max_wait` has elapsed since it opened (`Duration` values too large
+    /// for `Instant` arithmetic, e.g. `Duration::MAX`, mean "hold until
+    /// full"). Returns `None` once the cluster shuts down; a shutdown
+    /// mid-collection still returns the batch already admitted.
+    ///
+    /// Cancellation is re-checked when the batch closes, so a ticket
+    /// dropped while its request sat in an open batch is still a
+    /// cancellation, with a strong guarantee: a cancel that
+    /// happened-before the batch closed is never executed.
+    pub(crate) fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+        let mut st = self.lock();
+        loop {
+            let first = loop {
+                if let Some(job) = self.pop_live(&mut st, Instant::now()) {
+                    break job;
+                }
+                if st.shutdown {
+                    return None;
+                }
+                st = self.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            };
+            let mut batch = vec![first];
+            let close_at = Instant::now().checked_add(max_wait);
+            while batch.len() < max_batch && !st.shutdown {
+                if let Some(job) = self.pop_live(&mut st, Instant::now()) {
+                    batch.push(job);
+                    continue;
+                }
+                match close_at {
+                    None => st = self.work.wait(st).unwrap_or_else(|e| e.into_inner()),
+                    Some(close) => {
+                        let now = Instant::now();
+                        if now >= close {
+                            break;
+                        }
+                        st = self
+                            .work
+                            .wait_timeout(st, close - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0;
+                    }
+                }
+            }
+            // Closing checks: cancellations and expiries that landed while
+            // the batch was open must still be honoured — execution has
+            // not started yet.
+            let now = Instant::now();
+            batch.retain(|job| {
+                if job.cancelled.load(Ordering::SeqCst) {
+                    st.metrics.priority_mut(job.priority).cancelled += 1;
+                    self.finish_one(&mut st);
+                    return false;
+                }
+                if job.deadline.is_some_and(|d| now >= d) {
+                    st.metrics.priority_mut(job.priority).expired += 1;
+                    let _ = job.reply.send(Err(InferError::DeadlineExpired));
+                    self.finish_one(&mut st);
+                    return false;
+                }
+                true
+            });
+            if !batch.is_empty() {
+                return Some(batch);
+            }
+            // Everything admitted was cancelled/expired: open a new batch.
+        }
+    }
+
+    /// Records one executed batch: per-request served counts and
+    /// submit→reply latencies, plus the batch-size sample.
+    pub(crate) fn record_batch(&self, served: &[(Priority, Duration)], batch_size: usize) {
+        let mut st = self.lock();
+        for &(priority, latency) in served {
+            st.metrics.priority_mut(priority).served += 1;
+            st.metrics.latency.record(latency.as_secs_f64());
+            self.finish_one(&mut st);
+        }
+        st.metrics.batch_sizes.record(batch_size as f64);
+        st.metrics.batches_executed += 1;
+    }
+
+    /// Records a request rejected by plan validation (failed its own
+    /// ticket inside an otherwise healthy batch).
+    pub(crate) fn record_failed(&self, priority: Priority) {
+        let mut st = self.lock();
+        st.metrics.priority_mut(priority).failed += 1;
+        self.finish_one(&mut st);
+    }
+
+    /// Consistent snapshot for `Cluster::metrics`.
+    pub(crate) fn metrics(&self) -> ClusterMetrics {
+        let st = self.lock();
+        let mut m = st.metrics.clone();
+        m.queue_depth = st.queue.len();
+        m.outstanding = st.outstanding;
+        m
+    }
+
+    /// Stops admission and wakes everyone. Queued-but-unserved requests
+    /// are dropped — their reply senders hang up, so waiting tickets
+    /// report `InferError::EngineClosed`. Replicas finish the batch they
+    /// already admitted, then exit.
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.lock();
+        st.shutdown = true;
+        while st.queue.pop().is_some() {
+            st.outstanding -= 1;
+        }
+        self.work.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn job_input() -> Tensor {
+        Tensor::zeros(&[1])
+    }
+
+    fn sched(capacity: usize) -> Scheduler {
+        Scheduler::new(capacity, 1)
+    }
+
+    #[test]
+    fn pops_by_priority_then_deadline_then_fifo() {
+        let s = sched(16);
+        let mut rxs = Vec::new();
+        let mut submit = |prio, deadline_ms: Option<u64>| {
+            let (tx, rx) = channel();
+            rxs.push(rx);
+            let opts =
+                SubmitOptions { priority: prio, deadline: deadline_ms.map(Duration::from_millis) };
+            s.submit(job_input(), opts, tx).unwrap()
+        };
+        let _ = submit(Priority::Low, None); // seq 0
+        let _ = submit(Priority::Normal, None); // seq 1
+        let _ = submit(Priority::Normal, Some(60_000)); // seq 2: deadlined beats FIFO
+        let _ = submit(Priority::Normal, Some(30_000)); // seq 3: earlier deadline
+        let _ = submit(Priority::High, None); // seq 4: class beats everything
+        let batch = s.next_batch(16, Duration::ZERO).unwrap();
+        let order: Vec<u64> = batch.iter().map(|j| j.seq).collect();
+        assert_eq!(order, vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn try_submit_saturates_at_capacity() {
+        let s = sched(2);
+        let (tx, _rx1) = channel();
+        s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let (tx, _rx2) = channel();
+        s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let (tx, _rx3) = channel();
+        assert_eq!(
+            s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
+            SubmitError::Saturated
+        );
+        // Outstanding counts until terminal, not until popped: forming a
+        // batch alone must not admit more work...
+        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        let (tx, _rx4) = channel();
+        assert_eq!(
+            s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
+            SubmitError::Saturated
+        );
+        // ...serving it does.
+        let served: Vec<(Priority, Duration)> =
+            batch.iter().map(|j| (j.priority, j.submitted.elapsed())).collect();
+        s.record_batch(&served, batch.len());
+        let (tx, _rx5) = channel();
+        s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
+    }
+
+    #[test]
+    fn cancelled_jobs_are_reaped_not_returned() {
+        let s = sched(8);
+        let (tx, _rx) = channel();
+        let cancel = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        cancel.store(true, Ordering::SeqCst);
+        let (tx, _rx2) = channel();
+        let _ = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1, "cancelled job must not reach an executor");
+        let m = s.metrics();
+        assert_eq!(m.priority(Priority::Normal).cancelled, 1);
+        assert_eq!(m.outstanding, 1, "reaping a cancelled job frees its slot");
+    }
+
+    #[test]
+    fn expired_jobs_reply_deadline_expired() {
+        let s = sched(8);
+        let (tx, rx) = channel();
+        let opts = SubmitOptions::default().with_deadline(Duration::ZERO);
+        let _c = s.submit(job_input(), opts, tx).unwrap();
+        let (tx, _rx2) = channel();
+        let _ = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(rx.recv().unwrap(), Err(InferError::DeadlineExpired));
+        assert_eq!(s.metrics().priority(Priority::Normal).expired, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queue_and_wakes_workers() {
+        let s = Arc::new(sched(8));
+        let (tx, rx) = channel();
+        let _c = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let worker = {
+            let s = Arc::clone(&s);
+            // A worker asleep waiting for work (queue drained below before
+            // it can look): must wake and exit on shutdown.
+            std::thread::spawn(move || s.next_batch(8, Duration::from_secs(60)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        s.shutdown();
+        // The sleeping worker either grabbed the job first (and must then
+        // serve + record it, shutdown or not) or the shutdown drained it
+        // (ticket sees a hang-up).
+        match worker.join().unwrap() {
+            None => assert!(rx.recv().is_err(), "drained job must hang up its ticket"),
+            Some(batch) => {
+                assert_eq!(batch.len(), 1);
+                let served: Vec<(Priority, Duration)> =
+                    batch.iter().map(|j| (j.priority, j.submitted.elapsed())).collect();
+                s.record_batch(&served, batch.len());
+            }
+        }
+        assert_eq!(s.metrics().outstanding, 0);
+        let (tx, _rx2) = channel();
+        assert_eq!(
+            s.submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
+            SubmitError::Closed
+        );
+    }
+}

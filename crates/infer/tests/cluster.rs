@@ -1,0 +1,405 @@
+//! Serving-cluster determinism, cancellation, deadline and backpressure
+//! tests.
+//!
+//! The headline property extends the engine's contract to replicas: a
+//! request's logits are **bit-identical** whatever the replica count, the
+//! scheduling order, the priority mix, or which other requests were
+//! cancelled mid-flight — and equal to a batch-of-1 pass through the
+//! training plane of the same checkpoint. CI re-runs this suite under
+//! `TTSNN_NUM_THREADS=2` and under `TTSNN_NUM_REPLICAS=1`/`3` (the
+//! env-default test picks the replica count up from the environment).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use ttsnn_autograd::Var;
+use ttsnn_core::TtMode;
+use ttsnn_infer::{
+    ArchSpec, BatchPolicy, Cluster, ClusterConfig, EngineConfig, InferError, Priority, SubmitError,
+    SubmitOptions,
+};
+use ttsnn_snn::{checkpoint, ConvPolicy, SpikingModel, TrainForward, VggConfig, VggSnn};
+use ttsnn_tensor::{Rng, Tensor};
+
+const T: usize = 2;
+
+fn vgg_cfg() -> VggConfig {
+    VggConfig::vgg9(3, 5, (8, 8), 16)
+}
+
+/// Builds a model, checkpoints it, and returns (checkpoint, model).
+fn vgg_checkpoint(policy: &ConvPolicy, seed: u64) -> (Vec<u8>, VggSnn) {
+    let mut rng = Rng::seed_from(seed);
+    let model = VggSnn::new(vgg_cfg(), policy, &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).unwrap();
+    (ckpt, model)
+}
+
+fn samples(seed: u64, n: usize) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from(seed ^ 0x5A5A);
+    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+}
+
+/// Reference: the training plane on a batch of one — per-sample summed
+/// logits under direct coding.
+fn train_plane_reference(model: &mut impl TrainForward, sample: &Tensor) -> Tensor {
+    model.reset_state();
+    let mut batched_shape = vec![1usize];
+    batched_shape.extend_from_slice(sample.shape());
+    let x = Var::constant(Tensor::from_vec(sample.data().to_vec(), &batched_shape).unwrap());
+    let mut sum: Option<Tensor> = None;
+    for t in 0..T {
+        let logits = model.forward_timestep(&x, t).unwrap().to_tensor();
+        match sum.as_mut() {
+            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
+            None => sum = Some(logits),
+        }
+    }
+    let s = sum.unwrap();
+    let k = s.shape()[1];
+    Tensor::from_vec(s.data().to_vec(), &[k]).unwrap()
+}
+
+fn cluster_config(
+    policy: ConvPolicy,
+    replicas: usize,
+    max_batch: usize,
+    max_wait: Duration,
+) -> ClusterConfig {
+    ClusterConfig::new(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), policy, T)
+            .with_batching(BatchPolicy { max_batch, max_wait }),
+    )
+    .with_replicas(replicas)
+}
+
+/// Spins until every submitted request reached a terminal state (replies
+/// land a hair before the metrics record), then returns the snapshot.
+fn drained_metrics(cluster: &Cluster) -> ttsnn_infer::ClusterMetrics {
+    for _ in 0..1000 {
+        let m = cluster.metrics();
+        let t = m.totals();
+        if t.served + t.cancelled + t.expired + t.failed == t.submitted {
+            return m;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    panic!("cluster did not drain: {:?}", cluster.metrics().totals());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// The acceptance property: per-sample outputs are bit-identical
+    /// across 1..=3 replicas × random priority assignment × random
+    /// cancellation interleavings, and every request is accounted for.
+    #[test]
+    fn replica_priority_and_cancellation_invariance(seed in 0u64..500) {
+        let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::tt(TtMode::Ptt), seed);
+        let inputs = samples(seed, 8);
+        let expected: Vec<Tensor> = inputs
+            .iter()
+            .map(|s| train_plane_reference(&mut reference_model, s))
+            .collect();
+        let mut mix = Rng::seed_from(seed ^ 0xC0FFEE);
+        for replicas in 1..=3usize {
+            let cluster = Cluster::load(
+                cluster_config(ConvPolicy::tt(TtMode::Ptt), replicas, 3, Duration::from_millis(10)),
+                ckpt.as_slice(),
+            )
+            .unwrap();
+            prop_assert_eq!(cluster.replicas(), replicas);
+            let session = cluster.session();
+            // Random priorities and (generous, never-expiring) deadlines.
+            let tickets: Vec<_> = inputs
+                .iter()
+                .map(|s| {
+                    let prio = Priority::ALL[mix.uniform_in(0.0, 3.0) as usize % 3];
+                    let opts = if mix.uniform_in(0.0, 1.0) < 0.5 {
+                        SubmitOptions::priority(prio)
+                            .with_deadline(Duration::from_secs(120))
+                    } else {
+                        SubmitOptions::priority(prio)
+                    };
+                    session.submit_with(s.clone(), opts).unwrap()
+                })
+                .collect();
+            // Cancel a random subset mid-flight: some will be reaped
+            // queued (counted cancelled), some already executed (counted
+            // served) — the interleaving is the test.
+            let mut survivors = Vec::new();
+            for (i, ticket) in tickets.into_iter().enumerate() {
+                if mix.uniform_in(0.0, 1.0) < 0.3 {
+                    drop(ticket); // cancel
+                } else {
+                    survivors.push((i, ticket));
+                }
+            }
+            for (i, ticket) in survivors {
+                let got = ticket.wait().unwrap();
+                prop_assert_eq!(
+                    &got, &expected[i],
+                    "sample {} diverged under {} replicas (scheduling must be invisible)",
+                    i, replicas
+                );
+            }
+            let m = drained_metrics(&cluster);
+            let t = m.totals();
+            prop_assert_eq!(t.submitted, inputs.len() as u64);
+            prop_assert_eq!(t.expired + t.failed, 0);
+            // Executor time is only spent on served requests.
+            let batched: u64 = m.batch_sizes.buckets().iter().map(|(_, c)| c).sum();
+            prop_assert_eq!(batched, m.batches_executed);
+            prop_assert!(m.latency.count() == t.served);
+        }
+    }
+}
+
+/// Replica count from the environment (the CI matrix sets
+/// `TTSNN_NUM_REPLICAS=1`/`3`): same bits as the training plane.
+#[test]
+fn env_default_replica_count_serves_identically() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 21);
+    let inputs = samples(21, 6);
+    let config = ClusterConfig::new(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T)
+            .with_batching(BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(10) }),
+    );
+    assert_eq!(config.num_replicas, ClusterConfig::replicas_from_env());
+    let cluster = Cluster::load(config, ckpt.as_slice()).unwrap();
+    let session = cluster.session();
+    let tickets: Vec<_> = inputs.iter().map(|s| session.submit(s.clone()).unwrap()).collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        assert_eq!(
+            ticket.wait().unwrap(),
+            train_plane_reference(&mut reference_model, &inputs[i]),
+            "request {i} diverged under the env-default replica count"
+        );
+    }
+}
+
+/// The acceptance guarantee for cancellation, constructed deterministically:
+/// the batch cannot start executing before `max_batch` admissions or the
+/// (generous) collection window closes, and the cancel lands milliseconds
+/// into that window — so whether the scheduler reaps the dropped request
+/// at pop time or at the pre-execution re-check, it is counted cancelled,
+/// never executed, and the three survivors ride **one** batch.
+#[test]
+fn dropped_queued_ticket_is_cancelled_and_never_executed() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 31);
+    let inputs = samples(31, 4);
+    let cluster = Cluster::load(
+        cluster_config(ConvPolicy::Baseline, 1, 4, Duration::from_millis(500)),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = cluster.session();
+    let t0 = session.submit(inputs[0].clone()).unwrap();
+    let t1 = session.submit(inputs[1].clone()).unwrap();
+    let t2 = session.submit(inputs[2].clone()).unwrap();
+    // Cancel #1 while the batch is provably still collecting (it needs a
+    // 4th live request or the 500 ms window to close), then submit the
+    // last request: the cancel happened-before any possible execution.
+    drop(t1);
+    let t3 = session.submit(inputs[3].clone()).unwrap();
+    for (i, ticket) in [(0usize, t0), (2, t2), (3, t3)] {
+        assert_eq!(
+            ticket.wait().unwrap(),
+            train_plane_reference(&mut reference_model, &inputs[i]),
+            "survivor {i} diverged after a co-traveller was cancelled"
+        );
+    }
+    let m = drained_metrics(&cluster);
+    let t = m.totals();
+    assert_eq!(t.cancelled, 1, "the dropped queued ticket must be counted cancelled");
+    assert_eq!(t.served, 3);
+    assert_eq!(m.batches_executed, 1, "cancellation must not fragment the batch");
+    assert_eq!(
+        m.batch_sizes.buckets().iter().map(|(_, c)| c).sum::<u64>(),
+        1,
+        "exactly one forward pass — the cancelled request consumed no executor time"
+    );
+    // That single executed batch held exactly the three survivors.
+    assert_eq!(m.batch_sizes.quantile(1.0), 4.0, "batch of 3 lands in the (2,4] bucket");
+}
+
+/// A deadline bounds queueing delay: a request still waiting in an open
+/// batch when its deadline passes is dropped with `DeadlineExpired` and
+/// never executed; its co-travellers are unaffected.
+#[test]
+fn queued_deadline_expiry_is_observable_and_skips_execution() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 41);
+    let inputs = samples(41, 3);
+    let cluster = Cluster::load(
+        cluster_config(ConvPolicy::Baseline, 1, 3, Duration::from_millis(500)),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = cluster.session();
+    let t0 = session.submit(inputs[0].clone()).unwrap();
+    let doomed = session
+        .submit_with(
+            inputs[1].clone(),
+            SubmitOptions::priority(Priority::High).with_deadline(Duration::from_millis(15)),
+        )
+        .unwrap();
+    // Hold the batch open past the deadline, then close it.
+    std::thread::sleep(Duration::from_millis(30));
+    let t2 = session.submit(inputs[2].clone()).unwrap();
+    assert_eq!(doomed.wait(), Err(InferError::DeadlineExpired));
+    for (i, ticket) in [(0usize, t0), (2, t2)] {
+        assert_eq!(
+            ticket.wait().unwrap(),
+            train_plane_reference(&mut reference_model, &inputs[i]),
+            "survivor {i} diverged after a co-traveller expired"
+        );
+    }
+    let m = drained_metrics(&cluster);
+    assert_eq!(m.priority(Priority::High).expired, 1);
+    assert_eq!(m.totals().served, 2);
+    assert_eq!(m.batches_executed, 1);
+}
+
+/// The bounded queue pushes back: outstanding (not-yet-finished) requests
+/// saturate `try_submit` deterministically — the two parked requests
+/// cannot finish while their batch waits for a third that never arrives.
+#[test]
+fn try_submit_reports_saturation_and_shutdown_serves_admitted_work() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 51);
+    let inputs = samples(51, 3);
+    let cluster = Cluster::load(
+        cluster_config(ConvPolicy::Baseline, 1, 3, Duration::MAX).with_queue_capacity(2),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = cluster.session();
+    let t0 = session.try_submit(inputs[0].clone()).unwrap();
+    let t1 = session.try_submit(inputs[1].clone()).unwrap();
+    match session.try_submit(inputs[2].clone()) {
+        Err(SubmitError::Saturated) => {}
+        other => panic!("expected Saturated, got {:?}", other.map(|_| ())),
+    }
+    assert_eq!(cluster.metrics().outstanding, 2);
+    // Shutdown semantics mirror the engine: a batch the replica already
+    // *admitted* is still served; requests still sitting in the queue are
+    // dropped and their tickets hang up. Which side of that line the two
+    // requests land on is a race with the replica's pop — but there is no
+    // third outcome: a ticket either resolves with the exact training-plane
+    // bits or reports EngineClosed.
+    drop(cluster);
+    for (i, ticket) in [t0, t1].into_iter().enumerate() {
+        match ticket.wait() {
+            Ok(got) => assert_eq!(
+                got,
+                train_plane_reference(&mut reference_model, &inputs[i]),
+                "request {i} served through shutdown must not diverge"
+            ),
+            Err(e) => assert_eq!(e, InferError::EngineClosed),
+        }
+    }
+}
+
+#[test]
+fn sessions_outliving_the_cluster_report_closed() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::Baseline, 61);
+    let session = {
+        let cluster = Cluster::load(
+            cluster_config(ConvPolicy::Baseline, 2, 4, Duration::from_millis(5)),
+            ckpt.as_slice(),
+        )
+        .unwrap();
+        cluster.session()
+    };
+    assert_eq!(
+        session.submit(samples(61, 1).remove(0)).map(|_| ()).unwrap_err(),
+        SubmitError::Closed
+    );
+    assert_eq!(session.infer(samples(61, 1).remove(0)), Err(InferError::EngineClosed));
+}
+
+#[test]
+fn bad_inputs_fail_their_own_ticket_only() {
+    let (ckpt, mut reference_model) = vgg_checkpoint(&ConvPolicy::Baseline, 71);
+    let cluster = Cluster::load(
+        cluster_config(ConvPolicy::Baseline, 2, 4, Duration::from_millis(20)),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    let session = cluster.session();
+    let good_input = samples(71, 1).remove(0);
+    let good = session.submit(good_input.clone()).unwrap();
+    let bad = session.submit(Tensor::zeros(&[2, 8, 8])).unwrap(); // wrong channels
+    assert_eq!(
+        good.wait().unwrap(),
+        train_plane_reference(&mut reference_model, &good_input),
+        "good request must survive a bad co-traveller"
+    );
+    match bad.wait() {
+        Err(InferError::Shape(msg)) => assert!(msg.contains("does not match the plan"), "{msg}"),
+        other => panic!("expected shape error, got {other:?}"),
+    }
+    assert_eq!(drained_metrics(&cluster).totals().failed, 1);
+}
+
+/// The merged-dense deployment pipeline works replicated: replicas must
+/// rebuild the *merged* structure before aliasing the shared weights.
+#[test]
+fn merged_plans_serve_identically_across_replicas() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::tt(TtMode::Ptt), 81);
+    let base = EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::tt(TtMode::Ptt), T)
+        .merged()
+        .with_batching(BatchPolicy { max_batch: 2, max_wait: Duration::from_millis(5) });
+    let x = samples(81, 1).remove(0);
+    let solo =
+        Cluster::load(ClusterConfig::new(base.clone()).with_replicas(1), ckpt.as_slice()).unwrap();
+    assert_eq!(solo.info().merged_layers, 5);
+    let expected = solo.session().infer(x.clone()).unwrap();
+    drop(solo);
+    let trio = Cluster::load(ClusterConfig::new(base).with_replicas(3), ckpt.as_slice()).unwrap();
+    let session = trio.session();
+    let tickets: Vec<_> = (0..6).map(|_| session.submit(x.clone()).unwrap()).collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap(), expected, "merged plan diverged across replicas");
+    }
+}
+
+#[test]
+fn load_rejects_invalid_configs() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::Baseline, 91);
+    let engine_cfg = EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T);
+
+    // max_batch == 0 used to be silently clamped; it must now be rejected
+    // up front — by the engine and the cluster alike.
+    let zero_batch =
+        engine_cfg.clone().with_batching(BatchPolicy { max_batch: 0, max_wait: Duration::ZERO });
+    let err =
+        ttsnn_infer::Engine::load(zero_batch.clone(), ckpt.as_slice()).map(|_| ()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("max_batch"), "{err}");
+    let err =
+        Cluster::load(ClusterConfig::new(zero_batch), ckpt.as_slice()).map(|_| ()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("max_batch"), "{err}");
+
+    for bad in [
+        ClusterConfig::new(engine_cfg.clone()).with_replicas(0),
+        ClusterConfig::new(engine_cfg).with_queue_capacity(0),
+    ] {
+        let err = Cluster::load(bad, ckpt.as_slice()).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+}
+
+#[test]
+fn load_rejects_mismatched_checkpoint_on_any_replica_path() {
+    let mut rng = Rng::seed_from(5);
+    let wrong = VggSnn::new(VggConfig::vgg9(3, 7, (8, 8), 8), &ConvPolicy::Baseline, &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&wrong.params(), &mut ckpt).unwrap();
+    let err =
+        Cluster::load(cluster_config(ConvPolicy::Baseline, 2, 2, Duration::ZERO), ckpt.as_slice())
+            .map(|_| ())
+            .unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+}

@@ -189,6 +189,67 @@ pub fn load_params<R: Read>(params: &[Var], mut r: R) -> io::Result<()> {
     Ok(())
 }
 
+/// Converts every parameter's value to `Arc`-**shared** tensor storage and
+/// returns O(1) handles to the shared buffers, in
+/// [`crate::SpikingModel::params`] order.
+///
+/// This is the serving cluster's "load weights once" primitive: the plan
+/// builder calls it after [`load_params`] (and any TT→dense merge), ships
+/// the returned handles to the other executor replicas (they are `Send` —
+/// plain data, no autograd), and each replica installs them with
+/// [`install_params`]. Afterwards **all** replicas' parameters alias one
+/// buffer per tensor ([`Tensor::shares_storage_with`]); per-replica memory
+/// is just membrane state. The calling model's own parameters are switched
+/// to the shared storage too, so it serves from the same single copy.
+///
+/// Training afterwards remains safe — tensor storage is copy-on-write, an
+/// optimizer step detaches a private copy — but defeats the sharing, so
+/// treat shared parameters as frozen.
+pub fn share_params(params: &[Var]) -> Vec<Tensor> {
+    params
+        .iter()
+        .map(|p| {
+            let shared = p.to_tensor().into_shared();
+            p.set_value(shared.clone());
+            shared
+        })
+        .collect()
+}
+
+/// Installs pre-decoded tensors into existing parameters, in order,
+/// shape-checked — the replica-side half of [`share_params`]. Installing a
+/// shared tensor is an O(1) handle copy; no weight data moves.
+///
+/// Nothing is installed unless the whole list validates (same
+/// all-or-nothing contract as [`load_params`]).
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error if the tensor count or any tensor's
+/// shape disagrees with the destination parameters.
+pub fn install_params(params: &[Var], tensors: &[Tensor]) -> io::Result<()> {
+    if tensors.len() != params.len() {
+        return Err(bad(format!(
+            "plan holds {} tensors but the model has {} parameters",
+            tensors.len(),
+            params.len()
+        )));
+    }
+    for (i, (p, t)) in params.iter().zip(tensors).enumerate() {
+        if t.shape() != p.shape() {
+            return Err(bad(format!(
+                "tensor {i}: plan shape {:?} vs model shape {:?}",
+                t.shape(),
+                p.shape()
+            )));
+        }
+    }
+    for (p, t) in params.iter().zip(tensors) {
+        p.set_value(t.clone());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +360,38 @@ mod tests {
             msg.contains("4 elements") && msg.contains("architecture mismatch"),
             "length-table error should name the offending tensor, got: {msg}"
         );
+    }
+
+    #[test]
+    fn share_and_install_alias_one_buffer_per_tensor() {
+        let mut rng = Rng::seed_from(11);
+        let src: Vec<Var> =
+            (0..3).map(|i| Var::param(Tensor::randn(&[2, i + 2], &mut rng))).collect();
+        let originals: Vec<Tensor> = src.iter().map(|p| p.to_tensor()).collect();
+        let shared = share_params(&src);
+        // The sharer's own params now alias the shared buffers...
+        for (p, s) in src.iter().zip(&shared) {
+            assert!(p.value().shares_storage_with(s), "sharer must serve from the shared copy");
+        }
+        // ...and so does a replica after install, with identical values.
+        let replica: Vec<Var> = (0..3).map(|i| Var::param(Tensor::zeros(&[2, i + 2]))).collect();
+        install_params(&replica, &shared).unwrap();
+        for ((p, s), o) in replica.iter().zip(&shared).zip(&originals) {
+            assert!(p.value().shares_storage_with(s), "replica must alias, not copy");
+            assert_eq!(&p.to_tensor(), o);
+        }
+    }
+
+    #[test]
+    fn install_params_validates_before_installing() {
+        let shared = share_params(&[Var::param(Tensor::ones(&[2, 2]))]);
+        // Count mismatch.
+        let two = [Var::param(Tensor::zeros(&[2, 2])), Var::param(Tensor::zeros(&[1]))];
+        assert!(install_params(&two, &shared).is_err());
+        // Shape mismatch: nothing may be installed (all-or-nothing).
+        let wrong = [Var::param(Tensor::zeros(&[4]))];
+        assert!(install_params(&wrong, &shared).is_err());
+        assert_eq!(wrong[0].to_tensor().data(), &[0.0; 4]);
     }
 
     #[test]

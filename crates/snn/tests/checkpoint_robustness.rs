@@ -1,0 +1,200 @@
+//! Checkpoint robustness: hostile streams must fail **descriptively**,
+//! never panic, never half-install — and v2's length table must reject an
+//! architecture mismatch *before any weight data is read*.
+//!
+//! Serving clusters load checkpoints straight off operator-provided
+//! streams; this suite is the contract that a corrupt, truncated, or
+//! mismatched file costs an error message, not a crashed replica or a
+//! multi-megabyte read.
+
+use std::io::{self, Read};
+
+use proptest::prelude::*;
+use ttsnn_autograd::Var;
+use ttsnn_snn::checkpoint::{load_params, save_params};
+use ttsnn_tensor::{Rng, Tensor};
+
+/// Writes `params` in a legacy format: v0 has no header at all, v1 has
+/// magic + version + count but no length table, v2 is the current format.
+fn encode(params: &[Var], version: u32) -> Vec<u8> {
+    if version >= 2 {
+        let mut buf = Vec::new();
+        save_params(params, &mut buf).unwrap();
+        return buf;
+    }
+    let mut buf = Vec::new();
+    if version >= 1 {
+        buf.extend_from_slice(b"TTSN");
+        buf.extend_from_slice(&version.to_le_bytes());
+        buf.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    }
+    for p in params {
+        let t = p.value();
+        buf.extend_from_slice(&(t.ndim() as u32).to_le_bytes());
+        for &d in t.shape() {
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in t.data() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+fn fresh_params(seed: u64) -> Vec<Var> {
+    let mut rng = Rng::seed_from(seed);
+    (0..3).map(|i| Var::param(Tensor::randn(&[2, i + 2], &mut rng))).collect()
+}
+
+fn zeroed_like(params: &[Var]) -> Vec<Var> {
+    params.iter().map(|p| Var::param(Tensor::zeros(&p.shape()))).collect()
+}
+
+fn is_unchanged(params: &[Var]) -> bool {
+    params.iter().all(|p| p.value().data().iter().all(|&v| v == 0.0))
+}
+
+/// Every strict prefix of every format version must return a descriptive
+/// error — and must not install a single tensor (all-or-nothing).
+#[test]
+fn truncated_streams_error_without_installing() {
+    let src = fresh_params(1);
+    for version in [0u32, 1, 2] {
+        let buf = encode(&src, version);
+        for cut in 0..buf.len() {
+            let dst = zeroed_like(&src);
+            let result = load_params(&dst, &buf[..cut]);
+            let err = match result {
+                Err(e) => e,
+                Ok(()) => panic!("v{version} truncated to {cut}/{} bytes loaded", buf.len()),
+            };
+            assert!(!err.to_string().is_empty());
+            assert!(
+                is_unchanged(&dst),
+                "v{version} truncated to {cut} bytes must not half-install"
+            );
+        }
+        // Sanity: the full stream still loads.
+        let dst = zeroed_like(&src);
+        load_params(&dst, buf.as_slice()).unwrap();
+        assert!(!is_unchanged(&dst));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary single-byte corruption anywhere in any version's stream
+    /// must never panic: it either still decodes (a flipped weight byte —
+    /// there is no integrity checksum) or returns a descriptive error
+    /// with nothing installed.
+    #[test]
+    fn corrupt_bytes_never_panic(seed in 0u64..1000, pos_frac in 0.0f64..1.0, flip in 1u8..=255) {
+        for version in [0u32, 1, 2] {
+            let src = fresh_params(seed);
+            let mut buf = encode(&src, version);
+            let pos = ((pos_frac * buf.len() as f64) as usize).min(buf.len() - 1);
+            buf[pos] ^= flip;
+            let dst = zeroed_like(&src);
+            match load_params(&dst, buf.as_slice()) {
+                Ok(()) => {} // weight-region flip: decodes, values differ
+                Err(e) => {
+                    prop_assert!(!e.to_string().is_empty());
+                    prop_assert!(
+                        is_unchanged(&dst),
+                        "v{} corrupt at byte {} must not half-install",
+                        version, pos
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A reader that counts consumed bytes — the witness for "rejected before
+/// any weight data was read".
+struct CountingReader<R> {
+    inner: R,
+    read: usize,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.read += n;
+        Ok(n)
+    }
+}
+
+/// The v2 length table exists so a big checkpoint from the wrong
+/// architecture dies on the header, not after streaming megabytes of
+/// weights: prove the loader consumed no byte of weight data.
+#[test]
+fn v2_length_table_rejects_arch_mismatch_before_weight_data() {
+    // A deliberately heavy parameter so "read the weights anyway" would be
+    // obvious in the byte count.
+    let big = [Var::param(Tensor::ones(&[64, 64, 3, 3]))]; // ~147k floats
+    let mut buf = Vec::new();
+    save_params(&big, &mut buf).unwrap();
+    let header_len = 4 + 4 + 8 + 8 * big.len(); // magic + version + count + table
+    assert!(buf.len() > header_len + 4, "stream must dwarf its header");
+
+    let wrong_arch = [Var::param(Tensor::zeros(&[64, 32, 3, 3]))];
+    let mut counting = CountingReader { inner: buf.as_slice(), read: 0 };
+    let err = load_params(&wrong_arch, &mut counting).unwrap_err();
+    assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("architecture mismatch"), "undescriptive error: {msg}");
+    assert!(
+        counting.read <= header_len,
+        "loader read {} bytes but weight data starts after {header_len}: the length \
+         table must reject the mismatch first",
+        counting.read
+    );
+    assert!(is_unchanged(&wrong_arch));
+}
+
+/// v1 and v0 streams (no length table) still fail descriptively on a
+/// wrong architecture — just later, at the offending tensor record.
+#[test]
+fn legacy_streams_reject_arch_mismatch_at_the_tensor_record() {
+    let src = fresh_params(7);
+    for version in [0u32, 1] {
+        let buf = encode(&src, version);
+        let mut wrong = zeroed_like(&src);
+        wrong[1] = Var::param(Tensor::zeros(&[5, 5])); // tensor 1 diverges
+        let err = load_params(&wrong, buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("tensor 1") && msg.contains("shape"),
+            "v{version} mismatch error must name the offending tensor: {msg}"
+        );
+        assert!(is_unchanged(&[wrong[0].clone(), wrong[2].clone()]));
+    }
+}
+
+/// Garbage that accidentally parses as a huge tensor count or rank must be
+/// rejected by plausibility checks, not by attempting a huge allocation.
+#[test]
+fn implausible_header_fields_are_rejected() {
+    let p = [Var::param(Tensor::zeros(&[2, 2]))];
+
+    // Version from the future.
+    let mut buf = encode(&p, 2);
+    buf[4..8].copy_from_slice(&999u32.to_le_bytes());
+    let msg = load_params(&p, buf.as_slice()).unwrap_err().to_string();
+    assert!(msg.contains("version"), "{msg}");
+
+    // Tensor count not matching the model.
+    let mut buf = encode(&p, 2);
+    buf[8..16].copy_from_slice(&(u64::MAX).to_le_bytes());
+    let msg = load_params(&p, buf.as_slice()).unwrap_err().to_string();
+    assert!(msg.contains("tensors"), "{msg}");
+
+    // Headerless stream whose first record claims rank 200.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&200u32.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 64]);
+    let msg = load_params(&p, buf.as_slice()).unwrap_err().to_string();
+    assert!(msg.contains("rank"), "{msg}");
+}

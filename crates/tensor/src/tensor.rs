@@ -1,7 +1,35 @@
+use std::sync::Arc;
+
 use crate::error::ShapeError;
 use crate::rng::Rng;
 use crate::runtime::{self, Runtime};
 use crate::shape::{num_elements, ravel, strides_for, unravel};
+
+/// Backing storage of a [`Tensor`]: exclusively owned (the default) or
+/// shared copy-on-write across threads.
+///
+/// Shared storage exists for **frozen serving weights**: a plan loaded once
+/// can back the parameters of N executor replicas with a single allocation
+/// (`Arc` handles instead of N copies). Reads are identical in both modes;
+/// the first mutation of a shared tensor detaches it onto a private copy
+/// ([`Tensor::data_mut`]), so sharing is invisible to numeric code.
+#[derive(Debug)]
+enum Storage {
+    /// Exclusively owned buffer — mutations happen in place.
+    Owned(Vec<f32>),
+    /// `Arc`-shared buffer — cloning is O(1); mutation copies first.
+    Shared(Arc<Vec<f32>>),
+}
+
+impl Storage {
+    #[inline]
+    fn as_slice(&self) -> &[f32] {
+        match self {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => a,
+        }
+    }
+}
 
 /// A contiguous, row-major n-dimensional `f32` array.
 ///
@@ -9,6 +37,13 @@ use crate::shape::{num_elements, ravel, strides_for, unravel};
 /// images, spikes, membrane potentials, convolution weights and TT cores are
 /// all `Tensor`s. The representation is always contiguous; operations that
 /// change element order (e.g. [`Tensor::permute`]) copy.
+///
+/// Storage is exclusively owned by default. [`Tensor::into_shared`] moves
+/// the buffer behind an `Arc` so clones are O(1) handle copies — how the
+/// serving cluster shares one set of frozen weights across all executor
+/// replicas. Mutating accessors ([`Tensor::data_mut`],
+/// [`Tensor::map_inplace`], …) detach a shared tensor onto a private copy
+/// first (copy-on-write), so numeric code never observes the difference.
 ///
 /// ```
 /// use ttsnn_tensor::Tensor;
@@ -20,18 +55,56 @@ use crate::shape::{num_elements, ravel, strides_for, unravel};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Tensor {
-    data: Vec<f32>,
+    data: Storage,
     shape: Vec<usize>,
+}
+
+impl Clone for Tensor {
+    /// Owned tensors deep-copy; shared tensors clone the `Arc` handle
+    /// (O(1), no data copy) and keep pointing at the same buffer.
+    fn clone(&self) -> Self {
+        let data = match &self.data {
+            Storage::Owned(v) => Storage::Owned(v.clone()),
+            Storage::Shared(a) => Storage::Shared(Arc::clone(a)),
+        };
+        Self { data, shape: self.shape.clone() }
+    }
+}
+
+impl PartialEq for Tensor {
+    /// Value equality: same shape, bitwise-equal element sequence —
+    /// regardless of whether either side is shared.
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data() == other.data()
+    }
 }
 
 impl Tensor {
     // ---------------------------------------------------------------- ctors
 
+    /// Internal: a tensor exclusively owning `data` (the default storage).
+    #[inline]
+    fn owned(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        Self { data: Storage::Owned(data), shape }
+    }
+
+    /// Internal: copy-on-write — detaches shared storage onto a private
+    /// copy and returns the exclusively owned buffer.
+    fn make_owned(&mut self) -> &mut Vec<f32> {
+        if let Storage::Shared(a) = &self.data {
+            self.data = Storage::Owned(a.as_ref().clone());
+        }
+        match &mut self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(_) => unreachable!("make_owned just detached"),
+        }
+    }
+
     /// A tensor of zeros with the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; num_elements(shape)], shape: shape.to_vec() }
+        Self::owned(vec![0.0; num_elements(shape)], shape.to_vec())
     }
 
     /// A tensor of ones with the given shape.
@@ -41,7 +114,7 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { data: vec![value; num_elements(shape)], shape: shape.to_vec() }
+        Self::owned(vec![value; num_elements(shape)], shape.to_vec())
     }
 
     /// Builds a tensor from a flat buffer.
@@ -58,19 +131,19 @@ impl Tensor {
                 shape
             )));
         }
-        Ok(Self { data, shape: shape.to_vec() })
+        Ok(Self::owned(data, shape.to_vec()))
     }
 
     /// Standard-normal random tensor.
     pub fn randn(shape: &[usize], rng: &mut Rng) -> Self {
         let data = (0..num_elements(shape)).map(|_| rng.normal()).collect();
-        Self { data, shape: shape.to_vec() }
+        Self::owned(data, shape.to_vec())
     }
 
     /// Uniform random tensor in `[lo, hi)`.
     pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
         let data = (0..num_elements(shape)).map(|_| rng.uniform_in(lo, hi)).collect();
-        Self { data, shape: shape.to_vec() }
+        Self::owned(data, shape.to_vec())
     }
 
     /// Kaiming-normal initialization for a conv/linear weight: the first
@@ -83,14 +156,15 @@ impl Tensor {
         let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
         let std = (2.0 / fan_in as f32).sqrt();
         let data = (0..num_elements(shape)).map(|_| rng.normal() * std).collect();
-        Self { data, shape: shape.to_vec() }
+        Self::owned(data, shape.to_vec())
     }
 
     /// Identity matrix of size `n`.
     pub fn eye(n: usize) -> Self {
         let mut t = Self::zeros(&[n, n]);
+        let d = t.make_owned();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            d[i * n + i] = 1.0;
         }
         t
     }
@@ -109,27 +183,74 @@ impl Tensor {
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.data.as_slice().len()
     }
 
     /// Whether the tensor has zero elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.as_slice().is_empty()
     }
 
     /// Read-only view of the flat backing buffer (row-major).
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable view of the flat backing buffer (row-major).
+    ///
+    /// On a [shared](Tensor::into_shared) tensor this detaches onto a
+    /// private copy first (copy-on-write); other handles to the shared
+    /// buffer are unaffected.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.make_owned()
     }
 
     /// Consumes the tensor and returns the flat backing buffer.
+    ///
+    /// Owned storage is returned as-is (no copy), so the buffer can go
+    /// straight back to the runtime arena
+    /// ([`crate::runtime::recycle_buffer`]) — the serving hot loop's
+    /// recycling pattern. Shared storage is reclaimed without a copy when
+    /// this handle is the last one; otherwise the contents are copied out
+    /// and the shared buffer stays alive for the other handles (recycling
+    /// the *copy* is still valid — it is exclusively ours).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        match self.data {
+            Storage::Owned(v) => v,
+            Storage::Shared(a) => Arc::try_unwrap(a).unwrap_or_else(|a| a.as_ref().clone()),
+        }
+    }
+
+    /// Moves the backing buffer behind an `Arc`, making subsequent
+    /// [`Clone`]s O(1) handle copies of one shared allocation.
+    ///
+    /// This is how a serving plan's frozen weights back every executor
+    /// replica without per-replica duplication. Mutation stays safe:
+    /// [`Tensor::data_mut`] and friends detach a private copy first
+    /// (copy-on-write). No-op if the storage is already shared.
+    pub fn into_shared(self) -> Self {
+        let data = match self.data {
+            Storage::Owned(v) => Storage::Shared(Arc::new(v)),
+            shared @ Storage::Shared(_) => shared,
+        };
+        Self { data, shape: self.shape }
+    }
+
+    /// Whether the backing buffer is `Arc`-shared storage (regardless of
+    /// how many handles currently point at it).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Storage::Shared(_))
+    }
+
+    /// Whether `self` and `other` are backed by the **same** shared
+    /// allocation — the observable behind the cluster's "weights are
+    /// loaded once" contract (tests assert every replica's parameters
+    /// alias the plan's single buffer).
+    pub fn shares_storage_with(&self, other: &Self) -> bool {
+        match (&self.data, &other.data) {
+            (Storage::Shared(a), Storage::Shared(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     /// Element at multi-dimensional coordinates.
@@ -139,7 +260,7 @@ impl Tensor {
     /// Panics if `coords` has the wrong rank or is out of bounds.
     pub fn at(&self, coords: &[usize]) -> f32 {
         assert_eq!(coords.len(), self.ndim(), "at: rank mismatch");
-        self.data[ravel(coords, &self.shape)]
+        self.data()[ravel(coords, &self.shape)]
     }
 
     /// Mutable element at multi-dimensional coordinates.
@@ -150,7 +271,7 @@ impl Tensor {
     pub fn at_mut(&mut self, coords: &[usize]) -> &mut f32 {
         assert_eq!(coords.len(), self.ndim(), "at_mut: rank mismatch");
         let idx = ravel(coords, &self.shape);
-        &mut self.data[idx]
+        &mut self.make_owned()[idx]
     }
 
     // ------------------------------------------------------------- reshape
@@ -170,7 +291,14 @@ impl Tensor {
                 num_elements(shape)
             )));
         }
-        Ok(Self { data: self.data.clone(), shape: shape.to_vec() })
+        // Re-viewing shared storage keeps sharing (an O(1) handle clone):
+        // replicas reshaping frozen weights must not silently duplicate
+        // the plan's buffer.
+        let data = match &self.data {
+            Storage::Owned(v) => Storage::Owned(v.clone()),
+            Storage::Shared(a) => Storage::Shared(Arc::clone(a)),
+        };
+        Ok(Self { data, shape: shape.to_vec() })
     }
 
     /// Permutes the axes (copying into a new contiguous tensor).
@@ -193,7 +321,8 @@ impl Tensor {
         let mut out = Self::zeros(&new_shape);
         let old_strides = strides_for(&self.shape);
         let new_strides = strides_for(&new_shape);
-        for (flat, v) in out.data.iter_mut().enumerate() {
+        let src_data = self.data.as_slice();
+        for (flat, v) in out.make_owned().iter_mut().enumerate() {
             // coordinates in the new tensor
             let mut rem = flat;
             let mut src = 0usize;
@@ -202,7 +331,7 @@ impl Tensor {
                 rem %= ns;
                 src += c * old_strides[axes[d]];
             }
-            *v = self.data[src];
+            *v = src_data[src];
         }
         Ok(out)
     }
@@ -226,12 +355,12 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Self::owned(self.data().iter().map(|&v| f(v)).collect(), self.shape.clone())
     }
 
-    /// Applies `f` in place.
+    /// Applies `f` in place (copy-on-write on shared tensors).
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.make_owned() {
             *v = f(*v);
         }
     }
@@ -248,8 +377,8 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { data, shape: self.shape.clone() })
+        let data = self.data().iter().zip(other.data().iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Self::owned(data, self.shape.clone()))
     }
 
     /// Elementwise sum.
@@ -291,7 +420,7 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+        for (a, &b) in self.make_owned().iter_mut().zip(other.data().iter()) {
             *a += alpha * b;
         }
         Ok(())
@@ -311,7 +440,7 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Mean of all elements (`0.0` for empty tensors).
@@ -325,17 +454,17 @@ impl Tensor {
 
     /// Maximum element (`-inf` for empty tensors).
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element (`+inf` for empty tensors).
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Frobenius / L2 norm.
     pub fn norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        self.data().iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
     /// Index of the maximum element in the flat buffer.
@@ -346,8 +475,9 @@ impl Tensor {
     pub fn argmax(&self) -> usize {
         assert!(!self.is_empty(), "argmax of empty tensor");
         let mut best = 0usize;
-        for (i, &v) in self.data.iter().enumerate() {
-            if v > self.data[best] {
+        let data = self.data();
+        for (i, &v) in data.iter().enumerate() {
+            if v > data[best] {
                 best = i;
             }
         }
@@ -367,7 +497,12 @@ impl Tensor {
                 self.shape, other.shape
             )));
         }
-        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max))
+        Ok(self
+            .data()
+            .iter()
+            .zip(other.data().iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
     }
 
     // --------------------------------------------------------------- slices
@@ -386,8 +521,8 @@ impl Tensor {
             )));
         }
         let slab = self.len() / self.shape[0];
-        let data = self.data[i * slab..(i + 1) * slab].to_vec();
-        Ok(Self { data, shape: self.shape[1..].to_vec() })
+        let data = self.data()[i * slab..(i + 1) * slab].to_vec();
+        Ok(Self::owned(data, self.shape[1..].to_vec()))
     }
 
     /// Stacks same-shaped tensors along a new leading axis.
@@ -405,11 +540,11 @@ impl Tensor {
                     p.shape, first.shape
                 )));
             }
-            data.extend_from_slice(&p.data);
+            data.extend_from_slice(p.data());
         }
         let mut shape = vec![parts.len()];
         shape.extend_from_slice(&first.shape);
-        Ok(Self { data, shape })
+        Ok(Self::owned(data, shape))
     }
 
     // --------------------------------------------------------------- matmul
@@ -437,8 +572,8 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
-        runtime::gemm(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
-        Ok(Self { data: out, shape: vec![m, n] })
+        runtime::gemm(Runtime::global(), self.data(), other.data(), &mut out, m, k, n);
+        Ok(Self::owned(out, vec![m, n]))
     }
 
     /// `selfᵀ · other` for 2-D tensors (`self [k,m]`, `other [k,n]` →
@@ -465,8 +600,8 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
-        runtime::gemm_at_b(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
-        Ok(Self { data: out, shape: vec![m, n] })
+        runtime::gemm_at_b(Runtime::global(), self.data(), other.data(), &mut out, m, k, n);
+        Ok(Self::owned(out, vec![m, n]))
     }
 
     /// `self · otherᵀ` for 2-D tensors (`self [m,k]`, `other [n,k]` →
@@ -493,8 +628,8 @@ impl Tensor {
             )));
         }
         let mut out = vec![0.0f32; m * n];
-        runtime::gemm_a_bt(Runtime::global(), &self.data, &other.data, &mut out, m, k, n);
-        Ok(Self { data: out, shape: vec![m, n] })
+        runtime::gemm_a_bt(Runtime::global(), self.data(), other.data(), &mut out, m, k, n);
+        Ok(Self::owned(out, vec![m, n]))
     }
 
     /// Sum over the given axis, dropping it.
@@ -512,11 +647,13 @@ impl Tensor {
         let mut new_shape = self.shape.clone();
         new_shape.remove(axis);
         let mut out = Self::zeros(&new_shape);
-        for flat in 0..self.len() {
+        let src = self.data.as_slice();
+        let dst_data = out.make_owned();
+        for (flat, &v) in src.iter().enumerate() {
             let mut coords = unravel(flat, &self.shape);
             coords.remove(axis);
             let dst = if new_shape.is_empty() { 0 } else { ravel(&coords, &new_shape) };
-            out.data[dst] += self.data[flat];
+            dst_data[dst] += v;
         }
         Ok(out)
     }
@@ -553,7 +690,7 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 impl Default for Tensor {
     /// An empty 1-D tensor.
     fn default() -> Self {
-        Self { data: Vec::new(), shape: vec![0] }
+        Self::owned(Vec::new(), vec![0])
     }
 }
 
@@ -770,6 +907,47 @@ mod tests {
         let var = w.data().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         let expected = 2.0 / (32.0 * 9.0);
         assert!((var - expected).abs() < expected * 0.2, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn shared_clones_alias_one_buffer() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap().into_shared();
+        assert!(x.is_shared());
+        let y = x.clone();
+        assert!(x.shares_storage_with(&y), "clone of a shared tensor must alias, not copy");
+        // Owned tensors never report aliasing, even with equal contents.
+        let o = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert!(!o.shares_storage_with(&x));
+        assert_eq!(o, x, "equality ignores the storage kind");
+    }
+
+    #[test]
+    fn mutating_a_shared_tensor_detaches_privately() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap().into_shared();
+        let mut y = x.clone();
+        y.data_mut()[0] = 9.0;
+        assert_eq!(y.data(), &[9.0, 2.0]);
+        assert_eq!(x.data(), &[1.0, 2.0], "copy-on-write must not touch other handles");
+        assert!(!y.is_shared() && x.is_shared());
+    }
+
+    #[test]
+    fn reshape_of_shared_tensor_keeps_sharing() {
+        let x = Tensor::from_vec(vec![0.0; 6], &[2, 3]).unwrap().into_shared();
+        let y = x.reshape(&[3, 2]).unwrap();
+        assert!(y.shares_storage_with(&x), "re-viewing frozen weights must not duplicate them");
+    }
+
+    #[test]
+    fn into_vec_reclaims_unique_shared_buffers() {
+        let x = Tensor::from_vec(vec![5.0, 6.0], &[2]).unwrap().into_shared();
+        // Sole handle: buffer is reclaimed (and recyclable) without a copy.
+        assert_eq!(x.into_vec(), vec![5.0, 6.0]);
+        // Aliased handle: contents are copied out, the original survives.
+        let a = Tensor::from_vec(vec![7.0], &[1]).unwrap().into_shared();
+        let b = a.clone();
+        assert_eq!(b.into_vec(), vec![7.0]);
+        assert_eq!(a.data(), &[7.0]);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct EnergyModel {
     pub activation_bytes: f64,
     /// Bytes per weight (8-bit, Table I multiplier precision).
     pub weight_bytes: f64,
+    /// One fp32 multiply + accumulate — what a CPU/GPU float serving plan
+    /// pays per MAC, for pricing f32 plans against the accelerator's
+    /// int8 datapath (Horowitz ISSCC'14 fp32 numbers shrunk to 28 nm).
+    pub f32_mac_pj: f64,
 }
 
 impl EnergyModel {
@@ -54,7 +58,76 @@ impl EnergyModel {
             backward_factor: 2.0,
             activation_bytes: 2.0,
             weight_bytes: 1.0,
+            f32_mac_pj: 1.8,
         }
+    }
+}
+
+/// Numeric precision of a frozen serving plan, for [`serving_energy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingPrecision {
+    /// Float plan: fp32 MACs, 4-byte weights and activations.
+    F32,
+    /// Quantized plan: the accelerator's 8-bit multiplier / 16-bit
+    /// accumulator datapath (Table I), 1-byte weights, 1-byte quantized
+    /// activations.
+    Int8,
+}
+
+impl ServingPrecision {
+    /// Bytes per weight at this precision.
+    pub fn weight_bytes(&self) -> f64 {
+        match self {
+            ServingPrecision::F32 => 4.0,
+            ServingPrecision::Int8 => 1.0,
+        }
+    }
+
+    /// Bytes per (non-spike) activation at this precision.
+    pub fn activation_bytes(&self) -> f64 {
+        match self {
+            ServingPrecision::F32 => 4.0,
+            ServingPrecision::Int8 => 1.0,
+        }
+    }
+}
+
+/// Energy of serving **one sample** through a frozen inference plan
+/// (forward only — no BPTT terms), at the given precision:
+///
+/// * compute — `macs_per_timestep × timesteps` at the precision's MAC
+///   cost ([`EnergyModel::mac_pj`] is exactly the accelerator's 8-bit
+///   multiply + 16-bit accumulate, so the int8 plan prices its MACs at
+///   the Table I datapath);
+/// * SRAM — weights streamed from the global buffer once per timestep
+///   plus activation traffic, both at the precision's byte widths;
+/// * DRAM — the plan's weights fetched once per sample (frozen plans
+///   share weights across timesteps).
+///
+/// This is the accounting the `quant_throughput` bench quotes next to
+/// the measured CPU numbers: the *measured* speedup is a CPU artifact,
+/// the *modeled* energy is what the paper's accelerator would pay.
+pub fn serving_energy(
+    macs_per_timestep: f64,
+    weight_params: f64,
+    activation_elems_per_timestep: f64,
+    timesteps: f64,
+    precision: ServingPrecision,
+    m: &EnergyModel,
+) -> EnergyBreakdown {
+    let mac_pj = match precision {
+        ServingPrecision::F32 => m.f32_mac_pj,
+        ServingPrecision::Int8 => m.mac_pj,
+    };
+    let weight_bytes = weight_params * precision.weight_bytes();
+    // Activations are written by one layer and read by the next: 2 trips.
+    let activation_bytes =
+        activation_elems_per_timestep * timesteps * 2.0 * precision.activation_bytes();
+    EnergyBreakdown {
+        compute_pj: macs_per_timestep * timesteps * mac_pj,
+        sram_pj: (weight_bytes * timesteps + activation_bytes) * m.sram_pj_per_byte,
+        dram_pj: weight_bytes * m.dram_pj_per_byte,
+        ..EnergyBreakdown::default()
     }
 }
 
@@ -117,6 +190,31 @@ mod tests {
         assert!(m.dram_pj_per_byte > 10.0 * m.sram_pj_per_byte, "DRAM ≫ SRAM");
         assert!(m.sram_pj_per_byte > m.rf_pj_per_byte, "SRAM > scratch-pad");
         assert!((0.0..=1.0).contains(&m.spike_activity));
+        assert!(m.f32_mac_pj > 4.0 * m.mac_pj, "fp32 MAC must dwarf the int8 datapath");
+    }
+
+    #[test]
+    fn int8_serving_beats_f32_on_every_term() {
+        let m = EnergyModel::nm28();
+        // VGG9-ish inference: 40M MACs/timestep, 5M weights, 1M
+        // activations, T = 4.
+        let f32 = serving_energy(40e6, 5e6, 1e6, 4.0, ServingPrecision::F32, &m);
+        let int8 = serving_energy(40e6, 5e6, 1e6, 4.0, ServingPrecision::Int8, &m);
+        assert!(int8.compute_pj < f32.compute_pj / 4.0, "int8 compute must be ≥4x cheaper");
+        assert!(int8.sram_pj * 3.0 < f32.sram_pj, "1-byte traffic must be ~4x cheaper");
+        assert!(int8.dram_pj * 3.0 < f32.dram_pj, "1-byte weight fetch must be ~4x cheaper");
+        assert!(int8.total_pj() < f32.total_pj() / 3.0);
+        // Both scale linearly in timesteps.
+        let int8_t8 = serving_energy(40e6, 5e6, 1e6, 8.0, ServingPrecision::Int8, &m);
+        assert!((int8_t8.compute_pj - 2.0 * int8.compute_pj).abs() < 1e-3);
+    }
+
+    #[test]
+    fn serving_precision_byte_widths() {
+        assert_eq!(ServingPrecision::Int8.weight_bytes(), 1.0);
+        assert_eq!(ServingPrecision::F32.weight_bytes(), 4.0);
+        assert_eq!(ServingPrecision::Int8.activation_bytes(), 1.0);
+        assert_eq!(ServingPrecision::F32.activation_bytes(), 4.0);
     }
 
     #[test]

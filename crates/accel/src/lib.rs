@@ -36,6 +36,6 @@ pub mod mapping;
 pub mod workload;
 
 pub use config::AcceleratorConfig;
-pub use energy::{EnergyBreakdown, EnergyModel};
+pub use energy::{serving_energy, EnergyBreakdown, EnergyModel, ServingPrecision};
 pub use mapping::{simulate, Target};
 pub use workload::{Method, NetworkWorkload};

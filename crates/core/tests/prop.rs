@@ -108,3 +108,67 @@ proptest! {
         prop_assert!(htt_total <= ptt_total);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Quantization properties (ISSUE 5 satellites): round-trip error bounds
+// and per-channel vs per-tensor scale monotonicity.
+
+mod quant_props {
+    use proptest::prelude::*;
+    use ttsnn_core::quant::{quantize_int8, quantize_int8_per_channel};
+    use ttsnn_tensor::{Rng, Tensor};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// quantize → dequantize reconstructs every element within half a
+        /// quantization step of its group's scale.
+        #[test]
+        fn round_trip_error_bounded_by_half_step(seed in 0u64..1000, spread in 0.1f32..20.0) {
+            let mut rng = Rng::seed_from(seed);
+            let c = 1 + rng.below(6);
+            let k = 1 + rng.below(24);
+            let t = Tensor::randn(&[c, k], &mut rng).scale(spread);
+            let pt = quantize_int8(&t).unwrap();
+            let back = pt.dequantize().unwrap();
+            for (a, b) in t.data().iter().zip(back.data()) {
+                prop_assert!((a - b).abs() <= pt.scale * 0.5 + 1e-6);
+            }
+            let pc = quantize_int8_per_channel(&t).unwrap();
+            let back = pc.dequantize().unwrap();
+            for (i, (a, b)) in t.data().iter().zip(back.data()).enumerate() {
+                let s = pc.scales[i / k];
+                prop_assert!((a - b).abs() <= s * 0.5 + 1e-6, "elem {}", i);
+            }
+        }
+
+        /// Per-channel scales are never coarser than the per-tensor scale,
+        /// so the per-element error bound only tightens.
+        #[test]
+        fn per_channel_scales_monotone_vs_per_tensor(seed in 0u64..1000) {
+            let mut rng = Rng::seed_from(seed);
+            let c = 1 + rng.below(8);
+            let k = 1 + rng.below(32);
+            let t = Tensor::randn(&[c, k], &mut rng);
+            let pt = quantize_int8(&t).unwrap();
+            let pc = quantize_int8_per_channel(&t).unwrap();
+            for (ch, &s) in pc.scales.iter().enumerate() {
+                prop_assert!(s <= pt.scale + 1e-12, "channel {}: {} > {}", ch, s, pt.scale);
+            }
+        }
+
+        /// Scales are always positive and finite, whatever the input
+        /// (finite) weights — including all-zero channels.
+        #[test]
+        fn scales_always_positive_finite(data in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            let n = data.len();
+            let t = Tensor::from_vec(data, &[n, 1]).unwrap();
+            let pt = quantize_int8(&t).unwrap();
+            prop_assert!(pt.scale > 0.0 && pt.scale.is_finite());
+            let pc = quantize_int8_per_channel(&t).unwrap();
+            for &s in &pc.scales {
+                prop_assert!(s > 0.0 && s.is_finite());
+            }
+        }
+    }
+}

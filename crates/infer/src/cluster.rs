@@ -39,10 +39,11 @@ use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use ttsnn_snn::quant::QuantPlanWeights;
 use ttsnn_snn::{checkpoint, InferStats, Model, ResNetSnn, VggSnn};
 use ttsnn_tensor::{runtime, Rng, Tensor};
 
-use crate::engine::{self, ArchSpec, EngineConfig, InferError, PlanInfo};
+use crate::engine::{self, ArchSpec, EngineConfig, InferError, PlanInfo, QuantSpec};
 use crate::metrics::ClusterMetrics;
 use crate::sched::{Scheduler, SubmitError, SubmitOptions};
 
@@ -232,9 +233,42 @@ impl Cluster {
     /// `max_batch == 0`, `num_replicas == 0`, `queue_capacity == 0`);
     /// `InvalidData` if the checkpoint does not match the architecture;
     /// plus any I/O error from reading `checkpoint`.
-    pub fn load(config: ClusterConfig, mut checkpoint: impl Read) -> io::Result<Cluster> {
+    pub fn load(config: ClusterConfig, checkpoint: impl Read) -> io::Result<Cluster> {
+        Self::load_impl(config, None, checkpoint)
+    }
+
+    /// [`Cluster::load`], but the plan is **frozen to int8** (see
+    /// `Engine::load_quantized`): replica 0 loads, merges, calibrates and
+    /// quantizes, then exports the frozen int8 weights — every other
+    /// replica installs O(1) `Arc` handles to the same int8 buffers (plus
+    /// the shared float norm parameters), so per-replica memory stays
+    /// membrane state only. Quantized logits are bit-identical across
+    /// replica counts, thread counts, and scheduling interleavings.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cluster::load`], plus `InvalidInput` for an empty calibration
+    /// set.
+    pub fn load_quantized(
+        config: ClusterConfig,
+        quant: QuantSpec,
+        checkpoint: impl Read,
+    ) -> io::Result<Cluster> {
+        Self::load_impl(config, Some(quant), checkpoint)
+    }
+
+    fn load_impl(
+        mut config: ClusterConfig,
+        quant: Option<QuantSpec>,
+        mut checkpoint: impl Read,
+    ) -> io::Result<Cluster> {
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
         engine::validate_config(&config.engine).map_err(invalid)?;
+        if let Some(q) = &quant {
+            engine::validate_quant(q).map_err(invalid)?;
+            // Quantization freezes dense kernels; merge-back is implied.
+            config.engine.merge_into_dense = true;
+        }
         if config.num_replicas == 0 {
             return Err(invalid("ClusterConfig.num_replicas must be at least 1".into()));
         }
@@ -248,28 +282,33 @@ impl Cluster {
         let sched = Arc::new(Scheduler::new(config.queue_capacity, replicas));
         let mut handles = Vec::with_capacity(replicas);
 
-        // Replica 0: the plan builder. Loads + merges + shares weights,
-        // then serves like any other replica.
-        let (ready_tx, ready_rx) = channel::<Result<(PlanInfo, Vec<Tensor>), String>>();
+        // Replica 0: the plan builder. Loads + merges (+ calibrates and
+        // quantizes) + shares weights, then serves like any other replica.
+        type Ready = (PlanInfo, Vec<Tensor>, Option<QuantPlanWeights>);
+        let (ready_tx, ready_rx) = channel::<Result<Ready, String>>();
         {
             let cfg = config.engine.clone();
             let sched = Arc::clone(&sched);
             handles.push(spawn_replica(0, move || {
-                let (mut model, info) = match engine::build_plan(&cfg, &bytes) {
-                    Ok(built) => built,
-                    Err(e) => {
-                        let _ = ready_tx.send(Err(e));
-                        return;
-                    }
-                };
+                let (mut model, info, qplan) =
+                    match engine::build_plan(&cfg, &bytes, quant.as_ref()) {
+                        Ok(built) => built,
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    };
+                // For quantized plans the param list is the remaining
+                // float (norm) parameters; the int8 weights travel in
+                // `qplan`.
                 let weights = checkpoint::share_params(&model.params());
-                if ready_tx.send(Ok((info, weights))).is_err() {
+                if ready_tx.send(Ok((info, weights, qplan))).is_err() {
                     return; // loader gave up
                 }
                 worker_loop(model.as_mut(), &cfg, &sched);
             })?);
         }
-        let (info, weights) = match ready_rx.recv() {
+        let (info, weights, qplan) = match ready_rx.recv() {
             Ok(Ok(ready)) => ready,
             Ok(Err(msg)) => {
                 let _ = handles.pop().map(JoinHandle::join);
@@ -291,9 +330,10 @@ impl Cluster {
             let cfg = config.engine.clone();
             let replica_sched = Arc::clone(&sched);
             let weights = weights.clone(); // O(1) Arc handles per tensor
+            let qplan = qplan.clone(); // O(1) Arc handles per int8 layer
             let rep_tx = rep_tx.clone();
             let spawned = spawn_replica(i, move || {
-                let mut model = match build_replica(&cfg, &weights) {
+                let mut model = match build_replica(&cfg, &weights, qplan.as_ref()) {
                     Ok(model) => model,
                     Err(e) => {
                         let _ = rep_tx.send(Err(e));
@@ -378,11 +418,18 @@ fn spawn_replica(index: usize, f: impl FnOnce() + Send + 'static) -> io::Result<
 }
 
 /// Builds a replica's model object locally and points its parameters at
-/// the plan's shared weight buffers. The architecture (including the
-/// merged-dense structure, when configured) must match the plan builder's
-/// so the parameter lists line up; the randomly initialized — or, after a
-/// structural merge, garbage — local values are discarded by the install.
-fn build_replica(cfg: &EngineConfig, weights: &[Tensor]) -> Result<Box<dyn Model>, String> {
+/// the plan's shared weight buffers — float tensors via
+/// `checkpoint::install_params`, and (for quantized plans) the frozen
+/// int8 layers via `install_quant_plan`. The architecture (including the
+/// merged-dense structure, when configured) must match the plan
+/// builder's so the parameter lists line up; the randomly initialized —
+/// or, after a structural merge, garbage — local values are discarded by
+/// the installs.
+fn build_replica(
+    cfg: &EngineConfig,
+    weights: &[Tensor],
+    qplan: Option<&QuantPlanWeights>,
+) -> Result<Box<dyn Model>, String> {
     // Weights are replaced by the shared plan state; the seed is
     // irrelevant.
     let mut rng = Rng::seed_from(0);
@@ -392,12 +439,21 @@ fn build_replica(cfg: &EngineConfig, weights: &[Tensor]) -> Result<Box<dyn Model
             if cfg.merge_into_dense {
                 m.merge_into_dense().map_err(|e| e.to_string())?;
             }
+            // Int8 install replaces conv/classifier weights and shrinks
+            // the param list to the float (norm) remainder, so it must
+            // precede `install_params`.
+            if let Some(plan) = qplan {
+                m.install_quant_plan(plan).map_err(|e| e.to_string())?;
+            }
             Box::new(m)
         }
         ArchSpec::ResNet(c) => {
             let mut m = ResNetSnn::new(c.clone(), &cfg.policy, &mut rng);
             if cfg.merge_into_dense {
                 m.merge_into_dense().map_err(|e| e.to_string())?;
+            }
+            if let Some(plan) = qplan {
+                m.install_quant_plan(plan).map_err(|e| e.to_string())?;
             }
             Box::new(m)
         }

@@ -27,10 +27,12 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ttsnn_snn::quant::{QuantConfig, QuantPlanWeights};
 use ttsnn_snn::{
     checkpoint, ConvPolicy, InferStats, Model, ResNetConfig, ResNetSnn, SpikingModel, VggConfig,
     VggSnn,
 };
+use ttsnn_tensor::qkernels::QAccum;
 use ttsnn_tensor::{runtime, Rng, Tensor};
 
 /// Which architecture the engine instantiates before loading weights.
@@ -104,17 +106,67 @@ impl EngineConfig {
     }
 }
 
+/// How to freeze a checkpoint into a **quantized** (int8) plan: the
+/// quantization knobs plus the calibration set whose activation
+/// statistics fix the static scales. Consumed by
+/// [`Engine::load_quantized`] / `Cluster::load_quantized`.
+#[derive(Debug, Clone)]
+pub struct QuantSpec {
+    /// Scale granularity and accumulator width.
+    pub config: QuantConfig,
+    /// Calibration frames — `(C, H, W)` direct coding or `(T, C, H, W)`
+    /// per-timestep — run through the inference plane before freezing.
+    /// Must be non-empty.
+    pub calibration: Vec<Tensor>,
+}
+
+impl QuantSpec {
+    /// A spec with default quantization (per-channel scales, exact i32
+    /// accumulators) over the given calibration frames.
+    pub fn new(calibration: Vec<Tensor>) -> Self {
+        Self { config: QuantConfig::default(), calibration }
+    }
+
+    /// Overrides the quantization knobs.
+    pub fn with_config(mut self, config: QuantConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// What the int8 side of a quantized plan looks like (inside
+/// [`PlanInfo::quant`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantInfo {
+    /// Convolutions frozen to int8.
+    pub quantized_convs: usize,
+    /// Int8 weight storage (values + scales + bias), in bytes.
+    pub int8_bytes: usize,
+    /// What the same weights occupied as f32, in bytes.
+    pub f32_bytes: usize,
+    /// Per-output-channel scales?
+    pub per_channel: bool,
+    /// Accumulator mode (exact i32 or accelerator-faithful saturating
+    /// i16).
+    pub accum: QAccum,
+}
+
 /// What a loaded plan looks like (reported by [`Engine::info`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanInfo {
     /// Model name, e.g. `"VGG9 [merged-dense]"`.
     pub model: String,
-    /// Trainable parameter count of the serving model.
+    /// Trainable parameter count of the serving model. For quantized
+    /// plans this counts only the float parameters that remain (the norm
+    /// layers) — the frozen int8 weights are reported in [`QuantInfo`].
     pub num_params: usize,
     /// TT layers merged into dense kernels at load time.
     pub merged_layers: usize,
     /// Classes per logit vector.
     pub num_classes: usize,
+    /// Present when the plan was frozen to int8
+    /// ([`Engine::load_quantized`]).
+    pub quant: Option<QuantInfo>,
 }
 
 /// Errors surfaced by submission and tickets.
@@ -230,8 +282,47 @@ impl Engine {
     /// Returns `InvalidData` if the checkpoint does not match the
     /// architecture (see `ttsnn_snn::checkpoint::load_params`), plus any
     /// I/O error from `checkpoint`.
-    pub fn load(config: EngineConfig, mut checkpoint: impl Read) -> io::Result<Engine> {
+    pub fn load(config: EngineConfig, checkpoint: impl Read) -> io::Result<Engine> {
+        Self::load_impl(config, None, checkpoint)
+    }
+
+    /// [`Engine::load`], but the plan is **frozen to int8** after loading:
+    /// the checkpoint is loaded, TT cores merged into dense kernels
+    /// (quantization requires dense kernels, so the merge is implied), a
+    /// calibration pass fixes the static activation scales, and every
+    /// conv + the classifier is quantized per [`QuantSpec`]. The engine
+    /// then serves through the exact same executor/batching machinery,
+    /// with conv/linear running on the int8 kernels
+    /// (`ttsnn_tensor::qkernels`).
+    ///
+    /// Integer accumulation is exact, so quantized logits are
+    /// bit-identical across thread counts, batch compositions, and (under
+    /// `Cluster::load_quantized`) replica counts.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an invalid config or an empty calibration set,
+    /// `InvalidData` for checkpoint/architecture mismatch or calibration
+    /// frames that do not match the plan, plus any I/O error.
+    pub fn load_quantized(
+        config: EngineConfig,
+        quant: QuantSpec,
+        checkpoint: impl Read,
+    ) -> io::Result<Engine> {
+        Self::load_impl(config, Some(quant), checkpoint)
+    }
+
+    fn load_impl(
+        mut config: EngineConfig,
+        quant: Option<QuantSpec>,
+        mut checkpoint: impl Read,
+    ) -> io::Result<Engine> {
         validate_config(&config).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        if let Some(q) = &quant {
+            validate_quant(q).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+            // Quantization freezes dense kernels; merge-back is implied.
+            config.merge_into_dense = true;
+        }
         let mut bytes = Vec::new();
         checkpoint.read_to_end(&mut bytes)?;
         let (tx, rx) = channel::<Msg>();
@@ -240,13 +331,14 @@ impl Engine {
         let handle = std::thread::Builder::new()
             .name("ttsnn-infer-executor".to_string())
             .spawn(move || {
-                let (mut model, info) = match build_plan(&cfg, &bytes) {
-                    Ok(built) => built,
-                    Err(e) => {
-                        let _ = ready_tx.send(Err(e));
-                        return;
-                    }
-                };
+                let (mut model, info, _quant_weights) =
+                    match build_plan(&cfg, &bytes, quant.as_ref()) {
+                        Ok(built) => built,
+                        Err(e) => {
+                            let _ = ready_tx.send(Err(e));
+                            return;
+                        }
+                    };
                 if ready_tx.send(Ok(info)).is_err() {
                     return; // loader gave up
                 }
@@ -299,28 +391,61 @@ impl Drop for Engine {
 }
 
 /// Constructs the model on the executor thread and freezes the plan.
-/// Checkpoint loading and TT→dense merge-back both happen here, on the
-/// concrete type, before it is type-erased behind `dyn Model`.
+/// Checkpoint loading, TT→dense merge-back, and (for quantized plans)
+/// calibration + int8 freezing all happen here, on the concrete type,
+/// before it is type-erased behind `dyn Model`.
+/// What `build_plan` freezes: the serving model, its description, and —
+/// for quantized plans — the shared int8 weights for sibling replicas.
+pub(crate) type BuiltPlan = (Box<dyn Model>, PlanInfo, Option<QuantPlanWeights>);
+
 pub(crate) fn build_plan(
     cfg: &EngineConfig,
     ckpt: &[u8],
-) -> Result<(Box<dyn Model>, PlanInfo), String> {
+    quant: Option<&QuantSpec>,
+) -> Result<BuiltPlan, String> {
     validate_config(cfg)?;
+    if let Some(q) = quant {
+        validate_quant(q)?;
+    }
     // Weights are overwritten by the checkpoint; the seed is irrelevant.
     let mut rng = Rng::seed_from(0);
     let merge = cfg.merge_into_dense;
-    let (model, num_classes, merged_layers): (Box<dyn Model>, usize, usize) = match &cfg.arch {
+    let (model, num_classes, merged_layers, quant_info, quant_weights): (
+        Box<dyn Model>,
+        usize,
+        usize,
+        Option<QuantInfo>,
+        Option<QuantPlanWeights>,
+    ) = match &cfg.arch {
         ArchSpec::Vgg(c) => {
             let mut m = VggSnn::new(c.clone(), &cfg.policy, &mut rng);
             checkpoint::load_params(&m.params(), ckpt).map_err(|e| e.to_string())?;
             let merged = if merge { m.merge_into_dense().map_err(|e| e.to_string())? } else { 0 };
-            (Box::new(m), c.num_classes, merged)
+            let (qi, qw) = match quant {
+                Some(q) => {
+                    let calib =
+                        m.calibrate(&q.calibration, cfg.timesteps).map_err(|e| e.to_string())?;
+                    let report = m.quantize(&calib, &q.config).map_err(|e| e.to_string())?;
+                    (Some(quant_info_from(&report)), m.quant_plan())
+                }
+                None => (None, None),
+            };
+            (Box::new(m), c.num_classes, merged, qi, qw)
         }
         ArchSpec::ResNet(c) => {
             let mut m = ResNetSnn::new(c.clone(), &cfg.policy, &mut rng);
             checkpoint::load_params(&m.params(), ckpt).map_err(|e| e.to_string())?;
             let merged = if merge { m.merge_into_dense().map_err(|e| e.to_string())? } else { 0 };
-            (Box::new(m), c.num_classes, merged)
+            let (qi, qw) = match quant {
+                Some(q) => {
+                    let calib =
+                        m.calibrate(&q.calibration, cfg.timesteps).map_err(|e| e.to_string())?;
+                    let report = m.quantize(&calib, &q.config).map_err(|e| e.to_string())?;
+                    (Some(quant_info_from(&report)), m.quant_plan())
+                }
+                None => (None, None),
+            };
+            (Box::new(m), c.num_classes, merged, qi, qw)
         }
     };
     let mut model = model;
@@ -331,8 +456,31 @@ pub(crate) fn build_plan(
         num_params: model.num_params(),
         merged_layers,
         num_classes,
+        quant: quant_info,
     };
-    Ok((model, info))
+    Ok((model, info, quant_weights))
+}
+
+fn quant_info_from(report: &ttsnn_snn::QuantReport) -> QuantInfo {
+    QuantInfo {
+        quantized_convs: report.quantized_convs,
+        int8_bytes: report.int8_bytes,
+        f32_bytes: report.f32_bytes,
+        per_channel: report.per_channel,
+        accum: report.accum,
+    }
+}
+
+/// Rejects quantization specs that cannot fix a scale: with no
+/// calibration frames every activation scale would be a blind guess, and
+/// the plan would silently serve garbage.
+pub(crate) fn validate_quant(quant: &QuantSpec) -> Result<(), String> {
+    if quant.calibration.is_empty() {
+        return Err("QuantSpec.calibration must hold at least one frame (activation scales are \
+             measured, not guessed)"
+            .to_string());
+    }
+    Ok(())
 }
 
 /// Rejects plan configurations that would wedge or never serve: a
@@ -508,6 +656,63 @@ pub(crate) fn forward_requests(
     Ok(summed.expect("timesteps >= 1"))
 }
 
+/// `InferStats`-style drift report of one plan against a reference plan
+/// over a request set — the standard way to quote what int8 freezing did
+/// to a checkpoint's serving numbers (see [`plan_drift`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDrift {
+    /// Requests compared.
+    pub requests: usize,
+    /// Mean |logit difference| across all requests and classes.
+    pub mean_abs_err: f64,
+    /// Largest |logit difference| seen.
+    pub max_abs_err: f32,
+    /// Fraction of requests whose argmax prediction agreed.
+    pub agreement: f64,
+}
+
+/// Serves every input through both plans and reports the logit drift of
+/// `candidate` against `reference` (e.g. an int8 plan against the f32
+/// plan frozen from the same checkpoint).
+///
+/// # Errors
+///
+/// Propagates the first ticket error from either plan; both plans must
+/// accept the same input shapes.
+pub fn plan_drift(
+    reference: &Session,
+    candidate: &Session,
+    inputs: &[Tensor],
+) -> Result<PlanDrift, InferError> {
+    let mut mean_acc = 0.0f64;
+    let mut elems = 0usize;
+    let mut max_abs = 0.0f32;
+    let mut agreed = 0usize;
+    // Submit everything up front so both plans' dynamic batching engages
+    // (per-sample determinism guarantees the answers cannot depend on how
+    // the requests were coalesced).
+    let ref_tickets: Vec<Ticket> = inputs.iter().map(|x| reference.submit(x.clone())).collect();
+    let cand_tickets: Vec<Ticket> = inputs.iter().map(|x| candidate.submit(x.clone())).collect();
+    for (tr, tc) in ref_tickets.into_iter().zip(cand_tickets) {
+        let (yr, yc) = (tr.wait()?, tc.wait()?);
+        for (a, b) in yr.data().iter().zip(yc.data()) {
+            let d = (a - b).abs();
+            mean_acc += d as f64;
+            max_abs = max_abs.max(d);
+        }
+        elems += yr.len();
+        if yr.argmax() == yc.argmax() {
+            agreed += 1;
+        }
+    }
+    Ok(PlanDrift {
+        requests: inputs.len(),
+        mean_abs_err: if elems > 0 { mean_acc / elems as f64 } else { 0.0 },
+        max_abs_err: max_abs,
+        agreement: if inputs.is_empty() { 1.0 } else { agreed as f64 / inputs.len() as f64 },
+    })
+}
+
 pub(crate) fn validate(
     input: &Tensor,
     timesteps: usize,
@@ -515,12 +720,22 @@ pub(crate) fn validate(
 ) -> Result<(), String> {
     let [c, h, w] = frame_shape;
     match input.ndim() {
-        3 if input.shape() == [c, h, w] => Ok(()),
-        4 if input.shape() == [timesteps, c, h, w] => Ok(()),
-        _ => Err(format!(
-            "request input {:?} does not match the plan: expected ({c}, {h}, {w}) or \
-             ({timesteps}, {c}, {h}, {w})",
-            input.shape()
-        )),
+        3 if input.shape() == [c, h, w] => (),
+        4 if input.shape() == [timesteps, c, h, w] => (),
+        _ => {
+            return Err(format!(
+                "request input {:?} does not match the plan: expected ({c}, {h}, {w}) or \
+                 ({timesteps}, {c}, {h}, {w})",
+                input.shape()
+            ))
+        }
     }
+    // A NaN/∞ pixel would return NaN logits on the float plane and —
+    // worse — quantize silently to 0 on the int8 plane (confidently
+    // wrong answers). Reject it here so the bad request fails its own
+    // ticket with a clear message instead of poisoning either plane.
+    if let Some(i) = input.data().iter().position(|v| !v.is_finite()) {
+        return Err(format!("request input has a non-finite value at flat index {i}"));
+    }
+    Ok(())
 }

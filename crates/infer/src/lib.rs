@@ -58,6 +58,20 @@
 //! per-sample logits are bit-identical whatever the replica count,
 //! scheduling order, or cancellation interleaving. See [`cluster`],
 //! [`sched`] and [`metrics`].
+//!
+//! ## The quantized plane
+//!
+//! [`Engine::load_quantized`] / [`Cluster::load_quantized`] freeze the
+//! same checkpoint into an **int8 plan**: TT cores merged to dense, a
+//! calibration pass fixes static activation scales ([`QuantSpec`]), and
+//! every conv + the classifier runs on the i8×i8→i32 kernels of
+//! `ttsnn_tensor::qkernels` (per-output-channel scales; optional
+//! accelerator-faithful saturating i16 accumulators — PAPER Table I).
+//! Integer accumulation is exact, so quantized logits are bit-identical
+//! across thread counts, replica counts, and batch compositions; the
+//! int8 plane executes exactly the grid `ttsnn_core::quant`'s fake-quant
+//! simulated during QAT. [`plan_drift`] quotes the int8-vs-f32 logit
+//! drift and prediction agreement on a request set.
 
 #![warn(missing_docs)]
 
@@ -69,7 +83,8 @@ pub mod sched;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterSession, ClusterTicket};
 pub use engine::{
-    ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanInfo, Session, Ticket,
+    plan_drift, ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanDrift, PlanInfo,
+    QuantInfo, QuantSpec, Session, Ticket,
 };
 pub use metrics::ClusterMetrics;
 pub use sched::{Priority, SubmitError, SubmitOptions};

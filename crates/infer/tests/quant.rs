@@ -1,0 +1,342 @@
+//! The quantized plane's parity and determinism contract:
+//!
+//! * the frozen int8 weights are **exactly** the grid
+//!   `ttsnn_core::quant::fake_quant_int8` simulates (bit-equal
+//!   dequantized weights);
+//! * `Engine::load_quantized` serves bit-identically to an in-process
+//!   quantized model on the same checkpoint (re-run in CI under
+//!   `TTSNN_NUM_THREADS` 2/8 — integer kernels cannot depend on the
+//!   thread count);
+//! * `Cluster::load_quantized` serves bit-identically to the
+//!   single-engine plan whatever `TTSNN_NUM_REPLICAS` says (re-run in CI
+//!   at 1 and 3 replicas), with the int8 weights loaded once and
+//!   `Arc`-shared;
+//! * on a trained checkpoint, int8 serving tracks the f32 plan: high
+//!   argmax agreement and a bounded accuracy delta on a synthetic
+//!   dataset ([`ttsnn_infer::plan_drift`]).
+
+use std::time::Duration;
+
+use ttsnn_autograd::Var;
+use ttsnn_core::quant::fake_quant_int8;
+use ttsnn_core::TtMode;
+use ttsnn_data::{Batch, StaticImages};
+use ttsnn_infer::{
+    plan_drift, ArchSpec, BatchPolicy, Cluster, ClusterConfig, Engine, EngineConfig, QuantSpec,
+};
+use ttsnn_snn::quant::QuantConfig;
+use ttsnn_snn::{
+    checkpoint, train, ConvPolicy, ConvUnit, InferForward, InferStats, SpikingModel, TrainConfig,
+    VggConfig, VggSnn,
+};
+use ttsnn_tensor::{Rng, Tensor};
+
+const T: usize = 2;
+
+fn vgg_cfg() -> VggConfig {
+    VggConfig::vgg9(3, 5, (8, 8), 16)
+}
+
+fn checkpoint_bytes(model: &VggSnn) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    checkpoint::save_params(&model.params(), &mut bytes).unwrap();
+    bytes
+}
+
+fn calib_frames(n: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from(seed);
+    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+}
+
+fn engine_cfg() -> EngineConfig {
+    engine_cfg_for(ConvPolicy::Baseline)
+}
+
+fn engine_cfg_for(policy: ConvPolicy) -> EngineConfig {
+    EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), policy, T)
+        .with_batching(BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) })
+}
+
+/// Sum of per-timestep logits for one `(C, H, W)` frame on the inference
+/// plane — the reference the engine must match bit for bit.
+fn infer_logits(model: &mut VggSnn, frame: &Tensor) -> Tensor {
+    model.reset_state();
+    let mut shape = vec![1];
+    shape.extend_from_slice(frame.shape());
+    let input = Tensor::from_vec(frame.data().to_vec(), &shape).unwrap();
+    let mut summed: Option<Tensor> = None;
+    for t in 0..T {
+        let logits = model.forward_timestep_tensor(&input, t).unwrap();
+        match summed.as_mut() {
+            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
+            None => summed = Some(logits),
+        }
+    }
+    model.reset_state();
+    Tensor::from_vec(summed.unwrap().data().to_vec(), &[5]).unwrap()
+}
+
+/// The frozen int8 plan executes exactly the weight grid that
+/// quantization-aware training simulated: per-tensor frozen weights
+/// dequantize **bit-equal** to `fake_quant_int8` on the same checkpoint
+/// weights.
+#[test]
+fn frozen_weights_bit_equal_fake_quant_reference() {
+    let mut rng = Rng::seed_from(1);
+    let mut model = VggSnn::new(vgg_cfg(), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    model.merge_into_dense().unwrap();
+    // Snapshot the merged dense kernels before freezing.
+    let dense_weights: Vec<Tensor> =
+        model.params().iter().filter(|p| p.shape().len() == 4).map(|p| p.value().clone()).collect();
+    let calib = model.calibrate(&calib_frames(2, 2), T).unwrap();
+    model.quantize(&calib, &QuantConfig::default().per_tensor()).unwrap();
+    let plan = model.quant_plan().unwrap();
+    assert_eq!(plan.convs.len(), dense_weights.len());
+    for (i, ((qw, _), dense)) in plan.convs.iter().zip(&dense_weights).enumerate() {
+        let reference = fake_quant_int8(&Var::constant(dense.clone())).to_tensor();
+        let frozen = ttsnn_snn::quant::QuantConv {
+            weights: std::sync::Arc::clone(qw),
+            x_scale: 1.0,
+            accum: plan.accum,
+        }
+        .dequantized_weight()
+        .unwrap();
+        assert_eq!(frozen, reference, "conv {i}: int8 plane must execute the fake-quant grid");
+    }
+}
+
+/// Engine::load_quantized == in-process calibrate+quantize+forward on
+/// the same checkpoint, bit for bit — and invariant to how requests were
+/// batched. CI re-runs this under TTSNN_NUM_THREADS=2/8.
+#[test]
+fn quantized_engine_bit_equals_in_process_reference() {
+    let mut rng = Rng::seed_from(3);
+    let mut reference = VggSnn::new(vgg_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let ckpt = checkpoint_bytes(&reference);
+    let calibration = calib_frames(3, 4);
+
+    // In-process reference path: same calibrate → quantize pipeline.
+    let calib = reference.calibrate(&calibration, T).unwrap();
+    reference.quantize(&calib, &QuantConfig::default()).unwrap();
+    reference.set_infer_stats(InferStats::PerSample);
+
+    let engine =
+        Engine::load_quantized(engine_cfg(), QuantSpec::new(calibration.clone()), ckpt.as_slice())
+            .unwrap();
+    let info = engine.info();
+    let qi = info.quant.as_ref().expect("quantized plan reports QuantInfo");
+    assert_eq!(qi.quantized_convs, 6);
+    assert!(qi.per_channel);
+    assert!(qi.int8_bytes * 3 < qi.f32_bytes, "int8 plan must be ~4x smaller");
+    assert!(info.model.contains("int8"), "plan name: {}", info.model);
+
+    let mut rng = Rng::seed_from(5);
+    let inputs: Vec<Tensor> =
+        (0..8).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect();
+    let session = engine.session();
+    // Coalesced submission: tickets ride shared batches.
+    let tickets: Vec<_> = inputs.iter().map(|x| session.submit(x.clone())).collect();
+    for (input, ticket) in inputs.iter().zip(tickets) {
+        let served = ticket.wait().unwrap();
+        let want = infer_logits(&mut reference, input);
+        assert_eq!(
+            served, want,
+            "engine must match the in-process quantized reference bit-for-bit"
+        );
+    }
+    // One-at-a-time submission: identical bits (batch-composition
+    // invariance holds trivially — integer kernels never mix samples).
+    for input in &inputs {
+        let solo = session.infer(input.clone()).unwrap();
+        assert_eq!(solo, infer_logits(&mut reference, input));
+    }
+}
+
+/// Cluster::load_quantized == Engine::load_quantized bit-for-bit,
+/// whatever the replica count (CI re-runs at TTSNN_NUM_REPLICAS=1/3 ×
+/// TTSNN_NUM_THREADS=2), and the int8 buffers are genuinely shared (the
+/// plan reports one copy of the weights however many replicas serve).
+#[test]
+fn quantized_cluster_bit_equals_engine_across_replicas() {
+    let mut rng = Rng::seed_from(7);
+    let model = VggSnn::new(vgg_cfg(), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    let ckpt = checkpoint_bytes(&model);
+    let calibration = calib_frames(3, 8);
+
+    let cfg = engine_cfg_for(ConvPolicy::tt(TtMode::Ptt));
+    let engine =
+        Engine::load_quantized(cfg.clone(), QuantSpec::new(calibration.clone()), ckpt.as_slice())
+            .unwrap();
+    let cluster = Cluster::load_quantized(
+        ClusterConfig::new(cfg),
+        QuantSpec::new(calibration),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    assert_eq!(engine.info(), cluster.info(), "same checkpoint, same frozen plan");
+    assert!(cluster.info().quant.is_some());
+
+    let mut rng = Rng::seed_from(9);
+    let inputs: Vec<Tensor> =
+        (0..10).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect();
+    let esess = engine.session();
+    let csess = cluster.session();
+    let ctickets: Vec<_> =
+        inputs.iter().map(|x| csess.submit(x.clone()).expect("cluster submit")).collect();
+    for (input, ct) in inputs.iter().zip(ctickets) {
+        let from_cluster = ct.wait().unwrap();
+        let from_engine = esess.infer(input.clone()).unwrap();
+        assert_eq!(
+            from_cluster, from_engine,
+            "replica count/scheduling must not change a single bit"
+        );
+    }
+}
+
+/// Build one batch-per-sample `(T, C, H, W)` request tensors out of a
+/// dataset's batches.
+fn requests_from_batches(batches: &[Batch]) -> (Vec<Tensor>, Vec<usize>) {
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for batch in batches {
+        let bsz = batch.len();
+        let (c, h, w) = {
+            let s = batch.frames[0].shape();
+            (s[1], s[2], s[3])
+        };
+        let frame_len = c * h * w;
+        for i in 0..bsz {
+            let mut data = Vec::with_capacity(T * frame_len);
+            for frame in &batch.frames {
+                data.extend_from_slice(&frame.data()[i * frame_len..(i + 1) * frame_len]);
+            }
+            inputs.push(Tensor::from_vec(data, &[T, c, h, w]).unwrap());
+            labels.push(batch.labels[i]);
+        }
+    }
+    (inputs, labels)
+}
+
+fn accuracy(session: &ttsnn_infer::Session, inputs: &[Tensor], labels: &[usize]) -> f64 {
+    let tickets: Vec<_> = inputs.iter().map(|x| session.submit(x.clone())).collect();
+    let mut correct = 0usize;
+    for (ticket, &label) in tickets.into_iter().zip(labels) {
+        if ticket.wait().unwrap().argmax() == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / labels.len() as f64
+}
+
+/// End-to-end on a trained checkpoint: the int8 plan's accuracy on a
+/// synthetic dataset stays within a tight delta of the f32 plan, and the
+/// two plans agree on most argmax predictions ([`plan_drift`]).
+#[test]
+fn trained_accuracy_delta_bounded_on_synth_dataset() {
+    let timesteps = T;
+    let mut rng = Rng::seed_from(11);
+    let ds = StaticImages::new(3, 8, 8, 5, 0.15, 42).dataset(60, &mut rng);
+    let (tr, te) = ds.split(0.75, &mut rng);
+    let train_b = tr.batches(12, timesteps, &mut rng).unwrap();
+    let test_b = te.batches(12, timesteps, &mut rng).unwrap();
+
+    let mut model = VggSnn::new(vgg_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let tc = TrainConfig { epochs: 3, lr: 0.05, ..TrainConfig::default() };
+    train(&mut model, &train_b, &test_b, &tc).unwrap();
+    let ckpt = checkpoint_bytes(&model);
+
+    // Calibrate on training frames (never the test set).
+    let (calib_inputs, _) = requests_from_batches(&train_b[..1]);
+    let f32_engine = Engine::load(engine_cfg(), ckpt.as_slice()).unwrap();
+    let int8_engine =
+        Engine::load_quantized(engine_cfg(), QuantSpec::new(calib_inputs), ckpt.as_slice())
+            .unwrap();
+
+    let (inputs, labels) = requests_from_batches(&test_b);
+    let f32_sess = f32_engine.session();
+    let int8_sess = int8_engine.session();
+    let acc_f32 = accuracy(&f32_sess, &inputs, &labels);
+    let acc_int8 = accuracy(&int8_sess, &inputs, &labels);
+    assert!(
+        (acc_f32 - acc_int8).abs() <= 0.25,
+        "int8 shifted accuracy too much: {acc_f32} -> {acc_int8}"
+    );
+
+    let drift = plan_drift(&f32_sess, &int8_sess, &inputs).unwrap();
+    assert_eq!(drift.requests, inputs.len());
+    assert!(drift.agreement >= 0.7, "plans disagree too often: {}", drift.agreement);
+    assert!(drift.mean_abs_err.is_finite() && drift.max_abs_err.is_finite());
+    assert!(drift.mean_abs_err <= drift.max_abs_err as f64);
+}
+
+/// Config validation: an empty calibration set is rejected up front, and
+/// a quantized plan cannot be asked to skip the merge.
+#[test]
+fn empty_calibration_rejected() {
+    let mut rng = Rng::seed_from(13);
+    let model = VggSnn::new(vgg_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let ckpt = checkpoint_bytes(&model);
+    let Err(err) =
+        Engine::load_quantized(engine_cfg(), QuantSpec::new(Vec::new()), ckpt.as_slice())
+    else {
+        panic!("empty calibration must be rejected")
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("calibration"), "unclear error: {err}");
+    // Cluster path rejects identically.
+    let Err(err) = Cluster::load_quantized(
+        ClusterConfig::new(engine_cfg()).with_replicas(1),
+        QuantSpec::new(Vec::new()),
+        ckpt.as_slice(),
+    ) else {
+        panic!("empty calibration must be rejected")
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
+
+/// The training plane of a quantized unit is explicitly closed: frozen
+/// int8 weights cannot be trained.
+#[test]
+fn quantized_unit_has_no_training_plane() {
+    let mut rng = Rng::seed_from(15);
+    let mut model = VggSnn::new(vgg_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let calib = model.calibrate(&calib_frames(2, 16), T).unwrap();
+    model.quantize(&calib, &QuantConfig::default()).unwrap();
+    // Reach a quantized unit directly through the public ConvUnit API.
+    let unit = ConvUnit::conv3x3(&ConvPolicy::Baseline, 0, 3, 4, (1, 1), &mut rng);
+    drop(unit);
+    use ttsnn_snn::TrainForward;
+    let x = Var::constant(Tensor::zeros(&[1, 3, 8, 8]));
+    let err = model.forward_timestep(&x, 0).unwrap_err().to_string();
+    assert!(err.contains("training"), "unclear error: {err}");
+}
+
+/// A request with a NaN pixel fails its own ticket with a clear error on
+/// BOTH planes — it must neither return NaN logits (f32) nor quantize
+/// silently to zero (int8), and must not disturb co-batched requests.
+#[test]
+fn non_finite_requests_fail_their_own_ticket() {
+    let mut rng = Rng::seed_from(21);
+    let model = VggSnn::new(vgg_cfg(), &ConvPolicy::Baseline, &mut rng);
+    let ckpt = checkpoint_bytes(&model);
+    let calibration = calib_frames(2, 22);
+    let int8 =
+        Engine::load_quantized(engine_cfg(), QuantSpec::new(calibration), ckpt.as_slice()).unwrap();
+    let f32_engine = Engine::load(engine_cfg(), ckpt.as_slice()).unwrap();
+
+    let good = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
+    let mut bad = good.clone();
+    bad.data_mut()[7] = f32::NAN;
+    for engine in [&f32_engine, &int8] {
+        let session = engine.session();
+        // Submit the bad request co-batched with a good one.
+        let (tb, tg) = (session.submit(bad.clone()), session.submit(good.clone()));
+        let err = tb.wait().unwrap_err().to_string();
+        assert!(err.contains("non-finite"), "unclear error: {err}");
+        let logits = tg.wait().unwrap();
+        assert!(
+            logits.data().iter().all(|v| v.is_finite()),
+            "co-batched request must be unaffected"
+        );
+    }
+}

@@ -10,6 +10,8 @@ use ttsnn_autograd::Var;
 use ttsnn_core::{TtConv, TtMode};
 use ttsnn_tensor::{conv, Conv2dGeometry, Rng, ShapeError, Tensor};
 
+use crate::quant::QuantConv;
+
 /// How a network's 3×3 convolutions are realized.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConvPolicy {
@@ -90,6 +92,11 @@ pub enum ConvUnit {
     },
     /// A TT-decomposed 3×3 convolution.
     Tt(TtConv),
+    /// A **frozen int8** convolution (the quantized serving plane): int8
+    /// weights shared across replicas, static calibrated activation
+    /// scale, integer kernels. Inference-plane only — it has no trainable
+    /// parameters and no `Var` forward.
+    Quantized(QuantConv),
 }
 
 impl ConvUnit {
@@ -139,6 +146,7 @@ impl ConvUnit {
         match self {
             ConvUnit::Dense { weight, .. } => weight.shape()[1],
             ConvUnit::Tt(tt) => tt.in_channels(),
+            ConvUnit::Quantized(q) => q.weights.in_channels,
         }
     }
 
@@ -147,22 +155,25 @@ impl ConvUnit {
         match self {
             ConvUnit::Dense { weight, .. } => weight.shape()[0],
             ConvUnit::Tt(tt) => tt.out_channels(),
+            ConvUnit::Quantized(q) => q.weights.out_channels,
         }
     }
 
-    /// Trainable parameters.
+    /// Trainable parameters (empty for frozen quantized units).
     pub fn params(&self) -> Vec<Var> {
         match self {
             ConvUnit::Dense { weight, .. } => vec![weight.clone()],
             ConvUnit::Tt(tt) => tt.params(),
+            ConvUnit::Quantized(_) => Vec::new(),
         }
     }
 
-    /// Trainable parameter count.
+    /// Trainable parameter count (0 for frozen quantized units).
     pub fn num_params(&self) -> usize {
         match self {
             ConvUnit::Dense { weight, .. } => weight.value().len(),
             ConvUnit::Tt(tt) => tt.num_params(),
+            ConvUnit::Quantized(_) => 0,
         }
     }
 
@@ -175,6 +186,7 @@ impl ConvUnit {
                 Conv2dGeometry::new(s[1], s[0], in_hw, *kernel, *stride, *padding).macs()
             }
             ConvUnit::Tt(tt) => tt.macs(in_hw, t),
+            ConvUnit::Quantized(q) => q.geometry(in_hw).macs(),
         }
     }
 
@@ -188,7 +200,7 @@ impl ConvUnit {
     /// (cannot happen through this API).
     pub fn merged(&self) -> Result<Option<ConvUnit>, ShapeError> {
         match self {
-            ConvUnit::Dense { .. } => Ok(None),
+            ConvUnit::Dense { .. } | ConvUnit::Quantized(_) => Ok(None),
             ConvUnit::Tt(tt) => Ok(Some(ConvUnit::Dense {
                 weight: Var::param(tt.merge()?),
                 kernel: (3, 3),
@@ -219,6 +231,11 @@ impl ConvUnit {
                 x.conv2d(weight, geom)
             }
             ConvUnit::Tt(tt) => tt.forward(x, t),
+            ConvUnit::Quantized(_) => Err(ShapeError::new(
+                "ConvUnit::forward: a quantized unit is frozen for serving and has no \
+                 training (Var) plane"
+                    .to_string(),
+            )),
         }
     }
 
@@ -245,6 +262,7 @@ impl ConvUnit {
                 conv::conv2d(x, &weight.value(), &geom)
             }
             ConvUnit::Tt(tt) => tt.forward_tensor(x, t),
+            ConvUnit::Quantized(q) => q.forward_tensor(x),
         }
     }
 }
@@ -270,7 +288,7 @@ mod tests {
         let unit = ConvUnit::conv3x3(&policy, 0, 16, 32, (1, 1), &mut rng);
         match &unit {
             ConvUnit::Tt(tt) => assert_eq!(tt.rank(), 8), // 0.5 * min(16,32)
-            ConvUnit::Dense { .. } => panic!("expected TT unit"),
+            _ => panic!("expected TT unit"),
         }
     }
 

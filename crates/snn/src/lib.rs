@@ -25,6 +25,11 @@
 //! * [`checkpoint`] — binary save/load of model parameters (the hand-off
 //!   between pre-training, TT training and merged deployment), shared by
 //!   the classic and sharded trainers.
+//! * [`quant`] — the **quantized serving plane**: activation calibration
+//!   hooks on the inference plane, int8 freezing of conv/classifier
+//!   weights (per-output-channel scales, accelerator-faithful saturating
+//!   i16 accumulator option), and `Arc`-shared plan weights for
+//!   multi-replica serving.
 //!
 //! # The two execution planes
 //!
@@ -45,6 +50,7 @@ pub mod lif;
 pub mod loss;
 pub mod model;
 pub mod norm;
+pub mod quant;
 pub mod resnet;
 pub mod sharded;
 pub mod trainer;
@@ -55,6 +61,7 @@ pub use lif::{Lif, LifConfig};
 pub use loss::LossKind;
 pub use model::{InferForward, InferStats, Model, SpikingModel, TrainForward};
 pub use norm::{Norm, NormKind};
+pub use quant::{CalibStats, QuantConfig, QuantPlanWeights, QuantReport};
 pub use resnet::{ResNetConfig, ResNetSnn};
 pub use sharded::{ShardConfig, ShardedTrainer};
 pub use trainer::{evaluate, evaluate_counts, train, TrainConfig, TrainReport};

@@ -20,6 +20,10 @@ use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
 use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
+use crate::quant::{
+    self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
+    QuantPlanWeights, QuantReport,
+};
 
 /// Architecture hyper-parameters for [`ResNetSnn`].
 #[derive(Debug, Clone)]
@@ -154,6 +158,11 @@ pub struct ResNetSnn {
     blocks: Vec<BasicBlock>,
     fc_w: Var,
     fc_b: Var,
+    /// Quantized classifier head; `Some` once the model is frozen to the
+    /// int8 serving plane.
+    qfc: Option<QuantLinear>,
+    /// Live calibration hook (only during [`ResNetSnn::calibrate`]).
+    calib: Option<CalibRecorder>,
     infer_stats: InferStats,
 }
 
@@ -220,6 +229,8 @@ impl ResNetSnn {
             blocks,
             fc_w,
             fc_b,
+            qfc: None,
+            calib: None,
             infer_stats: InferStats::default(),
         }
     }
@@ -276,6 +287,147 @@ impl ResNetSnn {
         }
         Ok(merged)
     }
+
+    /// Whether the model has been frozen to the int8 serving plane.
+    pub fn is_quantized(&self) -> bool {
+        self.qfc.is_some()
+    }
+
+    /// All convolution sites in calibration/quantization order: stem,
+    /// then per block `conv_a`, `conv_b`, shortcut (when present) — the
+    /// exact order the inference plane's calibration hooks visit them.
+    fn conv_sites_mut(&mut self) -> Vec<&mut ConvUnit> {
+        let mut v = vec![&mut self.stem];
+        for b in &mut self.blocks {
+            v.push(&mut b.conv_a);
+            v.push(&mut b.conv_b);
+            if let Some((conv, _)) = &mut b.shortcut {
+                v.push(conv);
+            }
+        }
+        v
+    }
+
+    fn conv_sites(&self) -> Vec<&ConvUnit> {
+        let mut v = vec![&self.stem];
+        for b in &self.blocks {
+            v.push(&b.conv_a);
+            v.push(&b.conv_b);
+            if let Some((conv, _)) = &b.shortcut {
+                v.push(conv);
+            }
+        }
+        v
+    }
+
+    /// Runs a calibration pass on the inference plane (see
+    /// `VggSnn::calibrate`; identical contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if a frame does not match the architecture.
+    pub fn calibrate(
+        &mut self,
+        frames: &[Tensor],
+        timesteps: usize,
+    ) -> Result<CalibStats, ShapeError> {
+        let prev = self.infer_stats;
+        self.infer_stats = InferStats::PerSample;
+        self.calib = Some(CalibRecorder::default());
+        let mut failed = None;
+        'outer: for frame in frames {
+            self.reset_state();
+            for t in 0..timesteps {
+                let input = match calibration_frame_at(frame, t, timesteps) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'outer;
+                    }
+                };
+                if let Err(e) = self.forward_timestep_tensor(&input, t) {
+                    failed = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        self.reset_state();
+        self.infer_stats = prev;
+        let recorder = self.calib.take();
+        match (failed, recorder) {
+            (Some(e), _) => Err(e),
+            (None, Some(rec)) => Ok(rec.into_stats(frames.len(), timesteps)),
+            (None, None) => Err(ShapeError::new("calibrate: recorder lost".to_string())),
+        }
+    }
+
+    /// Freezes every (dense) convolution — stem, block convs, shortcut
+    /// projections — and the classifier to int8 using the calibrated
+    /// activation scales. Requires TT layers to be merged first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the calibration does not cover every
+    /// site, a conv is still TT-decomposed, or weights are non-finite.
+    pub fn quantize(
+        &mut self,
+        calib: &CalibStats,
+        cfg: &QuantConfig,
+    ) -> Result<QuantReport, ShapeError> {
+        let sites = self.conv_sites().len();
+        if calib.sites.len() != sites + 1 {
+            return Err(ShapeError::new(format!(
+                "quantize: calibration covered {} sites, model has {} convs + classifier",
+                calib.sites.len(),
+                sites
+            )));
+        }
+        // Quantize the classifier FIRST: if it fails, no conv site has
+        // been frozen yet and the model stays fully usable.
+        let ql = QuantLinear::from_dense(
+            &self.fc_w.value(),
+            &self.fc_b.value(),
+            calib.scale_for(sites),
+            cfg,
+        )?;
+        let mut report = quant::quantize_conv_sites(self.conv_sites_mut(), calib, cfg)?;
+        report.int8_bytes += ql.weights.storage_bytes();
+        report.f32_bytes += (self.fc_w.value().len() + self.fc_b.value().len()) * 4;
+        self.qfc = Some(ql);
+        self.policy_name = "int8";
+        Ok(report)
+    }
+
+    /// Exports the frozen int8 weights for O(1) sharing with sibling
+    /// replicas (`None` until [`ResNetSnn::quantize`] has run).
+    pub fn quant_plan(&self) -> Option<QuantPlanWeights> {
+        quant::export_conv_sites(self.conv_sites(), self.qfc.as_ref())
+    }
+
+    /// Installs shared frozen int8 weights exported by a sibling
+    /// replica's [`ResNetSnn::quant_plan`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the plan does not match the architecture.
+    pub fn install_quant_plan(&mut self, plan: &QuantPlanWeights) -> Result<(), ShapeError> {
+        // Validate the classifier BEFORE mutating any conv site, so a
+        // mismatched plan cannot leave the model half-installed.
+        let (fc, x_scale) = &plan.fc;
+        if fc.out_features != self.config.num_classes || fc.in_features != self.fc_w.shape()[1] {
+            return Err(ShapeError::new(
+                "install_quant_plan: classifier shape mismatch".to_string(),
+            ));
+        }
+        quant::install_conv_sites(self.conv_sites_mut(), &plan.convs, plan.accum)?;
+        self.qfc = Some(QuantLinear {
+            weights: std::sync::Arc::clone(fc),
+            x_scale: *x_scale,
+            accum: plan.accum,
+        });
+        self.policy_name = "int8";
+        Ok(())
+    }
 }
 
 impl TrainForward for ResNetSnn {
@@ -306,19 +458,40 @@ impl TrainForward for ResNetSnn {
 impl InferForward for ResNetSnn {
     fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
         let stats = self.infer_stats;
+        // Taken (not borrowed) so the calibration hooks can observe inputs
+        // while the block loop holds `&mut self.blocks`. Site order matches
+        // `conv_sites`: stem, then per block conv_a, conv_b, shortcut.
+        let mut calib = self.calib.take();
+        let mut site = 0usize;
+        if let Some(rec) = calib.as_mut() {
+            rec.observe(site, x);
+        }
+        site += 1;
         let mut y = self.stem.forward_tensor(x, t)?;
         self.stem_norm.forward_tensor(&mut y, t, stats)?;
         let mut spikes = self.stem_lif.step_tensor(y)?;
         for block in &mut self.blocks {
+            if let Some(rec) = calib.as_mut() {
+                rec.observe(site, &spikes);
+            }
+            site += 1;
             let mut h = block.conv_a.forward_tensor(&spikes, t)?;
             block.norm_a.forward_tensor(&mut h, t, stats)?;
             let h = block.lif_a.step_tensor(h)?;
+            if let Some(rec) = calib.as_mut() {
+                rec.observe(site, &h);
+            }
+            site += 1;
             let mut y = block.conv_b.forward_tensor(&h, t)?;
             runtime::recycle_buffer(h.into_vec());
             block.norm_b.forward_tensor(&mut y, t, stats)?;
             // y += shortcut, the tensor twin of the Var path's y.add(&sc).
             match &block.shortcut {
                 Some((conv, norm)) => {
+                    if let Some(rec) = calib.as_mut() {
+                        rec.observe(site, &spikes);
+                    }
+                    site += 1;
                     let mut sc = conv.forward_tensor(&spikes, t)?;
                     norm.forward_tensor(&mut sc, t, stats)?;
                     y.add_scaled(&sc, 1.0)?;
@@ -331,7 +504,14 @@ impl InferForward for ResNetSnn {
         }
         let pooled = pool::global_avg_pool(&spikes)?;
         runtime::recycle_buffer(spikes.into_vec());
-        linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats)
+        if let Some(rec) = calib.as_mut() {
+            rec.observe(site, &pooled);
+        }
+        self.calib = calib;
+        match &self.qfc {
+            Some(q) => q.forward_tensor(&pooled),
+            None => linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats),
+        }
     }
 
     fn set_infer_stats(&mut self, stats: InferStats) {
@@ -357,8 +537,12 @@ impl SpikingModel for ResNetSnn {
                 p.extend(norm.params());
             }
         }
-        p.push(self.fc_w.clone());
-        p.push(self.fc_b.clone());
+        // Once the classifier is frozen to int8 its float weights are no
+        // longer parameters (only the norm layers stay float).
+        if self.qfc.is_none() {
+            p.push(self.fc_w.clone());
+            p.push(self.fc_b.clone());
+        }
         p
     }
 

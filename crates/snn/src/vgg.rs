@@ -13,6 +13,10 @@ use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
 use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
+use crate::quant::{
+    self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
+    QuantPlanWeights, QuantReport,
+};
 
 /// Architecture hyper-parameters for [`VggSnn`].
 #[derive(Debug, Clone)]
@@ -109,6 +113,11 @@ pub struct VggSnn {
     layers: Vec<VggLayer>,
     fc_w: Var,
     fc_b: Var,
+    /// Quantized classifier head; `Some` once the model is frozen to the
+    /// int8 serving plane.
+    qfc: Option<QuantLinear>,
+    /// Live calibration hook (only during [`VggSnn::calibrate`]).
+    calib: Option<CalibRecorder>,
     infer_stats: InferStats,
 }
 
@@ -161,6 +170,8 @@ impl VggSnn {
             layers,
             fc_w,
             fc_b,
+            qfc: None,
+            calib: None,
             infer_stats: InferStats::default(),
         }
     }
@@ -195,6 +206,136 @@ impl VggSnn {
         }
         Ok(merged)
     }
+
+    /// Whether the model has been frozen to the int8 serving plane.
+    pub fn is_quantized(&self) -> bool {
+        self.qfc.is_some()
+    }
+
+    /// Runs a calibration pass on the inference plane: each frame —
+    /// `(C, H, W)` direct coding or `(T, C, H, W)` event frames — is
+    /// unrolled for `timesteps` while hooks record the activation range
+    /// entering every convolution and the classifier. The returned
+    /// [`CalibStats`] feed [`VggSnn::quantize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if a frame does not match the architecture.
+    pub fn calibrate(
+        &mut self,
+        frames: &[Tensor],
+        timesteps: usize,
+    ) -> Result<CalibStats, ShapeError> {
+        let prev = self.infer_stats;
+        self.infer_stats = InferStats::PerSample;
+        self.calib = Some(CalibRecorder::default());
+        let mut failed = None;
+        'outer: for frame in frames {
+            self.reset_state();
+            for t in 0..timesteps {
+                let input = match calibration_frame_at(frame, t, timesteps) {
+                    Ok(i) => i,
+                    Err(e) => {
+                        failed = Some(e);
+                        break 'outer;
+                    }
+                };
+                if let Err(e) = self.forward_timestep_tensor(&input, t) {
+                    failed = Some(e);
+                    break 'outer;
+                }
+            }
+        }
+        self.reset_state();
+        self.infer_stats = prev;
+        // A failed forward drops the recorder on its error path; the stats
+        // are moot in that case anyway.
+        let recorder = self.calib.take();
+        match (failed, recorder) {
+            (Some(e), _) => Err(e),
+            (None, Some(rec)) => Ok(rec.into_stats(frames.len(), timesteps)),
+            (None, None) => Err(ShapeError::new("calibrate: recorder lost".to_string())),
+        }
+    }
+
+    /// Freezes every (dense) convolution and the classifier to int8 using
+    /// the calibrated activation scales — the quantized serving plane.
+    /// Requires TT layers to be merged first ([`VggSnn::merge_into_dense`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the calibration does not cover every
+    /// site, a conv is still TT-decomposed, or weights are non-finite.
+    pub fn quantize(
+        &mut self,
+        calib: &CalibStats,
+        cfg: &QuantConfig,
+    ) -> Result<QuantReport, ShapeError> {
+        let sites = self.layers.len();
+        if calib.sites.len() != sites + 1 {
+            return Err(ShapeError::new(format!(
+                "quantize: calibration covered {} sites, model has {} convs + classifier",
+                calib.sites.len(),
+                sites
+            )));
+        }
+        // Quantize the classifier FIRST: if it fails (e.g. non-finite
+        // weights), no conv site has been frozen yet and the model stays
+        // fully usable — the same no-half-frozen invariant
+        // `quantize_conv_sites` keeps internally.
+        let ql = QuantLinear::from_dense(
+            &self.fc_w.value(),
+            &self.fc_b.value(),
+            calib.scale_for(sites),
+            cfg,
+        )?;
+        let mut report = quant::quantize_conv_sites(
+            self.layers.iter_mut().map(|l| &mut l.conv).collect(),
+            calib,
+            cfg,
+        )?;
+        report.int8_bytes += ql.weights.storage_bytes();
+        report.f32_bytes += (self.fc_w.value().len() + self.fc_b.value().len()) * 4;
+        self.qfc = Some(ql);
+        self.policy_name = "int8";
+        Ok(report)
+    }
+
+    /// Exports the frozen int8 weights for O(1) sharing with sibling
+    /// replicas (`None` until [`VggSnn::quantize`] has run).
+    pub fn quant_plan(&self) -> Option<QuantPlanWeights> {
+        quant::export_conv_sites(self.layers.iter().map(|l| &l.conv).collect(), self.qfc.as_ref())
+    }
+
+    /// Installs shared frozen int8 weights exported by a sibling replica's
+    /// [`VggSnn::quant_plan`], discarding this model's float conv and
+    /// classifier weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the plan does not match the architecture.
+    pub fn install_quant_plan(&mut self, plan: &QuantPlanWeights) -> Result<(), ShapeError> {
+        // Validate the classifier BEFORE mutating any conv site, so a
+        // mismatched plan cannot leave the model half-installed.
+        let (fc, x_scale) = &plan.fc;
+        if fc.out_features != self.config.num_classes || fc.in_features != self.fc_w.shape()[1] {
+            return Err(ShapeError::new(
+                "install_quant_plan: classifier shape mismatch".to_string(),
+            ));
+        }
+        quant::install_conv_sites(
+            self.layers.iter_mut().map(|l| &mut l.conv).collect(),
+            &plan.convs,
+            plan.accum,
+        )?;
+        self.qfc = Some(QuantLinear {
+            weights: std::sync::Arc::clone(fc),
+            x_scale: *x_scale,
+            accum: plan.accum,
+        });
+        self.policy_name = "int8";
+        Ok(())
+    }
 }
 
 impl TrainForward for VggSnn {
@@ -216,8 +357,16 @@ impl TrainForward for VggSnn {
 impl InferForward for VggSnn {
     fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
         let stats = self.infer_stats;
+        // Taken (not borrowed) so the calibration hooks can observe inputs
+        // while the layer loop holds `&mut self.layers`.
+        let mut calib = self.calib.take();
+        let mut site = 0usize;
         let mut h: Option<Tensor> = None;
         for layer in &mut self.layers {
+            if let Some(rec) = calib.as_mut() {
+                rec.observe(site, h.as_ref().unwrap_or(x));
+            }
+            site += 1;
             let mut y = layer.conv.forward_tensor(h.as_ref().unwrap_or(x), t)?;
             if let Some(spent) = h.take() {
                 runtime::recycle_buffer(spent.into_vec());
@@ -238,7 +387,14 @@ impl InferForward for VggSnn {
         };
         let pooled = pool::global_avg_pool(&feats)?;
         runtime::recycle_buffer(feats.into_vec());
-        linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats)
+        if let Some(rec) = calib.as_mut() {
+            rec.observe(site, &pooled);
+        }
+        self.calib = calib;
+        match &self.qfc {
+            Some(q) => q.forward_tensor(&pooled),
+            None => linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats),
+        }
     }
 
     fn set_infer_stats(&mut self, stats: InferStats) {
@@ -257,8 +413,12 @@ impl SpikingModel for VggSnn {
             p.extend(l.conv.params());
             p.extend(l.norm.params());
         }
-        p.push(self.fc_w.clone());
-        p.push(self.fc_b.clone());
+        // Once the classifier is frozen to int8 its float weights are no
+        // longer parameters (only the norm layers stay float).
+        if self.qfc.is_none() {
+            p.push(self.fc_w.clone());
+            p.push(self.fc_b.clone());
+        }
         p
     }
 

@@ -81,7 +81,10 @@ impl Conv2dGeometry {
     }
 }
 
-fn check_input(x: &Tensor, g: &Conv2dGeometry) -> Result<(usize, usize, usize), ShapeError> {
+pub(crate) fn check_input(
+    x: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<(usize, usize, usize), ShapeError> {
     if x.ndim() != 4 {
         return Err(ShapeError::new(format!(
             "conv2d: expected 4-D NCHW input, got {:?}",
@@ -114,8 +117,10 @@ fn check_weight(weight: &Tensor, g: &Conv2dGeometry) -> Result<(), ShapeError> {
 }
 
 /// Unfolds one sample `(C, H, W)` into the im2col matrix
-/// `(C*Kh*Kw, Oh*Ow)`, stored row-major into `cols`.
-fn im2col_sample(x: &[f32], g: &Conv2dGeometry, cols: &mut [f32]) {
+/// `(C*Kh*Kw, Oh*Ow)`, stored row-major into `cols`. Generic over the
+/// element type so the float kernels and the int8 quantized kernels
+/// ([`crate::qkernels`]) share one unfolding; `zero` is the padding value.
+pub(crate) fn im2col_sample_t<T: Copy>(x: &[T], g: &Conv2dGeometry, cols: &mut [T], zero: T) {
     let (h, w) = g.in_hw;
     let (kh, kw) = g.kernel;
     let (sh, sw) = g.stride;
@@ -131,14 +136,14 @@ fn im2col_sample(x: &[f32], g: &Conv2dGeometry, cols: &mut [f32]) {
                 for oi in 0..oh {
                     let src_i = (oi * sh + ki) as isize - ph as isize;
                     if src_i < 0 || src_i >= h as isize {
-                        dst[oi * ow..(oi + 1) * ow].fill(0.0);
+                        dst[oi * ow..(oi + 1) * ow].fill(zero);
                         continue;
                     }
                     let src_row = &plane[src_i as usize * w..(src_i as usize + 1) * w];
                     for oj in 0..ow {
                         let src_j = (oj * sw + kj) as isize - pw as isize;
                         dst[oi * ow + oj] = if src_j < 0 || src_j >= w as isize {
-                            0.0
+                            zero
                         } else {
                             src_row[src_j as usize]
                         };
@@ -147,6 +152,11 @@ fn im2col_sample(x: &[f32], g: &Conv2dGeometry, cols: &mut [f32]) {
             }
         }
     }
+}
+
+/// [`im2col_sample_t`] for `f32` activations.
+fn im2col_sample(x: &[f32], g: &Conv2dGeometry, cols: &mut [f32]) {
+    im2col_sample_t(x, g, cols, 0.0);
 }
 
 /// Folds an im2col matrix `(C*Kh*Kw, Oh*Ow)` back into a sample gradient

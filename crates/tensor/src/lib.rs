@@ -15,6 +15,9 @@
 //! * [`conv`] — 2-D convolution (forward, input-gradient, weight-gradient)
 //!   via im2col/col2im, batch-parallel through the runtime, supporting the
 //!   asymmetric kernels (3×1, 1×3, 1×1) that the TT cores use.
+//! * [`qkernels`] — the **int8 inference kernels**: i8×i8→i32 GEMM/conv
+//!   with per-output-channel requantization and an accelerator-faithful
+//!   saturating 16-bit accumulator mode, on the same worker pool.
 //! * [`Tensor::matmul`] — matrix multiplication over the runtime kernels.
 //! * [`linalg`] — one-sided Jacobi SVD (used by TT-SVD and VBMF).
 //! * [`pool`] — average pooling and global average pooling with backward.
@@ -44,6 +47,7 @@ mod tensor;
 pub mod conv;
 pub mod linalg;
 pub mod pool;
+pub mod qkernels;
 pub mod runtime;
 
 pub use error::ShapeError;

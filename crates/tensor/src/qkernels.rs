@@ -1,0 +1,675 @@
+//! Integer kernels for the **quantized inference plane**: i8×i8→i32
+//! GEMM/conv with requantization, routed through the same persistent
+//! worker pool as the float kernels.
+//!
+//! The paper's target accelerator (Table I) computes with **8-bit
+//! multipliers and 16-bit accumulators**; this module is the CPU
+//! realization of that arithmetic. Two accumulator modes are provided:
+//!
+//! * [`QAccum::I32`] — exact 32-bit accumulation (the mode quantized
+//!   serving plans use by default; every partial sum is exact, so results
+//!   are trivially bit-identical across thread counts).
+//! * [`QAccum::Saturate16`] — **accelerator-faithful** saturating 16-bit
+//!   accumulation: after every multiply-add the running sum is clamped to
+//!   the `i16` range, exactly what a 16-bit accumulator register does.
+//!   Still deterministic (the summation order is fixed), but lossy on
+//!   layers whose dot products overflow ±32767.
+//!
+//! # Determinism
+//!
+//! Integer arithmetic has no rounding, and every output element is
+//! produced by exactly one task with a fixed summation order — results
+//! are **bit-identical across thread counts** by construction, a stronger
+//! version of the float kernels' contract.
+//!
+//! # Dataflow
+//!
+//! Weights are quantized offline (per output channel or per tensor, see
+//! `ttsnn_core::quant`); activations are quantized on the fly with a
+//! **static scale** measured by a calibration pass. [`qconv2d`] and
+//! [`qlinear`] take the float activations, quantize them into per-thread
+//! integer scratch, run the integer kernel, and dequantize the `i32`
+//! accumulators back to `f32` with the per-output-channel combined scale
+//! `x_scale · w_scale[oc]` — one float multiply per output element, after
+//! all accumulation happened exactly.
+
+use std::cell::RefCell;
+
+use crate::conv::{check_input, im2col_sample_t, Conv2dGeometry};
+use crate::error::ShapeError;
+use crate::runtime::{self, Runtime};
+use crate::tensor::Tensor;
+
+/// Accumulator width of the integer kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QAccum {
+    /// Exact 32-bit accumulation (default for serving plans).
+    #[default]
+    I32,
+    /// Saturating 16-bit accumulation after every multiply-add — faithful
+    /// to the accelerator's 16-bit accumulator registers (Table I).
+    Saturate16,
+}
+
+impl QAccum {
+    /// Short name for reports (`"i32"` / `"sat16"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QAccum::I32 => "i32",
+            QAccum::Saturate16 => "sat16",
+        }
+    }
+}
+
+/// Quantizes `src` onto the symmetric int8 grid of `scale`:
+/// `q = clamp(round(src / scale), -127, 127)` — element-for-element the
+/// same mapping as `ttsnn_core::quant::quantize_int8`, so the integer
+/// plane executes exactly the grid that fake-quant training simulated.
+///
+/// Non-finite values saturating-cast to 0 (`NaN as i8`); callers that
+/// must not silently swallow NaNs (the serving engine does) reject them
+/// before quantizing.
+///
+/// # Panics
+///
+/// Panics if `dst` is shorter than `src` or `scale` is not a positive
+/// finite number.
+pub fn quantize_to_i8(src: &[f32], scale: f32, dst: &mut [i8]) {
+    assert!(scale.is_finite() && scale > 0.0, "quantize_to_i8: bad scale {scale}");
+    assert!(dst.len() >= src.len(), "quantize_to_i8: dst too short");
+    for (d, &v) in dst.iter_mut().zip(src.iter()) {
+        *d = (v / scale).round().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer scratch arenas (the f32 arena in `runtime` cannot back these).
+
+/// Buffers larger than this are dropped instead of recycled (16 Mi
+/// elements, matching the float arena's per-thread bound).
+const MAX_KEEP: usize = 16 * 1024 * 1024;
+
+thread_local! {
+    static I8_ARENA: RefCell<Vec<Vec<i8>>> = const { RefCell::new(Vec::new()) };
+    static I32_ARENA: RefCell<Vec<Vec<i32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a recycled thread-local `i8` buffer of exactly `len`
+/// elements (contents unspecified on entry).
+pub fn with_i8_scratch<R>(len: usize, f: impl FnOnce(&mut [i8]) -> R) -> R {
+    let mut buf = I8_ARENA.with(|a| a.borrow_mut().pop()).unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let result = f(&mut buf[..len]);
+    if buf.len() <= MAX_KEEP {
+        I8_ARENA.with(|a| a.borrow_mut().push(buf));
+    }
+    result
+}
+
+/// Runs `f` with a recycled thread-local `i32` buffer of exactly `len`
+/// elements (contents unspecified on entry).
+pub fn with_i32_scratch<R>(len: usize, f: impl FnOnce(&mut [i32]) -> R) -> R {
+    let mut buf = I32_ARENA.with(|a| a.borrow_mut().pop()).unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    let result = f(&mut buf[..len]);
+    if buf.len() <= MAX_KEEP {
+        I32_ARENA.with(|a| a.borrow_mut().push(buf));
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Integer GEMM family.
+
+/// Naive triple loop, the oracle for the property tests. Overwrites
+/// `out`. Honors the accumulator mode exactly like the fast kernels.
+pub fn reference_qgemm(
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accum: QAccum,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] = match accum {
+                QAccum::I32 => {
+                    let mut acc = 0i32;
+                    for kk in 0..k {
+                        acc += a[i * k + kk] as i32 * b[kk * n + j] as i32;
+                    }
+                    acc
+                }
+                QAccum::Saturate16 => {
+                    let mut acc = 0i16;
+                    for kk in 0..k {
+                        acc = acc.saturating_add(a[i * k + kk] as i16 * b[kk * n + j] as i16);
+                    }
+                    acc as i32
+                }
+            };
+        }
+    }
+}
+
+/// Minimum rows per forked range — same amortization policy as the float
+/// GEMM row split.
+#[inline]
+fn rows_per_fork(m: usize, k: usize, n: usize) -> usize {
+    match runtime::PAR_THRESHOLD.checked_div(2 * k * n) {
+        Some(rows) => rows.clamp(1, m.max(1)),
+        None => m.max(1),
+    }
+}
+
+/// `out = A·B` with `A (m,k)` i8, `B (k,n)` i8, `out (m,n)` i32, all
+/// row-major — the integer twin of `runtime::gemm`, parallelized over
+/// disjoint output row ranges.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)] // kernel signature: dims + accumulator mode
+pub fn qgemm(
+    rt: &Runtime,
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accum: QAccum,
+) {
+    assert_eq!(a.len(), m * k, "qgemm: `a` has wrong length");
+    assert_eq!(b.len(), k * n, "qgemm: `b` has wrong length");
+    assert_eq!(out.len(), m * n, "qgemm: `out` has wrong length");
+    if m * n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0);
+        return;
+    }
+    rt.parallel_over_ranges(out, n, rows_per_fork(m, k, n), |row0, rows| {
+        qgemm_serial_rows(&a[row0 * k..], b, rows, k, n, accum);
+    });
+}
+
+/// Serial core for [`qgemm`] over a row range: `rows = A_range · B`.
+fn qgemm_serial_rows(a: &[i8], b: &[i8], rows: &mut [i32], k: usize, n: usize, accum: QAccum) {
+    let mrows = rows.len() / n;
+    match accum {
+        QAccum::I32 => {
+            rows.fill(0);
+            for i in 0..mrows {
+                let orow = &mut rows[i * n..(i + 1) * n];
+                for kk in 0..k {
+                    let av = a[i * k + kk] as i32;
+                    if av == 0 {
+                        // Exact in integers (0·x == 0 always): spike-driven
+                        // activations are mostly zero, so this skip is the
+                        // CPU analogue of the accelerator's spike gating.
+                        continue;
+                    }
+                    let brow = &b[kk * n..kk * n + n];
+                    for (dv, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *dv += av * bv as i32;
+                    }
+                }
+            }
+        }
+        QAccum::Saturate16 => {
+            // Saturation makes the per-element fold non-linear, so the sum
+            // must be built in k-order per element; zero products still
+            // cannot change a saturating fold (saturating_add(acc, 0) ==
+            // acc), so the spike-gating skip stays exact.
+            rows.fill(0);
+            for i in 0..mrows {
+                let orow = &mut rows[i * n..(i + 1) * n];
+                for kk in 0..k {
+                    let av = a[i * k + kk] as i16;
+                    if av == 0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..kk * n + n];
+                    for (dv, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *dv = (*dv as i16).saturating_add(av * bv as i16) as i32;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `out = A·Bᵀ` with `A (m,k)` i8, `B (n,k)` i8, `out (m,n)` i32 — the
+/// integer dot-product kernel behind quantized linear layers (`y = x·Wᵀ`
+/// with `W` stored `(O, F)`).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)] // kernel signature: dims + accumulator mode
+pub fn qgemm_a_bt(
+    rt: &Runtime,
+    a: &[i8],
+    b: &[i8],
+    out: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    accum: QAccum,
+) {
+    assert_eq!(a.len(), m * k, "qgemm_a_bt: `a` has wrong length");
+    assert_eq!(b.len(), n * k, "qgemm_a_bt: `b` has wrong length");
+    assert_eq!(out.len(), m * n, "qgemm_a_bt: `out` has wrong length");
+    if m * n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0);
+        return;
+    }
+    rt.parallel_over_ranges(out, n, rows_per_fork(m, k, n), |row0, rows| {
+        for (i, orow) in rows.chunks_mut(n).enumerate() {
+            let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+            for (j, dv) in orow.iter_mut().enumerate() {
+                let brow = &b[j * k..(j + 1) * k];
+                *dv = match accum {
+                    QAccum::I32 => arow.iter().zip(brow).map(|(&x, &y)| x as i32 * y as i32).sum(),
+                    QAccum::Saturate16 => arow
+                        .iter()
+                        .zip(brow)
+                        .fold(0i16, |acc, (&x, &y)| acc.saturating_add(x as i16 * y as i16))
+                        as i32,
+                };
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Quantized layer kernels.
+
+fn check_scales(w_scales: &[f32], out_channels: usize, who: &str) -> Result<(), ShapeError> {
+    if w_scales.len() != out_channels && w_scales.len() != 1 {
+        return Err(ShapeError::new(format!(
+            "{who}: expected {out_channels} per-channel scales (or 1 per-tensor scale), got {}",
+            w_scales.len()
+        )));
+    }
+    if w_scales.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+        return Err(ShapeError::new(format!("{who}: weight scales must be positive and finite")));
+    }
+    Ok(())
+}
+
+fn check_x_scale(x_scale: f32, who: &str) -> Result<(), ShapeError> {
+    if !x_scale.is_finite() || x_scale <= 0.0 {
+        return Err(ShapeError::new(format!(
+            "{who}: activation scale must be positive and finite, got {x_scale}"
+        )));
+    }
+    Ok(())
+}
+
+#[inline]
+fn w_scale_at(w_scales: &[f32], oc: usize) -> f32 {
+    if w_scales.len() == 1 {
+        w_scales[0]
+    } else {
+        w_scales[oc]
+    }
+}
+
+/// Quantized 2-D convolution: quantize the input activations with the
+/// static `x_scale`, unfold (im2col) in int8, run the i8×i8 GEMM, and
+/// dequantize the integer accumulators with `x_scale · w_scales[oc]`.
+///
+/// * `x` — float activations `(B, C, H, W)`;
+/// * `qw` — int8 kernel, `(O, C·Kh·Kw)` row-major (the natural flattening
+///   of an OIHW kernel);
+/// * `w_scales` — one scale per output channel, or a single per-tensor
+///   scale.
+///
+/// Output is `(B, O, Oh, Ow)` float. Samples are independent and every
+/// output element is dequantized by one float multiply from an exactly
+/// accumulated integer, so results are bit-identical across thread
+/// counts *and* batch compositions (the serving plane's `PerSample`
+/// contract holds with no batch/per-sample mode split).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes, scales, or geometry disagree.
+pub fn qconv2d(
+    x: &Tensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    g: &Conv2dGeometry,
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    qconv2d_with(Runtime::global(), x, x_scale, qw, w_scales, g, accum)
+}
+
+/// [`qconv2d`] on an explicit [`Runtime`] (tests pin thread counts).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes, scales, or geometry disagree.
+pub fn qconv2d_with(
+    rt: &Runtime,
+    x: &Tensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    g: &Conv2dGeometry,
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    let (b, oh, ow) = check_input(x, g)?;
+    let k = g.in_channels * g.kernel.0 * g.kernel.1;
+    if qw.len() != g.out_channels * k {
+        return Err(ShapeError::new(format!(
+            "qconv2d: quantized weight has {} values, geometry wants {}",
+            qw.len(),
+            g.out_channels * k
+        )));
+    }
+    check_scales(w_scales, g.out_channels, "qconv2d")?;
+    check_x_scale(x_scale, "qconv2d")?;
+    let ospatial = oh * ow;
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let out_slab = g.out_channels * ospatial;
+    let mut out =
+        Tensor::from_vec(runtime::take_buffer(b * out_slab), &[b, g.out_channels, oh, ow])?;
+    let xd = x.data();
+
+    let run_sample = |gemm_rt: &Runtime, xs: &[f32], out_s: &mut [f32]| {
+        with_i8_scratch(in_slab, |qx| {
+            quantize_to_i8(xs, x_scale, qx);
+            with_i8_scratch(k * ospatial, |qcols| {
+                im2col_sample_t(qx, g, qcols, 0i8);
+                with_i32_scratch(out_slab, |acc| {
+                    qgemm(gemm_rt, qw, qcols, acc, g.out_channels, k, ospatial, accum);
+                    for oc in 0..g.out_channels {
+                        let s = x_scale * w_scale_at(w_scales, oc);
+                        let arow = &acc[oc * ospatial..(oc + 1) * ospatial];
+                        let orow = &mut out_s[oc * ospatial..(oc + 1) * ospatial];
+                        for (o, &a) in orow.iter_mut().zip(arow.iter()) {
+                            *o = a as f32 * s;
+                        }
+                    }
+                });
+            });
+        });
+    };
+
+    if b == 1 {
+        // One sample: parallelize inside the integer GEMM over output rows.
+        run_sample(rt, &xd[..in_slab], out.data_mut());
+        return Ok(out);
+    }
+    let serial = Runtime::new(1);
+    let min_samples = (runtime::PAR_THRESHOLD / (2 * g.out_channels * k * ospatial).max(1)).max(1);
+    rt.parallel_over_slabs(out.data_mut(), out_slab, min_samples, |s, out_s| {
+        run_sample(&serial, &xd[s * in_slab..(s + 1) * in_slab], out_s);
+    });
+    Ok(out)
+}
+
+/// Quantized fully connected layer `y = dequant(q(x) · qWᵀ) + bias` with
+/// `x (B, F)` float, `qw (O, F)` int8, `bias (O)` float.
+///
+/// Rows are processed independently (each through the same kernel a
+/// batch-of-1 call would use) and integer accumulation is exact, so the
+/// output is invariant to batch composition — the quantized plane needs
+/// no `Batch`/`PerSample` split.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes or scales disagree.
+pub fn qlinear(
+    x: &Tensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    qlinear_with(Runtime::global(), x, x_scale, qw, w_scales, bias, accum)
+}
+
+/// [`qlinear`] on an explicit [`Runtime`] (tests pin thread counts).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes or scales disagree.
+pub fn qlinear_with(
+    rt: &Runtime,
+    x: &Tensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    if x.ndim() != 2 {
+        return Err(ShapeError::new(format!(
+            "qlinear: expected (B, F) input, got {:?}",
+            x.shape()
+        )));
+    }
+    let (b, feat) = (x.shape()[0], x.shape()[1]);
+    if feat == 0 || !qw.len().is_multiple_of(feat.max(1)) {
+        return Err(ShapeError::new(format!(
+            "qlinear: weight length {} is not a multiple of feature dim {feat}",
+            qw.len()
+        )));
+    }
+    let out_ch = qw.len() / feat;
+    if bias.len() != out_ch {
+        return Err(ShapeError::new(format!(
+            "qlinear: bias has {} entries, weight implies {out_ch} outputs",
+            bias.len()
+        )));
+    }
+    check_scales(w_scales, out_ch, "qlinear")?;
+    check_x_scale(x_scale, "qlinear")?;
+    let mut y = Tensor::from_vec(runtime::take_buffer(b * out_ch), &[b, out_ch])?;
+    let xd = x.data();
+    let serial = Runtime::new(1);
+    let min_rows = (runtime::PAR_THRESHOLD / (2 * feat * out_ch).max(1)).max(1);
+    rt.parallel_over_slabs(y.data_mut(), out_ch, min_rows, |s, yrow| {
+        with_i8_scratch(feat, |qx| {
+            quantize_to_i8(&xd[s * feat..(s + 1) * feat], x_scale, qx);
+            with_i32_scratch(out_ch, |acc| {
+                qgemm_a_bt(&serial, qx, qw, acc, 1, feat, out_ch, accum);
+                for (oc, (o, &a)) in yrow.iter_mut().zip(acc.iter()).enumerate() {
+                    *o = a as f32 * (x_scale * w_scale_at(w_scales, oc)) + bias[oc];
+                }
+            });
+        });
+    });
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn rand_i8(len: usize, rng: &mut Rng) -> Vec<i8> {
+        (0..len).map(|_| (rng.below(255) as i32 - 127) as i8).collect()
+    }
+
+    #[test]
+    fn qgemm_matches_reference_across_shapes_threads_and_modes() {
+        let mut rng = Rng::seed_from(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 2), (4, 7, 9), (17, 3, 17), (33, 64, 12)] {
+            let a = rand_i8(m * k, &mut rng);
+            let b = rand_i8(k * n, &mut rng);
+            for accum in [QAccum::I32, QAccum::Saturate16] {
+                let mut want = vec![0i32; m * n];
+                reference_qgemm(&a, &b, &mut want, m, k, n, accum);
+                for threads in [1usize, 2, 4] {
+                    let rt = Runtime::new(threads);
+                    let mut got = vec![i32::MIN; m * n];
+                    qgemm(&rt, &a, &b, &mut got, m, k, n, accum);
+                    assert_eq!(got, want, "({m},{k},{n}) threads={threads} {accum:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qgemm_a_bt_matches_transposed_reference() {
+        let mut rng = Rng::seed_from(8);
+        let (m, k, n) = (5, 11, 7);
+        let a = rand_i8(m * k, &mut rng);
+        let bt = rand_i8(n * k, &mut rng); // stored (n, k)
+                                           // Build B (k, n) explicitly for the reference.
+        let mut b = vec![0i8; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        for accum in [QAccum::I32, QAccum::Saturate16] {
+            let mut want = vec![0i32; m * n];
+            reference_qgemm(&a, &b, &mut want, m, k, n, accum);
+            let mut got = vec![0i32; m * n];
+            qgemm_a_bt(&Runtime::new(2), &a, &bt, &mut got, m, k, n, accum);
+            assert_eq!(got, want, "{accum:?}");
+        }
+    }
+
+    #[test]
+    fn saturate16_clamps_where_i32_does_not() {
+        // 127 · 127 · 4 = 64516 overflows i16 (32767) but not i32.
+        let a = vec![127i8; 4];
+        let b = vec![127i8; 4];
+        let mut exact = vec![0i32; 1];
+        qgemm(&Runtime::new(1), &a, &b, &mut exact, 1, 4, 1, QAccum::I32);
+        assert_eq!(exact[0], 64516);
+        let mut sat = vec![0i32; 1];
+        qgemm(&Runtime::new(1), &a, &b, &mut sat, 1, 4, 1, QAccum::Saturate16);
+        assert_eq!(sat[0], i16::MAX as i32);
+    }
+
+    #[test]
+    fn quantize_to_i8_matches_grid() {
+        let src = [0.0f32, 1.0, -1.0, 0.4, 1e9];
+        let mut dst = [0i8; 5];
+        quantize_to_i8(&src, 1.0 / 127.0, &mut dst);
+        assert_eq!(dst, [0, 127, -127, 51, 127]);
+    }
+
+    #[test]
+    fn qconv2d_matches_naive_quantized_conv() {
+        let mut rng = Rng::seed_from(9);
+        let g = Conv2dGeometry::new(3, 4, (6, 5), (3, 3), (1, 1), (1, 1));
+        let k = 3 * 3 * 3;
+        let x = Tensor::randn(&[2, 3, 6, 5], &mut rng);
+        let qw = rand_i8(4 * k, &mut rng);
+        let w_scales = [0.02f32, 0.03, 0.01, 0.04];
+        let x_scale = 0.05f32;
+        let got = qconv2d(&x, x_scale, &qw, &w_scales, &g, QAccum::I32).unwrap();
+        // Naive oracle: quantize, direct integer convolution, dequantize.
+        let (oh, ow) = g.out_hw();
+        for s in 0..2 {
+            for o in 0..4 {
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0i32;
+                        for c in 0..3 {
+                            for ki in 0..3 {
+                                for kj in 0..3 {
+                                    let ii = (oi + ki) as isize - 1;
+                                    let jj = (oj + kj) as isize - 1;
+                                    if ii < 0 || jj < 0 || ii >= 6 || jj >= 5 {
+                                        continue;
+                                    }
+                                    let xv = x.at(&[s, c, ii as usize, jj as usize]);
+                                    let qx =
+                                        (xv / x_scale).round().clamp(-127.0, 127.0) as i8 as i32;
+                                    let wv = qw[o * k + (c * 3 + ki) * 3 + kj] as i32;
+                                    acc += qx * wv;
+                                }
+                            }
+                        }
+                        let want = acc as f32 * (x_scale * w_scales[o]);
+                        let gotv = got.at(&[s, o, oi, oj]);
+                        assert_eq!(gotv, want, "({s},{o},{oi},{oj})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qconv2d_bit_identical_across_threads_and_batch_composition() {
+        let mut rng = Rng::seed_from(10);
+        let g = Conv2dGeometry::new(2, 3, (8, 8), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::randn(&[4, 2, 8, 8], &mut rng);
+        let qw = rand_i8(3 * 2 * 9, &mut rng);
+        let base = qconv2d_with(&Runtime::new(1), &x, 0.1, &qw, &[0.01], &g, QAccum::I32).unwrap();
+        for threads in [2usize, 4, 8] {
+            let out = qconv2d_with(&Runtime::new(threads), &x, 0.1, &qw, &[0.01], &g, QAccum::I32)
+                .unwrap();
+            assert_eq!(out, base, "threads={threads}");
+        }
+        // Batch composition: sample 2 alone equals sample 2 in the batch.
+        let solo = Tensor::from_vec(x.data()[2 * 128..3 * 128].to_vec(), &[1, 2, 8, 8]).unwrap();
+        let alone = qconv2d(&solo, 0.1, &qw, &[0.01], &g, QAccum::I32).unwrap();
+        let slab = base.len() / 4;
+        assert_eq!(&base.data()[2 * slab..3 * slab], alone.data());
+    }
+
+    #[test]
+    fn qlinear_matches_scalar_oracle_and_threads() {
+        let mut rng = Rng::seed_from(11);
+        let (b, f, o) = (5, 9, 4);
+        let x = Tensor::randn(&[b, f], &mut rng);
+        let qw = rand_i8(o * f, &mut rng);
+        let scales = [0.01f32, 0.02, 0.015, 0.03];
+        let bias = [0.5f32, -0.25, 0.0, 1.0];
+        let got = qlinear(&x, 0.04, &qw, &scales, &bias, QAccum::I32).unwrap();
+        for s in 0..b {
+            for oc in 0..o {
+                let mut acc = 0i32;
+                for j in 0..f {
+                    let qx = (x.at(&[s, j]) / 0.04).round().clamp(-127.0, 127.0) as i8 as i32;
+                    acc += qx * qw[oc * f + j] as i32;
+                }
+                let want = acc as f32 * (0.04 * scales[oc]) + bias[oc];
+                assert_eq!(got.at(&[s, oc]), want, "({s},{oc})");
+            }
+        }
+        let two =
+            qlinear_with(&Runtime::new(2), &x, 0.04, &qw, &scales, &bias, QAccum::I32).unwrap();
+        assert_eq!(two, got);
+    }
+
+    #[test]
+    fn rejects_bad_scales_and_shapes() {
+        let g = Conv2dGeometry::new(1, 2, (4, 4), (3, 3), (1, 1), (1, 1));
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let qw = vec![0i8; 2 * 9];
+        assert!(qconv2d(&x, 0.0, &qw, &[1.0], &g, QAccum::I32).is_err());
+        assert!(qconv2d(&x, 0.1, &qw, &[1.0, f32::NAN], &g, QAccum::I32).is_err());
+        assert!(qconv2d(&x, 0.1, &qw[..17], &[1.0], &g, QAccum::I32).is_err());
+        assert!(qconv2d(&x, 0.1, &qw, &[1.0, 1.0, 1.0], &g, QAccum::I32).is_err());
+        let xf = Tensor::zeros(&[2, 3]);
+        assert!(qlinear(&xf, 0.1, &[0i8; 7], &[1.0], &[0.0], QAccum::I32).is_err());
+        assert!(qlinear(&xf, 0.1, &[0i8; 6], &[1.0], &[0.0, 0.0], QAccum::I32).is_ok());
+        assert!(qlinear(&xf, 0.1, &[0i8; 6], &[1.0], &[0.0], QAccum::I32).is_err());
+    }
+}

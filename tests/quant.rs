@@ -34,7 +34,7 @@ fn int8_quantized_merged_model_keeps_predictions() {
     // Quantize every weight tensor to symmetric int8 and write it back.
     for p in model.params() {
         if p.shape().len() >= 2 {
-            let q = quantize_int8(&p.value());
+            let q = quantize_int8(&p.value()).unwrap();
             p.set_value(q.dequantize().unwrap());
         }
     }

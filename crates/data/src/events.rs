@@ -52,6 +52,25 @@ impl EventStream {
         }
     }
 
+    /// Overrides the per-edge event firing probability (default 0.9).
+    /// This is the generator's spike-density knob: benches and tests
+    /// sweep it to produce deterministic sparsity levels — `0.0` yields
+    /// empty frames, `1.0` fires every edge the saccade exposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn with_event_rate(mut self, rate: f32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "EventStream: event rate {rate} not in [0, 1]");
+        self.event_rate = rate;
+        self
+    }
+
+    /// The per-edge event firing probability.
+    pub fn event_rate(&self) -> f32 {
+        self.event_rate
+    }
+
     /// Number of classes.
     pub fn num_classes(&self) -> usize {
         self.num_classes
@@ -123,6 +142,7 @@ pub struct GestureStream {
     width: usize,
     num_classes: usize,
     timesteps: usize,
+    event_rate: f32,
 }
 
 impl GestureStream {
@@ -136,7 +156,25 @@ impl GestureStream {
             h > 0 && w > 0 && num_classes > 0 && timesteps > 0,
             "GestureStream: dimensions must be positive"
         );
-        Self { height: h, width: w, num_classes, timesteps }
+        Self { height: h, width: w, num_classes, timesteps, event_rate: 0.95 }
+    }
+
+    /// Overrides the per-pixel event firing probability along the blob's
+    /// moving edges (default 0.95) — the spike-density knob for
+    /// deterministic sparsity sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn with_event_rate(mut self, rate: f32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "GestureStream: event rate {rate} not in [0, 1]");
+        self.event_rate = rate;
+        self
+    }
+
+    /// The per-pixel event firing probability.
+    pub fn event_rate(&self) -> f32 {
+        self.event_rate
     }
 
     /// Number of classes (motion directions).
@@ -177,9 +215,9 @@ impl GestureStream {
                     let d_old = ((x as f32 - px).powi(2) + (y as f32 - py).powi(2)).sqrt();
                     let inside_new = d_new < radius;
                     let inside_old = d_old < radius;
-                    if inside_new && !inside_old && rng.uniform() < 0.95 {
+                    if inside_new && !inside_old && rng.uniform() < self.event_rate {
                         *frame.at_mut(&[0, y, x]) = 1.0; // leading edge: ON
-                    } else if inside_old && !inside_new && rng.uniform() < 0.95 {
+                    } else if inside_old && !inside_new && rng.uniform() < self.event_rate {
                         *frame.at_mut(&[1, y, x]) = 1.0; // trailing edge: OFF
                     }
                 }
@@ -235,6 +273,36 @@ mod tests {
         let s = gen.sample(0, &mut rng);
         let total: f32 = s.frames.iter().map(|f| f.sum()).sum();
         assert!(total > 10.0, "event stream nearly empty: {total} events");
+    }
+
+    #[test]
+    fn event_rate_knob_sweeps_density_monotonically() {
+        let count = |gen: &EventStream| -> f32 {
+            let s = gen.sample(0, &mut Rng::seed_from(7));
+            s.frames.iter().map(|f| f.sum()).sum()
+        };
+        let base = EventStream::ncaltech_like(16, 16, 4, 6);
+        assert_eq!(base.event_rate(), 0.9);
+        let zero = count(&base.clone().with_event_rate(0.0));
+        let low = count(&base.clone().with_event_rate(0.3));
+        let high = count(&base.clone().with_event_rate(1.0));
+        assert_eq!(zero, 0.0, "rate 0 must produce empty frames");
+        assert!(low > 0.0 && low < high, "density must grow with rate: {low} vs {high}");
+    }
+
+    #[test]
+    fn gesture_rate_knob_sweeps_density_monotonically() {
+        let count = |gen: &GestureStream| -> f32 {
+            let s = gen.sample(1, &mut Rng::seed_from(8));
+            s.frames.iter().map(|f| f.sum()).sum()
+        };
+        let base = GestureStream::dvs_gesture_like(16, 16, 4, 6);
+        assert_eq!(base.event_rate(), 0.95);
+        let zero = count(&base.clone().with_event_rate(0.0));
+        let low = count(&base.clone().with_event_rate(0.3));
+        let high = count(&base.clone().with_event_rate(1.0));
+        assert_eq!(zero, 0.0, "rate 0 must produce empty frames");
+        assert!(low > 0.0 && low < high, "density must grow with rate: {low} vs {high}");
     }
 
     #[test]

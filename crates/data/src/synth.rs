@@ -20,6 +20,7 @@ pub struct StaticImages {
     num_classes: usize,
     noise: f32,
     prototype_seed: u64,
+    spike_density: Option<f32>,
 }
 
 impl StaticImages {
@@ -52,7 +53,34 @@ impl StaticImages {
             channels > 0 && height > 0 && width > 0 && num_classes > 0,
             "StaticImages: dimensions and class count must be positive"
         );
-        Self { channels, height, width, num_classes, noise, prototype_seed }
+        Self { channels, height, width, num_classes, noise, prototype_seed, spike_density: None }
+    }
+
+    /// Switches the generator to **binary spike frames** at an exact,
+    /// controllable density: each sample keeps its analog class signal
+    /// only as a ranking — the `round(density · C·H·W)` brightest pixels
+    /// fire (`1.0`), every other pixel is `0.0` (ties broken by pixel
+    /// index, so the output is fully deterministic given the RNG stream).
+    /// This is the sparsity knob the spike-sparsity benches and tests
+    /// sweep: unlike thresholding, rank selection hits the requested
+    /// density exactly, sample after sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= density <= 1.0`.
+    pub fn with_spike_density(mut self, density: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&density),
+            "StaticImages: spike density {density} not in [0, 1]"
+        );
+        self.spike_density = Some(density);
+        self
+    }
+
+    /// The configured binary spike density, or `None` when the generator
+    /// emits analog frames (the default).
+    pub fn spike_density(&self) -> Option<f32> {
+        self.spike_density
     }
 
     /// Number of classes.
@@ -118,6 +146,10 @@ impl StaticImages {
             .add(&Tensor::randn(&[self.channels, self.height, self.width], rng).scale(self.noise))
             .expect("shapes match")
             .map(|v| v.clamp(0.0, 1.0));
+        let frame = match self.spike_density {
+            Some(d) => binarize_at_density(&frame, d),
+            None => frame,
+        };
         Sample { frames: vec![frame], label: class }
     }
 
@@ -130,6 +162,22 @@ impl StaticImages {
 
 /// Base seed for class prototypes (shared by the CIFAR-like presets).
 const PROTOTYPE_SEED: u64 = 0xC1FA_05EE;
+
+/// Binarizes a frame to exactly `round(density · len)` ones by rank:
+/// the brightest pixels fire, ties broken by ascending pixel index.
+fn binarize_at_density(frame: &Tensor, density: f32) -> Tensor {
+    let len = frame.len();
+    let fire = ((f64::from(density) * len as f64).round() as usize).min(len);
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| {
+        frame.data()[b].partial_cmp(&frame.data()[a]).expect("clamped values").then(a.cmp(&b))
+    });
+    let mut out = vec![0.0f32; len];
+    for &i in &order[..fire] {
+        out[i] = 1.0;
+    }
+    Tensor::from_vec(out, frame.shape()).expect("same shape")
+}
 
 #[cfg(test)]
 mod tests {
@@ -186,6 +234,40 @@ mod tests {
         let gen = StaticImages::cifar100_like(8, 8);
         assert_eq!(gen.num_classes(), 100);
         assert_eq!(gen.frame_shape(), [3, 8, 8]);
+    }
+
+    #[test]
+    fn spike_density_knob_is_exact_and_binary() {
+        for density in [0.0, 0.1, 0.25, 0.5, 0.99, 1.0] {
+            let gen = StaticImages::cifar10_like(8, 8).with_spike_density(density);
+            assert_eq!(gen.spike_density(), Some(density));
+            let mut rng = Rng::seed_from(5);
+            let s = gen.sample(2, &mut rng);
+            let frame = &s.frames[0];
+            assert!(frame.data().iter().all(|&v| v == 0.0 || v == 1.0), "frame must be binary");
+            let ones = frame.data().iter().filter(|&&v| v == 1.0).count();
+            let want = (f64::from(density) * frame.len() as f64).round() as usize;
+            assert_eq!(ones, want, "density {density}: got {ones} spikes, want {want}");
+        }
+    }
+
+    #[test]
+    fn spike_frames_are_deterministic_and_keep_class_signal() {
+        let gen = StaticImages::cifar10_like(12, 12).with_spike_density(0.2);
+        let a = gen.sample(4, &mut Rng::seed_from(6));
+        let b = gen.sample(4, &mut Rng::seed_from(6));
+        assert_eq!(a.frames[0], b.frames[0], "same RNG stream must reproduce the frame");
+        // The firing set must still follow the class prototype: spikes land
+        // disproportionately on bright prototype pixels.
+        let proto = gen.prototype(4);
+        let spikes = &a.frames[0];
+        let fired: f32 = (0..spikes.len())
+            .filter(|&i| spikes.data()[i] == 1.0)
+            .map(|i| proto.data()[i])
+            .sum::<f32>()
+            / spikes.data().iter().filter(|&&v| v == 1.0).count() as f32;
+        let overall: f32 = proto.data().iter().sum::<f32>() / proto.len() as f32;
+        assert!(fired > overall, "spikes should prefer bright prototype pixels");
     }
 
     #[test]

@@ -499,6 +499,8 @@ fn worker_loop(model: &mut dyn Model, cfg: &EngineConfig, sched: &Scheduler) {
                 let batch_size = accepted.len();
                 runtime::recycle_buffer(summed.into_vec());
                 sched.record_batch(&served, batch_size);
+                let density = engine::density_report(model);
+                sched.record_density(density.per_layer, density.mean);
             }
             Err(e) => {
                 // Should be unreachable after validation; fail the batch.

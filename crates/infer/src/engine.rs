@@ -33,6 +33,7 @@ use ttsnn_snn::{
     VggSnn,
 };
 use ttsnn_tensor::qkernels::QAccum;
+use ttsnn_tensor::spike;
 use ttsnn_tensor::{runtime, Rng, Tensor};
 
 /// Which architecture the engine instantiates before loading weights.
@@ -167,6 +168,26 @@ pub struct PlanInfo {
     /// Present when the plan was frozen to int8
     /// ([`Engine::load_quantized`]).
     pub quant: Option<QuantInfo>,
+    /// Sparse-dispatch mode the plan serves under (`"auto"`, `"force"`,
+    /// `"off"` — resolved from `TTSNN_SPARSE_MODE` at load). Because
+    /// sparse and dense kernels are bit-identical, the mode is a
+    /// performance knob, never a semantic one.
+    pub sparse_mode: String,
+}
+
+/// Measured spike density of a serving plan, from the LIF layers'
+/// activity counters — cumulative over all traffic the plan (or one
+/// cluster replica) has served since load. This is the statistic that
+/// tells an operator whether the density-adaptive dispatcher routes their
+/// traffic to the event-driven sparse kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeDensityReport {
+    /// Per-LIF-layer spike density (spikes per neuron per timestep),
+    /// network order. Layers that have not run yet report `0.0`.
+    pub per_layer: Vec<f64>,
+    /// Density over all layers pooled (weighted by neuron-steps), or
+    /// `None` before any traffic.
+    pub mean: Option<f64>,
 }
 
 /// Errors surfaced by submission and tickets.
@@ -206,8 +227,11 @@ struct Request {
 /// Channel protocol between sessions/engine and the executor. `Shutdown`
 /// comes only from `Engine::drop` — sessions may outlive the engine, so
 /// the executor cannot rely on sender-count-zero to terminate.
+/// `Density` is answered inline from the executor's model state without
+/// counting toward any batch.
 enum Msg {
     Job(Request),
+    Density(Sender<SpikeDensityReport>),
     Shutdown,
 }
 
@@ -257,6 +281,18 @@ impl Session {
     /// See [`Ticket::wait`].
     pub fn infer(&self, input: Tensor) -> Result<Tensor, InferError> {
         self.submit(input).wait()
+    }
+
+    /// The plan's measured spike density over all traffic served so far
+    /// (blocks until the executor answers between batches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InferError::EngineClosed`] if the engine shut down.
+    pub fn spike_density(&self) -> Result<SpikeDensityReport, InferError> {
+        let (reply, rx) = channel();
+        self.tx.send(Msg::Density(reply)).map_err(|_| InferError::EngineClosed)?;
+        rx.recv().map_err(|_| InferError::EngineClosed)
     }
 }
 
@@ -457,8 +493,19 @@ pub(crate) fn build_plan(
         merged_layers,
         num_classes,
         quant: quant_info,
+        sparse_mode: spike::sparse_mode().name().to_string(),
     };
     Ok((model, info, quant_weights))
+}
+
+/// Snapshot of a serving model's measured spike density (shared by the
+/// engine executor's `Msg::Density` answers and the cluster replicas'
+/// metrics reporting).
+pub(crate) fn density_report(model: &dyn Model) -> SpikeDensityReport {
+    SpikeDensityReport {
+        per_layer: model.layer_spike_densities(),
+        mean: model.mean_spike_activity(),
+    }
 }
 
 fn quant_info_from(report: &ttsnn_snn::QuantReport) -> QuantInfo {
@@ -511,6 +558,10 @@ fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
     loop {
         let first = match rx.recv() {
             Ok(Msg::Job(r)) => r,
+            Ok(Msg::Density(reply)) => {
+                let _ = reply.send(density_report(model));
+                continue;
+            }
             Ok(Msg::Shutdown) | Err(_) => return,
         };
         let mut pending = vec![first];
@@ -545,6 +596,9 @@ fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
             };
             match msg {
                 Msg::Job(r) => pending.push(r),
+                Msg::Density(reply) => {
+                    let _ = reply.send(density_report(model));
+                }
                 Msg::Shutdown => {
                     shutting_down = true;
                     break;
@@ -669,6 +723,12 @@ pub struct PlanDrift {
     pub max_abs_err: f32,
     /// Fraction of requests whose argmax prediction agreed.
     pub agreement: f64,
+    /// The reference plan's measured spike density after serving the
+    /// comparison traffic (cumulative since that plan loaded); `None` if
+    /// the plan shut down before it could answer.
+    pub reference_density: Option<SpikeDensityReport>,
+    /// Same for the candidate plan.
+    pub candidate_density: Option<SpikeDensityReport>,
 }
 
 /// Serves every input through both plans and reports the logit drift of
@@ -710,6 +770,8 @@ pub fn plan_drift(
         mean_abs_err: if elems > 0 { mean_acc / elems as f64 } else { 0.0 },
         max_abs_err: max_abs,
         agreement: if inputs.is_empty() { 1.0 } else { agreed as f64 / inputs.len() as f64 },
+        reference_density: reference.spike_density().ok(),
+        candidate_density: candidate.spike_density().ok(),
     })
 }
 

@@ -84,7 +84,7 @@ pub mod sched;
 pub use cluster::{Cluster, ClusterConfig, ClusterSession, ClusterTicket};
 pub use engine::{
     plan_drift, ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanDrift, PlanInfo,
-    QuantInfo, QuantSpec, Session, Ticket,
+    QuantInfo, QuantSpec, Session, SpikeDensityReport, Ticket,
 };
 pub use metrics::ClusterMetrics;
 pub use sched::{Priority, SubmitError, SubmitOptions};

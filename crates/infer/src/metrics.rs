@@ -132,6 +132,15 @@ pub struct ClusterMetrics {
     /// Submit→reply latency in seconds of served requests (fixed edges:
     /// [`LATENCY_EDGES_SECS`]).
     pub latency: Histogram,
+    /// Measured per-LIF-layer spike density (spikes per neuron per
+    /// timestep, network order) as last reported by the replica that most
+    /// recently completed a batch — cumulative over that replica's own
+    /// traffic since load. Empty before any batch executed. This is the
+    /// sparsity statistic the density-adaptive dispatcher keys on.
+    pub spike_density: Vec<f64>,
+    /// Spike density pooled over all layers of the same replica
+    /// (weighted by neuron-steps), `None` before any batch executed.
+    pub mean_spike_density: Option<f64>,
 }
 
 impl ClusterMetrics {
@@ -144,6 +153,8 @@ impl ClusterMetrics {
             per_priority: [PriorityStats::default(); Priority::COUNT],
             batch_sizes: Histogram::new(&BATCH_SIZE_EDGES),
             latency: Histogram::new(&LATENCY_EDGES_SECS),
+            spike_density: Vec::new(),
+            mean_spike_density: None,
         }
     }
 

@@ -404,6 +404,15 @@ impl Scheduler {
         st.metrics.batches_executed += 1;
     }
 
+    /// Records a replica's measured spike-density snapshot (after a
+    /// completed batch). Last writer wins: the snapshot reflects the
+    /// reporting replica's cumulative traffic.
+    pub(crate) fn record_density(&self, per_layer: Vec<f64>, mean: Option<f64>) {
+        let mut st = self.lock();
+        st.metrics.spike_density = per_layer;
+        st.metrics.mean_spike_density = mean;
+    }
+
     /// Records a request rejected by plan validation (failed its own
     /// ticket inside an otherwise healthy batch).
     pub(crate) fn record_failed(&self, priority: Priority) {

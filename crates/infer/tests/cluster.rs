@@ -403,3 +403,28 @@ fn load_rejects_mismatched_checkpoint_on_any_replica_path() {
             .unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
 }
+
+#[test]
+fn cluster_metrics_surface_spike_density_after_traffic() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::Baseline, 91);
+    let cluster = Cluster::load(
+        cluster_config(ConvPolicy::Baseline, 2, 2, Duration::from_millis(5)),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    assert!(
+        cluster.metrics().spike_density.is_empty(),
+        "no traffic yet: density summary must be empty"
+    );
+    assert_eq!(cluster.metrics().mean_spike_density, None);
+    let session = cluster.session();
+    for input in samples(91, 6) {
+        session.infer(input).unwrap();
+    }
+    let m = drained_metrics(&cluster);
+    assert_eq!(m.spike_density.len(), 6, "one density per VGG9 LIF layer");
+    assert!(m.spike_density.iter().all(|&d| (0.0..=1.0).contains(&d)));
+    assert!(m.spike_density.iter().any(|&d| d > 0.0), "traffic must register spike activity");
+    let mean = m.mean_spike_density.expect("mean density tracked after traffic");
+    assert!((0.0..=1.0).contains(&mean));
+}

@@ -243,3 +243,35 @@ fn tickets_report_engine_shutdown() {
         other => panic!("expected EngineClosed, got {other:?}"),
     }
 }
+
+#[test]
+fn plan_reports_sparse_mode_and_measured_density() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::Baseline, 31);
+    let engine = Engine::load(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::Baseline, T),
+        ckpt.as_slice(),
+    )
+    .unwrap();
+    // The frozen plan records which dispatch mode it resolved at load.
+    assert!(
+        ["auto", "force", "off"].contains(&engine.info().sparse_mode.as_str()),
+        "unexpected sparse mode {:?}",
+        engine.info().sparse_mode
+    );
+    let session = engine.session();
+    let before = session.spike_density().unwrap();
+    assert!(
+        before.per_layer.iter().all(|&d| d == 0.0),
+        "no traffic yet, densities must be 0: {:?}",
+        before.per_layer
+    );
+    for input in samples(31, 3) {
+        session.infer(input).unwrap();
+    }
+    let after = session.spike_density().unwrap();
+    assert_eq!(after.per_layer.len(), 6, "one density per VGG9 LIF layer");
+    assert!(after.per_layer.iter().all(|&d| (0.0..=1.0).contains(&d)));
+    assert!(after.per_layer.iter().any(|&d| d > 0.0), "traffic must register spike activity");
+    let mean = after.mean.expect("mean density tracked after traffic");
+    assert!((0.0..=1.0).contains(&mean));
+}

@@ -8,9 +8,22 @@
 
 use ttsnn_autograd::Var;
 use ttsnn_core::{TtConv, TtMode};
+use ttsnn_tensor::spike::{self, SparseMode, SpikeTensor};
 use ttsnn_tensor::{conv, Conv2dGeometry, Rng, ShapeError, Tensor};
 
 use crate::quant::QuantConv;
+
+/// Packs `x` for the sparse path under `mode`: `Off` skips the pack pass
+/// entirely; otherwise a pack attempt measures the site's spike density
+/// as a by-product (`None` for non-binary activations, which always run
+/// dense).
+fn pack_for(mode: SparseMode, x: &Tensor) -> Option<SpikeTensor> {
+    if mode == SparseMode::Off {
+        None
+    } else {
+        SpikeTensor::try_pack(x)
+    }
+}
 
 /// How a network's 3×3 convolutions are realized.
 #[derive(Debug, Clone, PartialEq)]
@@ -244,10 +257,38 @@ impl ConvUnit {
     /// straight to the batch-parallel runtime kernels without building an
     /// autograd graph.
     ///
+    /// Density-adaptive dispatch: binary (spike) activations are
+    /// bit-packed, their density measured in the same pass, and the call
+    /// routed to the event-driven sparse kernels when the process-wide
+    /// [`SparseMode`] (the `TTSNN_SPARSE_MODE` environment variable) says
+    /// so. Sparse and dense results are bit-identical, so routing is an
+    /// implementation detail, never a semantic one.
+    ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] if `x`'s shape is incompatible.
     pub fn forward_tensor(&self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
+        self.forward_tensor_mode(x, t, spike::sparse_mode())
+    }
+
+    /// [`ConvUnit::forward_tensor`] under an explicit dispatch mode
+    /// (tests pin `auto`/`force`/`off` in-process and assert all three
+    /// produce bit-identical outputs).
+    ///
+    /// TT units always run dense: their weights live as factorized cores,
+    /// so there is no flat kernel for the event scatter to gather from —
+    /// serving plans merge TT cores into dense kernels first, after which
+    /// the sparse path applies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `x`'s shape is incompatible.
+    pub fn forward_tensor_mode(
+        &self,
+        x: &Tensor,
+        t: usize,
+        mode: SparseMode,
+    ) -> Result<Tensor, ShapeError> {
         match self {
             ConvUnit::Dense { weight, kernel, stride, padding } => {
                 let xs = x.shape();
@@ -259,10 +300,22 @@ impl ConvUnit {
                 let ws = weight.shape();
                 let geom =
                     Conv2dGeometry::new(ws[1], ws[0], (xs[2], xs[3]), *kernel, *stride, *padding);
+                if let Some(sp) = pack_for(mode, x) {
+                    if mode.routes_sparse(sp.density()) {
+                        return spike::sparse_conv2d(&sp, &weight.value(), &geom);
+                    }
+                }
                 conv::conv2d(x, &weight.value(), &geom)
             }
             ConvUnit::Tt(tt) => tt.forward_tensor(x, t),
-            ConvUnit::Quantized(q) => q.forward_tensor(x),
+            ConvUnit::Quantized(q) => {
+                if let Some(sp) = pack_for(mode, x) {
+                    if mode.routes_sparse(sp.density()) {
+                        return q.forward_spikes(&sp);
+                    }
+                }
+                q.forward_tensor(x)
+            }
         }
     }
 }

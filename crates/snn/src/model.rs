@@ -29,6 +29,7 @@
 
 use ttsnn_autograd::Var;
 use ttsnn_tensor::runtime::{self, Runtime};
+use ttsnn_tensor::spike::{self, SparseMode};
 use ttsnn_tensor::{ShapeError, Tensor};
 
 /// Which statistics — and which batching semantics — the inference plane
@@ -88,6 +89,18 @@ pub trait SpikingModel {
     fn mean_spike_activity(&self) -> Option<f64> {
         None
     }
+
+    /// Measured spike density of every LIF layer in network order
+    /// (spikes per neuron per timestep, from the layers' activity
+    /// counters), or an empty vector if the model does not track
+    /// activity. Layers that have not fired a single step yet report
+    /// `0.0`. This is the per-layer statistic the serving plane surfaces
+    /// so operators can see how sparse traffic actually is — and whether
+    /// the density-adaptive dispatcher will route it to the event-driven
+    /// kernels. Default: not tracked.
+    fn layer_spike_densities(&self) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 /// The **training plane**: timestep forward on autograd [`Var`]s,
@@ -143,11 +156,31 @@ impl<T: TrainForward + InferForward> Model for T {}
 /// (bit-identical to the `Var` path); in [`InferStats::PerSample`] mode it
 /// runs row by row, so each sample's logits are computed by the exact
 /// kernel a batch-of-1 call would use, whatever the batch size.
+#[cfg(test)]
 pub(crate) fn linear_tensor(
     x: &Tensor,
     w: &Tensor,
     b: &Tensor,
     stats: InferStats,
+) -> Result<Tensor, ShapeError> {
+    linear_tensor_mode(x, w, b, stats, spike::sparse_mode())
+}
+
+/// [`linear_tensor`] under an explicit sparse-dispatch mode (the form
+/// the models call, having resolved their override once per timestep).
+///
+/// Only the [`InferStats::PerSample`] arm ever routes to the event-driven
+/// [`spike::sparse_linear`]: the sparse kernel replicates the per-row
+/// (`m = 1`) GEMM summation order exactly, whereas the
+/// [`InferStats::Batch`] arm's batched GEMM switches to a different
+/// (blocked) order at ≥ 8 rows — so Batch mode stays dense to keep its
+/// bit-identity with the training plane unconditional.
+pub(crate) fn linear_tensor_mode(
+    x: &Tensor,
+    w: &Tensor,
+    b: &Tensor,
+    stats: InferStats,
+    mode: SparseMode,
 ) -> Result<Tensor, ShapeError> {
     if x.ndim() != 2 || w.ndim() != 2 || b.ndim() != 1 {
         return Err(ShapeError::new(format!(
@@ -170,20 +203,27 @@ pub(crate) fn linear_tensor(
     let mut y = match stats {
         InferStats::Batch => x.matmul_a_bt(w)?,
         InferStats::PerSample => {
-            let mut y = Tensor::from_vec(runtime::take_buffer(batch * out), &[batch, out])?;
-            let rt = Runtime::global();
-            for s in 0..batch {
-                runtime::gemm_a_bt(
-                    rt,
-                    &x.data()[s * feat..(s + 1) * feat],
-                    w.data(),
-                    &mut y.data_mut()[s * out..(s + 1) * out],
-                    1,
-                    feat,
-                    out,
-                );
+            let sparse =
+                if mode == SparseMode::Off { None } else { spike::SpikeTensor::try_pack(x) };
+            match sparse.filter(|sp| mode.routes_sparse(sp.density())) {
+                Some(sp) => spike::sparse_linear(&sp, w)?,
+                None => {
+                    let mut y = Tensor::from_vec(runtime::take_buffer(batch * out), &[batch, out])?;
+                    let rt = Runtime::global();
+                    for s in 0..batch {
+                        runtime::gemm_a_bt(
+                            rt,
+                            &x.data()[s * feat..(s + 1) * feat],
+                            w.data(),
+                            &mut y.data_mut()[s * out..(s + 1) * out],
+                            1,
+                            feat,
+                            out,
+                        );
+                    }
+                    y
+                }
             }
-            y
         }
     };
     for i in 0..batch {

@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use ttsnn_core::quant::{quantize_int8, quantize_int8_per_channel};
 use ttsnn_tensor::qkernels::{self, QAccum};
+use ttsnn_tensor::spike::{self, SpikeTensor};
 use ttsnn_tensor::{Conv2dGeometry, ShapeError, Tensor};
 
 use crate::conv_unit::ConvUnit;
@@ -171,6 +172,27 @@ impl QuantConv {
         qkernels::qconv2d(x, self.x_scale, &w.values, &w.scales, &g, self.accum)
     }
 
+    /// Runs the int8 convolution on a bit-packed spike batch — the
+    /// event-driven path that skips quantization and im2col entirely.
+    /// Bit-identical to [`QuantConv::forward_tensor`] on the unpacked
+    /// spikes (i32 accumulation is exact; saturating-i16 accumulation
+    /// sees the identical nonzero-term sequence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `sp` is incompatible with the kernel.
+    pub fn forward_spikes(&self, sp: &SpikeTensor) -> Result<Tensor, ShapeError> {
+        let sh = sp.shape();
+        if sh.len() != 4 {
+            return Err(ShapeError::new(format!(
+                "QuantConv::forward_spikes: expected 4-D spikes, got {sh:?}"
+            )));
+        }
+        let g = self.geometry((sh[2], sh[3]));
+        let w = &*self.weights;
+        spike::sparse_qconv2d(sp, self.x_scale, &w.values, &w.scales, &g, self.accum)
+    }
+
     /// The float kernel this layer effectively applies:
     /// `scales[oc] × q[oc, ...]` as an OIHW tensor — bit-equal to what
     /// `fake_quant_int8` would emit for the original weights.
@@ -279,6 +301,25 @@ impl QuantLinear {
             )));
         }
         qkernels::qlinear(x, self.x_scale, &w.values, &w.scales, &w.bias, self.accum)
+    }
+
+    /// Runs the int8 classifier on bit-packed spike features `(B, F)` —
+    /// event-driven, bit-identical to [`QuantLinear::forward_tensor`] on
+    /// the unpacked spikes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `sp` is incompatible.
+    pub fn forward_spikes(&self, sp: &SpikeTensor) -> Result<Tensor, ShapeError> {
+        let w = &*self.weights;
+        let sh = sp.shape();
+        if sh.len() != 2 || sh[1] != w.in_features {
+            return Err(ShapeError::new(format!(
+                "QuantLinear::forward_spikes: input {sh:?} vs (B, {})",
+                w.in_features
+            )));
+        }
+        spike::sparse_qlinear(sp, self.x_scale, &w.values, &w.scales, &w.bias, self.accum)
     }
 }
 

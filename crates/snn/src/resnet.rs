@@ -14,11 +14,12 @@
 //! whose analytic params/FLOPs live in `ttsnn_core::flops`.
 
 use ttsnn_autograd::Var;
+use ttsnn_tensor::spike::{self, SparseMode, SpikeTensor};
 use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
+use crate::model::{linear_tensor_mode, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
 use crate::quant::{
     self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
@@ -164,6 +165,8 @@ pub struct ResNetSnn {
     /// Live calibration hook (only during [`ResNetSnn::calibrate`]).
     calib: Option<CalibRecorder>,
     infer_stats: InferStats,
+    /// Sparse-dispatch override; `None` follows `TTSNN_SPARSE_MODE`.
+    sparse_mode: Option<SparseMode>,
 }
 
 impl ResNetSnn {
@@ -232,12 +235,27 @@ impl ResNetSnn {
             qfc: None,
             calib: None,
             infer_stats: InferStats::default(),
+            sparse_mode: None,
         }
     }
 
     /// The architecture configuration.
     pub fn config(&self) -> &ResNetConfig {
         &self.config
+    }
+
+    /// Overrides the inference plane's sparse-dispatch mode for this
+    /// model instance (`None` follows the process-wide
+    /// `TTSNN_SPARSE_MODE`). Because sparse and dense kernels are
+    /// bit-identical, this changes performance only — tests use it to pin
+    /// exactly that.
+    pub fn set_sparse_mode(&mut self, mode: Option<SparseMode>) {
+        self.sparse_mode = mode;
+    }
+
+    /// The sparse-dispatch mode the inference plane currently resolves to.
+    pub fn sparse_dispatch_mode(&self) -> SparseMode {
+        self.sparse_mode.unwrap_or_else(spike::sparse_mode)
     }
 
     /// Number of residual blocks.
@@ -458,6 +476,7 @@ impl TrainForward for ResNetSnn {
 impl InferForward for ResNetSnn {
     fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
         let stats = self.infer_stats;
+        let mode = self.sparse_dispatch_mode();
         // Taken (not borrowed) so the calibration hooks can observe inputs
         // while the block loop holds `&mut self.blocks`. Site order matches
         // `conv_sites`: stem, then per block conv_a, conv_b, shortcut.
@@ -467,7 +486,7 @@ impl InferForward for ResNetSnn {
             rec.observe(site, x);
         }
         site += 1;
-        let mut y = self.stem.forward_tensor(x, t)?;
+        let mut y = self.stem.forward_tensor_mode(x, t, mode)?;
         self.stem_norm.forward_tensor(&mut y, t, stats)?;
         let mut spikes = self.stem_lif.step_tensor(y)?;
         for block in &mut self.blocks {
@@ -475,14 +494,14 @@ impl InferForward for ResNetSnn {
                 rec.observe(site, &spikes);
             }
             site += 1;
-            let mut h = block.conv_a.forward_tensor(&spikes, t)?;
+            let mut h = block.conv_a.forward_tensor_mode(&spikes, t, mode)?;
             block.norm_a.forward_tensor(&mut h, t, stats)?;
             let h = block.lif_a.step_tensor(h)?;
             if let Some(rec) = calib.as_mut() {
                 rec.observe(site, &h);
             }
             site += 1;
-            let mut y = block.conv_b.forward_tensor(&h, t)?;
+            let mut y = block.conv_b.forward_tensor_mode(&h, t, mode)?;
             runtime::recycle_buffer(h.into_vec());
             block.norm_b.forward_tensor(&mut y, t, stats)?;
             // y += shortcut, the tensor twin of the Var path's y.add(&sc).
@@ -492,7 +511,7 @@ impl InferForward for ResNetSnn {
                         rec.observe(site, &spikes);
                     }
                     site += 1;
-                    let mut sc = conv.forward_tensor(&spikes, t)?;
+                    let mut sc = conv.forward_tensor_mode(&spikes, t, mode)?;
                     norm.forward_tensor(&mut sc, t, stats)?;
                     y.add_scaled(&sc, 1.0)?;
                     runtime::recycle_buffer(sc.into_vec());
@@ -509,8 +528,19 @@ impl InferForward for ResNetSnn {
         }
         self.calib = calib;
         match &self.qfc {
-            Some(q) => q.forward_tensor(&pooled),
-            None => linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats),
+            Some(q) => {
+                if mode != SparseMode::Off {
+                    if let Some(sp) = SpikeTensor::try_pack(&pooled) {
+                        if mode.routes_sparse(sp.density()) {
+                            return q.forward_spikes(&sp);
+                        }
+                    }
+                }
+                q.forward_tensor(&pooled)
+            }
+            None => {
+                linear_tensor_mode(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats, mode)
+            }
         }
     }
 
@@ -588,6 +618,15 @@ impl SpikingModel for ResNetSnn {
         } else {
             None
         }
+    }
+
+    fn layer_spike_densities(&self) -> Vec<f64> {
+        let mut out = vec![self.stem_lif.activity().unwrap_or(0.0)];
+        for b in &self.blocks {
+            out.push(b.lif_a.activity().unwrap_or(0.0));
+            out.push(b.lif_b.activity().unwrap_or(0.0));
+        }
+        out
     }
 }
 

@@ -7,11 +7,12 @@
 //! change.
 
 use ttsnn_autograd::Var;
+use ttsnn_tensor::spike::{self, SparseMode, SpikeTensor};
 use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::{linear_tensor, InferForward, InferStats, SpikingModel, TrainForward};
+use crate::model::{linear_tensor_mode, InferForward, InferStats, SpikingModel, TrainForward};
 use crate::norm::{Norm, NormKind};
 use crate::quant::{
     self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
@@ -119,6 +120,8 @@ pub struct VggSnn {
     /// Live calibration hook (only during [`VggSnn::calibrate`]).
     calib: Option<CalibRecorder>,
     infer_stats: InferStats,
+    /// Sparse-dispatch override; `None` follows `TTSNN_SPARSE_MODE`.
+    sparse_mode: Option<SparseMode>,
 }
 
 impl VggSnn {
@@ -173,12 +176,27 @@ impl VggSnn {
             qfc: None,
             calib: None,
             infer_stats: InferStats::default(),
+            sparse_mode: None,
         }
     }
 
     /// The architecture configuration.
     pub fn config(&self) -> &VggConfig {
         &self.config
+    }
+
+    /// Overrides the inference plane's sparse-dispatch mode for this
+    /// model instance (`None` follows the process-wide
+    /// `TTSNN_SPARSE_MODE`). Because sparse and dense kernels are
+    /// bit-identical, this changes performance only — tests use it to pin
+    /// exactly that.
+    pub fn set_sparse_mode(&mut self, mode: Option<SparseMode>) {
+        self.sparse_mode = mode;
+    }
+
+    /// The sparse-dispatch mode the inference plane currently resolves to.
+    pub fn sparse_dispatch_mode(&self) -> SparseMode {
+        self.sparse_mode.unwrap_or_else(spike::sparse_mode)
     }
 
     /// Number of conv layers.
@@ -357,6 +375,7 @@ impl TrainForward for VggSnn {
 impl InferForward for VggSnn {
     fn forward_timestep_tensor(&mut self, x: &Tensor, t: usize) -> Result<Tensor, ShapeError> {
         let stats = self.infer_stats;
+        let mode = self.sparse_dispatch_mode();
         // Taken (not borrowed) so the calibration hooks can observe inputs
         // while the layer loop holds `&mut self.layers`.
         let mut calib = self.calib.take();
@@ -367,7 +386,7 @@ impl InferForward for VggSnn {
                 rec.observe(site, h.as_ref().unwrap_or(x));
             }
             site += 1;
-            let mut y = layer.conv.forward_tensor(h.as_ref().unwrap_or(x), t)?;
+            let mut y = layer.conv.forward_tensor_mode(h.as_ref().unwrap_or(x), t, mode)?;
             if let Some(spent) = h.take() {
                 runtime::recycle_buffer(spent.into_vec());
             }
@@ -392,8 +411,19 @@ impl InferForward for VggSnn {
         }
         self.calib = calib;
         match &self.qfc {
-            Some(q) => q.forward_tensor(&pooled),
-            None => linear_tensor(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats),
+            Some(q) => {
+                if mode != SparseMode::Off {
+                    if let Some(sp) = SpikeTensor::try_pack(&pooled) {
+                        if mode.routes_sparse(sp.density()) {
+                            return q.forward_spikes(&sp);
+                        }
+                    }
+                }
+                q.forward_tensor(&pooled)
+            }
+            None => {
+                linear_tensor_mode(&pooled, &self.fc_w.value(), &self.fc_b.value(), stats, mode)
+            }
         }
     }
 
@@ -453,6 +483,10 @@ impl SpikingModel for VggSnn {
         } else {
             None
         }
+    }
+
+    fn layer_spike_densities(&self) -> Vec<f64> {
+        self.layers.iter().map(|l| l.lif.activity().unwrap_or(0.0)).collect()
     }
 }
 

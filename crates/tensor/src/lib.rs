@@ -49,6 +49,7 @@ pub mod linalg;
 pub mod pool;
 pub mod qkernels;
 pub mod runtime;
+pub mod spike;
 
 pub use error::ShapeError;
 pub use rng::Rng;

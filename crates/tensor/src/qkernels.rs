@@ -299,7 +299,11 @@ pub fn qgemm_a_bt(
 // ---------------------------------------------------------------------------
 // Quantized layer kernels.
 
-fn check_scales(w_scales: &[f32], out_channels: usize, who: &str) -> Result<(), ShapeError> {
+pub(crate) fn check_scales(
+    w_scales: &[f32],
+    out_channels: usize,
+    who: &str,
+) -> Result<(), ShapeError> {
     if w_scales.len() != out_channels && w_scales.len() != 1 {
         return Err(ShapeError::new(format!(
             "{who}: expected {out_channels} per-channel scales (or 1 per-tensor scale), got {}",
@@ -312,7 +316,7 @@ fn check_scales(w_scales: &[f32], out_channels: usize, who: &str) -> Result<(), 
     Ok(())
 }
 
-fn check_x_scale(x_scale: f32, who: &str) -> Result<(), ShapeError> {
+pub(crate) fn check_x_scale(x_scale: f32, who: &str) -> Result<(), ShapeError> {
     if !x_scale.is_finite() || x_scale <= 0.0 {
         return Err(ShapeError::new(format!(
             "{who}: activation scale must be positive and finite, got {x_scale}"
@@ -322,7 +326,7 @@ fn check_x_scale(x_scale: f32, who: &str) -> Result<(), ShapeError> {
 }
 
 #[inline]
-fn w_scale_at(w_scales: &[f32], oc: usize) -> f32 {
+pub(crate) fn w_scale_at(w_scales: &[f32], oc: usize) -> f32 {
     if w_scales.len() == 1 {
         w_scales[0]
     } else {

@@ -1,0 +1,950 @@
+//! Bit-packed spike tensors and event-driven sparse kernels for the
+//! inference plane.
+//!
+//! SNN activations are binary spikes, and at serving time most of them are
+//! zero: the dense im2col GEMM pays a full multiply-add per zero. This
+//! module exploits that sparsity without giving up the workspace's
+//! bit-determinism contract:
+//!
+//! * [`SpikeTensor`] — a bit-packed view of a binary `f32` tensor, 64
+//!   lanes per `u64` word. Packing validates binarity and measures spike
+//!   density (popcount) in the same single pass, so the dispatcher's
+//!   density measurement is a by-product of building the representation.
+//! * [`sparse_conv2d`] / [`sparse_linear`] — event-driven f32 kernels
+//!   that iterate only the firing positions and gather/scatter weight
+//!   values for them.
+//! * [`sparse_qconv2d`] / [`sparse_qlinear`] — the int8 twins (i32 or
+//!   saturating-i16 accumulation, reusing the [`crate::qkernels`] scale
+//!   plumbing). The sparse int8 path skips the quantize + im2col stages
+//!   entirely: a spike quantizes to a known constant, so only the packed
+//!   bits are consulted.
+//! * [`SparseMode`] — the `TTSNN_SPARSE_MODE` dispatch override
+//!   (`auto`/`force`/`off`) used by the model-layer dispatcher.
+//!
+//! # Bit-determinism
+//!
+//! Sparse results are **bit-identical to the dense kernels**, not merely
+//! close, across 1–8 threads and every dispatch mode. The argument:
+//!
+//! * Dense `conv2d`/`gemm` accumulate each output element with a single
+//!   accumulator in ascending patch order `kk = (c·Kh + ki)·Kw + kj`.
+//!   Iterating spike events in ascending `(c, ii, jj)` input order
+//!   delivers each output element its contributions in exactly that
+//!   ascending `kk` order, so the surviving floating-point additions are
+//!   the same operations in the same order.
+//! * The skipped terms are exact zeros: a spike is exactly `0.0` or
+//!   `1.0`, and for finite weights `w · 0.0` is a signed zero that cannot
+//!   change an accumulator that starts at `+0.0` (a running sum that
+//!   starts at `+0.0` can never become `-0.0` under round-to-nearest),
+//!   while `w · 1.0` is bitwise `w`. Skipping zero-spike terms therefore
+//!   leaves every intermediate bit pattern unchanged. (Non-finite
+//!   *weights* would break this — `0 · NaN` is `NaN` — so the sparse
+//!   path is only used for inference weights, which are finite by
+//!   construction; the serving engine already rejects non-finite
+//!   inputs.)
+//! * The dense per-sample linear path computes each output with the
+//!   4-lane [`dot4`](crate::runtime::gemm_a_bt) summation; the sparse
+//!   kernel replicates the lane structure exactly (`kk → lane kk mod 4`,
+//!   remainder into the tail, same final reduction tree).
+//! * Int8: i32 accumulation is exact, and a saturating i16 fold is
+//!   unchanged by zero terms (`saturating_add(acc, 0) == acc`) as long
+//!   as the nonzero terms keep their order — which the ascending event
+//!   order guarantees.
+//!
+//! As in the rest of the runtime, every output element is produced by
+//! exactly one thread (parallelism splits disjoint output ranges), so
+//! results are bit-identical across thread counts by construction.
+
+use std::sync::OnceLock;
+
+use crate::conv::Conv2dGeometry;
+use crate::error::ShapeError;
+use crate::qkernels::{check_scales, check_x_scale, w_scale_at, with_i32_scratch, QAccum};
+use crate::runtime::{self, Runtime};
+use crate::tensor::Tensor;
+
+// ---------------------------------------------------------------------------
+// SpikeTensor
+
+/// A bit-packed binary tensor: 64 elements per `u64` word, element `i` at
+/// bit `i % 64` of word `i / 64`. Built from an `f32` tensor whose
+/// elements are all exactly `0.0` or `1.0` (the output domain of
+/// `Lif::step_tensor`); packing and density measurement happen in one
+/// pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpikeTensor {
+    shape: Vec<usize>,
+    words: Vec<u64>,
+    ones: usize,
+}
+
+impl SpikeTensor {
+    /// Packs a binary `f32` tensor, or returns `None` if any element is
+    /// not exactly `0.0` or `1.0` (so callers fall back to the dense
+    /// kernels for non-spike activations). `-0.0` packs as no-spike.
+    pub fn try_pack(x: &Tensor) -> Option<Self> {
+        let data = x.data();
+        let mut words = vec![0u64; data.len().div_ceil(64)];
+        let mut ones = 0usize;
+        for (word, chunk) in words.iter_mut().zip(data.chunks(64)) {
+            let mut w = 0u64;
+            for (bit, &v) in chunk.iter().enumerate() {
+                if v == 1.0 {
+                    w |= 1u64 << bit;
+                } else if v != 0.0 {
+                    return None;
+                }
+            }
+            ones += w.count_ones() as usize;
+            *word = w;
+        }
+        Some(Self { shape: x.shape().to_vec(), words, ones })
+    }
+
+    /// Logical shape of the packed tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of firing positions (set bits).
+    pub fn ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Fraction of elements that are spikes, in `[0, 1]` (`0.0` for an
+    /// empty tensor).
+    pub fn density(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.ones as f64 / self.len() as f64
+        }
+    }
+
+    /// Whether element `idx` (row-major) is a spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len(), "SpikeTensor::get: index {idx} out of bounds");
+        self.words[idx / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Unpacks back to a dense `f32` tensor of `0.0`/`1.0`.
+    pub fn unpack(&self) -> Tensor {
+        let n = self.len();
+        let mut data = runtime::take_buffer(n);
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = if self.words[i / 64] >> (i % 64) & 1 == 1 { 1.0 } else { 0.0 };
+        }
+        Tensor::from_vec(data, &self.shape).expect("shape matches element count")
+    }
+
+    /// Appends the indices of set bits in `start..end`, relative to
+    /// `start`, in ascending order.
+    fn extend_events(&self, start: usize, end: usize, out: &mut Vec<u32>) {
+        for wi in start / 64..end.div_ceil(64) {
+            let bit_base = wi * 64;
+            let mut word = self.words[wi];
+            let lo = start.saturating_sub(bit_base);
+            if lo > 0 {
+                word &= u64::MAX << lo;
+            }
+            let hi = (bit_base + 64).saturating_sub(end);
+            if hi > 0 {
+                word &= u64::MAX >> hi;
+            }
+            while word != 0 {
+                let b = word.trailing_zeros() as usize;
+                out.push((bit_base + b - start) as u32);
+                word &= word - 1;
+            }
+        }
+    }
+}
+
+/// Gathers per-sample event lists: returns `(events, offsets)` with
+/// sample `s`'s events (indices within the sample slab, ascending) at
+/// `events[offsets[s]..offsets[s + 1]]`.
+fn gather_events(spikes: &SpikeTensor, slab: usize, b: usize) -> (Vec<u32>, Vec<usize>) {
+    let mut events = Vec::with_capacity(spikes.ones());
+    let mut offsets = Vec::with_capacity(b + 1);
+    offsets.push(0);
+    for s in 0..b {
+        spikes.extend_events(s * slab, (s + 1) * slab, &mut events);
+        offsets.push(events.len());
+    }
+    (events, offsets)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch mode
+
+/// Default spike-density threshold for [`SparseMode::Auto`]: sites at or
+/// below this density route to the sparse kernels. Set from the measured
+/// crossover of the `spike_sparsity` bench on the dev container (the
+/// event-driven kernels win below ~0.3 density; see
+/// `BENCH_spike_sparsity.json`).
+pub const SPARSE_DENSITY_THRESHOLD: f64 = 0.25;
+
+/// Dispatch policy for the density-adaptive sparse/dense router,
+/// overridable with the `TTSNN_SPARSE_MODE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SparseMode {
+    /// Measure density per call; route sparse at or below
+    /// [`SPARSE_DENSITY_THRESHOLD`], dense above it.
+    #[default]
+    Auto,
+    /// Always use the sparse kernel when the activation packs (it is
+    /// binary); dense only for non-spike activations.
+    Force,
+    /// Never use the sparse kernels (skips packing entirely).
+    Off,
+}
+
+impl SparseMode {
+    /// Parses `"auto"`/`"force"`/`"off"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(SparseMode::Auto),
+            "force" => Some(SparseMode::Force),
+            "off" => Some(SparseMode::Off),
+            _ => None,
+        }
+    }
+
+    /// Short name (`"auto"`/`"force"`/`"off"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SparseMode::Auto => "auto",
+            SparseMode::Force => "force",
+            SparseMode::Off => "off",
+        }
+    }
+
+    /// Whether a packed activation of the given density routes to the
+    /// sparse kernel under this mode.
+    pub fn routes_sparse(self, density: f64) -> bool {
+        match self {
+            SparseMode::Auto => density <= SPARSE_DENSITY_THRESHOLD,
+            SparseMode::Force => true,
+            SparseMode::Off => false,
+        }
+    }
+}
+
+/// The process-wide dispatch mode: `TTSNN_SPARSE_MODE` if set to a valid
+/// mode, otherwise [`SparseMode::Auto`]. Read once and cached.
+pub fn sparse_mode() -> SparseMode {
+    static MODE: OnceLock<SparseMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("TTSNN_SPARSE_MODE")
+            .ok()
+            .and_then(|v| SparseMode::parse(&v))
+            .unwrap_or_default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Shared validation
+
+fn check_spike_input(
+    spikes: &SpikeTensor,
+    g: &Conv2dGeometry,
+) -> Result<(usize, usize, usize), ShapeError> {
+    let sh = spikes.shape();
+    if sh.len() != 4 {
+        return Err(ShapeError::new(format!(
+            "sparse_conv2d: expected 4-D NCHW spikes, got {sh:?}"
+        )));
+    }
+    if sh[1] != g.in_channels || (sh[2], sh[3]) != g.in_hw {
+        return Err(ShapeError::new(format!(
+            "sparse_conv2d: spikes {sh:?} do not match geometry (C={}, HW={:?})",
+            g.in_channels, g.in_hw
+        )));
+    }
+    let (oh, ow) = g.out_hw();
+    Ok((sh[0], oh, ow))
+}
+
+/// Valid kernel window positions for one event at input position
+/// `(ii, jj)`: every `(kidx, opos)` with `kidx = ki·Kw + kj` and
+/// `opos = oi·Ow + oj` such that output `(oi, oj)` reads the event
+/// through kernel tap `(ki, kj)`.
+fn event_windows(ii: usize, jj: usize, g: &Conv2dGeometry, wins: &mut Vec<(u32, u32)>) {
+    let (kh, kw) = g.kernel;
+    let (sh, sw) = g.stride;
+    let (ph, pw) = g.padding;
+    let (ohh, oww) = g.out_hw();
+    wins.clear();
+    for ki in 0..kh {
+        if ii + ph < ki {
+            break;
+        }
+        let oi_s = ii + ph - ki;
+        if !oi_s.is_multiple_of(sh) {
+            continue;
+        }
+        let oi = oi_s / sh;
+        if oi >= ohh {
+            continue;
+        }
+        for kj in 0..kw {
+            if jj + pw < kj {
+                break;
+            }
+            let oj_s = jj + pw - kj;
+            if !oj_s.is_multiple_of(sw) {
+                continue;
+            }
+            let oj = oj_s / sw;
+            if oj >= oww {
+                continue;
+            }
+            wins.push(((ki * kw + kj) as u32, (oi * oww + oj) as u32));
+        }
+    }
+}
+
+/// Minimum output-channel slabs per forked range, from the per-slab
+/// scatter cost (events × window taps). Depends only on the input, never
+/// the thread count, so determinism is unaffected.
+fn slabs_per_fork(total_events: usize, b: usize, taps: usize) -> usize {
+    let per_slab = 2 * total_events.div_ceil(b.max(1)) * taps;
+    (runtime::PAR_THRESHOLD / per_slab.max(1)).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// f32 kernels
+
+/// Event-driven f32 convolution over packed spikes — bit-identical to
+/// [`crate::conv::conv2d`] on the unpacked tensor (see module docs).
+///
+/// Spikes `(B, C, H, W)` packed, weight `(O, C, Kh, Kw)` dense f32,
+/// output `(B, O, Oh, Ow)`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spikes or weight do not match `g`.
+pub fn sparse_conv2d(
+    spikes: &SpikeTensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    sparse_conv2d_with(Runtime::global(), spikes, weight, g)
+}
+
+/// [`sparse_conv2d`] on an explicit [`Runtime`] (tests pin thread counts).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the spikes or weight do not match `g`.
+pub fn sparse_conv2d_with(
+    rt: &Runtime,
+    spikes: &SpikeTensor,
+    weight: &Tensor,
+    g: &Conv2dGeometry,
+) -> Result<Tensor, ShapeError> {
+    let (b, oh, ow) = check_spike_input(spikes, g)?;
+    let expect = [g.out_channels, g.in_channels, g.kernel.0, g.kernel.1];
+    if weight.shape() != expect {
+        return Err(ShapeError::new(format!(
+            "sparse_conv2d: weight {:?} does not match geometry {expect:?}",
+            weight.shape()
+        )));
+    }
+    let mut out = Tensor::zeros(&[b, g.out_channels, oh, ow]);
+    if b == 0 {
+        return Ok(out);
+    }
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let ospatial = oh * ow;
+    let (events, offsets) = gather_events(spikes, in_slab, b);
+    let wd = weight.data();
+    let kdim = g.in_channels * g.kernel.0 * g.kernel.1;
+    let taps = g.kernel.0 * g.kernel.1;
+    let min_slabs = slabs_per_fork(events.len(), b, taps);
+    rt.parallel_over_ranges(out.data_mut(), ospatial, min_slabs, |slab0, run| {
+        for_each_sample_group(run, slab0, ospatial, g.out_channels, |s, o_lo, chans| {
+            let flat = flatten_event_taps(&events[offsets[s]..offsets[s + 1]], g, taps);
+            scatter_f32(&flat, wd, kdim, o_lo, ospatial, chans);
+        });
+    });
+    Ok(out)
+}
+
+/// Streams a sample's flat event-tap list into a contiguous run of
+/// output-channel slabs, four channels per pass: the `(wpos, opos)`
+/// decode is amortized and the four accumulation chains are independent,
+/// roughly doubling scatter ILP. Channels are disjoint outputs and each
+/// channel still sees the list in order, so bit-identity is untouched.
+fn scatter_f32(
+    flat: &[(u32, u32)],
+    wd: &[f32],
+    kdim: usize,
+    o_lo: usize,
+    ospatial: usize,
+    chans: &mut [f32],
+) {
+    let mut ci = 0;
+    let mut groups = chans.chunks_exact_mut(4 * ospatial);
+    for group in &mut groups {
+        let (c0, rest) = group.split_at_mut(ospatial);
+        let (c1, rest) = rest.split_at_mut(ospatial);
+        let (c2, c3) = rest.split_at_mut(ospatial);
+        let w0 = &wd[(o_lo + ci) * kdim..][..kdim];
+        let w1 = &wd[(o_lo + ci + 1) * kdim..][..kdim];
+        let w2 = &wd[(o_lo + ci + 2) * kdim..][..kdim];
+        let w3 = &wd[(o_lo + ci + 3) * kdim..][..kdim];
+        for &(wpos, opos) in flat {
+            let (w, o) = (wpos as usize, opos as usize);
+            c0[o] += w0[w];
+            c1[o] += w1[w];
+            c2[o] += w2[w];
+            c3[o] += w3[w];
+        }
+        ci += 4;
+    }
+    for chan in groups.into_remainder().chunks_mut(ospatial) {
+        let wrow = &wd[(o_lo + ci) * kdim..][..kdim];
+        for &(wpos, opos) in flat {
+            chan[opos as usize] += wrow[wpos as usize];
+        }
+        ci += 1;
+    }
+}
+
+/// Expands one sample's events into the flat ascending `(wpos, opos)`
+/// scatter list shared by every output channel: `wpos` indexes into a
+/// channel's `(C·Kh·Kw)` weight row, `opos` into its `(Oh·Ow)` output
+/// slab. Hoisting this out of the channel loop turns the scatter into
+/// one tight streaming pass per channel; the list is ordered by event
+/// (then tap), and taps of one event touch distinct outputs, so each
+/// output element still accumulates its events in ascending order — the
+/// dense kernels' order, keeping the bit-identity contract.
+fn flatten_event_taps(evs: &[u32], g: &Conv2dGeometry, taps: usize) -> Vec<(u32, u32)> {
+    let hw = g.in_hw.0 * g.in_hw.1;
+    let mut wins = Vec::with_capacity(taps);
+    let mut flat = Vec::with_capacity(evs.len() * taps);
+    for &e in evs {
+        let e = e as usize;
+        let (c, rem) = (e / hw, e % hw);
+        event_windows(rem / g.in_hw.1, rem % g.in_hw.1, g, &mut wins);
+        let wbase = (c * taps) as u32;
+        for &(kidx, opos) in &wins {
+            flat.push((wbase + kidx, opos));
+        }
+    }
+    flat
+}
+
+/// Walks a `parallel_over_ranges` run of `(sample, channel)` slabs,
+/// calling `f(sample, first_channel, channels_slice)` once per contiguous
+/// same-sample group.
+fn for_each_sample_group(
+    run: &mut [f32],
+    slab0: usize,
+    ospatial: usize,
+    out_channels: usize,
+    mut f: impl FnMut(usize, usize, &mut [f32]),
+) {
+    let nslabs = run.len() / ospatial;
+    let mut i = 0;
+    while i < nslabs {
+        let slab = slab0 + i;
+        let (s, o_lo) = (slab / out_channels, slab % out_channels);
+        let take = (out_channels - o_lo).min(nslabs - i);
+        f(s, o_lo, &mut run[i * ospatial..(i + take) * ospatial]);
+        i += take;
+    }
+}
+
+/// Event-driven f32 linear layer over packed spikes — bit-identical to
+/// the per-sample dense path (`gemm_a_bt` with `m = 1`, i.e. the 4-lane
+/// `dot4` summation) on the unpacked tensor.
+///
+/// Spikes `(B, F)` packed, weight `(O, F)` dense f32, output `(B, O)`.
+/// No bias: callers add bias exactly as the dense path does.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes disagree.
+pub fn sparse_linear(spikes: &SpikeTensor, weight: &Tensor) -> Result<Tensor, ShapeError> {
+    sparse_linear_with(Runtime::global(), spikes, weight)
+}
+
+/// [`sparse_linear`] on an explicit [`Runtime`] (tests pin thread counts).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes disagree.
+pub fn sparse_linear_with(
+    rt: &Runtime,
+    spikes: &SpikeTensor,
+    weight: &Tensor,
+) -> Result<Tensor, ShapeError> {
+    let (b, feat) = check_linear_shapes(spikes, weight.shape(), "sparse_linear")?;
+    let out_ch = weight.shape()[0];
+    let mut y = Tensor::from_vec(runtime::take_buffer(b * out_ch), &[b, out_ch])?;
+    if b == 0 {
+        return Ok(y);
+    }
+    let (events, offsets) = gather_events(spikes, feat, b);
+    let wd = weight.data();
+    let min_rows = (runtime::PAR_THRESHOLD / (2 * feat * out_ch).max(1)).max(1);
+    rt.parallel_over_slabs(y.data_mut(), out_ch, min_rows, |s, yrow| {
+        let evs = &events[offsets[s]..offsets[s + 1]];
+        for (oc, dv) in yrow.iter_mut().enumerate() {
+            *dv = sparse_dot4(evs, &wd[oc * feat..(oc + 1) * feat], feat);
+        }
+    });
+    Ok(y)
+}
+
+fn check_linear_shapes(
+    spikes: &SpikeTensor,
+    wshape: &[usize],
+    who: &str,
+) -> Result<(usize, usize), ShapeError> {
+    let sh = spikes.shape();
+    if sh.len() != 2 {
+        return Err(ShapeError::new(format!("{who}: expected (B, F) spikes, got {sh:?}")));
+    }
+    if wshape.len() != 2 || wshape[1] != sh[1] {
+        return Err(ShapeError::new(format!(
+            "{who}: weight {wshape:?} does not match feature dim {}",
+            sh[1]
+        )));
+    }
+    Ok((sh[0], sh[1]))
+}
+
+/// Sparse twin of the runtime's `dot4`: identical lane assignment
+/// (`kk → lane kk mod 4` below the 4-aligned prefix, remainder into the
+/// tail) and identical final reduction tree, with zero-spike terms
+/// skipped (each is an exact `±0.0` that cannot change a lane).
+fn sparse_dot4(evs: &[u32], w: &[f32], feat: usize) -> f32 {
+    let chunks4 = (feat / 4) * 4;
+    let mut lanes = [0.0f32; 4];
+    let mut tail = 0.0f32;
+    for &kk in evs {
+        let kk = kk as usize;
+        if kk < chunks4 {
+            lanes[kk & 3] += w[kk];
+        } else {
+            tail += w[kk];
+        }
+    }
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]) + tail
+}
+
+// ---------------------------------------------------------------------------
+// int8 kernels
+
+/// The int8 value a spike quantizes to: `clamp(round(1/scale), ±127)`.
+/// With the calibration convention for binary sites (`scale = 1`), this
+/// is exactly `1`.
+fn spike_q(x_scale: f32) -> i8 {
+    (1.0f32 / x_scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Event-driven quantized convolution over packed spikes — bit-identical
+/// to [`crate::qkernels::qconv2d`] on the unpacked tensor. The quantize
+/// and im2col stages of the dense path are skipped entirely: every spike
+/// quantizes to the same constant (`round(1/x_scale)`), so the integer
+/// accumulation reads only the packed bits and the weight rows.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes, scales, or geometry disagree.
+pub fn sparse_qconv2d(
+    spikes: &SpikeTensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    g: &Conv2dGeometry,
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    sparse_qconv2d_with(Runtime::global(), spikes, x_scale, qw, w_scales, g, accum)
+}
+
+/// [`sparse_qconv2d`] on an explicit [`Runtime`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes, scales, or geometry disagree.
+#[allow(clippy::too_many_arguments)] // kernel signature: dims + accumulator mode
+pub fn sparse_qconv2d_with(
+    rt: &Runtime,
+    spikes: &SpikeTensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    g: &Conv2dGeometry,
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    let (b, oh, ow) = check_spike_input(spikes, g)?;
+    let kdim = g.in_channels * g.kernel.0 * g.kernel.1;
+    if qw.len() != g.out_channels * kdim {
+        return Err(ShapeError::new(format!(
+            "sparse_qconv2d: quantized weight has {} values, geometry wants {}",
+            qw.len(),
+            g.out_channels * kdim
+        )));
+    }
+    check_scales(w_scales, g.out_channels, "sparse_qconv2d")?;
+    check_x_scale(x_scale, "sparse_qconv2d")?;
+    let ospatial = oh * ow;
+    let mut out = Tensor::from_vec(
+        runtime::take_buffer(b * g.out_channels * ospatial),
+        &[b, g.out_channels, oh, ow],
+    )?;
+    if b == 0 {
+        return Ok(out);
+    }
+    let in_slab = g.in_channels * g.in_hw.0 * g.in_hw.1;
+    let (events, offsets) = gather_events(spikes, in_slab, b);
+    let taps = g.kernel.0 * g.kernel.1;
+    let q1 = spike_q(x_scale);
+    let min_slabs = slabs_per_fork(events.len(), b, taps);
+    rt.parallel_over_ranges(out.data_mut(), ospatial, min_slabs, |slab0, run| {
+        for_each_sample_group(run, slab0, ospatial, g.out_channels, |s, o_lo, chans| {
+            let flat = flatten_event_taps(&events[offsets[s]..offsets[s + 1]], g, taps);
+            let nchans = chans.len() / ospatial;
+            with_i32_scratch(nchans * ospatial, |acc| {
+                acc.fill(0);
+                for (ci, arow) in acc.chunks_mut(ospatial).enumerate() {
+                    let wrow = &qw[(o_lo + ci) * kdim..(o_lo + ci) * kdim + kdim];
+                    match accum {
+                        QAccum::I32 => {
+                            for &(wpos, opos) in &flat {
+                                arow[opos as usize] += wrow[wpos as usize] as i32 * q1 as i32;
+                            }
+                        }
+                        QAccum::Saturate16 => {
+                            for &(wpos, opos) in &flat {
+                                let dv = &mut arow[opos as usize];
+                                *dv = (*dv as i16)
+                                    .saturating_add(wrow[wpos as usize] as i16 * q1 as i16)
+                                    as i32;
+                            }
+                        }
+                    }
+                }
+                for (ci, (arow, orow)) in
+                    acc.chunks(ospatial).zip(chans.chunks_mut(ospatial)).enumerate()
+                {
+                    let scale = x_scale * w_scale_at(w_scales, o_lo + ci);
+                    for (o, &a) in orow.iter_mut().zip(arow.iter()) {
+                        *o = a as f32 * scale;
+                    }
+                }
+            });
+        });
+    });
+    Ok(out)
+}
+
+/// Event-driven quantized linear layer over packed spikes —
+/// bit-identical to [`crate::qkernels::qlinear`] on the unpacked tensor.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes or scales disagree.
+pub fn sparse_qlinear(
+    spikes: &SpikeTensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    sparse_qlinear_with(Runtime::global(), spikes, x_scale, qw, w_scales, bias, accum)
+}
+
+/// [`sparse_qlinear`] on an explicit [`Runtime`].
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if shapes or scales disagree.
+#[allow(clippy::too_many_arguments)] // kernel signature: dims + accumulator mode
+pub fn sparse_qlinear_with(
+    rt: &Runtime,
+    spikes: &SpikeTensor,
+    x_scale: f32,
+    qw: &[i8],
+    w_scales: &[f32],
+    bias: &[f32],
+    accum: QAccum,
+) -> Result<Tensor, ShapeError> {
+    let sh = spikes.shape().to_vec();
+    if sh.len() != 2 {
+        return Err(ShapeError::new(format!("sparse_qlinear: expected (B, F) spikes, got {sh:?}")));
+    }
+    let (b, feat) = (sh[0], sh[1]);
+    if feat == 0 || !qw.len().is_multiple_of(feat.max(1)) {
+        return Err(ShapeError::new(format!(
+            "sparse_qlinear: weight length {} is not a multiple of feature dim {feat}",
+            qw.len()
+        )));
+    }
+    let out_ch = qw.len() / feat;
+    if bias.len() != out_ch {
+        return Err(ShapeError::new(format!(
+            "sparse_qlinear: bias has {} entries, weight implies {out_ch} outputs",
+            bias.len()
+        )));
+    }
+    check_scales(w_scales, out_ch, "sparse_qlinear")?;
+    check_x_scale(x_scale, "sparse_qlinear")?;
+    let mut y = Tensor::from_vec(runtime::take_buffer(b * out_ch), &[b, out_ch])?;
+    if b == 0 {
+        return Ok(y);
+    }
+    let (events, offsets) = gather_events(spikes, feat, b);
+    let q1 = spike_q(x_scale);
+    let min_rows = (runtime::PAR_THRESHOLD / (2 * feat * out_ch).max(1)).max(1);
+    rt.parallel_over_slabs(y.data_mut(), out_ch, min_rows, |s, yrow| {
+        let evs = &events[offsets[s]..offsets[s + 1]];
+        for (oc, dv) in yrow.iter_mut().enumerate() {
+            let wrow = &qw[oc * feat..(oc + 1) * feat];
+            let acc: i32 = match accum {
+                QAccum::I32 => evs.iter().map(|&kk| wrow[kk as usize] as i32 * q1 as i32).sum(),
+                QAccum::Saturate16 => evs
+                    .iter()
+                    .fold(0i16, |acc, &kk| acc.saturating_add(wrow[kk as usize] as i16 * q1 as i16))
+                    as i32,
+            };
+            *dv = acc as f32 * (x_scale * w_scale_at(w_scales, oc)) + bias[oc];
+        }
+    });
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Random binary tensor with roughly `density` ones.
+    fn random_spikes(shape: &[usize], density: f64, rng: &mut Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> =
+            (0..n).map(|_| if (rng.uniform() as f64) < density { 1.0 } else { 0.0 }).collect();
+        Tensor::from_vec(data, shape).unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        let mut rng = Rng::seed_from(1);
+        for &n in &[0usize, 1, 63, 64, 65, 200] {
+            let x = random_spikes(&[n.max(1), 1], 0.3, &mut rng);
+            let sp = SpikeTensor::try_pack(&x).unwrap();
+            assert_eq!(sp.unpack(), x, "n={n}");
+            let ones = x.data().iter().filter(|&&v| v == 1.0).count();
+            assert_eq!(sp.ones(), ones);
+        }
+    }
+
+    #[test]
+    fn pack_rejects_non_binary() {
+        assert!(SpikeTensor::try_pack(&Tensor::from_vec(vec![0.0, 0.5], &[2]).unwrap()).is_none());
+        assert!(
+            SpikeTensor::try_pack(&Tensor::from_vec(vec![1.0, f32::NAN], &[2]).unwrap()).is_none()
+        );
+        // -0.0 packs as no-spike.
+        let sp = SpikeTensor::try_pack(&Tensor::from_vec(vec![-0.0, 1.0], &[2]).unwrap()).unwrap();
+        assert!(!sp.get(0));
+        assert!(sp.get(1));
+        assert_eq!(sp.density(), 0.5);
+    }
+
+    #[test]
+    fn events_are_ascending_and_complete() {
+        let mut rng = Rng::seed_from(2);
+        let x = random_spikes(&[3, 130], 0.4, &mut rng);
+        let sp = SpikeTensor::try_pack(&x).unwrap();
+        let (events, offsets) = gather_events(&sp, 130, 3);
+        assert_eq!(offsets.len(), 4);
+        assert_eq!(events.len(), sp.ones());
+        for s in 0..3 {
+            let evs = &events[offsets[s]..offsets[s + 1]];
+            assert!(evs.windows(2).all(|w| w[0] < w[1]), "sample {s} not ascending");
+            for &e in evs {
+                assert_eq!(x.data()[s * 130 + e as usize], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mode_parsing_and_routing() {
+        assert_eq!(SparseMode::parse(" FORCE "), Some(SparseMode::Force));
+        assert_eq!(SparseMode::parse("auto"), Some(SparseMode::Auto));
+        assert_eq!(SparseMode::parse("off"), Some(SparseMode::Off));
+        assert_eq!(SparseMode::parse("banana"), None);
+        assert!(SparseMode::Force.routes_sparse(0.99));
+        assert!(!SparseMode::Off.routes_sparse(0.0));
+        assert!(SparseMode::Auto.routes_sparse(SPARSE_DENSITY_THRESHOLD));
+        assert!(!SparseMode::Auto.routes_sparse(0.9));
+    }
+
+    #[test]
+    fn sparse_conv_bit_identical_to_dense() {
+        let mut rng = Rng::seed_from(3);
+        for (g, b) in [
+            (Conv2dGeometry::new(3, 5, (7, 6), (3, 3), (1, 1), (1, 1)), 2),
+            (Conv2dGeometry::new(2, 4, (9, 9), (3, 3), (2, 2), (1, 1)), 1),
+            (Conv2dGeometry::new(4, 3, (6, 5), (3, 1), (1, 1), (1, 0)), 3),
+            (Conv2dGeometry::new(4, 3, (6, 5), (1, 1), (1, 1), (0, 0)), 2),
+        ] {
+            let w =
+                Tensor::randn(&[g.out_channels, g.in_channels, g.kernel.0, g.kernel.1], &mut rng);
+            for density in [0.0, 0.1, 0.5, 1.0] {
+                let x = random_spikes(&[b, g.in_channels, g.in_hw.0, g.in_hw.1], density, &mut rng);
+                let sp = SpikeTensor::try_pack(&x).unwrap();
+                let dense = crate::conv::conv2d(&x, &w, &g).unwrap();
+                for threads in [1usize, 2, 4, 8] {
+                    let got = sparse_conv2d_with(&Runtime::new(threads), &sp, &w, &g).unwrap();
+                    assert_eq!(got, dense, "g={g:?} b={b} density={density} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_linear_bit_identical_to_per_sample_dense() {
+        let mut rng = Rng::seed_from(4);
+        let (b, feat, out) = (3, 37, 11);
+        let w = Tensor::randn(&[out, feat], &mut rng);
+        for density in [0.0, 0.2, 0.9] {
+            let x = random_spikes(&[b, feat], density, &mut rng);
+            let sp = SpikeTensor::try_pack(&x).unwrap();
+            // Dense per-sample path: gemm_a_bt with m = 1 per row.
+            let mut want = vec![0.0f32; b * out];
+            let serial = Runtime::new(1);
+            for s in 0..b {
+                runtime::gemm_a_bt(
+                    &serial,
+                    &x.data()[s * feat..(s + 1) * feat],
+                    w.data(),
+                    &mut want[s * out..(s + 1) * out],
+                    1,
+                    feat,
+                    out,
+                );
+            }
+            for threads in [1usize, 2, 8] {
+                let got = sparse_linear_with(&Runtime::new(threads), &sp, &w).unwrap();
+                assert_eq!(got.data(), &want[..], "density={density} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_qconv_bit_identical_to_dense() {
+        let mut rng = Rng::seed_from(5);
+        let g = Conv2dGeometry::new(3, 4, (6, 5), (3, 3), (1, 1), (1, 1));
+        let kdim = 3 * 3 * 3;
+        let qw: Vec<i8> = (0..4 * kdim).map(|_| (rng.below(255) as i32 - 127) as i8).collect();
+        let w_scales = [0.02f32, 0.03, 0.01, 0.04];
+        for accum in [QAccum::I32, QAccum::Saturate16] {
+            for density in [0.0, 0.15, 0.6, 1.0] {
+                let x = random_spikes(&[2, 3, 6, 5], density, &mut rng);
+                let sp = SpikeTensor::try_pack(&x).unwrap();
+                let dense = crate::qkernels::qconv2d(&x, 1.0, &qw, &w_scales, &g, accum).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let got = sparse_qconv2d_with(
+                        &Runtime::new(threads),
+                        &sp,
+                        1.0,
+                        &qw,
+                        &w_scales,
+                        &g,
+                        accum,
+                    )
+                    .unwrap();
+                    assert_eq!(got, dense, "{accum:?} density={density} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_qconv_matches_dense_for_non_unit_scale() {
+        // x_scale != 1 still quantizes spikes to a single constant
+        // (round(1/scale)); the sparse path must agree with the dense
+        // quantize → im2col → GEMM pipeline bit for bit.
+        let mut rng = Rng::seed_from(6);
+        let g = Conv2dGeometry::new(2, 3, (5, 5), (3, 3), (1, 1), (1, 1));
+        let kdim = 2 * 9;
+        let qw: Vec<i8> = (0..3 * kdim).map(|_| (rng.below(255) as i32 - 127) as i8).collect();
+        let x = random_spikes(&[1, 2, 5, 5], 0.4, &mut rng);
+        let sp = SpikeTensor::try_pack(&x).unwrap();
+        for x_scale in [1.0f32, 0.5, 0.021] {
+            for accum in [QAccum::I32, QAccum::Saturate16] {
+                let dense = crate::qkernels::qconv2d(&x, x_scale, &qw, &[0.01], &g, accum).unwrap();
+                let got = sparse_qconv2d(&sp, x_scale, &qw, &[0.01], &g, accum).unwrap();
+                assert_eq!(got, dense, "x_scale={x_scale} {accum:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_qlinear_bit_identical_to_dense() {
+        let mut rng = Rng::seed_from(7);
+        let (b, feat, out) = (4, 19, 5);
+        let qw: Vec<i8> = (0..out * feat).map(|_| (rng.below(255) as i32 - 127) as i8).collect();
+        let scales = [0.01f32, 0.02, 0.015, 0.03, 0.02];
+        let bias = [0.5f32, -0.25, 0.0, 1.0, 0.125];
+        for accum in [QAccum::I32, QAccum::Saturate16] {
+            for density in [0.0, 0.3, 1.0] {
+                let x = random_spikes(&[b, feat], density, &mut rng);
+                let sp = SpikeTensor::try_pack(&x).unwrap();
+                let dense = crate::qkernels::qlinear(&x, 1.0, &qw, &scales, &bias, accum).unwrap();
+                for threads in [1usize, 2, 8] {
+                    let got = sparse_qlinear_with(
+                        &Runtime::new(threads),
+                        &sp,
+                        1.0,
+                        &qw,
+                        &scales,
+                        &bias,
+                        accum,
+                    )
+                    .unwrap();
+                    assert_eq!(got, dense, "{accum:?} density={density} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_scales() {
+        let g = Conv2dGeometry::new(2, 3, (4, 4), (3, 3), (1, 1), (1, 1));
+        let sp = SpikeTensor::try_pack(&Tensor::zeros(&[1, 2, 4, 4])).unwrap();
+        let w_bad = Tensor::zeros(&[3, 2, 3, 1]);
+        assert!(sparse_conv2d(&sp, &w_bad, &g).is_err());
+        let sp_bad = SpikeTensor::try_pack(&Tensor::zeros(&[1, 3, 4, 4])).unwrap();
+        assert!(sparse_conv2d(&sp_bad, &Tensor::zeros(&[3, 2, 3, 3]), &g).is_err());
+        let qw = vec![0i8; 3 * 2 * 9];
+        assert!(sparse_qconv2d(&sp, 0.0, &qw, &[1.0], &g, QAccum::I32).is_err());
+        assert!(sparse_qconv2d(&sp, 1.0, &qw[..5], &[1.0], &g, QAccum::I32).is_err());
+        let spl = SpikeTensor::try_pack(&Tensor::zeros(&[2, 3])).unwrap();
+        assert!(sparse_linear(&spl, &Tensor::zeros(&[4, 5])).is_err());
+        assert!(sparse_qlinear(&spl, 1.0, &[0i8; 7], &[1.0], &[0.0], QAccum::I32).is_err());
+        assert!(sparse_qlinear(&spl, 1.0, &[0i8; 6], &[1.0], &[0.0], QAccum::I32).is_err());
+        assert!(sparse_qlinear(&spl, 1.0, &[0i8; 6], &[1.0], &[0.0, 0.0], QAccum::I32).is_ok());
+    }
+}

@@ -1,0 +1,192 @@
+//! Streaming sessions with spike-count-margin early exit: MAC and
+//! latency savings vs confidence threshold.
+//!
+//! Criterion-free. A fleet of streaming clients feeds a frozen VGG9
+//! \[PTT\] plan in fixed-size timestep chunks through a 2-replica
+//! cluster. A **baseline** pass (no early exit) integrates all `T`
+//! timesteps and yields each stream's final logit margin; the sweep then
+//! re-runs the same streams under [`EarlyExit`] thresholds derived from
+//! that margin distribution, recording into `BENCH_serve_stream.json`:
+//!
+//! * **mean executed timesteps** per stream (of `T`);
+//! * **mean MACs executed** per stream, and the **MAC saving** vs the
+//!   baseline (skipped timesteps priced by `SpikingModel::macs_at` — the
+//!   anytime-inference saving of PAPER §V's efficiency story);
+//! * **exit rate** — the fraction of streams that exited early;
+//! * wall-clock **streams/s** and the **latency saving** vs baseline
+//!   (post-exit chunks are consumed without execution, so a confident
+//!   stream's remaining chunks return immediately).
+//!
+//! ```sh
+//! cargo run -p ttsnn-bench --release --bin serve_stream
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ttsnn_bench::harness::micro::{write_json, BenchRecord};
+use ttsnn_core::TtMode;
+use ttsnn_infer::{
+    ArchSpec, BatchPolicy, Cluster, ClusterConfig, EarlyExit, EngineConfig, StreamOptions,
+    StreamUpdate,
+};
+use ttsnn_snn::{checkpoint, ConvPolicy, SpikingModel, VggConfig, VggSnn};
+use ttsnn_tensor::runtime::Runtime;
+use ttsnn_tensor::{Rng, Tensor};
+
+const TIMESTEPS: usize = 8;
+const CHUNK: usize = 2;
+const STREAMS: usize = 16;
+const CLIENTS: usize = 4;
+
+fn vgg_cfg() -> VggConfig {
+    VggConfig::vgg9(3, 10, (16, 16), 8)
+}
+
+fn checkpoint_bytes() -> Vec<u8> {
+    let mut rng = Rng::seed_from(42);
+    let model = VggSnn::new(vgg_cfg(), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).expect("serialize checkpoint");
+    ckpt
+}
+
+/// One client stream: `TIMESTEPS` frames, chunked `CHUNK` at a time.
+fn stream_input(seed: u64) -> Vec<Tensor> {
+    let mut rng = Rng::seed_from(seed);
+    (0..TIMESTEPS.div_ceil(CHUNK))
+        .map(|i| {
+            let n = CHUNK.min(TIMESTEPS - i * CHUNK);
+            Tensor::rand_uniform(&[n, 3, 16, 16], 0.0, 1.0, &mut rng)
+        })
+        .collect()
+}
+
+/// Drives every stream to completion from `CLIENTS` threads and returns
+/// wall-clock seconds plus each stream's final update.
+fn drive_streams(cluster: &Cluster, opts: StreamOptions) -> (f64, Vec<StreamUpdate>) {
+    let start = Instant::now();
+    let finals = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let session = cluster.session();
+                scope.spawn(move || {
+                    let mut finals = Vec::new();
+                    for s in (c..STREAMS).step_by(CLIENTS) {
+                        let stream = session.open_stream(opts).expect("open stream");
+                        let mut last = None;
+                        for chunk in stream_input(1000 + s as u64) {
+                            last = Some(stream.push(chunk).expect("stream chunk"));
+                        }
+                        finals.push((s, last.expect("at least one chunk")));
+                    }
+                    finals
+                })
+            })
+            .collect();
+        let mut all: Vec<(usize, StreamUpdate)> =
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect();
+        all.sort_by_key(|(s, _)| *s);
+        all.into_iter().map(|(_, u)| u).collect::<Vec<_>>()
+    });
+    (start.elapsed().as_secs_f64(), finals)
+}
+
+/// `top1 - top2` of a final logit row.
+fn margin(update: &StreamUpdate) -> f32 {
+    let mut v: Vec<f32> = update.logits.data().to_vec();
+    v.sort_by(|a, b| b.partial_cmp(a).expect("finite logits"));
+    v[0] - v[1]
+}
+
+fn main() {
+    let threads = Runtime::global().threads();
+    println!("serve_stream: {threads} kernel thread(s), VGG9 [PTT], T={TIMESTEPS}");
+    println!("{STREAMS} streams x {CHUNK}-timestep chunks from {CLIENTS} clients, 2 replicas\n");
+    let ckpt = checkpoint_bytes();
+    let cluster = Cluster::load(
+        ClusterConfig::new(
+            EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::tt(TtMode::Ptt), TIMESTEPS)
+                .with_batching(BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) }),
+        )
+        .with_replicas(2),
+        ckpt.as_slice(),
+    )
+    .expect("cluster load");
+
+    // Warmup (replica arenas + lazy pool spawn), then the measured
+    // baseline: every timestep integrated, no exits.
+    drive_streams(&cluster, StreamOptions::default());
+    let (base_secs, base) = drive_streams(&cluster, StreamOptions::default());
+    let base_macs = base.iter().map(|u| u.macs_executed).sum::<u64>() as f64 / STREAMS as f64;
+    let mut margins: Vec<f32> = base.iter().map(margin).collect();
+    margins.sort_by(|a, b| a.partial_cmp(b).expect("finite margins"));
+    let median_margin = margins[STREAMS / 2];
+    println!(
+        "baseline: {:>6.2} streams/s   mean {base_macs:.0} MACs/stream   median final margin \
+         {median_margin:.3}",
+        STREAMS as f64 / base_secs
+    );
+    let mut records = vec![BenchRecord {
+        name: "baseline_no_early_exit".into(),
+        metrics: vec![
+            ("threshold".into(), 0.0),
+            ("mean_executed_timesteps".into(), TIMESTEPS as f64),
+            ("mean_macs_executed".into(), base_macs),
+            ("mac_saving_pct".into(), 0.0),
+            ("exit_rate".into(), 0.0),
+            ("streams_per_sec".into(), STREAMS as f64 / base_secs),
+            ("latency_saving_pct".into(), 0.0),
+            ("threads".into(), threads as f64),
+        ],
+    }];
+
+    // Confidence thresholds relative to the observed margin distribution:
+    // half the median (most streams exit, early) and the median itself
+    // (about half the streams exit, later).
+    for (label, threshold) in
+        [("half_median_margin", 0.5 * median_margin), ("median_margin", median_margin)]
+    {
+        let opts = StreamOptions::early_exit(EarlyExit::margin(threshold).with_min_timesteps(2));
+        let (secs, finals) = drive_streams(&cluster, opts);
+        let mean_exec = finals.iter().map(|u| u.executed).sum::<usize>() as f64 / STREAMS as f64;
+        let mean_macs = finals.iter().map(|u| u.macs_executed).sum::<u64>() as f64 / STREAMS as f64;
+        let exit_rate =
+            finals.iter().filter(|u| u.exited_at.is_some()).count() as f64 / STREAMS as f64;
+        let mac_saving = 100.0 * (1.0 - mean_macs / base_macs);
+        let latency_saving = 100.0 * (1.0 - secs / base_secs);
+        println!(
+            "margin >= {threshold:>6.3}: exec {mean_exec:>4.2}/{TIMESTEPS} t   MAC saving \
+             {mac_saving:>5.1}%   exit rate {:>4.0}%   latency saving {latency_saving:>5.1}%",
+            exit_rate * 100.0
+        );
+        records.push(BenchRecord {
+            name: format!("early_exit_{label}"),
+            metrics: vec![
+                ("threshold".into(), threshold as f64),
+                ("mean_executed_timesteps".into(), mean_exec),
+                ("mean_macs_executed".into(), mean_macs),
+                ("mac_saving_pct".into(), mac_saving),
+                ("exit_rate".into(), exit_rate),
+                ("streams_per_sec".into(), STREAMS as f64 / secs),
+                ("latency_saving_pct".into(), latency_saving),
+                ("threads".into(), threads as f64),
+            ],
+        });
+    }
+
+    // Chunk replies land a hair before the replicas record their
+    // metrics; spin until the ledger catches up.
+    let mut drained = false;
+    for _ in 0..1000 {
+        let m = cluster.metrics();
+        if m.sessions.chunks_served == m.sessions.chunks_submitted {
+            drained = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(drained, "every chunk must be accounted for");
+    let path = "BENCH_serve_stream.json";
+    write_json(path, &records).expect("write bench json");
+    println!("\nwrote {path}");
+}

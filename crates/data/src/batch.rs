@@ -12,6 +12,47 @@ pub struct Sample {
     pub label: usize,
 }
 
+impl Sample {
+    /// Stacks the per-timestep frames into one `(T, C, H, W)` tensor — the
+    /// explicit per-timestep input shape the serving layer accepts, both
+    /// for whole-stream requests and for timestep chunks fed to a
+    /// streaming session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the sample has no frames or the frames'
+    /// shapes disagree.
+    pub fn stacked(&self) -> Result<Tensor, ShapeError> {
+        stack_frames(&self.frames)
+    }
+}
+
+/// Stacks `(C, H, W)` frames into one `(T, C, H, W)` tensor (see
+/// [`Sample::stacked`]).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if `frames` is empty or the shapes disagree.
+pub fn stack_frames(frames: &[Tensor]) -> Result<Tensor, ShapeError> {
+    let first = frames
+        .first()
+        .ok_or_else(|| ShapeError::new("stack_frames: no frames to stack".to_string()))?;
+    let mut shape = vec![frames.len()];
+    shape.extend_from_slice(first.shape());
+    let mut data = Vec::with_capacity(frames.len() * first.len());
+    for f in frames {
+        if f.shape() != first.shape() {
+            return Err(ShapeError::new(format!(
+                "stack_frames: frame shape {:?} differs from first frame {:?}",
+                f.shape(),
+                first.shape()
+            )));
+        }
+        data.extend_from_slice(f.data());
+    }
+    Tensor::from_vec(data, &shape)
+}
+
 /// A mini-batch ready for BPTT training: per-timestep NCHW tensors plus
 /// labels.
 #[derive(Debug, Clone, PartialEq)]

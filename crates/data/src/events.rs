@@ -18,6 +18,18 @@ use ttsnn_tensor::{Rng, Tensor};
 use crate::batch::{Dataset, Sample};
 use crate::synth::StaticImages;
 
+/// Derives the RNG seed of timestep `t` inside stream `seed` (SplitMix64
+/// finalizer over the combined word). Each timestep's randomness is a pure
+/// function of `(seed, t)`, which is what makes [`EventStream::slice`] /
+/// [`GestureStream::slice`] resumable: generating frames `[t0, t1)` never
+/// requires drawing the frames before `t0`.
+fn timestep_seed(seed: u64, t: u64) -> u64 {
+    let mut z = seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// N-Caltech101-like saccadic event-stream generator.
 ///
 /// Frames are `(2, H, W)` — ON and OFF polarity channels — and each of the
@@ -127,6 +139,37 @@ impl EventStream {
         Sample { frames, label: class }
     }
 
+    /// One seeded stream's frames for timesteps `[t0, t1)` — the
+    /// chunked-serving resume API. Each timestep's randomness derives from
+    /// `(seed, t)` alone, so for any cut points
+    /// `slice(c, s, 0, T) == slice(c, s, 0, k) ++ slice(c, s, k, T)`,
+    /// frame by frame and bit by bit: tests can cut one stream into
+    /// arbitrary chunk plans and know every plan feeds identical frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t0 <= t1 <= self.timesteps()`.
+    pub fn slice(&self, class: usize, seed: u64, t0: usize, t1: usize) -> Vec<Tensor> {
+        assert!(
+            t0 <= t1 && t1 <= self.timesteps,
+            "EventStream::slice: invalid range [{t0}, {t1}) for {} timesteps",
+            self.timesteps
+        );
+        (t0..t1)
+            .map(|t| {
+                let mut rng = Rng::seed_from(timestep_seed(seed, t as u64));
+                self.event_frame(class, t, &mut rng)
+            })
+            .collect()
+    }
+
+    /// The whole seeded stream as a [`Sample`]: identical, frame for
+    /// frame, to any concatenation of [`EventStream::slice`] chunks
+    /// covering `[0, timesteps)` under the same `(class, seed)`.
+    pub fn sample_seeded(&self, class: usize, seed: u64) -> Sample {
+        Sample { frames: self.slice(class, seed, 0, self.timesteps), label: class }
+    }
+
     /// Generates a balanced dataset of `n` samples.
     pub fn dataset(&self, n: usize, rng: &mut Rng) -> Dataset {
         let samples = (0..n).map(|i| self.sample(i % self.num_classes, rng)).collect();
@@ -192,39 +235,93 @@ impl GestureStream {
         [2, self.height, self.width]
     }
 
-    /// Draws one sample: a blob moving along the class's direction, leading
-    /// edge firing ON events, trailing edge OFF events.
-    pub fn sample(&self, class: usize, rng: &mut Rng) -> Sample {
+    /// One timestep's event frame: leading edge of the moved blob fires ON
+    /// events, trailing edge OFF events.
+    fn blob_frame(&self, old: (f32, f32), new: (f32, f32), radius: f32, rng: &mut Rng) -> Tensor {
+        let mut frame = Tensor::zeros(&[2, self.height, self.width]);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let d_new = ((x as f32 - new.0).powi(2) + (y as f32 - new.1).powi(2)).sqrt();
+                let d_old = ((x as f32 - old.0).powi(2) + (y as f32 - old.1).powi(2)).sqrt();
+                let inside_new = d_new < radius;
+                let inside_old = d_old < radius;
+                if inside_new && !inside_old && rng.uniform() < self.event_rate {
+                    *frame.at_mut(&[0, y, x]) = 1.0; // leading edge: ON
+                } else if inside_old && !inside_new && rng.uniform() < self.event_rate {
+                    *frame.at_mut(&[1, y, x]) = 1.0; // trailing edge: OFF
+                }
+            }
+        }
+        frame
+    }
+
+    /// The motion of one blob: per-step velocity, start center, radius.
+    /// Consumes three uniform draws, matching [`GestureStream::sample`]'s
+    /// historical draw order.
+    fn motion(&self, class: usize, rng: &mut Rng) -> ((f32, f32), (f32, f32), f32) {
         let angle = class as f32 / self.num_classes as f32 * 2.0 * std::f32::consts::PI;
         let (vx, vy) = (angle.cos(), angle.sin());
         // Slow enough that the blob stays on-sensor for the whole sample.
         let speed = rng.uniform_in(0.8, 1.2) * (self.width.min(self.height) as f32)
             / (4.0 * self.timesteps as f32);
-        let mut cx = self.width as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
-        let mut cy = self.height as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
+        let cx = self.width as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
+        let cy = self.height as f32 / 2.0 + rng.uniform_in(-2.0, 2.0);
         let radius = (self.width.min(self.height) as f32 * 0.18).max(1.5);
+        ((vx * speed, vy * speed), (cx, cy), radius)
+    }
+
+    /// Draws one sample: a blob moving along the class's direction, leading
+    /// edge firing ON events, trailing edge OFF events.
+    pub fn sample(&self, class: usize, rng: &mut Rng) -> Sample {
+        let ((vx, vy), (mut cx, mut cy), radius) = self.motion(class, rng);
         let mut frames = Vec::with_capacity(self.timesteps);
         for _ in 0..self.timesteps {
             let (px, py) = (cx, cy);
-            cx += vx * speed;
-            cy += vy * speed;
-            let mut frame = Tensor::zeros(&[2, self.height, self.width]);
-            for y in 0..self.height {
-                for x in 0..self.width {
-                    let d_new = ((x as f32 - cx).powi(2) + (y as f32 - cy).powi(2)).sqrt();
-                    let d_old = ((x as f32 - px).powi(2) + (y as f32 - py).powi(2)).sqrt();
-                    let inside_new = d_new < radius;
-                    let inside_old = d_old < radius;
-                    if inside_new && !inside_old && rng.uniform() < self.event_rate {
-                        *frame.at_mut(&[0, y, x]) = 1.0; // leading edge: ON
-                    } else if inside_old && !inside_new && rng.uniform() < self.event_rate {
-                        *frame.at_mut(&[1, y, x]) = 1.0; // trailing edge: OFF
-                    }
-                }
-            }
-            frames.push(frame);
+            cx += vx;
+            cy += vy;
+            frames.push(self.blob_frame((px, py), (cx, cy), radius, rng));
         }
         Sample { frames, label: class }
+    }
+
+    /// One seeded stream's frames for timesteps `[t0, t1)` — the
+    /// chunked-serving resume API (see [`EventStream::slice`]). The blob's
+    /// motion parameters derive from the stream seed alone and its path is
+    /// advanced deterministically to `t0`, while each timestep's event
+    /// randomness derives from `(seed, t)` — so any chunk plan covering
+    /// `[0, T)` reproduces `slice(c, s, 0, T)` frame for frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t0 <= t1 <= self.timesteps()`.
+    pub fn slice(&self, class: usize, seed: u64, t0: usize, t1: usize) -> Vec<Tensor> {
+        assert!(
+            t0 <= t1 && t1 <= self.timesteps,
+            "GestureStream::slice: invalid range [{t0}, {t1}) for {} timesteps",
+            self.timesteps
+        );
+        // Stream-level randomness lives in the u64::MAX slot, which no
+        // per-timestep slot (t < timesteps) can collide with.
+        let mut motion_rng = Rng::seed_from(timestep_seed(seed, u64::MAX));
+        let ((vx, vy), (mut cx, mut cy), radius) = self.motion(class, &mut motion_rng);
+        let mut frames = Vec::with_capacity(t1 - t0);
+        for t in 0..t1 {
+            let (px, py) = (cx, cy);
+            cx += vx;
+            cy += vy;
+            if t >= t0 {
+                let mut rng = Rng::seed_from(timestep_seed(seed, t as u64));
+                frames.push(self.blob_frame((px, py), (cx, cy), radius, &mut rng));
+            }
+        }
+        frames
+    }
+
+    /// The whole seeded stream as a [`Sample`]: identical, frame for
+    /// frame, to any concatenation of [`GestureStream::slice`] chunks
+    /// covering `[0, timesteps)` under the same `(class, seed)`.
+    pub fn sample_seeded(&self, class: usize, seed: u64) -> Sample {
+        Sample { frames: self.slice(class, seed, 0, self.timesteps), label: class }
     }
 
     /// Generates a balanced dataset of `n` samples.
@@ -362,5 +459,83 @@ mod tests {
         assert_eq!(GestureStream::dvs_gesture_like(8, 9, 3, 4).frame_shape(), [2, 8, 9]);
         assert_eq!(EventStream::ncaltech_like(8, 9, 3, 4).timesteps(), 4);
         assert_eq!(GestureStream::dvs_gesture_like(8, 9, 3, 4).timesteps(), 4);
+    }
+
+    /// Cut plans covering [0, 8): singletons, uneven chunks, one whole span.
+    const CUT_PLANS: &[&[usize]] =
+        &[&[0, 1, 2, 3, 4, 5, 6, 7, 8], &[0, 3, 4, 8], &[0, 5, 8], &[0, 8], &[0, 1, 7, 8]];
+
+    #[test]
+    fn event_slices_concat_to_whole_stream() {
+        let gen = EventStream::ncaltech_like(10, 11, 4, 8);
+        for seed in [0u64, 9, 1234] {
+            let whole = gen.sample_seeded(3, seed);
+            assert_eq!(whole.frames.len(), 8);
+            assert!(whole.frames.iter().any(|f| f.sum() > 0.0), "degenerate all-empty stream");
+            for plan in CUT_PLANS {
+                let mut joined = Vec::new();
+                for w in plan.windows(2) {
+                    joined.extend(gen.slice(3, seed, w[0], w[1]));
+                }
+                assert_eq!(joined, whole.frames, "plan {plan:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn gesture_slices_concat_to_whole_stream() {
+        let gen = GestureStream::dvs_gesture_like(16, 16, 4, 8);
+        for seed in [0u64, 7, 4321] {
+            let whole = gen.sample_seeded(1, seed);
+            assert_eq!(whole.frames.len(), 8);
+            assert!(whole.frames.iter().any(|f| f.sum() > 0.0), "degenerate all-empty stream");
+            for plan in CUT_PLANS {
+                let mut joined = Vec::new();
+                for w in plan.windows(2) {
+                    joined.extend(gen.slice(1, seed, w[0], w[1]));
+                }
+                assert_eq!(joined, whole.frames, "plan {plan:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_streams_vary_with_seed_and_class() {
+        let gen = EventStream::ncaltech_like(10, 10, 4, 5);
+        assert_ne!(gen.sample_seeded(0, 1).frames, gen.sample_seeded(0, 2).frames);
+        let gest = GestureStream::dvs_gesture_like(16, 16, 4, 6);
+        assert_ne!(gest.sample_seeded(0, 1).frames, gest.sample_seeded(2, 1).frames);
+        assert_ne!(gest.sample_seeded(0, 1).frames, gest.sample_seeded(0, 2).frames);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn slice_rejects_out_of_range() {
+        EventStream::ncaltech_like(8, 8, 3, 4).slice(0, 1, 2, 5);
+    }
+
+    #[test]
+    fn gesture_seeded_blob_moves_in_class_direction() {
+        // The seeded path must preserve the class-conditional motion the
+        // unseeded sampler guarantees.
+        let gen = GestureStream::dvs_gesture_like(20, 20, 4, 6);
+        let s = gen.sample_seeded(0, 11);
+        let centroid_x = |f: &Tensor| {
+            let mut sx = 0.0f32;
+            let mut n = 0.0f32;
+            for y in 0..20 {
+                for x in 0..20 {
+                    if f.at(&[0, y, x]) > 0.0 {
+                        sx += x as f32;
+                        n += 1.0;
+                    }
+                }
+            }
+            sx / n
+        };
+        let first = centroid_x(&s.frames[0]);
+        let last = centroid_x(&s.frames[s.frames.len() - 1]);
+        assert!(first.is_finite() && last.is_finite(), "blob left the sensor: {first} -> {last}");
+        assert!(last > first + 1.0, "ON centroid should move right for class 0: {first} -> {last}");
     }
 }

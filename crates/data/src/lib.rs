@@ -29,6 +29,6 @@ mod batch;
 mod events;
 mod synth;
 
-pub use batch::{Batch, Dataset, Sample};
+pub use batch::{stack_frames, Batch, Dataset, Sample};
 pub use events::{EventStream, GestureStream};
 pub use synth::StaticImages;

@@ -45,7 +45,9 @@ use ttsnn_tensor::{runtime, Rng, Tensor};
 
 use crate::engine::{self, ArchSpec, EngineConfig, InferError, PlanInfo, QuantSpec};
 use crate::metrics::ClusterMetrics;
-use crate::sched::{Scheduler, SubmitError, SubmitOptions};
+use crate::sched::{Scheduler, StreamCmd, SubmitError, SubmitOptions, Work};
+use crate::stream::{self, StreamOptions, StreamTable, StreamUpdate};
+use std::time::Duration;
 
 /// Shape of the serving cluster: the frozen-plan config plus the replica
 /// fan-out and queue bound.
@@ -61,14 +63,28 @@ pub struct ClusterConfig {
     /// served/cancelled/expired/failed (must be ≥ 1). Submissions beyond
     /// it block ([`ClusterSession::submit`]) or fail fast with
     /// [`SubmitError::Saturated`] ([`ClusterSession::try_submit`]).
+    /// Stream chunks count toward the same bound.
     pub queue_capacity: usize,
+    /// Per-replica byte bound on **resident streaming-session state**
+    /// (LIF membranes pinned between chunks). When live sessions exceed
+    /// it, the least-recently-fed sessions are evicted — their later
+    /// feeds fail with [`InferError::SessionEvicted`], and no surviving
+    /// session's outputs change by a single bit. `None` (the
+    /// `TTSNN_STREAM_STATE_BYTES` environment default when unset) is
+    /// unbounded.
+    pub stream_state_bytes: Option<usize>,
 }
 
 impl ClusterConfig {
-    /// A cluster config with the replica count from the environment and a
-    /// 1024-request queue bound.
+    /// A cluster config with the replica count and stream-state bound
+    /// from the environment and a 1024-request queue bound.
     pub fn new(engine: EngineConfig) -> Self {
-        Self { engine, num_replicas: Self::replicas_from_env(), queue_capacity: 1024 }
+        Self {
+            engine,
+            num_replicas: Self::replicas_from_env(),
+            queue_capacity: 1024,
+            stream_state_bytes: stream::state_bytes_from_env(),
+        }
     }
 
     /// Overrides the replica count.
@@ -80,6 +96,13 @@ impl ClusterConfig {
     /// Overrides the queue bound.
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Overrides the per-replica resident stream-state bound (`None` is
+    /// unbounded).
+    pub fn with_stream_state_bytes(mut self, stream_state_bytes: Option<usize>) -> Self {
+        self.stream_state_bytes = stream_state_bytes;
         self
     }
 
@@ -204,6 +227,143 @@ impl ClusterSession {
             Err(_) => Err(InferError::EngineClosed),
         }
     }
+
+    /// Opens a stateful streaming session, pinned round-robin to one
+    /// replica (its LIF membranes live there between chunks). The client
+    /// feeds the plan's `T` timesteps incrementally and receives the
+    /// cumulative logits after each chunk — bit-identical, after every
+    /// prefix, to submitting the same timesteps whole, whatever the
+    /// chunking, replica count, or concurrent traffic. Dropping the
+    /// handle closes the session and frees its resident state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the cluster has shut down.
+    pub fn open_stream(&self, opts: StreamOptions) -> Result<ClusterStreamSession, SubmitError> {
+        let (id, replica) = self.sched.open_stream(opts)?;
+        Ok(ClusterStreamSession { sched: Arc::clone(&self.sched), id, replica })
+    }
+}
+
+/// A handle on one in-flight stream chunk.
+/// [`ClusterStreamTicket::wait`] blocks until the chunk's replica has run
+/// (or skipped) its timesteps. Unlike [`ClusterTicket`], dropping it does
+/// **not** cancel the chunk: the session's timestep position must stay
+/// well-defined, so an admitted chunk is always consumed (use feed
+/// deadlines to bound staleness instead).
+pub struct ClusterStreamTicket {
+    rx: Receiver<Result<StreamUpdate, InferError>>,
+}
+
+impl ClusterStreamTicket {
+    /// Blocks until the chunk's [`StreamUpdate`] is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Shape`] for a malformed chunk or one overrunning the
+    /// plan's timesteps, [`InferError::DeadlineExpired`] if the chunk's
+    /// deadline passed while queued (the session is untouched),
+    /// [`InferError::SessionEvicted`] / [`InferError::SessionClosed`] for
+    /// a dead session, or [`InferError::EngineClosed`] if the cluster
+    /// shut down first.
+    pub fn wait(self) -> Result<StreamUpdate, InferError> {
+        self.rx.recv().map_err(|_| InferError::EngineClosed)?
+    }
+}
+
+/// One client's streaming session on a [`Cluster`] (see
+/// [`ClusterSession::open_stream`]): pinned to one replica, fed in
+/// chunks, readable any time. Dropping the handle closes the session.
+pub struct ClusterStreamSession {
+    sched: Arc<Scheduler>,
+    id: u64,
+    replica: usize,
+}
+
+impl ClusterStreamSession {
+    /// This session's cluster-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The replica this session's state is pinned to.
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Feeds the next chunk — `(C, H, W)` (one timestep) or
+    /// `(n, C, H, W)` (`n ≥ 1` timesteps) — blocking while the cluster
+    /// queue is saturated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the cluster has shut down.
+    pub fn feed(&self, chunk: Tensor) -> Result<ClusterStreamTicket, SubmitError> {
+        self.feed_with(chunk, None)
+    }
+
+    /// [`ClusterStreamSession::feed`] with an optional **relative**
+    /// queueing deadline: a chunk still queued this long after submission
+    /// is dropped with [`InferError::DeadlineExpired`] — without
+    /// consuming any timestep, so the session survives and may be fed
+    /// again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::Closed`] if the cluster has shut down.
+    pub fn feed_with(
+        &self,
+        chunk: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<ClusterStreamTicket, SubmitError> {
+        let (reply, rx) = channel();
+        self.sched.submit_stream_chunk(self.replica, self.id, chunk, deadline, reply)?;
+        Ok(ClusterStreamTicket { rx })
+    }
+
+    /// Non-blocking feed: fails fast instead of waiting for queue space.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Saturated`] while the queue is at capacity (the
+    /// backpressure signal), [`SubmitError::Closed`] after shutdown.
+    pub fn try_feed(&self, chunk: Tensor) -> Result<ClusterStreamTicket, SubmitError> {
+        self.try_feed_with(chunk, None)
+    }
+
+    /// [`ClusterStreamSession::try_feed`] with an optional relative
+    /// queueing deadline.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterStreamSession::try_feed`].
+    pub fn try_feed_with(
+        &self,
+        chunk: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<ClusterStreamTicket, SubmitError> {
+        let (reply, rx) = channel();
+        self.sched.try_submit_stream_chunk(self.replica, self.id, chunk, deadline, reply)?;
+        Ok(ClusterStreamTicket { rx })
+    }
+
+    /// Feed-and-wait convenience for synchronous streaming clients.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClusterStreamTicket::wait`].
+    pub fn push(&self, chunk: Tensor) -> Result<StreamUpdate, InferError> {
+        match self.feed(chunk) {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => Err(InferError::EngineClosed),
+        }
+    }
+}
+
+impl Drop for ClusterStreamSession {
+    fn drop(&mut self) {
+        self.sched.close_stream(self.replica, self.id);
+    }
 }
 
 /// A frozen plan served by N executor replicas behind one
@@ -286,6 +446,7 @@ impl Cluster {
         // quantizes) + shares weights, then serves like any other replica.
         type Ready = (PlanInfo, Vec<Tensor>, Option<QuantPlanWeights>);
         let (ready_tx, ready_rx) = channel::<Result<Ready, String>>();
+        let stream_state_bytes = config.stream_state_bytes;
         {
             let cfg = config.engine.clone();
             let sched = Arc::clone(&sched);
@@ -305,7 +466,7 @@ impl Cluster {
                 if ready_tx.send(Ok((info, weights, qplan))).is_err() {
                     return; // loader gave up
                 }
-                worker_loop(model.as_mut(), &cfg, &sched);
+                worker_loop(model.as_mut(), &cfg, &sched, 0, stream_state_bytes);
             })?);
         }
         let (info, weights, qplan) = match ready_rx.recv() {
@@ -343,7 +504,7 @@ impl Cluster {
                 if rep_tx.send(Ok(())).is_err() {
                     return;
                 }
-                worker_loop(model.as_mut(), &cfg, &replica_sched);
+                worker_loop(model.as_mut(), &cfg, &replica_sched, i, stream_state_bytes);
             });
             match spawned {
                 Ok(handle) => handles.push(handle),
@@ -464,50 +625,118 @@ fn build_replica(
     Ok(model)
 }
 
-/// One replica's serve loop: pull a batch from the scheduler, validate,
-/// forward, scatter replies, record metrics. Exits when the scheduler
-/// shuts down.
-fn worker_loop(model: &mut dyn Model, cfg: &EngineConfig, sched: &Scheduler) {
+/// One replica's serve loop: pull work from the scheduler — a coalesced
+/// batch or a stream command for a session pinned here — execute it,
+/// scatter replies, record metrics. Exits when the scheduler shuts down.
+fn worker_loop(
+    model: &mut dyn Model,
+    cfg: &EngineConfig,
+    sched: &Scheduler,
+    replica: usize,
+    stream_state_bytes: Option<usize>,
+) {
     let frame_shape = cfg.arch.frame_shape();
-    while let Some(batch) = sched.next_batch(cfg.batching.max_batch, cfg.batching.max_wait) {
-        // Validate each request independently: a malformed input fails its
-        // own ticket, not its co-travellers'.
-        let mut accepted = Vec::with_capacity(batch.len());
-        for job in batch {
-            match engine::validate(&job.input, cfg.timesteps, frame_shape) {
-                Ok(()) => accepted.push(job),
-                Err(msg) => {
-                    let _ = job.reply.send(Err(InferError::Shape(msg)));
-                    sched.record_failed(job.priority);
+    let mut streams = StreamTable::new(stream_state_bytes);
+    while let Some(work) = sched.next_work(replica, cfg.batching.max_batch, cfg.batching.max_wait) {
+        match work {
+            Work::Batch(batch) => serve_cluster_batch(model, cfg, sched, frame_shape, batch),
+            Work::Stream(cmd) => {
+                serve_stream_cmd(model, cfg, sched, replica, frame_shape, &mut streams, cmd)
+            }
+        }
+    }
+}
+
+/// Serves one stream command against this replica's session table.
+fn serve_stream_cmd(
+    model: &mut dyn Model,
+    cfg: &EngineConfig,
+    sched: &Scheduler,
+    replica: usize,
+    frame_shape: [usize; 3],
+    streams: &mut StreamTable,
+    cmd: StreamCmd,
+) {
+    match cmd {
+        StreamCmd::Open { id, opts } => {
+            streams.open(id, opts);
+            sched.record_stream_state(replica, streams.active(), streams.resident_bytes(), 0);
+        }
+        StreamCmd::Feed { id, chunk, reply, submitted, .. } => {
+            match streams.feed(model, cfg.timesteps, frame_shape, id, &chunk) {
+                Ok((update, report)) => {
+                    // Never evict the session just fed: its chunk was
+                    // admitted and executed.
+                    let evicted = streams.evict_to_bound(id) as u64;
+                    let _ = reply.send(Ok(update));
+                    sched.record_stream_chunk(report, submitted.elapsed());
+                    sched.record_stream_state(
+                        replica,
+                        streams.active(),
+                        streams.resident_bytes(),
+                        evicted,
+                    );
+                }
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                    sched.record_stream_failed();
                 }
             }
         }
-        if accepted.is_empty() {
-            continue;
+        StreamCmd::Close { id } => {
+            let was_resident = streams.close(id);
+            sched.record_stream_closed(was_resident);
+            sched.record_stream_state(replica, streams.active(), streams.resident_bytes(), 0);
         }
-        let inputs: Vec<&Tensor> = accepted.iter().map(|j| &j.input).collect();
-        match engine::forward_requests(model, cfg.timesteps, frame_shape, &inputs) {
-            Ok(summed) => {
-                let k = summed.len() / accepted.len();
-                let mut served = Vec::with_capacity(accepted.len());
-                for (i, job) in accepted.iter().enumerate() {
-                    let row = summed.data()[i * k..(i + 1) * k].to_vec();
-                    let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
-                    let _ = job.reply.send(Ok(logits));
-                    served.push((job.priority, job.submitted.elapsed()));
-                }
-                let batch_size = accepted.len();
-                runtime::recycle_buffer(summed.into_vec());
-                sched.record_batch(&served, batch_size);
-                let density = engine::density_report(model);
-                sched.record_density(density.per_layer, density.mean);
+    }
+}
+
+/// Validates, forwards and scatters one coalesced batch of whole-stream
+/// requests.
+fn serve_cluster_batch(
+    model: &mut dyn Model,
+    cfg: &EngineConfig,
+    sched: &Scheduler,
+    frame_shape: [usize; 3],
+    batch: Vec<crate::sched::Job>,
+) {
+    // Validate each request independently: a malformed input fails its
+    // own ticket, not its co-travellers'.
+    let mut accepted = Vec::with_capacity(batch.len());
+    for job in batch {
+        match engine::validate(&job.input, cfg.timesteps, frame_shape) {
+            Ok(()) => accepted.push(job),
+            Err(msg) => {
+                let _ = job.reply.send(Err(InferError::Shape(msg)));
+                sched.record_failed(job.priority);
             }
-            Err(e) => {
-                // Should be unreachable after validation; fail the batch.
-                for job in accepted {
-                    let _ = job.reply.send(Err(InferError::Shape(e.clone())));
-                    sched.record_failed(job.priority);
-                }
+        }
+    }
+    if accepted.is_empty() {
+        return;
+    }
+    let inputs: Vec<&Tensor> = accepted.iter().map(|j| &j.input).collect();
+    match engine::forward_requests(model, cfg.timesteps, frame_shape, &inputs) {
+        Ok(summed) => {
+            let k = summed.len() / accepted.len();
+            let mut served = Vec::with_capacity(accepted.len());
+            for (i, job) in accepted.iter().enumerate() {
+                let row = summed.data()[i * k..(i + 1) * k].to_vec();
+                let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
+                let _ = job.reply.send(Ok(logits));
+                served.push((job.priority, job.submitted.elapsed()));
+            }
+            let batch_size = accepted.len();
+            runtime::recycle_buffer(summed.into_vec());
+            sched.record_batch(&served, batch_size);
+            let density = engine::density_report(model);
+            sched.record_density(density.per_layer, density.mean);
+        }
+        Err(e) => {
+            // Should be unreachable after validation; fail the batch.
+            for job in accepted {
+                let _ = job.reply.send(Err(InferError::Shape(e.clone())));
+                sched.record_failed(job.priority);
             }
         }
     }

@@ -23,6 +23,7 @@
 //! trade-off: it cannot change any output bit.
 
 use std::io::{self, Read};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -35,6 +36,8 @@ use ttsnn_snn::{
 use ttsnn_tensor::qkernels::QAccum;
 use ttsnn_tensor::spike;
 use ttsnn_tensor::{runtime, Rng, Tensor};
+
+use crate::stream::{self, StreamOptions, StreamTable, StreamUpdate};
 
 /// Which architecture the engine instantiates before loading weights.
 #[derive(Debug, Clone)]
@@ -201,6 +204,14 @@ pub enum InferError {
     /// scheduler dropped it without executing (cluster serving only; see
     /// `ttsnn_infer::sched`).
     DeadlineExpired,
+    /// The streaming session's resident state was evicted under memory
+    /// pressure (see `TTSNN_STREAM_STATE_BYTES` /
+    /// `ClusterConfig::stream_state_bytes`): its membranes are gone, so
+    /// the stream cannot be resumed — reopen and re-feed from t = 0.
+    SessionEvicted,
+    /// The streaming session does not exist (already closed, or never
+    /// opened on this executor).
+    SessionClosed,
 }
 
 impl std::fmt::Display for InferError {
@@ -211,6 +222,10 @@ impl std::fmt::Display for InferError {
             InferError::DeadlineExpired => {
                 write!(f, "request deadline expired before execution started")
             }
+            InferError::SessionEvicted => {
+                write!(f, "streaming session state was evicted under memory pressure")
+            }
+            InferError::SessionClosed => write!(f, "streaming session is closed"),
         }
     }
 }
@@ -228,10 +243,16 @@ struct Request {
 /// comes only from `Engine::drop` — sessions may outlive the engine, so
 /// the executor cannot rely on sender-count-zero to terminate.
 /// `Density` is answered inline from the executor's model state without
-/// counting toward any batch.
+/// counting toward any batch; the `Stream*` messages are likewise served
+/// inline (the model is idle between batches, and a stream chunk is a
+/// batch-of-1 forward that must run at its session's exact membrane
+/// state, so it can never ride inside a coalesced batch).
 enum Msg {
     Job(Request),
     Density(Sender<SpikeDensityReport>),
+    StreamOpen { id: u64, opts: StreamOptions },
+    StreamFeed { id: u64, chunk: Tensor, reply: Sender<Result<StreamUpdate, InferError>> },
+    StreamClose { id: u64 },
     Shutdown,
 }
 
@@ -293,6 +314,83 @@ impl Session {
         let (reply, rx) = channel();
         self.tx.send(Msg::Density(reply)).map_err(|_| InferError::EngineClosed)?;
         rx.recv().map_err(|_| InferError::EngineClosed)
+    }
+
+    /// Opens a stateful streaming session: the client feeds the plan's
+    /// `T` timesteps in chunks ([`StreamSession::feed`]) and receives the
+    /// cumulative logits after each — bit-identical, after every prefix,
+    /// to submitting the same timesteps whole. Membrane state lives on
+    /// the executor between chunks; dropping the handle releases it.
+    pub fn open_stream(&self, opts: StreamOptions) -> StreamSession {
+        let id = NEXT_STREAM_ID.fetch_add(1, AtomicOrdering::Relaxed);
+        // If the engine is gone the open is a no-op and every feed
+        // reports EngineClosed.
+        let _ = self.tx.send(Msg::StreamOpen { id, opts });
+        StreamSession { tx: self.tx.clone(), id }
+    }
+}
+
+/// Stream session ids. Process-global so ids stay unique across engines —
+/// an id says nothing about which executor owns the session.
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A handle on one in-flight stream chunk. [`StreamTicket::wait`] blocks
+/// until the executor has run (or skipped) the chunk's timesteps.
+pub struct StreamTicket {
+    rx: Receiver<Result<StreamUpdate, InferError>>,
+}
+
+impl StreamTicket {
+    /// Blocks until the chunk's [`StreamUpdate`] is ready.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::Shape`] for a malformed chunk or one overrunning the
+    /// plan's timesteps, [`InferError::SessionEvicted`] /
+    /// [`InferError::SessionClosed`] for a dead session, or
+    /// [`InferError::EngineClosed`] if the engine shut down first.
+    pub fn wait(self) -> Result<StreamUpdate, InferError> {
+        self.rx.recv().map_err(|_| InferError::EngineClosed)?
+    }
+}
+
+/// One client's pinned streaming session on an [`Engine`] (see
+/// [`Session::open_stream`]). Chunks fed through one handle execute in
+/// feed order at consecutive absolute timesteps. Dropping the handle
+/// closes the session and frees its resident membrane state.
+pub struct StreamSession {
+    tx: Sender<Msg>,
+    id: u64,
+}
+
+impl StreamSession {
+    /// This session's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Feeds the next chunk — `(C, H, W)` (one timestep) or
+    /// `(n, C, H, W)` (`n ≥ 1` timesteps) — and returns a ticket for the
+    /// any-time update.
+    pub fn feed(&self, chunk: Tensor) -> StreamTicket {
+        let (reply, rx) = channel();
+        let _ = self.tx.send(Msg::StreamFeed { id: self.id, chunk, reply });
+        StreamTicket { rx }
+    }
+
+    /// Feed-and-wait convenience for synchronous streaming clients.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamTicket::wait`].
+    pub fn push(&self, chunk: Tensor) -> Result<StreamUpdate, InferError> {
+        self.feed(chunk).wait()
+    }
+}
+
+impl Drop for StreamSession {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Msg::StreamClose { id: self.id });
     }
 }
 
@@ -555,11 +653,21 @@ fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
     let frame_shape = cfg.arch.frame_shape();
     // validate_config guarantees max_batch >= 1 before the executor spawns.
     let max_batch = cfg.batching.max_batch;
+    // Streaming sessions pinned to this executor. The byte bound comes
+    // from TTSNN_STREAM_STATE_BYTES (clusters take it from
+    // `ClusterConfig::stream_state_bytes` instead).
+    let mut streams = StreamTable::new(stream::state_bytes_from_env());
     loop {
         let first = match rx.recv() {
             Ok(Msg::Job(r)) => r,
             Ok(Msg::Density(reply)) => {
                 let _ = reply.send(density_report(model));
+                continue;
+            }
+            Ok(
+                msg @ (Msg::StreamOpen { .. } | Msg::StreamFeed { .. } | Msg::StreamClose { .. }),
+            ) => {
+                serve_stream_msg(model, cfg, frame_shape, &mut streams, msg);
                 continue;
             }
             Ok(Msg::Shutdown) | Err(_) => return,
@@ -599,6 +707,15 @@ fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
                 Msg::Density(reply) => {
                     let _ = reply.send(density_report(model));
                 }
+                msg @ (Msg::StreamOpen { .. }
+                | Msg::StreamFeed { .. }
+                | Msg::StreamClose { .. }) => {
+                    // A stream chunk touches the model (it runs at its
+                    // session's membranes), which is safe here: the open
+                    // batch has not started executing, and `serve_batch`
+                    // resets state before it does.
+                    serve_stream_msg(model, cfg, frame_shape, &mut streams, msg);
+                }
                 Msg::Shutdown => {
                     shutting_down = true;
                     break;
@@ -609,6 +726,34 @@ fn executor(model: &mut dyn Model, cfg: &EngineConfig, rx: &Receiver<Msg>) {
         if shutting_down {
             return;
         }
+    }
+}
+
+/// Serves one stream protocol message against the executor's session
+/// table, running eviction after every feed.
+fn serve_stream_msg(
+    model: &mut dyn Model,
+    cfg: &EngineConfig,
+    frame_shape: [usize; 3],
+    streams: &mut StreamTable,
+    msg: Msg,
+) {
+    match msg {
+        Msg::StreamOpen { id, opts } => {
+            streams.open(id, opts);
+        }
+        Msg::StreamFeed { id, chunk, reply } => {
+            let result = streams
+                .feed(model, cfg.timesteps, frame_shape, id, &chunk)
+                .map(|(update, _report)| update);
+            // Never evict the session just fed: its chunk was admitted.
+            streams.evict_to_bound(id);
+            let _ = reply.send(result);
+        }
+        Msg::StreamClose { id } => {
+            streams.close(id);
+        }
+        Msg::Job(_) | Msg::Density(_) | Msg::Shutdown => unreachable!("not a stream message"),
     }
 }
 

@@ -73,18 +73,45 @@
 //! simulated during QAT. [`plan_drift`] quotes the int8-vs-f32 logit
 //! drift and prediction agreement on a request set.
 
+//! ## Streaming sessions
+//!
+//! A live client (an event camera, a sensor) produces its timesteps
+//! incrementally. [`Session::open_stream`] / `ClusterSession::open_stream`
+//! pin a **stateful streaming session** to an executor: the LIF membrane
+//! state stays resident between chunks (moved, never copied), each
+//! [`StreamSession::feed`] advances the session by its chunk's timesteps
+//! at the correct *absolute* `t`, and every update carries the cumulative
+//! logits — an **any-time output**. The headline guarantee: feeding a
+//! `T`-timestep input in chunks of any sizes is **bit-identical, after
+//! every prefix,** to submitting it whole, on both the f32 and int8
+//! planes. An optional [`EarlyExit`] margin readout stops integrating
+//! once the cumulative top-1/top-2 logit gap clears a threshold —
+//! skipped timesteps are banked as MAC savings
+//! ([`StreamUpdate::macs_skipped`]). Cluster sessions are replica-pinned,
+//! count toward queue backpressure, may carry per-chunk deadlines, and
+//! their resident state is bounded (`ClusterConfig::stream_state_bytes` /
+//! `TTSNN_STREAM_STATE_BYTES`) by LRU eviction that provably never
+//! perturbs a surviving session's bits; [`metrics::SessionMetrics`]
+//! keeps it all observable. `crates/infer/tests/stream.rs` pins the
+//! whole contract.
+
 #![warn(missing_docs)]
 
 mod engine;
+mod stream;
 
 pub mod cluster;
 pub mod metrics;
 pub mod sched;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterSession, ClusterTicket};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterSession, ClusterStreamSession, ClusterStreamTicket,
+    ClusterTicket,
+};
 pub use engine::{
     plan_drift, ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanDrift, PlanInfo,
-    QuantInfo, QuantSpec, Session, SpikeDensityReport, Ticket,
+    QuantInfo, QuantSpec, Session, SpikeDensityReport, StreamSession, StreamTicket, Ticket,
 };
-pub use metrics::ClusterMetrics;
+pub use metrics::{ClusterMetrics, SessionMetrics};
 pub use sched::{Priority, SubmitError, SubmitOptions};
+pub use stream::{EarlyExit, StreamOptions, StreamUpdate};

@@ -109,6 +109,68 @@ pub struct PriorityStats {
     pub failed: u64,
 }
 
+/// Lifecycle and cost counters for **streaming sessions** (see
+/// `ClusterSession::open_stream`). Sessions pin LIF membrane state to a
+/// replica between chunks; these counters make that resident state — and
+/// what early exit saves — observable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionMetrics {
+    /// Sessions opened.
+    pub opened: u64,
+    /// Sessions closed by their handle (dropping a
+    /// `ClusterStreamSession`).
+    pub closed: u64,
+    /// Sessions whose resident state was evicted under the
+    /// `stream_state_bytes` bound — their later feeds fail with
+    /// [`crate::InferError::SessionEvicted`].
+    pub evicted: u64,
+    /// Chunks admitted into the queue (each counts toward the cluster's
+    /// `outstanding` backpressure bound while queued).
+    pub chunks_submitted: u64,
+    /// Chunks whose update was computed and delivered.
+    pub chunks_served: u64,
+    /// Chunks whose deadline passed while still queued — dropped with
+    /// [`crate::InferError::DeadlineExpired`]; the session itself is
+    /// untouched and may be fed again.
+    pub chunks_expired: u64,
+    /// Chunks rejected (malformed, overrunning the plan's timesteps, or
+    /// fed to a closed/evicted session).
+    pub chunks_failed: u64,
+    /// Timesteps actually executed across all sessions.
+    pub timesteps_executed: u64,
+    /// Timesteps skipped by early exit across all sessions.
+    pub timesteps_skipped: u64,
+    /// MACs spent on executed stream timesteps.
+    pub macs_executed: u64,
+    /// MACs avoided by early exit (what the skipped timesteps would have
+    /// cost).
+    pub macs_skipped: u64,
+    /// Live sessions per replica (index = replica).
+    pub active: Vec<usize>,
+    /// Resident membrane-state bytes per replica (index = replica).
+    pub resident_state_bytes: Vec<usize>,
+}
+
+impl SessionMetrics {
+    pub(crate) fn new(replicas: usize) -> Self {
+        Self {
+            active: vec![0; replicas],
+            resident_state_bytes: vec![0; replicas],
+            ..Self::default()
+        }
+    }
+
+    /// Live sessions across all replicas.
+    pub fn active_total(&self) -> usize {
+        self.active.iter().sum()
+    }
+
+    /// Resident membrane-state bytes across all replicas.
+    pub fn resident_bytes_total(&self) -> usize {
+        self.resident_state_bytes.iter().sum()
+    }
+}
+
 /// A consistent point-in-time snapshot of cluster activity — queue state,
 /// per-priority lifecycle counters, and batch-size / latency histograms.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +203,9 @@ pub struct ClusterMetrics {
     /// Spike density pooled over all layers of the same replica
     /// (weighted by neuron-steps), `None` before any batch executed.
     pub mean_spike_density: Option<f64>,
+    /// Streaming-session lifecycle, early-exit savings, and resident
+    /// state accounting.
+    pub sessions: SessionMetrics,
 }
 
 impl ClusterMetrics {
@@ -155,6 +220,7 @@ impl ClusterMetrics {
             latency: Histogram::new(&LATENCY_EDGES_SECS),
             spike_density: Vec::new(),
             mean_spike_density: None,
+            sessions: SessionMetrics::new(replicas),
         }
     }
 

@@ -41,7 +41,7 @@
 //! priorities global rather than per-replica.
 
 use std::cmp::{Ordering as CmpOrdering, Reverse};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -51,6 +51,7 @@ use ttsnn_tensor::Tensor;
 
 use crate::engine::InferError;
 use crate::metrics::ClusterMetrics;
+use crate::stream::{FeedReport, StreamOptions, StreamUpdate};
 
 /// Scheduling class of a request. Higher classes always form batches
 /// first; within a class the earliest deadline wins.
@@ -189,13 +190,65 @@ impl Ord for Job {
     }
 }
 
+/// One replica-pinned streaming command. Unlike batch jobs (any replica
+/// may serve any request), stream commands ride **per-replica FIFO
+/// queues**: a session's membranes live on exactly one replica, and its
+/// chunks must execute in feed order — reordering them would corrupt the
+/// stream, so stream chunks have no priority classes.
+pub(crate) enum StreamCmd {
+    /// Register a session on the replica.
+    Open {
+        /// Session id.
+        id: u64,
+        /// Early-exit policy, fixed for the session's lifetime.
+        opts: StreamOptions,
+    },
+    /// Execute (or, post-early-exit, skip) one chunk of timesteps.
+    Feed {
+        /// Session id.
+        id: u64,
+        /// `(C, H, W)` or `(n, C, H, W)` frames.
+        chunk: Tensor,
+        /// Absolute queueing deadline, if any: an expired chunk is
+        /// dropped with `DeadlineExpired` and **the session is
+        /// untouched** (no timestep was consumed).
+        deadline: Option<Instant>,
+        /// Where the any-time update (or the error) goes.
+        reply: Sender<Result<StreamUpdate, InferError>>,
+        /// Submission instant, for the latency histogram.
+        submitted: Instant,
+    },
+    /// Drop the session's resident state.
+    Close {
+        /// Session id.
+        id: u64,
+    },
+}
+
+/// What [`Scheduler::next_work`] hands a replica: a coalesced batch of
+/// whole-stream requests, or one replica-pinned stream command. Stream
+/// commands are served first — they are latency-sensitive (a live client
+/// is mid-stream) and cannot be stolen by another replica.
+pub(crate) enum Work {
+    /// A batch formed from the shared priority queue.
+    Batch(Vec<Job>),
+    /// The replica's next stream command.
+    Stream(StreamCmd),
+}
+
 struct State {
     /// Min-by-urgency via `Reverse` (`BinaryHeap` is a max-heap).
     queue: BinaryHeap<Reverse<Job>>,
-    /// Admitted, not yet terminal — the backpressure quantity.
+    /// Per-replica FIFO stream command queues (index = replica).
+    streams: Vec<VecDeque<StreamCmd>>,
+    /// Admitted, not yet terminal — the backpressure quantity. Stream
+    /// chunks count here too: a saturated queue pushes back on streaming
+    /// and whole-stream traffic alike.
     outstanding: usize,
     shutdown: bool,
     next_seq: u64,
+    /// Next session id, and the round-robin cursor for replica pinning.
+    next_stream_id: u64,
     metrics: ClusterMetrics,
 }
 
@@ -218,9 +271,11 @@ impl Scheduler {
             capacity,
             state: Mutex::new(State {
                 queue: BinaryHeap::new(),
+                streams: (0..replicas).map(|_| VecDeque::new()).collect(),
                 outstanding: 0,
                 shutdown: false,
                 next_seq: 0,
+                next_stream_id: 0,
                 metrics: ClusterMetrics::new(replicas),
             }),
             work: Condvar::new(),
@@ -321,21 +376,52 @@ impl Scheduler {
         None
     }
 
-    /// Blocks for the next batch: waits for a first live request, then
-    /// admits co-travellers until the batch holds `max_batch` requests or
-    /// `max_wait` has elapsed since it opened (`Duration` values too large
-    /// for `Instant` arithmetic, e.g. `Duration::MAX`, mean "hold until
-    /// full"). Returns `None` once the cluster shuts down; a shutdown
+    /// Pops the replica's next stream command, dropping expired feed
+    /// chunks on the way (their sessions stay intact — an expired chunk
+    /// consumed no timestep).
+    fn pop_stream(&self, st: &mut State, replica: usize, now: Instant) -> Option<StreamCmd> {
+        while let Some(cmd) = st.streams[replica].pop_front() {
+            if let StreamCmd::Feed { deadline, reply, .. } = &cmd {
+                if deadline.is_some_and(|d| now >= d) {
+                    let _ = reply.send(Err(InferError::DeadlineExpired));
+                    st.metrics.sessions.chunks_expired += 1;
+                    self.finish_one(st);
+                    continue;
+                }
+            }
+            return Some(cmd);
+        }
+        None
+    }
+
+    /// Blocks for the replica's next unit of work. Stream commands win:
+    /// they are replica-pinned, FIFO, and a waiting streaming client is
+    /// by definition mid-request. With no stream command pending, forms a
+    /// batch: waits for a first live request, then admits co-travellers
+    /// until the batch holds `max_batch` requests, `max_wait` has elapsed
+    /// since it opened (`Duration` values too large for `Instant`
+    /// arithmetic, e.g. `Duration::MAX`, mean "hold until full"), or a
+    /// stream command arrives for this replica (the batch closes early —
+    /// the already-admitted requests execute, then the stream command is
+    /// served). Returns `None` once the cluster shuts down; a shutdown
     /// mid-collection still returns the batch already admitted.
     ///
     /// Cancellation is re-checked when the batch closes, so a ticket
     /// dropped while its request sat in an open batch is still a
     /// cancellation, with a strong guarantee: a cancel that
     /// happened-before the batch closed is never executed.
-    pub(crate) fn next_batch(&self, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+    pub(crate) fn next_work(
+        &self,
+        replica: usize,
+        max_batch: usize,
+        max_wait: Duration,
+    ) -> Option<Work> {
         let mut st = self.lock();
         loop {
             let first = loop {
+                if let Some(cmd) = self.pop_stream(&mut st, replica, Instant::now()) {
+                    return Some(Work::Stream(cmd));
+                }
                 if let Some(job) = self.pop_live(&mut st, Instant::now()) {
                     break job;
                 }
@@ -346,7 +432,7 @@ impl Scheduler {
             };
             let mut batch = vec![first];
             let close_at = Instant::now().checked_add(max_wait);
-            while batch.len() < max_batch && !st.shutdown {
+            while batch.len() < max_batch && !st.shutdown && st.streams[replica].is_empty() {
                 if let Some(job) = self.pop_live(&mut st, Instant::now()) {
                     batch.push(job);
                     continue;
@@ -385,10 +471,104 @@ impl Scheduler {
                 true
             });
             if !batch.is_empty() {
-                return Some(batch);
+                return Some(Work::Batch(batch));
             }
             // Everything admitted was cancelled/expired: open a new batch.
         }
+    }
+
+    /// Opens a streaming session: assigns a cluster-unique id, pins it to
+    /// a replica round-robin, and queues the registration.
+    pub(crate) fn open_stream(&self, opts: StreamOptions) -> Result<(u64, usize), SubmitError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::Closed);
+        }
+        let id = st.next_stream_id;
+        st.next_stream_id += 1;
+        let replica = (id % st.streams.len() as u64) as usize;
+        st.streams[replica].push_back(StreamCmd::Open { id, opts });
+        st.metrics.sessions.opened += 1;
+        self.work.notify_all();
+        Ok((id, replica))
+    }
+
+    fn enqueue_stream_feed_locked(
+        &self,
+        st: &mut State,
+        replica: usize,
+        id: u64,
+        chunk: Tensor,
+        deadline: Option<Duration>,
+        reply: Sender<Result<StreamUpdate, InferError>>,
+    ) {
+        let now = Instant::now();
+        st.outstanding += 1;
+        st.metrics.sessions.chunks_submitted += 1;
+        st.streams[replica].push_back(StreamCmd::Feed {
+            id,
+            chunk,
+            // Unrepresentable deadlines (`Duration::MAX`) mean "never".
+            deadline: deadline.and_then(|d| now.checked_add(d)),
+            reply,
+            submitted: now,
+        });
+        self.work.notify_all();
+    }
+
+    /// Admits a stream chunk, blocking while the queue is saturated.
+    pub(crate) fn submit_stream_chunk(
+        &self,
+        replica: usize,
+        id: u64,
+        chunk: Tensor,
+        deadline: Option<Duration>,
+        reply: Sender<Result<StreamUpdate, InferError>>,
+    ) -> Result<(), SubmitError> {
+        let mut st = self.lock();
+        loop {
+            if st.shutdown {
+                return Err(SubmitError::Closed);
+            }
+            if st.outstanding < self.capacity {
+                self.enqueue_stream_feed_locked(&mut st, replica, id, chunk, deadline, reply);
+                return Ok(());
+            }
+            st = self.space.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Admits a stream chunk or fails fast — the backpressure edge for
+    /// streaming clients.
+    pub(crate) fn try_submit_stream_chunk(
+        &self,
+        replica: usize,
+        id: u64,
+        chunk: Tensor,
+        deadline: Option<Duration>,
+        reply: Sender<Result<StreamUpdate, InferError>>,
+    ) -> Result<(), SubmitError> {
+        let mut st = self.lock();
+        if st.shutdown {
+            return Err(SubmitError::Closed);
+        }
+        if st.outstanding >= self.capacity {
+            return Err(SubmitError::Saturated);
+        }
+        self.enqueue_stream_feed_locked(&mut st, replica, id, chunk, deadline, reply);
+        Ok(())
+    }
+
+    /// Queues a session close (from a `ClusterStreamSession` drop). Not a
+    /// backpressure subject: closes free memory, so they must never be
+    /// blocked by a saturated queue.
+    pub(crate) fn close_stream(&self, replica: usize, id: u64) {
+        let mut st = self.lock();
+        if st.shutdown {
+            return;
+        }
+        st.streams[replica].push_back(StreamCmd::Close { id });
+        self.work.notify_all();
     }
 
     /// Records one executed batch: per-request served counts and
@@ -421,6 +601,56 @@ impl Scheduler {
         self.finish_one(&mut st);
     }
 
+    /// Records one served stream chunk: execution/skip accounting plus
+    /// the submit→reply latency (stream chunks share the request latency
+    /// histogram — they are requests).
+    pub(crate) fn record_stream_chunk(&self, report: FeedReport, latency: Duration) {
+        let mut st = self.lock();
+        let s = &mut st.metrics.sessions;
+        s.chunks_served += 1;
+        s.timesteps_executed += report.executed;
+        s.timesteps_skipped += report.skipped;
+        s.macs_executed += report.macs_executed;
+        s.macs_skipped += report.macs_skipped;
+        st.metrics.latency.record(latency.as_secs_f64());
+        self.finish_one(&mut st);
+    }
+
+    /// Records a rejected stream chunk (malformed, overrun, or dead
+    /// session).
+    pub(crate) fn record_stream_failed(&self) {
+        let mut st = self.lock();
+        st.metrics.sessions.chunks_failed += 1;
+        self.finish_one(&mut st);
+    }
+
+    /// Records a replica's session-table state after it changed: live
+    /// sessions, resident bytes, and how many sessions the bound just
+    /// evicted.
+    pub(crate) fn record_stream_state(
+        &self,
+        replica: usize,
+        active: usize,
+        resident_bytes: usize,
+        evicted: u64,
+    ) {
+        let mut st = self.lock();
+        let s = &mut st.metrics.sessions;
+        s.active[replica] = active;
+        s.resident_state_bytes[replica] = resident_bytes;
+        s.evicted += evicted;
+    }
+
+    /// Records a session close served by a replica (`was_resident` is
+    /// false when the session had already been evicted — it was counted
+    /// then).
+    pub(crate) fn record_stream_closed(&self, was_resident: bool) {
+        if was_resident {
+            let mut st = self.lock();
+            st.metrics.sessions.closed += 1;
+        }
+    }
+
     /// Consistent snapshot for `Cluster::metrics`.
     pub(crate) fn metrics(&self) -> ClusterMetrics {
         let st = self.lock();
@@ -440,6 +670,18 @@ impl Scheduler {
         while st.queue.pop().is_some() {
             st.outstanding -= 1;
         }
+        // Queued stream commands are dropped too; only feeds hold a
+        // backpressure slot (their reply senders hang up, so waiting
+        // tickets report `InferError::EngineClosed`).
+        let mut streams = std::mem::take(&mut st.streams);
+        for q in &mut streams {
+            while let Some(cmd) = q.pop_front() {
+                if matches!(cmd, StreamCmd::Feed { .. }) {
+                    st.outstanding -= 1;
+                }
+            }
+        }
+        st.streams = streams;
         self.work.notify_all();
         self.space.notify_all();
     }
@@ -458,6 +700,16 @@ mod tests {
         Scheduler::new(capacity, 1)
     }
 
+    /// Batch-only pull for the pre-streaming tests (replica 0; panics on
+    /// stream work, which these tests never enqueue).
+    fn next_batch(s: &Scheduler, max_batch: usize, max_wait: Duration) -> Option<Vec<Job>> {
+        match s.next_work(0, max_batch, max_wait) {
+            Some(Work::Batch(b)) => Some(b),
+            Some(Work::Stream(_)) => panic!("unexpected stream work"),
+            None => None,
+        }
+    }
+
     #[test]
     fn pops_by_priority_then_deadline_then_fifo() {
         let s = sched(16);
@@ -474,7 +726,7 @@ mod tests {
         let _ = submit(Priority::Normal, Some(60_000)); // seq 2: deadlined beats FIFO
         let _ = submit(Priority::Normal, Some(30_000)); // seq 3: earlier deadline
         let _ = submit(Priority::High, None); // seq 4: class beats everything
-        let batch = s.next_batch(16, Duration::ZERO).unwrap();
+        let batch = next_batch(&s, 16, Duration::ZERO).unwrap();
         let order: Vec<u64> = batch.iter().map(|j| j.seq).collect();
         assert_eq!(order, vec![4, 3, 2, 1, 0]);
     }
@@ -493,7 +745,7 @@ mod tests {
         );
         // Outstanding counts until terminal, not until popped: forming a
         // batch alone must not admit more work...
-        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        let batch = next_batch(&s, 8, Duration::ZERO).unwrap();
         let (tx, _rx4) = channel();
         assert_eq!(
             s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
@@ -515,7 +767,7 @@ mod tests {
         cancel.store(true, Ordering::SeqCst);
         let (tx, _rx2) = channel();
         let _ = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
-        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        let batch = next_batch(&s, 8, Duration::ZERO).unwrap();
         assert_eq!(batch.len(), 1, "cancelled job must not reach an executor");
         let m = s.metrics();
         assert_eq!(m.priority(Priority::Normal).cancelled, 1);
@@ -531,7 +783,7 @@ mod tests {
         let (tx, _rx2) = channel();
         let _ = s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
         std::thread::sleep(Duration::from_millis(2));
-        let batch = s.next_batch(8, Duration::ZERO).unwrap();
+        let batch = next_batch(&s, 8, Duration::ZERO).unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(rx.recv().unwrap(), Err(InferError::DeadlineExpired));
         assert_eq!(s.metrics().priority(Priority::Normal).expired, 1);
@@ -546,7 +798,7 @@ mod tests {
             let s = Arc::clone(&s);
             // A worker asleep waiting for work (queue drained below before
             // it can look): must wake and exit on shutdown.
-            std::thread::spawn(move || s.next_batch(8, Duration::from_secs(60)))
+            std::thread::spawn(move || next_batch(&s, 8, Duration::from_secs(60)))
         };
         std::thread::sleep(Duration::from_millis(10));
         s.shutdown();

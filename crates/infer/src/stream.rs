@@ -1,0 +1,485 @@
+//! Stateful streaming sessions: the shared session-state machinery behind
+//! `Session::open_stream` (single engine) and
+//! `ClusterSession::open_stream` (cluster serving).
+//!
+//! # Why streaming needs state
+//!
+//! A whole-stream request hands the plan all `T` timesteps at once; the
+//! executor resets the LIF membranes, runs `t = 0..T`, and returns the
+//! time-summed logits. A **streaming client** — an event camera, a live
+//! sensor — produces those timesteps incrementally. The only state the
+//! inference plane carries between timesteps is the LIF membrane
+//! potential (`ttsnn_snn::InferState`), so a session is exactly: the
+//! membrane snapshot, the absolute timestep reached, and the running
+//! logit sum. Between chunks the state is **moved** out of the model
+//! ([`ttsnn_snn::InferForward::take_infer_state`]) and moved back in
+//! before the next chunk — no copies, no rounding — which is what makes
+//! the headline guarantee provable:
+//!
+//! > Feeding a `T`-timestep input in chunks of any sizes yields logits
+//! > **bit-identical** to submitting it whole, after every prefix.
+//!
+//! Normalization layers are stateless but TEBN's learned scales are
+//! indexed by **absolute** timestep, so each session tracks its absolute
+//! `t` and chunks execute at `t, t+1, …` — never restarting from 0.
+//!
+//! # Early exit
+//!
+//! With [`EarlyExit`] configured, the margin `top1 − top2` of the
+//! *cumulative* logits is checked after **every executed timestep** (not
+//! at chunk ends — the exit point must not depend on how the client
+//! chunked the stream). Once the margin clears the threshold at
+//! `t ≥ min_timesteps`, the session's readout freezes: remaining
+//! timesteps are skipped, accounted as [`StreamUpdate::macs_skipped`]
+//! via `SpikingModel::macs_at` — the anytime-inference MAC saving.
+//!
+//! # Bounded resident state
+//!
+//! Session state is real memory (one membrane set per session). A
+//! [`StreamTable`] enforces an optional byte bound by evicting the
+//! least-recently-fed sessions (never the one currently being served);
+//! an evicted session's later feeds fail with
+//! [`InferError::SessionEvicted`] — and eviction cannot perturb any
+//! surviving session's bits, because state is per-session and moved, not
+//! shared.
+
+use std::collections::HashMap;
+
+use ttsnn_snn::{InferState, Model};
+use ttsnn_tensor::{runtime, Tensor};
+
+use crate::engine::InferError;
+
+/// Spike-count-margin early-exit policy for streaming sessions: stop
+/// integrating once the cumulative logit margin `top1 − top2` reaches
+/// `margin` at or after `min_timesteps` executed timesteps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyExit {
+    /// Required margin between the best and second-best cumulative
+    /// logits.
+    pub margin: f32,
+    /// Never exit before this many timesteps have executed (≥ 1; 0 is
+    /// treated as 1).
+    pub min_timesteps: usize,
+}
+
+impl EarlyExit {
+    /// An early-exit policy with the given margin, allowed from the first
+    /// timestep on.
+    pub fn margin(margin: f32) -> Self {
+        Self { margin, min_timesteps: 1 }
+    }
+
+    /// Returns this policy with a minimum executed-timestep floor.
+    pub fn with_min_timesteps(mut self, min_timesteps: usize) -> Self {
+        self.min_timesteps = min_timesteps;
+        self
+    }
+}
+
+/// Per-session knobs fixed at `open_stream` time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StreamOptions {
+    /// Optional early-exit readout. `None` always integrates all
+    /// timesteps.
+    pub early_exit: Option<EarlyExit>,
+}
+
+impl StreamOptions {
+    /// Options with the given early-exit policy.
+    pub fn early_exit(policy: EarlyExit) -> Self {
+        Self { early_exit: Some(policy) }
+    }
+}
+
+/// The any-time answer after one accepted chunk: cumulative logits plus
+/// progress and MAC accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamUpdate {
+    /// Cumulative `(K,)` logits over every timestep executed so far — the
+    /// exact prefix sum a whole-stream request would have at this point.
+    pub logits: Tensor,
+    /// Absolute timesteps consumed so far (executed + skipped).
+    pub timesteps: usize,
+    /// Timesteps actually executed so far (≤ `timesteps`; they diverge
+    /// only after an early exit).
+    pub executed: usize,
+    /// `Some(t)` once the early-exit margin was reached after executing
+    /// timestep `t - 1`: the readout is frozen from `t` on.
+    pub exited_at: Option<usize>,
+    /// MACs spent executing timesteps so far.
+    pub macs_executed: u64,
+    /// MACs avoided by the early exit so far (what the skipped timesteps
+    /// would have cost, per `SpikingModel::macs_at`).
+    pub macs_skipped: u64,
+}
+
+/// One live session: membrane snapshot, absolute position, running sum.
+struct StreamState {
+    /// Membranes between chunks; `None` before the first executed
+    /// timestep and after an early exit (no more execution → no state).
+    state: Option<InferState>,
+    /// Absolute timestep reached (frames consumed, executed or skipped).
+    t: usize,
+    /// Timesteps actually executed.
+    executed: usize,
+    /// Running `(1, K)` logit sum over executed timesteps.
+    summed: Option<Tensor>,
+    /// Early-exit point, once reached.
+    exited_at: Option<usize>,
+    macs_executed: u64,
+    macs_skipped: u64,
+    early_exit: Option<EarlyExit>,
+    /// LRU clock value of the last feed (or open).
+    last_touch: u64,
+}
+
+impl StreamState {
+    /// Resident membrane bytes this session pins.
+    fn bytes(&self) -> usize {
+        self.state.as_ref().map_or(0, InferState::bytes)
+    }
+
+    fn update(&self) -> StreamUpdate {
+        let logits = match &self.summed {
+            Some(s) => Tensor::from_vec(s.data().to_vec(), &[s.len()]).expect("logit row"),
+            None => Tensor::zeros(&[0]),
+        };
+        StreamUpdate {
+            logits,
+            timesteps: self.t,
+            executed: self.executed,
+            exited_at: self.exited_at,
+            macs_executed: self.macs_executed,
+            macs_skipped: self.macs_skipped,
+        }
+    }
+}
+
+/// What a feed did to the table's accounting (for metrics reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct FeedReport {
+    /// Timesteps executed by this chunk.
+    pub(crate) executed: u64,
+    /// Timesteps skipped by this chunk (post-early-exit).
+    pub(crate) skipped: u64,
+    /// MACs spent by this chunk.
+    pub(crate) macs_executed: u64,
+    /// MACs avoided by this chunk.
+    pub(crate) macs_skipped: u64,
+}
+
+/// The executor-side session table: id → state, plus eviction accounting.
+/// One per engine executor / cluster replica; lives on the executor
+/// thread, so no locking.
+pub(crate) struct StreamTable {
+    sessions: HashMap<u64, StreamState>,
+    /// Ids evicted under memory pressure — kept to distinguish
+    /// [`InferError::SessionEvicted`] from [`InferError::SessionClosed`].
+    evicted: std::collections::HashSet<u64>,
+    /// Byte bound on resident membrane state; `None` is unbounded.
+    max_bytes: Option<usize>,
+    /// Monotonic LRU clock.
+    clock: u64,
+}
+
+impl StreamTable {
+    pub(crate) fn new(max_bytes: Option<usize>) -> Self {
+        Self {
+            sessions: HashMap::new(),
+            evicted: std::collections::HashSet::new(),
+            max_bytes,
+            clock: 0,
+        }
+    }
+
+    /// Registers a fresh session. An id is registered at most once (ids
+    /// come from a monotonic counter).
+    pub(crate) fn open(&mut self, id: u64, opts: StreamOptions) {
+        self.clock += 1;
+        self.sessions.insert(
+            id,
+            StreamState {
+                state: None,
+                t: 0,
+                executed: 0,
+                summed: None,
+                exited_at: None,
+                macs_executed: 0,
+                macs_skipped: 0,
+                early_exit: opts.early_exit,
+                last_touch: self.clock,
+            },
+        );
+    }
+
+    /// Drops a session's state. Returns whether it was resident.
+    pub(crate) fn close(&mut self, id: u64) -> bool {
+        self.evicted.remove(&id);
+        if let Some(st) = self.sessions.remove(&id) {
+            recycle_state(st);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total resident membrane bytes across all sessions.
+    pub(crate) fn resident_bytes(&self) -> usize {
+        self.sessions.values().map(StreamState::bytes).sum()
+    }
+
+    /// Live session count.
+    pub(crate) fn active(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Evicts least-recently-fed sessions until the resident bytes fit
+    /// the bound, never touching `protect` (the session just served).
+    /// Returns the number of sessions evicted.
+    pub(crate) fn evict_to_bound(&mut self, protect: u64) -> usize {
+        let Some(bound) = self.max_bytes else { return 0 };
+        let mut evicted = 0;
+        while self.resident_bytes() > bound {
+            let victim = self
+                .sessions
+                .iter()
+                .filter(|(&id, st)| id != protect && st.bytes() > 0)
+                .min_by_key(|(_, st)| st.last_touch)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else { break };
+            if let Some(st) = self.sessions.remove(&id) {
+                recycle_state(st);
+            }
+            self.evicted.insert(id);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Feeds one chunk into a session: executes its timesteps on `model`
+    /// (or skips them post-early-exit) and returns the any-time update
+    /// plus the accounting delta.
+    ///
+    /// # Errors
+    ///
+    /// [`InferError::SessionEvicted`] / [`InferError::SessionClosed`] for
+    /// dead ids, [`InferError::Shape`] for a malformed chunk or one that
+    /// overruns the plan's `timesteps`. The session (and every other
+    /// session) is untouched by a rejected chunk.
+    pub(crate) fn feed(
+        &mut self,
+        model: &mut dyn Model,
+        timesteps: usize,
+        frame_shape: [usize; 3],
+        id: u64,
+        chunk: &Tensor,
+    ) -> Result<(StreamUpdate, FeedReport), InferError> {
+        if self.evicted.contains(&id) {
+            return Err(InferError::SessionEvicted);
+        }
+        let Some(st) = self.sessions.get_mut(&id) else {
+            return Err(InferError::SessionClosed);
+        };
+        let n = validate_chunk(chunk, frame_shape).map_err(InferError::Shape)?;
+        if st.t + n > timesteps {
+            return Err(InferError::Shape(format!(
+                "stream chunk of {n} timesteps at position {} overruns the plan's {timesteps} \
+                 timesteps",
+                st.t
+            )));
+        }
+        self.clock += 1;
+        st.last_touch = self.clock;
+        let mut report = FeedReport::default();
+        if st.exited_at.is_some() {
+            // Readout frozen: consume the frames, bank the savings.
+            for i in 0..n {
+                report.macs_skipped += model.macs_at(st.t + i) as u64;
+            }
+            report.skipped = n as u64;
+            st.t += n;
+            st.macs_skipped += report.macs_skipped;
+            return Ok((st.update(), report));
+        }
+        run_chunk(model, st, chunk, frame_shape, n, &mut report)?;
+        Ok((st.update(), report))
+    }
+}
+
+/// Hands a closed/evicted session's buffers back to the arena.
+fn recycle_state(st: StreamState) {
+    if let Some(state) = st.state {
+        for m in state.into_membranes().into_iter().flatten() {
+            runtime::recycle_buffer(m.into_vec());
+        }
+    }
+    if let Some(s) = st.summed {
+        runtime::recycle_buffer(s.into_vec());
+    }
+}
+
+/// Executes `n` frames of `chunk` at the session's absolute position,
+/// checking the early-exit margin after every step.
+fn run_chunk(
+    model: &mut dyn Model,
+    st: &mut StreamState,
+    chunk: &Tensor,
+    frame_shape: [usize; 3],
+    n: usize,
+    report: &mut FeedReport,
+) -> Result<(), InferError> {
+    let [c, h, w] = frame_shape;
+    let frame_len = c * h * w;
+    // Install this session's membranes (a fresh session starts from the
+    // reset state, exactly like a whole-stream request's t = 0).
+    model.reset_state();
+    if let Some(state) = st.state.take() {
+        model
+            .restore_infer_state(state)
+            .map_err(|e| InferError::Shape(format!("stream state restore: {e}")))?;
+    }
+    let mut stack_buf = runtime::take_buffer(frame_len);
+    let mut exited_mid_chunk = false;
+    for i in 0..n {
+        let t = st.t + i;
+        if exited_mid_chunk {
+            report.skipped += 1;
+            report.macs_skipped += model.macs_at(t) as u64;
+            continue;
+        }
+        let offset = if chunk.ndim() == 4 { i * frame_len } else { 0 };
+        stack_buf.copy_from_slice(&chunk.data()[offset..offset + frame_len]);
+        let batch = Tensor::from_vec(std::mem::take(&mut stack_buf), &[1, c, h, w])
+            .expect("stream frame shape");
+        let step = model.forward_timestep_tensor(&batch, t);
+        stack_buf = batch.into_vec();
+        let logits = match step {
+            Ok(l) => l,
+            Err(e) => {
+                // Unreachable for validated chunks; poison the session
+                // rather than serve from half-advanced state.
+                model.reset_state();
+                runtime::recycle_buffer(stack_buf);
+                st.state = None;
+                return Err(InferError::Shape(e.to_string()));
+            }
+        };
+        match st.summed.as_mut() {
+            Some(s) => {
+                s.add_scaled(&logits, 1.0).expect("logit accumulation shape");
+                runtime::recycle_buffer(logits.into_vec());
+            }
+            None => st.summed = Some(logits),
+        }
+        report.executed += 1;
+        report.macs_executed += model.macs_at(t) as u64;
+        if let Some(ee) = st.early_exit {
+            if t + 1 >= ee.min_timesteps.max(1) {
+                let summed = st.summed.as_ref().expect("summed after a step");
+                if margin(summed.data()) >= ee.margin {
+                    st.exited_at = Some(t + 1);
+                    exited_mid_chunk = true;
+                }
+            }
+        }
+    }
+    runtime::recycle_buffer(stack_buf);
+    st.t += n;
+    st.executed += report.executed as usize;
+    st.macs_executed += report.macs_executed;
+    st.macs_skipped += report.macs_skipped;
+    if exited_mid_chunk {
+        // No further execution: drop the membranes back to the arena.
+        model.reset_state();
+        st.state = None;
+    } else {
+        st.state = Some(model.take_infer_state());
+    }
+    Ok(())
+}
+
+/// `top1 − top2` of a logit row (0.0 for fewer than two classes, so a
+/// 1-class plan never "exits" on vacuous confidence).
+fn margin(logits: &[f32]) -> f32 {
+    let (mut top1, mut top2) = (f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for &v in logits {
+        if v > top1 {
+            top2 = top1;
+            top1 = v;
+        } else if v > top2 {
+            top2 = v;
+        }
+    }
+    if top2 == f32::NEG_INFINITY {
+        0.0
+    } else {
+        top1 - top2
+    }
+}
+
+/// Validates a stream chunk — `(C, H, W)` (one frame) or `(n, C, H, W)`,
+/// `n ≥ 1`, all values finite — and returns its frame count.
+pub(crate) fn validate_chunk(chunk: &Tensor, frame_shape: [usize; 3]) -> Result<usize, String> {
+    let [c, h, w] = frame_shape;
+    let n = match chunk.ndim() {
+        3 if chunk.shape() == [c, h, w] => 1,
+        4 if chunk.shape()[1..] == [c, h, w] && chunk.shape()[0] >= 1 => chunk.shape()[0],
+        _ => {
+            return Err(format!(
+                "stream chunk {:?} does not match the plan: expected ({c}, {h}, {w}) or \
+                 (n, {c}, {h}, {w}) with n >= 1",
+                chunk.shape()
+            ))
+        }
+    };
+    if let Some(i) = chunk.data().iter().position(|v| !v.is_finite()) {
+        return Err(format!("stream chunk has a non-finite value at flat index {i}"));
+    }
+    Ok(n)
+}
+
+/// Resident-state byte bound from the `TTSNN_STREAM_STATE_BYTES`
+/// environment variable (unset, unparsable or 0 → unbounded).
+pub(crate) fn state_bytes_from_env() -> Option<usize> {
+    std::env::var("TTSNN_STREAM_STATE_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margin_is_top1_minus_top2() {
+        assert_eq!(margin(&[1.0, 4.0, 2.5]), 1.5);
+        assert_eq!(margin(&[-1.0, -3.0]), 2.0);
+        assert_eq!(margin(&[7.0]), 0.0);
+        assert_eq!(margin(&[]), 0.0);
+    }
+
+    #[test]
+    fn chunk_validation() {
+        let fs = [2, 3, 3];
+        assert_eq!(validate_chunk(&Tensor::zeros(&[2, 3, 3]), fs), Ok(1));
+        assert_eq!(validate_chunk(&Tensor::zeros(&[4, 2, 3, 3]), fs), Ok(4));
+        assert!(validate_chunk(&Tensor::zeros(&[3, 3]), fs).is_err());
+        assert!(validate_chunk(&Tensor::zeros(&[1, 3, 3]), fs).is_err());
+        let mut bad = Tensor::zeros(&[2, 3, 3]);
+        *bad.at_mut(&[0, 1, 1]) = f32::NAN;
+        assert!(validate_chunk(&bad, fs).unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn table_lifecycle_and_errors() {
+        let mut table = StreamTable::new(None);
+        table.open(1, StreamOptions::default());
+        assert_eq!(table.active(), 1);
+        assert_eq!(table.resident_bytes(), 0);
+        assert!(table.close(1));
+        assert!(!table.close(1));
+        assert_eq!(table.active(), 0);
+    }
+}

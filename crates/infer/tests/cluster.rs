@@ -12,7 +12,6 @@
 use std::time::Duration;
 
 use proptest::prelude::*;
-use ttsnn_autograd::Var;
 use ttsnn_core::TtMode;
 use ttsnn_infer::{
     ArchSpec, BatchPolicy, Cluster, ClusterConfig, EngineConfig, InferError, Priority, SubmitError,
@@ -20,45 +19,18 @@ use ttsnn_infer::{
 };
 use ttsnn_snn::{checkpoint, ConvPolicy, SpikingModel, TrainForward, VggConfig, VggSnn};
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::{drained_metrics, vgg9_tiny as vgg_cfg, vgg_checkpoint};
 
 const T: usize = 2;
 
-fn vgg_cfg() -> VggConfig {
-    VggConfig::vgg9(3, 5, (8, 8), 16)
-}
-
-/// Builds a model, checkpoints it, and returns (checkpoint, model).
-fn vgg_checkpoint(policy: &ConvPolicy, seed: u64) -> (Vec<u8>, VggSnn) {
-    let mut rng = Rng::seed_from(seed);
-    let model = VggSnn::new(vgg_cfg(), policy, &mut rng);
-    let mut ckpt = Vec::new();
-    checkpoint::save_params(&model.params(), &mut ckpt).unwrap();
-    (ckpt, model)
-}
-
 fn samples(seed: u64, n: usize) -> Vec<Tensor> {
-    let mut rng = Rng::seed_from(seed ^ 0x5A5A);
-    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+    ttsnn_testutil::samples(seed ^ 0x5A5A, n)
 }
 
 /// Reference: the training plane on a batch of one — per-sample summed
 /// logits under direct coding.
 fn train_plane_reference(model: &mut impl TrainForward, sample: &Tensor) -> Tensor {
-    model.reset_state();
-    let mut batched_shape = vec![1usize];
-    batched_shape.extend_from_slice(sample.shape());
-    let x = Var::constant(Tensor::from_vec(sample.data().to_vec(), &batched_shape).unwrap());
-    let mut sum: Option<Tensor> = None;
-    for t in 0..T {
-        let logits = model.forward_timestep(&x, t).unwrap().to_tensor();
-        match sum.as_mut() {
-            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
-            None => sum = Some(logits),
-        }
-    }
-    let s = sum.unwrap();
-    let k = s.shape()[1];
-    Tensor::from_vec(s.data().to_vec(), &[k]).unwrap()
+    ttsnn_testutil::train_plane_reference(model, sample, T)
 }
 
 fn cluster_config(
@@ -67,25 +39,7 @@ fn cluster_config(
     max_batch: usize,
     max_wait: Duration,
 ) -> ClusterConfig {
-    ClusterConfig::new(
-        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), policy, T)
-            .with_batching(BatchPolicy { max_batch, max_wait }),
-    )
-    .with_replicas(replicas)
-}
-
-/// Spins until every submitted request reached a terminal state (replies
-/// land a hair before the metrics record), then returns the snapshot.
-fn drained_metrics(cluster: &Cluster) -> ttsnn_infer::ClusterMetrics {
-    for _ in 0..1000 {
-        let m = cluster.metrics();
-        let t = m.totals();
-        if t.served + t.cancelled + t.expired + t.failed == t.submitted {
-            return m;
-        }
-        std::thread::sleep(Duration::from_millis(1));
-    }
-    panic!("cluster did not drain: {:?}", cluster.metrics().totals());
+    ttsnn_testutil::vgg_cluster_config(policy, T, replicas, max_batch, max_wait)
 }
 
 proptest! {

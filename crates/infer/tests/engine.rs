@@ -10,57 +10,26 @@
 use std::time::Duration;
 
 use proptest::prelude::*;
-use ttsnn_autograd::Var;
 use ttsnn_core::TtMode;
 use ttsnn_infer::{ArchSpec, BatchPolicy, Engine, EngineConfig, InferError};
-use ttsnn_snn::{
-    checkpoint, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainForward, VggConfig, VggSnn,
-};
+use ttsnn_snn::{checkpoint, ConvPolicy, ResNetConfig, ResNetSnn, SpikingModel, TrainForward};
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::{vgg9_tiny as vgg_cfg, vgg_checkpoint};
 
 const T: usize = 2;
 
-fn vgg_cfg() -> VggConfig {
-    VggConfig::vgg9(3, 5, (8, 8), 16)
-}
-
 fn resnet_cfg() -> ResNetConfig {
-    ResNetConfig::resnet20(4, (8, 8), 4)
-}
-
-/// Builds a model, checkpoints it, and returns (checkpoint, model).
-fn vgg_checkpoint(policy: &ConvPolicy, seed: u64) -> (Vec<u8>, VggSnn) {
-    let mut rng = Rng::seed_from(seed);
-    let model = VggSnn::new(vgg_cfg(), policy, &mut rng);
-    let mut ckpt = Vec::new();
-    checkpoint::save_params(&model.params(), &mut ckpt).unwrap();
-    (ckpt, model)
+    ttsnn_testutil::resnet20_tiny(4)
 }
 
 fn samples(seed: u64, n: usize) -> Vec<Tensor> {
-    let mut rng = Rng::seed_from(seed ^ 0xABCD);
-    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+    ttsnn_testutil::samples(seed ^ 0xABCD, n)
 }
 
 /// Reference: the training plane on a batch of one — per-sample summed
 /// logits under direct coding (frame repeated every timestep).
 fn train_plane_reference(model: &mut impl TrainForward, sample: &Tensor) -> Tensor {
-    model.reset_state();
-    // (C,H,W) -> (1,C,H,W)
-    let mut batched_shape = vec![1usize];
-    batched_shape.extend_from_slice(sample.shape());
-    let x = Var::constant(Tensor::from_vec(sample.data().to_vec(), &batched_shape).unwrap());
-    let mut sum: Option<Tensor> = None;
-    for t in 0..T {
-        let logits = model.forward_timestep(&x, t).unwrap().to_tensor();
-        match sum.as_mut() {
-            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
-            None => sum = Some(logits),
-        }
-    }
-    let s = sum.unwrap();
-    let k = s.shape()[1];
-    Tensor::from_vec(s.data().to_vec(), &[k]).unwrap()
+    ttsnn_testutil::train_plane_reference(model, sample, T)
 }
 
 proptest! {

@@ -21,31 +21,18 @@ use ttsnn_autograd::Var;
 use ttsnn_core::quant::fake_quant_int8;
 use ttsnn_core::TtMode;
 use ttsnn_data::{Batch, StaticImages};
-use ttsnn_infer::{
-    plan_drift, ArchSpec, BatchPolicy, Cluster, ClusterConfig, Engine, EngineConfig, QuantSpec,
-};
+use ttsnn_infer::{plan_drift, Cluster, ClusterConfig, Engine, EngineConfig, QuantSpec};
 use ttsnn_snn::quant::QuantConfig;
 use ttsnn_snn::{
-    checkpoint, train, ConvPolicy, ConvUnit, InferForward, InferStats, SpikingModel, TrainConfig,
-    VggConfig, VggSnn,
+    train, ConvPolicy, ConvUnit, InferForward, InferStats, SpikingModel, TrainConfig, VggSnn,
 };
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::{checkpoint_bytes, samples as calib_samples, vgg9_tiny as vgg_cfg};
 
 const T: usize = 2;
 
-fn vgg_cfg() -> VggConfig {
-    VggConfig::vgg9(3, 5, (8, 8), 16)
-}
-
-fn checkpoint_bytes(model: &VggSnn) -> Vec<u8> {
-    let mut bytes = Vec::new();
-    checkpoint::save_params(&model.params(), &mut bytes).unwrap();
-    bytes
-}
-
 fn calib_frames(n: usize, seed: u64) -> Vec<Tensor> {
-    let mut rng = Rng::seed_from(seed);
-    (0..n).map(|_| Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng)).collect()
+    calib_samples(seed, n)
 }
 
 fn engine_cfg() -> EngineConfig {
@@ -53,27 +40,13 @@ fn engine_cfg() -> EngineConfig {
 }
 
 fn engine_cfg_for(policy: ConvPolicy) -> EngineConfig {
-    EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), policy, T)
-        .with_batching(BatchPolicy { max_batch: 4, max_wait: Duration::from_millis(1) })
+    ttsnn_testutil::vgg_engine_config(policy, T, 4, Duration::from_millis(1))
 }
 
 /// Sum of per-timestep logits for one `(C, H, W)` frame on the inference
 /// plane — the reference the engine must match bit for bit.
 fn infer_logits(model: &mut VggSnn, frame: &Tensor) -> Tensor {
-    model.reset_state();
-    let mut shape = vec![1];
-    shape.extend_from_slice(frame.shape());
-    let input = Tensor::from_vec(frame.data().to_vec(), &shape).unwrap();
-    let mut summed: Option<Tensor> = None;
-    for t in 0..T {
-        let logits = model.forward_timestep_tensor(&input, t).unwrap();
-        match summed.as_mut() {
-            Some(s) => s.add_scaled(&logits, 1.0).unwrap(),
-            None => summed = Some(logits),
-        }
-    }
-    model.reset_state();
-    Tensor::from_vec(summed.unwrap().data().to_vec(), &[5]).unwrap()
+    ttsnn_testutil::infer_plane_reference(model, frame, T)
 }
 
 /// The frozen int8 plan executes exactly the weight grid that

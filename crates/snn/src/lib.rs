@@ -59,7 +59,7 @@ pub mod vgg;
 pub use conv_unit::{ConvPolicy, ConvUnit};
 pub use lif::{Lif, LifConfig};
 pub use loss::LossKind;
-pub use model::{InferForward, InferStats, Model, SpikingModel, TrainForward};
+pub use model::{InferForward, InferState, InferStats, Model, SpikingModel, TrainForward};
 pub use norm::{Norm, NormKind};
 pub use quant::{CalibStats, QuantConfig, QuantPlanWeights, QuantReport};
 pub use resnet::{ResNetConfig, ResNetSnn};

@@ -91,6 +91,25 @@ impl Lif {
         self.membrane.is_some() || self.membrane_tensor.is_some()
     }
 
+    /// Moves the **inference-plane** membrane out of the neuron (leaving it
+    /// stateless on that plane), or `None` if no tensor step has run since
+    /// the last reset. The buffer is moved, not copied, so restoring it
+    /// later resumes the unrolling with bit-identical state — the
+    /// foundation of the serving layer's streaming sessions.
+    pub fn take_state_tensor(&mut self) -> Option<Tensor> {
+        self.membrane_tensor.take()
+    }
+
+    /// Installs a previously [taken](Lif::take_state_tensor) inference-plane
+    /// membrane (or clears it with `None`). Any membrane currently held is
+    /// recycled to the runtime arena first.
+    pub fn restore_state_tensor(&mut self, membrane: Option<Tensor>) {
+        if let Some(old) = self.membrane_tensor.take() {
+            runtime::recycle_buffer(old.into_vec());
+        }
+        self.membrane_tensor = membrane;
+    }
+
     /// Mean spike activity observed since the last
     /// [`Lif::clear_activity`]: fired spikes / (neurons × steps). `None`
     /// if no step has run. This is the sparsity statistic SATA-style
@@ -355,6 +374,40 @@ mod tests {
         assert!(lif.has_state());
         lif.reset();
         assert!(!lif.has_state());
+    }
+
+    #[test]
+    fn take_restore_state_tensor_resumes_bitwise() {
+        let mut rng = Rng::seed_from(9);
+        let frames: Vec<Tensor> = (0..6).map(|_| Tensor::randn(&[2, 5], &mut rng)).collect();
+        // Reference: one uninterrupted unrolling.
+        let mut whole = Lif::new(LifConfig::default());
+        let expected: Vec<Tensor> =
+            frames.iter().map(|f| whole.step_tensor(f.clone()).unwrap()).collect();
+        // Same unrolling with a take/restore cycle at every boundary.
+        let mut chunked = Lif::new(LifConfig::default());
+        let mut saved = chunked.take_state_tensor();
+        for (f, want) in frames.iter().zip(&expected) {
+            chunked.restore_state_tensor(saved.take());
+            let got = chunked.step_tensor(f.clone()).unwrap();
+            assert_eq!(&got, want, "take/restore must not perturb a single bit");
+            saved = chunked.take_state_tensor();
+            assert!(!chunked.has_state(), "take must leave the tensor plane stateless");
+        }
+    }
+
+    #[test]
+    fn restore_replaces_existing_membrane() {
+        let mut lif = Lif::new(LifConfig::default());
+        lif.step_tensor(Tensor::full(&[1, 3], 0.3)).unwrap();
+        let saved = lif.take_state_tensor().unwrap();
+        // Drive the neuron to a different membrane, then restore the saved
+        // one: the next step must behave as if the detour never happened.
+        lif.step_tensor(Tensor::full(&[1, 3], 0.9)).unwrap();
+        lif.restore_state_tensor(Some(saved));
+        // membrane 0.3 -> u = 0.25*0.3 + 0.45 = 0.525 >= 0.5: fires.
+        let s = lif.step_tensor(Tensor::full(&[1, 3], 0.45)).unwrap();
+        assert_eq!(s.sum(), 3.0);
     }
 
     #[test]

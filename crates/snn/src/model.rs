@@ -115,6 +115,48 @@ pub trait TrainForward: SpikingModel {
     fn forward_timestep(&mut self, x: &Var, t: usize) -> Result<Var, ShapeError>;
 }
 
+/// A snapshot of a model's **inference-plane** recurrent state: every LIF
+/// layer's membrane tensor, in network order, moved (never copied) out of
+/// the model. This is what the serving layer pins per streaming session —
+/// take the state after a chunk, restore it before the next, and the
+/// resumed unrolling is **bit-identical** to one that never paused
+/// (pinned by `crates/snn/tests/stream_state.rs`).
+///
+/// The snapshot is `Send`: tensor-plane membranes are plain buffers, so a
+/// session's state can be handed between executor threads (unlike the
+/// `Var` plane, whose `Rc`-based graph handles never leave their thread).
+#[derive(Debug, Default)]
+pub struct InferState {
+    /// One entry per LIF layer, network order; `None` for layers that had
+    /// not stepped yet when the snapshot was taken.
+    membranes: Vec<Option<Tensor>>,
+}
+
+impl InferState {
+    /// Wraps per-layer membranes taken in network order (model-internal;
+    /// callers obtain snapshots via [`InferForward::take_infer_state`]).
+    pub fn from_membranes(membranes: Vec<Option<Tensor>>) -> Self {
+        Self { membranes }
+    }
+
+    /// Consumes the snapshot into its per-layer membranes, network order.
+    pub fn into_membranes(self) -> Vec<Option<Tensor>> {
+        self.membranes
+    }
+
+    /// Number of LIF layers the snapshot covers.
+    pub fn layers(&self) -> usize {
+        self.membranes.len()
+    }
+
+    /// Resident size of the snapshot's membrane buffers in bytes — what a
+    /// serving session's pinned state costs, and the quantity the cluster's
+    /// bounded-memory eviction accounts against.
+    pub fn bytes(&self) -> usize {
+        self.membranes.iter().flatten().map(|m| m.len() * std::mem::size_of::<f32>()).sum()
+    }
+}
+
 /// The **inference plane**: timestep forward on plain [`Tensor`]s.
 ///
 /// Implementations must allocate **zero autograd nodes** and route their
@@ -140,6 +182,23 @@ pub trait InferForward: SpikingModel {
 
     /// The currently selected inference-plane semantics.
     fn infer_stats(&self) -> InferStats;
+
+    /// Moves the inference-plane membrane state out of every LIF layer
+    /// (network order), leaving the model stateless on that plane — the
+    /// training (`Var`) plane and the activity counters are untouched.
+    /// Restoring the snapshot resumes the unrolling bit-identically.
+    fn take_infer_state(&mut self) -> InferState;
+
+    /// Installs a snapshot previously produced by
+    /// [`InferForward::take_infer_state`] on **the same architecture**,
+    /// replacing (and recycling) whatever membrane state the layers held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the snapshot's layer count does not match
+    /// this model (a snapshot from a different architecture); per-layer
+    /// shape mismatches surface at the next timestep forward.
+    fn restore_infer_state(&mut self, state: InferState) -> Result<(), ShapeError>;
 }
 
 /// A network usable on **both** execution planes — what the trainers

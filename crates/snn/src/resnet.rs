@@ -19,7 +19,9 @@ use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::{linear_tensor_mode, InferForward, InferStats, SpikingModel, TrainForward};
+use crate::model::{
+    linear_tensor_mode, InferForward, InferState, InferStats, SpikingModel, TrainForward,
+};
 use crate::norm::{Norm, NormKind};
 use crate::quant::{
     self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
@@ -550,6 +552,35 @@ impl InferForward for ResNetSnn {
 
     fn infer_stats(&self) -> InferStats {
         self.infer_stats
+    }
+
+    fn take_infer_state(&mut self) -> InferState {
+        // Same order as `reset_state` / `layer_spike_densities`: stem, then
+        // per block lif_a, lif_b.
+        let mut membranes = vec![self.stem_lif.take_state_tensor()];
+        for b in &mut self.blocks {
+            membranes.push(b.lif_a.take_state_tensor());
+            membranes.push(b.lif_b.take_state_tensor());
+        }
+        InferState::from_membranes(membranes)
+    }
+
+    fn restore_infer_state(&mut self, state: InferState) -> Result<(), ShapeError> {
+        let expected = 1 + 2 * self.blocks.len();
+        if state.layers() != expected {
+            return Err(ShapeError::new(format!(
+                "ResNetSnn::restore_infer_state: snapshot covers {} LIF layers, model has \
+                 {expected}",
+                state.layers()
+            )));
+        }
+        let mut membranes = state.into_membranes().into_iter();
+        self.stem_lif.restore_state_tensor(membranes.next().unwrap());
+        for b in &mut self.blocks {
+            b.lif_a.restore_state_tensor(membranes.next().unwrap());
+            b.lif_b.restore_state_tensor(membranes.next().unwrap());
+        }
+        Ok(())
     }
 }
 

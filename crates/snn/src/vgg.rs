@@ -12,7 +12,9 @@ use ttsnn_tensor::{pool, runtime, Rng, ShapeError, Tensor};
 
 use crate::conv_unit::{ConvPolicy, ConvUnit};
 use crate::lif::{Lif, LifConfig};
-use crate::model::{linear_tensor_mode, InferForward, InferStats, SpikingModel, TrainForward};
+use crate::model::{
+    linear_tensor_mode, InferForward, InferState, InferStats, SpikingModel, TrainForward,
+};
 use crate::norm::{Norm, NormKind};
 use crate::quant::{
     self, calibration_frame_at, CalibRecorder, CalibStats, QuantConfig, QuantLinear,
@@ -433,6 +435,26 @@ impl InferForward for VggSnn {
 
     fn infer_stats(&self) -> InferStats {
         self.infer_stats
+    }
+
+    fn take_infer_state(&mut self) -> InferState {
+        InferState::from_membranes(
+            self.layers.iter_mut().map(|l| l.lif.take_state_tensor()).collect(),
+        )
+    }
+
+    fn restore_infer_state(&mut self, state: InferState) -> Result<(), ShapeError> {
+        if state.layers() != self.layers.len() {
+            return Err(ShapeError::new(format!(
+                "VggSnn::restore_infer_state: snapshot covers {} LIF layers, model has {}",
+                state.layers(),
+                self.layers.len()
+            )));
+        }
+        for (layer, membrane) in self.layers.iter_mut().zip(state.into_membranes()) {
+            layer.lif.restore_state_tensor(membrane);
+        }
+        Ok(())
     }
 }
 

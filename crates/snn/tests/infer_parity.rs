@@ -23,10 +23,9 @@ use ttsnn_autograd::{nodes_created, Var};
 use ttsnn_core::TtMode;
 use ttsnn_data::StaticImages;
 use ttsnn_snn::trainer::{evaluate, evaluate_counts, forward_batch};
-use ttsnn_snn::{
-    ConvPolicy, InferStats, Model, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn,
-};
+use ttsnn_snn::{ConvPolicy, InferStats, Model, ResNetSnn, SpikingModel, VggSnn};
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::{resnet20_tiny, vgg9_tiny};
 
 const TIMESTEPS: usize = 3;
 
@@ -35,9 +34,9 @@ fn builds(seed: u64) -> Vec<(String, Box<dyn Model>)> {
     let mut rng = Rng::seed_from(seed);
     let mut out: Vec<(String, Box<dyn Model>)> = Vec::new();
     for policy in [ConvPolicy::Baseline, ConvPolicy::tt(TtMode::Ptt)] {
-        let vgg = VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &policy, &mut rng);
+        let vgg = VggSnn::new(vgg9_tiny(), &policy, &mut rng);
         out.push((vgg.name(), Box::new(vgg)));
-        let res = ResNetSnn::new(ResNetConfig::resnet20(5, (8, 8), 4), &policy, &mut rng);
+        let res = ResNetSnn::new(resnet20_tiny(5), &policy, &mut rng);
         out.push((res.name(), Box::new(res)));
     }
     out
@@ -215,14 +214,9 @@ fn evaluate_pins_batch_stats_and_restores_mode() {
 fn merged_dense_models_keep_plane_parity() {
     let mut rng = Rng::seed_from(13);
     let input = frames(13, 3);
-    let mut vgg =
-        VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    let mut vgg = VggSnn::new(vgg9_tiny(), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
     vgg.merge_into_dense().unwrap();
-    let mut res = ResNetSnn::new(
-        ResNetConfig::resnet20(5, (8, 8), 4),
-        &ConvPolicy::tt(TtMode::Stt),
-        &mut rng,
-    );
+    let mut res = ResNetSnn::new(resnet20_tiny(5), &ConvPolicy::tt(TtMode::Stt), &mut rng);
     res.merge_into_dense().unwrap();
     let mut models: Vec<(String, Box<dyn Model>)> =
         vec![(vgg.name(), Box::new(vgg)), (res.name(), Box::new(res))];

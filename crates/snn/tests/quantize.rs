@@ -10,6 +10,7 @@ use ttsnn_snn::{
 };
 use ttsnn_tensor::qkernels::QAccum;
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::vgg9_tiny;
 
 const T: usize = 2;
 
@@ -40,7 +41,7 @@ fn infer_logits(model: &mut dyn InferForward, frame: &Tensor) -> Tensor {
 #[test]
 fn vgg_calibrate_quantize_serve() {
     let mut rng = Rng::seed_from(1);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     let frames = calib_frames(3, 8, 4, 2);
     let float_params = net.num_params();
@@ -87,7 +88,7 @@ fn vgg_calibrate_quantize_serve() {
 #[test]
 fn quantize_requires_merge_first() {
     let mut rng = Rng::seed_from(3);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::tt(TtMode::Ptt), &mut rng);
     let frames = calib_frames(3, 8, 2, 4);
     let calib = net.calibrate(&frames, T).unwrap();
@@ -123,7 +124,7 @@ fn resnet_tt_merge_quantize_and_site_count() {
 #[test]
 fn stale_calibration_is_rejected() {
     let mut rng = Rng::seed_from(7);
-    let mut small = VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &ConvPolicy::Baseline, &mut rng);
+    let mut small = VggSnn::new(vgg9_tiny(), &ConvPolicy::Baseline, &mut rng);
     let mut rn =
         ResNetSnn::new(ResNetConfig::resnet18(5, (8, 8), 16), &ConvPolicy::Baseline, &mut rng);
     let frames = calib_frames(3, 8, 2, 8);
@@ -136,7 +137,7 @@ fn stale_calibration_is_rejected() {
 #[test]
 fn plan_export_install_is_bit_exact_and_shares_storage() {
     let mut rng = Rng::seed_from(9);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut a = VggSnn::new(cfg.clone(), &ConvPolicy::Baseline, &mut rng);
     let mut ckpt = Vec::new();
     checkpoint::save_params(&a.params(), &mut ckpt).unwrap();
@@ -171,7 +172,7 @@ fn plan_export_install_is_bit_exact_and_shares_storage() {
 #[test]
 fn saturating_accumulator_mode_threads_through() {
     let mut rng = Rng::seed_from(11);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     let frames = calib_frames(3, 8, 2, 12);
     let calib = net.calibrate(&frames, T).unwrap();
@@ -187,7 +188,7 @@ fn saturating_accumulator_mode_threads_through() {
 #[test]
 fn failed_quantize_leaves_model_untouched_and_retryable() {
     let mut rng = Rng::seed_from(13);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     let frames = calib_frames(3, 8, 2, 14);
     let calib = net.calibrate(&frames, T).unwrap();
@@ -211,7 +212,7 @@ fn failed_quantize_leaves_model_untouched_and_retryable() {
 fn mismatched_plan_install_leaves_model_untouched() {
     let mut rng = Rng::seed_from(17);
     // Plan frozen for a 5-class model...
-    let cfg5 = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg5 = vgg9_tiny();
     let mut a = VggSnn::new(cfg5, &ConvPolicy::Baseline, &mut rng);
     let frames = calib_frames(3, 8, 2, 18);
     let calib = a.calibrate(&frames, T).unwrap();

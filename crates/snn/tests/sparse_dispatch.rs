@@ -11,11 +11,10 @@
 //! `8`, extending the invariance across the thread-count matrix.
 
 use ttsnn_snn::quant::QuantConfig;
-use ttsnn_snn::{
-    ConvPolicy, InferForward, InferStats, ResNetConfig, ResNetSnn, SpikingModel, VggConfig, VggSnn,
-};
+use ttsnn_snn::{ConvPolicy, InferForward, InferStats, ResNetSnn, SpikingModel, VggSnn};
 use ttsnn_tensor::spike::SparseMode;
 use ttsnn_tensor::{Rng, Tensor};
+use ttsnn_testutil::{resnet20_tiny, vgg9_tiny};
 
 const T: usize = 3;
 
@@ -83,7 +82,7 @@ where
 #[test]
 fn vgg_f32_dispatch_modes_are_bit_identical() {
     let mut rng = Rng::seed_from(11);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     // Densities straddling SPARSE_DENSITY_THRESHOLD, plus analog input.
     for (i, density) in [0.05f32, 0.6].iter().enumerate() {
@@ -97,7 +96,7 @@ fn vgg_f32_dispatch_modes_are_bit_identical() {
 #[test]
 fn resnet_f32_dispatch_modes_are_bit_identical() {
     let mut rng = Rng::seed_from(12);
-    let cfg = ResNetConfig::resnet20(5, (8, 8), 4);
+    let cfg = resnet20_tiny(5);
     let mut net = ResNetSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     for (i, density) in [0.05f32, 0.6].iter().enumerate() {
         let frames = spike_frames(3, 8, 3, *density, 200 + i as u64);
@@ -110,7 +109,7 @@ fn resnet_f32_dispatch_modes_are_bit_identical() {
 #[test]
 fn vgg_int8_dispatch_modes_are_bit_identical() {
     let mut rng = Rng::seed_from(13);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     let frames = spike_frames(3, 8, 3, 0.15, 300);
     let calib = net.calibrate(&frames, T).unwrap();
@@ -123,7 +122,7 @@ fn vgg_int8_dispatch_modes_are_bit_identical() {
 #[test]
 fn resnet_int8_dispatch_modes_are_bit_identical() {
     let mut rng = Rng::seed_from(14);
-    let cfg = ResNetConfig::resnet20(5, (8, 8), 4);
+    let cfg = resnet20_tiny(5);
     let mut net = ResNetSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     let frames = spike_frames(3, 8, 3, 0.15, 400);
     let calib = net.calibrate(&frames, T).unwrap();
@@ -134,7 +133,7 @@ fn resnet_int8_dispatch_modes_are_bit_identical() {
 #[test]
 fn layer_spike_densities_are_measured_and_bounded() {
     let mut rng = Rng::seed_from(15);
-    let cfg = VggConfig::vgg9(3, 5, (8, 8), 16);
+    let cfg = vgg9_tiny();
     let mut net = VggSnn::new(cfg, &ConvPolicy::Baseline, &mut rng);
     assert!(
         net.layer_spike_densities().iter().all(|&d| d == 0.0),
@@ -153,7 +152,7 @@ fn layer_spike_densities_are_measured_and_bounded() {
 #[test]
 fn sparse_mode_override_defaults_to_env_resolution() {
     let mut rng = Rng::seed_from(16);
-    let mut net = VggSnn::new(VggConfig::vgg9(3, 5, (8, 8), 16), &ConvPolicy::Baseline, &mut rng);
+    let mut net = VggSnn::new(vgg9_tiny(), &ConvPolicy::Baseline, &mut rng);
     // No override: resolves from the process environment.
     assert_eq!(net.sparse_dispatch_mode(), ttsnn_tensor::spike::sparse_mode());
     net.set_sparse_mode(Some(SparseMode::Force));

@@ -45,7 +45,7 @@ use ttsnn_tensor::{runtime, Rng, Tensor};
 
 use crate::engine::{self, ArchSpec, EngineConfig, InferError, PlanInfo, QuantSpec};
 use crate::metrics::ClusterMetrics;
-use crate::sched::{Scheduler, StreamCmd, SubmitError, SubmitOptions, Work};
+use crate::sched::{FairPolicy, Scheduler, StreamCmd, SubmitError, SubmitOptions, Work};
 use crate::stream::{self, StreamOptions, StreamTable, StreamUpdate};
 use std::time::Duration;
 
@@ -73,6 +73,11 @@ pub struct ClusterConfig {
     /// `TTSNN_STREAM_STATE_BYTES` environment default when unset) is
     /// unbounded.
     pub stream_state_bytes: Option<usize>,
+    /// Opt-in overload control: per-tenant weighted fair queueing with
+    /// token-bucket rate limits (see [`FairPolicy`]). `None` (the
+    /// default) keeps the original strict-priority discipline, under
+    /// which sustained `High` traffic starves `Low`.
+    pub fair: Option<FairPolicy>,
 }
 
 impl ClusterConfig {
@@ -84,7 +89,15 @@ impl ClusterConfig {
             num_replicas: Self::replicas_from_env(),
             queue_capacity: 1024,
             stream_state_bytes: stream::state_bytes_from_env(),
+            fair: None,
         }
+    }
+
+    /// Enables per-tenant weighted fair queueing + rate limiting under
+    /// the given policy.
+    pub fn with_fair(mut self, fair: FairPolicy) -> Self {
+        self.fair = Some(fair);
+        self
     }
 
     /// Overrides the replica count.
@@ -435,11 +448,14 @@ impl Cluster {
         if config.queue_capacity == 0 {
             return Err(invalid("ClusterConfig.queue_capacity must be at least 1".into()));
         }
+        if let Some(fair) = &config.fair {
+            fair.validate().map_err(invalid)?;
+        }
         let mut bytes = Vec::new();
         checkpoint.read_to_end(&mut bytes)?;
 
         let replicas = config.num_replicas;
-        let sched = Arc::new(Scheduler::new(config.queue_capacity, replicas));
+        let sched = Arc::new(Scheduler::new(config.queue_capacity, replicas, config.fair.clone()));
         let mut handles = Vec::with_capacity(replicas);
 
         // Replica 0: the plan builder. Loads + merges (+ calibrates and
@@ -708,7 +724,7 @@ fn serve_cluster_batch(
             Ok(()) => accepted.push(job),
             Err(msg) => {
                 let _ = job.reply.send(Err(InferError::Shape(msg)));
-                sched.record_failed(job.priority);
+                sched.record_failed(job.priority, job.tenant);
             }
         }
     }
@@ -724,7 +740,7 @@ fn serve_cluster_batch(
                 let row = summed.data()[i * k..(i + 1) * k].to_vec();
                 let logits = Tensor::from_vec(row, &[k]).expect("logit row shape");
                 let _ = job.reply.send(Ok(logits));
-                served.push((job.priority, job.submitted.elapsed()));
+                served.push((job.priority, job.tenant, job.submitted.elapsed()));
             }
             let batch_size = accepted.len();
             runtime::recycle_buffer(summed.into_vec());
@@ -736,7 +752,7 @@ fn serve_cluster_batch(
             // Should be unreachable after validation; fail the batch.
             for job in accepted {
                 let _ = job.reply.send(Err(InferError::Shape(e.clone())));
-                sched.record_failed(job.priority);
+                sched.record_failed(job.priority, job.tenant);
             }
         }
     }

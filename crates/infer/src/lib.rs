@@ -112,6 +112,8 @@ pub use engine::{
     plan_drift, ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanDrift, PlanInfo,
     QuantInfo, QuantSpec, Session, SpikeDensityReport, StreamSession, StreamTicket, Ticket,
 };
-pub use metrics::{ClusterMetrics, SessionMetrics};
-pub use sched::{Priority, SubmitError, SubmitOptions};
+pub use metrics::{ClusterMetrics, SessionMetrics, TenantStats};
+pub use sched::{
+    FairPolicy, Priority, RateLimit, RejectInfo, SubmitError, SubmitOptions, TenantId, TenantPolicy,
+};
 pub use stream::{EarlyExit, StreamOptions, StreamUpdate};

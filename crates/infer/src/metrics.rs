@@ -9,7 +9,9 @@
 //! away — histograms keep full fixed-edge bucket counts so p50/p99 can be
 //! read off at any time.
 
-use crate::sched::Priority;
+use std::collections::BTreeMap;
+
+use crate::sched::{Priority, TenantId};
 
 /// Upper bucket edges (in **seconds**) of the request latency histogram:
 /// 100 µs to 10 s, roughly 2.5× apart, plus an implicit overflow bucket.
@@ -47,6 +49,11 @@ impl Histogram {
     /// Total number of recorded observations.
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all recorded observations (the Prometheus `_sum` series).
+    pub fn sum(&self) -> f64 {
+        self.sum
     }
 
     /// Mean of all recorded observations (0.0 when empty).
@@ -107,6 +114,38 @@ pub struct PriorityStats {
     /// Requests rejected by plan shape validation (failed their own
     /// ticket, not their batch).
     pub failed: u64,
+}
+
+/// Lifecycle counters for one tenant — the accounting behind per-tenant
+/// fair queueing and rate limiting (see `ttsnn_infer::sched::FairPolicy`).
+/// Unlike [`PriorityStats`], rejected admissions are counted here too:
+/// rejections are exactly what an overloaded tenant's operator needs to
+/// see.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests whose logits were computed and delivered.
+    pub served: u64,
+    /// Requests cancelled while queued (ticket dropped).
+    pub cancelled: u64,
+    /// Requests whose deadline passed while queued.
+    pub expired: u64,
+    /// Requests rejected by plan shape validation.
+    pub failed: u64,
+    /// `try_submit` rejections while the queue was at capacity
+    /// (never admitted — not part of `submitted`).
+    pub rejected_saturated: u64,
+    /// Submissions rejected by the tenant's token-bucket rate limit
+    /// (never admitted — not part of `submitted`).
+    pub rejected_rate_limited: u64,
+}
+
+impl TenantStats {
+    /// All rejections at admission (saturation + rate limiting).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_saturated + self.rejected_rate_limited
+    }
 }
 
 /// Lifecycle and cost counters for **streaming sessions** (see
@@ -206,6 +245,9 @@ pub struct ClusterMetrics {
     /// Streaming-session lifecycle, early-exit savings, and resident
     /// state accounting.
     pub sessions: SessionMetrics,
+    /// Per-tenant lifecycle counters, keyed by tenant id. A tenant
+    /// appears after its first submission (or rejection).
+    pub tenants: BTreeMap<TenantId, TenantStats>,
 }
 
 impl ClusterMetrics {
@@ -221,6 +263,7 @@ impl ClusterMetrics {
             spike_density: Vec::new(),
             mean_spike_density: None,
             sessions: SessionMetrics::new(replicas),
+            tenants: BTreeMap::new(),
         }
     }
 
@@ -231,6 +274,16 @@ impl ClusterMetrics {
 
     pub(crate) fn priority_mut(&mut self, p: Priority) -> &mut PriorityStats {
         &mut self.per_priority[p.index()]
+    }
+
+    /// The lifecycle counters of one tenant (zeros if it never
+    /// submitted).
+    pub fn tenant(&self, t: TenantId) -> TenantStats {
+        self.tenants.get(&t).copied().unwrap_or_default()
+    }
+
+    pub(crate) fn tenant_mut(&mut self, t: TenantId) -> &mut TenantStats {
+        self.tenants.entry(t).or_default()
     }
 
     /// Lifecycle counters summed over all priority classes.

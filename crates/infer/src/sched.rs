@@ -3,13 +3,30 @@
 //!
 //! # Queueing discipline
 //!
-//! Requests carry a [`Priority`] class and an optional relative deadline
-//! ([`SubmitOptions`]). Batch formation pops the most urgent live request
-//! first: strictly by priority class, **earliest-deadline-first within a
-//! class** (deadline-less requests rank after any deadlined one, FIFO among
-//! themselves). A single binary heap over the composite key
-//! `(priority, deadline, sequence)` implements this in `O(log n)` per
-//! operation.
+//! Requests carry a [`Priority`] class, a [`TenantId`] and an optional
+//! relative deadline ([`SubmitOptions`]). By default batch formation pops
+//! the most urgent live request first: strictly by priority class,
+//! **earliest-deadline-first within a class** (deadline-less requests
+//! rank after any deadlined one, FIFO among themselves). A single binary
+//! heap over the composite key `(priority, deadline, sequence)`
+//! implements this in `O(log n)` per operation.
+//!
+//! # Overload control (opt-in)
+//!
+//! Strict priority is the right default for an uncontended cluster, but
+//! under sustained overload it starves: a flood of `High` requests delays
+//! `Low` indefinitely, and one hot tenant can crowd out everyone.
+//! Configuring a [`FairPolicy`] (`ClusterConfig::with_fair`) switches the
+//! batch queue to **per-tenant weighted fair queueing**: every
+//! `(tenant, priority)` pair is a flow weighted
+//! `tenant.weight × priority_weights[class]`, served by a self-clocked
+//! virtual-finish-time clock (SCFQ), EDF within each flow. Each flow's
+//! share of executor slots converges to its weight fraction, so `High`
+//! still dominates but `Low`'s wait is bounded, and tenants get their
+//! weighted share. Token buckets ([`RateLimit`]) shed per-tenant overload
+//! at admission with [`SubmitError::RateLimited`]. Scheduling order never
+//! affects any request's logits — the bit-determinism contract is
+//! independent of the discipline.
 //!
 //! # Cancellation and expiry
 //!
@@ -41,7 +58,7 @@
 //! priorities global rather than per-replica.
 
 use std::cmp::{Ordering as CmpOrdering, Reverse};
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
@@ -52,6 +69,10 @@ use ttsnn_tensor::Tensor;
 use crate::engine::InferError;
 use crate::metrics::ClusterMetrics;
 use crate::stream::{FeedReport, StreamOptions, StreamUpdate};
+
+/// Identity of the client a request is accounted (and fair-queued)
+/// against. Tenant `0` is the default for callers that never set one.
+pub type TenantId = u32;
 
 /// Scheduling class of a request. Higher classes always form batches
 /// first; within a class the earliest deadline wins.
@@ -96,12 +117,17 @@ pub struct SubmitOptions {
     /// `None` (default) never expires. Values too large to represent as an
     /// absolute instant (e.g. `Duration::MAX`) behave like `None`.
     pub deadline: Option<Duration>,
+    /// Which tenant the request is accounted against (`0` by default).
+    /// Under a [`FairPolicy`] the tenant selects the request's fair-queue
+    /// flow and token bucket; without one it only labels the per-tenant
+    /// metrics.
+    pub tenant: TenantId,
 }
 
 impl SubmitOptions {
     /// Options with the given priority and no deadline.
     pub fn priority(priority: Priority) -> Self {
-        Self { priority, deadline: None }
+        Self { priority, ..Self::default() }
     }
 
     /// Returns these options with a relative deadline set.
@@ -109,6 +135,27 @@ impl SubmitOptions {
         self.deadline = Some(deadline);
         self
     }
+
+    /// Returns these options with the tenant id set.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+/// Context attached to a [`SubmitError::Saturated`] / `RateLimited`
+/// rejection so ingress layers can answer with a structured retry-after
+/// instead of a generic 503.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectInfo {
+    /// The tenant whose submission was rejected.
+    pub tenant: TenantId,
+    /// The rejected request's priority class.
+    pub priority: Priority,
+    /// Suggested client back-off before retrying. For saturation this is
+    /// derived from the cluster's measured mean service latency; for rate
+    /// limiting it is the time until the tenant's token bucket refills.
+    pub retry_after: Duration,
 }
 
 /// Why a submission was not admitted.
@@ -116,22 +163,225 @@ impl SubmitOptions {
 pub enum SubmitError {
     /// The bounded queue is full ([`try_submit`](crate::ClusterSession::try_submit)
     /// only): shed the request or retry later — this is the backpressure
-    /// signal.
-    Saturated,
+    /// signal. Carries the rejected request's tenant/priority and a
+    /// retry-after hint.
+    Saturated(RejectInfo),
+    /// The tenant's token bucket is empty under the cluster's
+    /// [`FairPolicy`] rate limit. Carries the time until a token refills.
+    RateLimited(RejectInfo),
     /// The cluster has shut down.
     Closed,
+}
+
+impl SubmitError {
+    /// The rejection context, when the error carries one (`Saturated` and
+    /// `RateLimited`; `Closed` has none).
+    pub fn reject_info(&self) -> Option<RejectInfo> {
+        match self {
+            SubmitError::Saturated(info) | SubmitError::RateLimited(info) => Some(*info),
+            SubmitError::Closed => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Saturated => write!(f, "cluster queue is saturated (backpressure)"),
+            SubmitError::Saturated(info) => write!(
+                f,
+                "cluster queue is saturated (backpressure; tenant {}, retry after {:?})",
+                info.tenant, info.retry_after
+            ),
+            SubmitError::RateLimited(info) => write!(
+                f,
+                "tenant {} is rate-limited (retry after {:?})",
+                info.tenant, info.retry_after
+            ),
             SubmitError::Closed => write!(f, "cluster has shut down"),
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Per-tenant token-bucket rate limit (requests per second plus burst
+/// headroom). A tenant with an empty bucket is rejected at submission
+/// with [`SubmitError::RateLimited`] — overload is shed at admission,
+/// before it can queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Sustained admission rate, in requests per second (> 0).
+    pub per_sec: f64,
+    /// Bucket capacity: how many requests may be admitted in a burst
+    /// before the sustained rate gates (≥ 1).
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `per_sec` sustained requests/s with `burst` headroom.
+    pub fn new(per_sec: f64, burst: f64) -> Self {
+        Self { per_sec, burst }
+    }
+}
+
+/// One tenant's share of the cluster under a [`FairPolicy`]: its
+/// weighted-fair-queueing weight and optional token-bucket rate limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// WFQ weight (> 0): over a busy period a tenant's served share
+    /// converges to `weight / Σ active weights`.
+    pub weight: f64,
+    /// Optional admission rate limit (`None` = unlimited).
+    pub rate: Option<RateLimit>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self { weight: 1.0, rate: None }
+    }
+}
+
+impl TenantPolicy {
+    /// A policy with the given weight and no rate limit.
+    pub fn weighted(weight: f64) -> Self {
+        Self { weight, rate: None }
+    }
+
+    /// Returns this policy with a token-bucket rate limit attached.
+    pub fn with_rate(mut self, rate: RateLimit) -> Self {
+        self.rate = Some(rate);
+        self
+    }
+}
+
+/// Opt-in overload control: per-tenant **weighted fair queueing** with
+/// token-bucket rate limits, and a weighted (rather than strict) ordering
+/// across priority classes.
+///
+/// Without a policy the scheduler keeps its original discipline — strict
+/// priority classes with EDF inside each class — under which a sustained
+/// [`Priority::High`] flood starves `Low` forever. With one, every
+/// `(tenant, priority)` pair becomes a *flow* with weight
+/// `tenant.weight × priority_weights[class]`, and batch formation picks
+/// flows by a self-clocked virtual-finish-time clock: each flow's share of
+/// served requests converges to its weight fraction, so `High` still
+/// dominates (default 8× `Low`'s weight) but can no longer starve, and a
+/// hot tenant cannot crowd out the rest. Within a flow the order stays
+/// earliest-deadline-first.
+///
+/// Fairness only reorders execution; it cannot change any request's
+/// logits — the cluster's bit-determinism contract is independent of
+/// scheduling order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FairPolicy {
+    /// Policy applied to tenants absent from [`FairPolicy::tenants`].
+    pub default_tenant: TenantPolicy,
+    /// Per-tenant overrides.
+    pub tenants: BTreeMap<TenantId, TenantPolicy>,
+    /// Relative weight of each priority class, indexed by
+    /// [`Priority::index`]. The default `[8, 3, 1]` keeps `High` strongly
+    /// preferred while guaranteeing `Low` roughly 1 in 12 slots under
+    /// saturation.
+    pub priority_weights: [f64; Priority::COUNT],
+}
+
+impl Default for FairPolicy {
+    fn default() -> Self {
+        Self {
+            default_tenant: TenantPolicy::default(),
+            tenants: BTreeMap::new(),
+            priority_weights: [8.0, 3.0, 1.0],
+        }
+    }
+}
+
+impl FairPolicy {
+    /// Sets (or replaces) one tenant's policy.
+    pub fn with_tenant(mut self, tenant: TenantId, policy: TenantPolicy) -> Self {
+        self.tenants.insert(tenant, policy);
+        self
+    }
+
+    /// Overrides the per-priority-class weights.
+    pub fn with_priority_weights(mut self, weights: [f64; Priority::COUNT]) -> Self {
+        self.priority_weights = weights;
+        self
+    }
+
+    /// The effective policy for a tenant (override or default).
+    pub fn tenant(&self, tenant: TenantId) -> TenantPolicy {
+        self.tenants.get(&tenant).copied().unwrap_or(self.default_tenant)
+    }
+
+    /// A policy from the environment: `TTSNN_TENANT_WEIGHTS` is a comma
+    /// list of `tenant=weight` pairs (e.g. `"1=4,2=1"`) and
+    /// `TTSNN_TENANT_RATES` a comma list of `tenant=per_sec[:burst]`
+    /// pairs (burst defaults to `2 × per_sec`). Unparseable entries are
+    /// ignored; with neither variable set, every tenant gets the default
+    /// weight 1 and no rate limit.
+    pub fn from_env() -> Self {
+        let mut policy = FairPolicy::default();
+        if let Ok(spec) = std::env::var("TTSNN_TENANT_WEIGHTS") {
+            for entry in spec.split(',') {
+                if let Some((t, w)) = entry.split_once('=') {
+                    if let (Ok(t), Ok(w)) = (t.trim().parse::<TenantId>(), w.trim().parse::<f64>())
+                    {
+                        if w > 0.0 {
+                            policy.tenants.entry(t).or_default().weight = w;
+                        }
+                    }
+                }
+            }
+        }
+        if let Ok(spec) = std::env::var("TTSNN_TENANT_RATES") {
+            for entry in spec.split(',') {
+                if let Some((t, r)) = entry.split_once('=') {
+                    let (per_sec, burst) = match r.split_once(':') {
+                        Some((p, b)) => (p.trim().parse::<f64>(), b.trim().parse::<f64>().ok()),
+                        None => (r.trim().parse::<f64>(), None),
+                    };
+                    if let (Ok(t), Ok(p)) = (t.trim().parse::<TenantId>(), per_sec) {
+                        if p > 0.0 {
+                            let burst = burst.filter(|&b| b >= 1.0).unwrap_or(2.0 * p);
+                            policy.tenants.entry(t).or_default().rate =
+                                Some(RateLimit::new(p, burst));
+                        }
+                    }
+                }
+            }
+        }
+        policy
+    }
+
+    /// Validates the policy (all weights positive and finite, rates
+    /// positive, bursts ≥ 1).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let check_tenant = |t: &TenantPolicy| -> Result<(), String> {
+            if !(t.weight.is_finite() && t.weight > 0.0) {
+                return Err(format!("FairPolicy tenant weight must be positive: {}", t.weight));
+            }
+            if let Some(r) = t.rate {
+                if !(r.per_sec.is_finite() && r.per_sec > 0.0) {
+                    return Err(format!("FairPolicy rate must be positive: {}", r.per_sec));
+                }
+                if !(r.burst.is_finite() && r.burst >= 1.0) {
+                    return Err(format!("FairPolicy burst must be at least 1: {}", r.burst));
+                }
+            }
+            Ok(())
+        };
+        check_tenant(&self.default_tenant)?;
+        for t in self.tenants.values() {
+            check_tenant(t)?;
+        }
+        for &w in &self.priority_weights {
+            if !(w.is_finite() && w > 0.0) {
+                return Err(format!("FairPolicy priority weight must be positive: {w}"));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// One admitted request, owned by the queue until popped into a batch.
 pub(crate) struct Job {
@@ -142,6 +392,8 @@ pub(crate) struct Job {
     pub(crate) input: Tensor,
     /// Scheduling class.
     pub(crate) priority: Priority,
+    /// Tenant the request is accounted (and fair-queued) against.
+    pub(crate) tenant: TenantId,
     /// Absolute queueing deadline, if any.
     pub(crate) deadline: Option<Instant>,
     /// Set by `ClusterTicket::drop`; checked at pop and at batch close.
@@ -188,6 +440,123 @@ impl Ord for Job {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         self.cmp_key(other)
     }
+}
+
+/// One backlogged flow of the fair queue: the `(tenant, priority)` pair's
+/// jobs in EDF order, plus its weight and virtual finish tag.
+struct Flow {
+    /// EDF within the flow: all jobs share a priority class, so [`Job`]'s
+    /// ordering reduces to `(deadline, seq)` here.
+    jobs: BinaryHeap<Reverse<Job>>,
+    /// Virtual finish time of the flow's **next** service. Fixed when the
+    /// flow becomes backlogged (`max(V, _) + 1/weight` — an idle period
+    /// never banks credit) and advanced by `1/weight` per served job
+    /// while the backlog lasts; never recomputed at pop time, which is
+    /// what makes the share converge to the weight fraction.
+    finish_tag: f64,
+    /// `tenant.weight × priority_weights[class]`.
+    weight: f64,
+}
+
+/// The batch-job queue in one of its two disciplines.
+///
+/// `Strict` is the original contract: priority classes absolutely
+/// ordered, EDF within a class. `Fair` implements self-clocked weighted
+/// fair queueing (SCFQ): each `(tenant, priority)` flow advances a shared
+/// virtual clock by `1/weight` per served request, and the smallest
+/// virtual finish tag is served next — so every flow's throughput share
+/// converges to its weight fraction and no class or tenant can be starved.
+enum JobQueue {
+    Strict(BinaryHeap<Reverse<Job>>),
+    Fair {
+        policy: FairPolicy,
+        /// Flows keyed by `(tenant, priority index)`. A `BTreeMap` keeps
+        /// pop-time iteration (and therefore tie-breaks) deterministic.
+        flows: BTreeMap<(TenantId, usize), Flow>,
+        /// The SCFQ virtual clock: the finish tag of the last served job.
+        virtual_time: f64,
+    },
+}
+
+impl JobQueue {
+    fn new(policy: Option<FairPolicy>) -> Self {
+        match policy {
+            None => JobQueue::Strict(BinaryHeap::new()),
+            Some(policy) => JobQueue::Fair { policy, flows: BTreeMap::new(), virtual_time: 0.0 },
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            JobQueue::Strict(q) => q.len(),
+            JobQueue::Fair { flows, .. } => flows.values().map(|f| f.jobs.len()).sum(),
+        }
+    }
+
+    fn push(&mut self, job: Job) {
+        match self {
+            JobQueue::Strict(q) => q.push(Reverse(job)),
+            JobQueue::Fair { policy, flows, virtual_time } => {
+                let key = (job.tenant, job.priority.index());
+                let flow = flows.entry(key).or_insert_with(|| {
+                    let weight = policy.tenant(key.0).weight * policy.priority_weights[key.1];
+                    Flow {
+                        jobs: BinaryHeap::new(),
+                        // Newly backlogged: one service quantum past the
+                        // current clock.
+                        finish_tag: *virtual_time + 1.0 / weight,
+                        weight,
+                    }
+                });
+                flow.jobs.push(Reverse(job));
+            }
+        }
+    }
+
+    /// Pops the next job under the queue's discipline (`None` when empty).
+    fn pop(&mut self) -> Option<Job> {
+        match self {
+            JobQueue::Strict(q) => q.pop().map(|Reverse(job)| job),
+            JobQueue::Fair { flows, virtual_time, .. } => {
+                // Pick the backlogged flow with the smallest virtual
+                // finish tag; ties break toward the more urgent class,
+                // then the lower tenant id.
+                let mut best: Option<((TenantId, usize), f64)> = None;
+                for (&key, flow) in flows.iter() {
+                    let tag = flow.finish_tag;
+                    let better = match best {
+                        None => true,
+                        Some((bkey, btag)) => {
+                            tag < btag || (tag == btag && (key.1, key.0) < (bkey.1, bkey.0))
+                        }
+                    };
+                    if better {
+                        best = Some((key, tag));
+                    }
+                }
+                let (key, tag) = best?;
+                *virtual_time = tag;
+                let flow = flows.get_mut(&key).expect("chosen flow exists");
+                let job = flow.jobs.pop().map(|Reverse(job)| job);
+                if flow.jobs.is_empty() {
+                    // Drop drained flows: pop-time iteration stays
+                    // proportional to *backlogged* flows, and on
+                    // re-activation the flow restarts from the clock (an
+                    // idle flow banks no credit).
+                    flows.remove(&key);
+                } else {
+                    flow.finish_tag = tag + 1.0 / flow.weight;
+                }
+                job
+            }
+        }
+    }
+}
+
+/// One tenant's token bucket, refilled lazily at admission time.
+struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
 }
 
 /// One replica-pinned streaming command. Unlike batch jobs (any replica
@@ -237,8 +606,12 @@ pub(crate) enum Work {
 }
 
 struct State {
-    /// Min-by-urgency via `Reverse` (`BinaryHeap` is a max-heap).
-    queue: BinaryHeap<Reverse<Job>>,
+    /// The batch-job queue (strict priority or weighted-fair, per
+    /// config).
+    queue: JobQueue,
+    /// Per-tenant admission token buckets (only tenants with a
+    /// [`RateLimit`] appear here).
+    buckets: BTreeMap<TenantId, TokenBucket>,
     /// Per-replica FIFO stream command queues (index = replica).
     streams: Vec<VecDeque<StreamCmd>>,
     /// Admitted, not yet terminal — the backpressure quantity. Stream
@@ -252,12 +625,29 @@ struct State {
     metrics: ClusterMetrics,
 }
 
+impl State {
+    /// Retry-after hint for a saturation rejection: the measured mean
+    /// service latency (one "slot" should free up in about that long),
+    /// clamped to a sane band, with a 10 ms cold-start default.
+    fn saturation_retry_after(&self) -> Duration {
+        let mean = self.metrics.latency.mean();
+        if mean > 0.0 {
+            Duration::from_secs_f64(mean.clamp(0.001, 1.0))
+        } else {
+            Duration::from_millis(10)
+        }
+    }
+}
+
 /// The shared scheduler: sessions push, replicas pull batches, metrics
 /// snapshot on demand. All state sits behind one mutex — every transition
 /// is a few pointer moves, so contention is negligible next to a forward
 /// pass.
 pub(crate) struct Scheduler {
     capacity: usize,
+    /// The fair policy, when overload control is on (also stored inside
+    /// the queue; kept here for rate-limit lookups without matching).
+    fair: Option<FairPolicy>,
     state: Mutex<State>,
     /// Signalled when work arrives (and on shutdown).
     work: Condvar,
@@ -266,11 +656,13 @@ pub(crate) struct Scheduler {
 }
 
 impl Scheduler {
-    pub(crate) fn new(capacity: usize, replicas: usize) -> Self {
+    pub(crate) fn new(capacity: usize, replicas: usize, fair: Option<FairPolicy>) -> Self {
         Self {
             capacity,
+            fair: fair.clone(),
             state: Mutex::new(State {
-                queue: BinaryHeap::new(),
+                queue: JobQueue::new(fair),
+                buckets: BTreeMap::new(),
                 streams: (0..replicas).map(|_| VecDeque::new()).collect(),
                 outstanding: 0,
                 shutdown: false,
@@ -287,6 +679,29 @@ impl Scheduler {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Charges one token from the tenant's bucket, or reports how long
+    /// until the next token if the bucket is empty. No-op without a fair
+    /// policy or without a rate limit for this tenant.
+    fn charge_rate_locked(&self, st: &mut State, tenant: TenantId) -> Result<(), Duration> {
+        let Some(limit) = self.fair.as_ref().and_then(|f| f.tenant(tenant).rate) else {
+            return Ok(());
+        };
+        let now = Instant::now();
+        let bucket = st
+            .buckets
+            .entry(tenant)
+            .or_insert_with(|| TokenBucket { tokens: limit.burst, refilled: now });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * limit.per_sec).min(limit.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(Duration::from_secs_f64((1.0 - bucket.tokens) / limit.per_sec))
+        }
+    }
+
     fn enqueue_locked(
         &self,
         st: &mut State,
@@ -299,22 +714,26 @@ impl Scheduler {
         st.next_seq += 1;
         let cancelled = Arc::new(AtomicBool::new(false));
         st.metrics.priority_mut(opts.priority).submitted += 1;
+        st.metrics.tenant_mut(opts.tenant).submitted += 1;
         st.outstanding += 1;
-        st.queue.push(Reverse(Job {
+        st.queue.push(Job {
             seq,
             input,
             priority: opts.priority,
+            tenant: opts.tenant,
             // Unrepresentable deadlines (`Duration::MAX`) mean "never".
             deadline: opts.deadline.and_then(|d| now.checked_add(d)),
             cancelled: cancelled.clone(),
             reply,
             submitted: now,
-        }));
+        });
         self.work.notify_all();
         cancelled
     }
 
-    /// Admits a request, blocking while the queue is saturated.
+    /// Admits a request, blocking while the queue is saturated. Rate
+    /// limits still fail fast — a rate-limited tenant must back off, not
+    /// camp on the queue lock.
     pub(crate) fn submit(
         &self,
         input: Tensor,
@@ -327,6 +746,14 @@ impl Scheduler {
                 return Err(SubmitError::Closed);
             }
             if st.outstanding < self.capacity {
+                if let Err(retry_after) = self.charge_rate_locked(&mut st, opts.tenant) {
+                    st.metrics.tenant_mut(opts.tenant).rejected_rate_limited += 1;
+                    return Err(SubmitError::RateLimited(RejectInfo {
+                        tenant: opts.tenant,
+                        priority: opts.priority,
+                        retry_after,
+                    }));
+                }
                 return Ok(self.enqueue_locked(&mut st, input, opts, reply));
             }
             st = self.space.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -345,7 +772,21 @@ impl Scheduler {
             return Err(SubmitError::Closed);
         }
         if st.outstanding >= self.capacity {
-            return Err(SubmitError::Saturated);
+            st.metrics.tenant_mut(opts.tenant).rejected_saturated += 1;
+            let retry_after = st.saturation_retry_after();
+            return Err(SubmitError::Saturated(RejectInfo {
+                tenant: opts.tenant,
+                priority: opts.priority,
+                retry_after,
+            }));
+        }
+        if let Err(retry_after) = self.charge_rate_locked(&mut st, opts.tenant) {
+            st.metrics.tenant_mut(opts.tenant).rejected_rate_limited += 1;
+            return Err(SubmitError::RateLimited(RejectInfo {
+                tenant: opts.tenant,
+                priority: opts.priority,
+                retry_after,
+            }));
         }
         Ok(self.enqueue_locked(&mut st, input, opts, reply))
     }
@@ -359,14 +800,16 @@ impl Scheduler {
     /// Pops the most urgent **live** job, reaping cancelled and expired
     /// entries on the way (they never reach an executor).
     fn pop_live(&self, st: &mut State, now: Instant) -> Option<Job> {
-        while let Some(Reverse(job)) = st.queue.pop() {
+        while let Some(job) = st.queue.pop() {
             if job.cancelled.load(Ordering::SeqCst) {
                 st.metrics.priority_mut(job.priority).cancelled += 1;
+                st.metrics.tenant_mut(job.tenant).cancelled += 1;
                 self.finish_one(st);
                 continue;
             }
             if job.deadline.is_some_and(|d| now >= d) {
                 st.metrics.priority_mut(job.priority).expired += 1;
+                st.metrics.tenant_mut(job.tenant).expired += 1;
                 let _ = job.reply.send(Err(InferError::DeadlineExpired));
                 self.finish_one(st);
                 continue;
@@ -459,11 +902,13 @@ impl Scheduler {
             batch.retain(|job| {
                 if job.cancelled.load(Ordering::SeqCst) {
                     st.metrics.priority_mut(job.priority).cancelled += 1;
+                    st.metrics.tenant_mut(job.tenant).cancelled += 1;
                     self.finish_one(&mut st);
                     return false;
                 }
                 if job.deadline.is_some_and(|d| now >= d) {
                     st.metrics.priority_mut(job.priority).expired += 1;
+                    st.metrics.tenant_mut(job.tenant).expired += 1;
                     let _ = job.reply.send(Err(InferError::DeadlineExpired));
                     self.finish_one(&mut st);
                     return false;
@@ -553,7 +998,14 @@ impl Scheduler {
             return Err(SubmitError::Closed);
         }
         if st.outstanding >= self.capacity {
-            return Err(SubmitError::Saturated);
+            // Stream chunks carry no tenant (sessions are the accounting
+            // unit there); report the default tenant's context.
+            let retry_after = st.saturation_retry_after();
+            return Err(SubmitError::Saturated(RejectInfo {
+                tenant: 0,
+                priority: Priority::Normal,
+                retry_after,
+            }));
         }
         self.enqueue_stream_feed_locked(&mut st, replica, id, chunk, deadline, reply);
         Ok(())
@@ -573,10 +1025,15 @@ impl Scheduler {
 
     /// Records one executed batch: per-request served counts and
     /// submit→reply latencies, plus the batch-size sample.
-    pub(crate) fn record_batch(&self, served: &[(Priority, Duration)], batch_size: usize) {
+    pub(crate) fn record_batch(
+        &self,
+        served: &[(Priority, TenantId, Duration)],
+        batch_size: usize,
+    ) {
         let mut st = self.lock();
-        for &(priority, latency) in served {
+        for &(priority, tenant, latency) in served {
             st.metrics.priority_mut(priority).served += 1;
+            st.metrics.tenant_mut(tenant).served += 1;
             st.metrics.latency.record(latency.as_secs_f64());
             self.finish_one(&mut st);
         }
@@ -595,9 +1052,10 @@ impl Scheduler {
 
     /// Records a request rejected by plan validation (failed its own
     /// ticket inside an otherwise healthy batch).
-    pub(crate) fn record_failed(&self, priority: Priority) {
+    pub(crate) fn record_failed(&self, priority: Priority, tenant: TenantId) {
         let mut st = self.lock();
         st.metrics.priority_mut(priority).failed += 1;
+        st.metrics.tenant_mut(tenant).failed += 1;
         self.finish_one(&mut st);
     }
 
@@ -670,6 +1128,7 @@ impl Scheduler {
         while st.queue.pop().is_some() {
             st.outstanding -= 1;
         }
+        st.buckets.clear();
         // Queued stream commands are dropped too; only feeds hold a
         // backpressure slot (their reply senders hang up, so waiting
         // tickets report `InferError::EngineClosed`).
@@ -697,7 +1156,11 @@ mod tests {
     }
 
     fn sched(capacity: usize) -> Scheduler {
-        Scheduler::new(capacity, 1)
+        Scheduler::new(capacity, 1, None)
+    }
+
+    fn fair_sched(capacity: usize, fair: FairPolicy) -> Scheduler {
+        Scheduler::new(capacity, 1, Some(fair))
     }
 
     /// Batch-only pull for the pre-streaming tests (replica 0; panics on
@@ -717,8 +1180,11 @@ mod tests {
         let mut submit = |prio, deadline_ms: Option<u64>| {
             let (tx, rx) = channel();
             rxs.push(rx);
-            let opts =
-                SubmitOptions { priority: prio, deadline: deadline_ms.map(Duration::from_millis) };
+            let opts = SubmitOptions {
+                priority: prio,
+                deadline: deadline_ms.map(Duration::from_millis),
+                ..SubmitOptions::default()
+            };
             s.submit(job_input(), opts, tx).unwrap()
         };
         let _ = submit(Priority::Low, None); // seq 0
@@ -739,21 +1205,21 @@ mod tests {
         let (tx, _rx2) = channel();
         s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
         let (tx, _rx3) = channel();
-        assert_eq!(
+        assert!(matches!(
             s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
-            SubmitError::Saturated
-        );
+            SubmitError::Saturated(_)
+        ));
         // Outstanding counts until terminal, not until popped: forming a
         // batch alone must not admit more work...
         let batch = next_batch(&s, 8, Duration::ZERO).unwrap();
         let (tx, _rx4) = channel();
-        assert_eq!(
+        assert!(matches!(
             s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap_err(),
-            SubmitError::Saturated
-        );
+            SubmitError::Saturated(_)
+        ));
         // ...serving it does.
-        let served: Vec<(Priority, Duration)> =
-            batch.iter().map(|j| (j.priority, j.submitted.elapsed())).collect();
+        let served: Vec<(Priority, TenantId, Duration)> =
+            batch.iter().map(|j| (j.priority, j.tenant, j.submitted.elapsed())).collect();
         s.record_batch(&served, batch.len());
         let (tx, _rx5) = channel();
         s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
@@ -789,6 +1255,179 @@ mod tests {
         assert_eq!(s.metrics().priority(Priority::Normal).expired, 1);
     }
 
+    /// Pops jobs one at a time (batch size 1) until the queue is empty,
+    /// recording each as served; returns `(priority, tenant)` in pop
+    /// order.
+    fn drain_order(s: &Scheduler) -> Vec<(Priority, TenantId)> {
+        let mut order = Vec::new();
+        loop {
+            if s.metrics().queue_depth == 0 {
+                break;
+            }
+            let batch = next_batch(s, 1, Duration::ZERO).unwrap();
+            for j in &batch {
+                order.push((j.priority, j.tenant));
+            }
+            let served: Vec<(Priority, TenantId, Duration)> =
+                batch.iter().map(|j| (j.priority, j.tenant, j.submitted.elapsed())).collect();
+            s.record_batch(&served, batch.len());
+        }
+        order
+    }
+
+    #[test]
+    fn fair_queue_shares_slots_across_priorities() {
+        // 24 High + 3 Low backlogged under weights [8, 3, 1]: strict
+        // priority would serve every High before any Low; the fair queue
+        // must give Low ~1 slot in 9 (weights 8 vs 1).
+        let s = fair_sched(64, FairPolicy::default());
+        for _ in 0..24 {
+            let (tx, rx) = channel();
+            std::mem::forget(rx);
+            s.submit(job_input(), SubmitOptions::priority(Priority::High), tx).unwrap();
+        }
+        for _ in 0..3 {
+            let (tx, rx) = channel();
+            std::mem::forget(rx);
+            s.submit(job_input(), SubmitOptions::priority(Priority::Low), tx).unwrap();
+        }
+        let order = drain_order(&s);
+        assert_eq!(order.len(), 27);
+        // All three Lows must be served before the backlog of Highs runs
+        // out — i.e. within the first 3 * 9 = 27 pops, with the last Low
+        // no later than position 27 and the first no later than ~10.
+        let low_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, _))| *p == Priority::Low)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(low_positions.len(), 3);
+        assert!(
+            low_positions[0] <= 10,
+            "first Low must be served within one weight round, got position {}",
+            low_positions[0]
+        );
+        // And High still dominates: at every prefix, more Highs than Lows
+        // have been served.
+        let mut highs = 0;
+        let mut lows = 0;
+        for (p, _) in &order {
+            match p {
+                Priority::High => highs += 1,
+                Priority::Low => lows += 1,
+                Priority::Normal => {}
+            }
+            assert!(highs >= lows, "High must keep its weighted lead");
+        }
+    }
+
+    #[test]
+    fn fair_queue_shares_slots_across_tenants_by_weight() {
+        // Tenant 1 (weight 3) and tenant 2 (weight 1), both backlogged at
+        // the same priority: served counts must track the 3:1 ratio at
+        // every prefix (±1 slot of SCFQ discretization).
+        let policy = FairPolicy::default()
+            .with_tenant(1, TenantPolicy::weighted(3.0))
+            .with_tenant(2, TenantPolicy::weighted(1.0));
+        let s = fair_sched(64, policy);
+        for _ in 0..24 {
+            let (tx, rx) = channel();
+            std::mem::forget(rx);
+            s.submit(job_input(), SubmitOptions::default().with_tenant(1), tx).unwrap();
+            let (tx, rx) = channel();
+            std::mem::forget(rx);
+            s.submit(job_input(), SubmitOptions::default().with_tenant(2), tx).unwrap();
+        }
+        let order = drain_order(&s);
+        let mut t1 = 0usize;
+        let mut t2 = 0usize;
+        for (i, (_, tenant)) in order.iter().enumerate() {
+            match tenant {
+                1 => t1 += 1,
+                2 => t2 += 1,
+                _ => panic!("unexpected tenant"),
+            }
+            if i >= 8 && t2 > 0 && t1 + t2 <= 32 {
+                // While both are backlogged (first 32 pops cover 24+8),
+                // the ratio stays near 3:1.
+                let ratio = t1 as f64 / t2 as f64;
+                assert!(
+                    (2.0..=4.5).contains(&ratio),
+                    "tenant ratio {ratio} strayed from 3:1 at pop {i} (t1={t1}, t2={t2})"
+                );
+            }
+        }
+        assert_eq!(t1 + t2, 48);
+    }
+
+    #[test]
+    fn rate_limit_rejects_when_bucket_empty_and_refills() {
+        let policy = FairPolicy::default()
+            .with_tenant(7, TenantPolicy::weighted(1.0).with_rate(RateLimit::new(50.0, 2.0)));
+        let s = fair_sched(64, policy);
+        // Burst of 2 admits; the third is rejected with a retry hint.
+        for _ in 0..2 {
+            let (tx, rx) = channel();
+            std::mem::forget(rx);
+            s.submit(job_input(), SubmitOptions::default().with_tenant(7), tx).unwrap();
+        }
+        let (tx, _rx) = channel();
+        let err = s.submit(job_input(), SubmitOptions::default().with_tenant(7), tx).unwrap_err();
+        let info = match err {
+            SubmitError::RateLimited(info) => info,
+            other => panic!("expected RateLimited, got {other:?}"),
+        };
+        assert_eq!(info.tenant, 7);
+        assert!(info.retry_after > Duration::ZERO && info.retry_after <= Duration::from_millis(25));
+        // Other tenants are unaffected.
+        let (tx, rx) = channel();
+        std::mem::forget(rx);
+        s.submit(job_input(), SubmitOptions::default().with_tenant(8), tx).unwrap();
+        // After the bucket refills (50/s ⇒ 20 ms per token), tenant 7
+        // admits again.
+        std::thread::sleep(Duration::from_millis(25));
+        let (tx, rx) = channel();
+        std::mem::forget(rx);
+        s.submit(job_input(), SubmitOptions::default().with_tenant(7), tx).unwrap();
+        let m = s.metrics();
+        assert_eq!(m.tenant(7).submitted, 3);
+        assert_eq!(m.tenant(7).rejected_rate_limited, 1);
+        assert_eq!(m.tenant(8).submitted, 1);
+    }
+
+    #[test]
+    fn saturated_rejection_carries_context() {
+        let s = sched(1);
+        let (tx, _rx1) = channel();
+        s.try_submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let (tx, _rx2) = channel();
+        let err = s
+            .try_submit(job_input(), SubmitOptions::priority(Priority::Low).with_tenant(9), tx)
+            .unwrap_err();
+        let info = err.reject_info().expect("saturation carries context");
+        assert_eq!((info.tenant, info.priority), (9, Priority::Low));
+        assert!(info.retry_after > Duration::ZERO);
+        assert_eq!(s.metrics().tenant(9).rejected_saturated, 1);
+    }
+
+    #[test]
+    fn fair_policy_env_parsing_and_validation() {
+        let policy = FairPolicy::default()
+            .with_tenant(1, TenantPolicy::weighted(4.0))
+            .with_tenant(2, TenantPolicy::weighted(1.0).with_rate(RateLimit::new(100.0, 200.0)));
+        assert!(policy.validate().is_ok());
+        assert!(FairPolicy::default()
+            .with_tenant(1, TenantPolicy::weighted(0.0))
+            .validate()
+            .is_err());
+        assert!(FairPolicy::default()
+            .with_tenant(1, TenantPolicy::weighted(1.0).with_rate(RateLimit::new(10.0, 0.5)))
+            .validate()
+            .is_err());
+        assert!(FairPolicy::default().with_priority_weights([1.0, 0.0, 1.0]).validate().is_err());
+    }
+
     #[test]
     fn shutdown_drains_queue_and_wakes_workers() {
         let s = Arc::new(sched(8));
@@ -809,8 +1448,8 @@ mod tests {
             None => assert!(rx.recv().is_err(), "drained job must hang up its ticket"),
             Some(batch) => {
                 assert_eq!(batch.len(), 1);
-                let served: Vec<(Priority, Duration)> =
-                    batch.iter().map(|j| (j.priority, j.submitted.elapsed())).collect();
+                let served: Vec<(Priority, TenantId, Duration)> =
+                    batch.iter().map(|j| (j.priority, j.tenant, j.submitted.elapsed())).collect();
                 s.record_batch(&served, batch.len());
             }
         }

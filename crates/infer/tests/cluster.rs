@@ -231,7 +231,7 @@ fn try_submit_reports_saturation_and_shutdown_serves_admitted_work() {
     let t0 = session.try_submit(inputs[0].clone()).unwrap();
     let t1 = session.try_submit(inputs[1].clone()).unwrap();
     match session.try_submit(inputs[2].clone()) {
-        Err(SubmitError::Saturated) => {}
+        Err(SubmitError::Saturated(_)) => {}
         other => panic!("expected Saturated, got {:?}", other.map(|_| ())),
     }
     assert_eq!(cluster.metrics().outstanding, 2);

@@ -422,11 +422,11 @@ fn try_feed_reports_saturation_with_live_sessions() {
     let _parked0 = session.try_submit(samples(104, 1).remove(0)).unwrap();
     let _parked1 = session.try_submit(samples(105, 1).remove(0)).unwrap();
     match stream.try_feed(frames[1].clone()) {
-        Err(SubmitError::Saturated) => {}
+        Err(SubmitError::Saturated(_)) => {}
         other => panic!("expected Saturated, got {:?}", other.map(|_| ())),
     }
     match session.try_submit(samples(106, 1).remove(0)) {
-        Err(SubmitError::Saturated) => {}
+        Err(SubmitError::Saturated(_)) => {}
         other => panic!("expected Saturated, got {:?}", other.map(|_| ())),
     }
     let s = cluster.metrics().sessions;

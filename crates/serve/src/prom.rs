@@ -1,0 +1,366 @@
+//! Prometheus text-exposition rendering of the cluster's metrics.
+//!
+//! [`render`] turns per-plan [`ClusterMetrics`] snapshots into the
+//! Prometheus text format (version 0.0.4): `# HELP` / `# TYPE` headers
+//! once per family, one `name{labels} value` line per series. No client
+//! library is involved — the format is plain text and the snapshots are
+//! already consistent (taken under the scheduler mutex), so a scrape is
+//! a string-build.
+//!
+//! Everything observable in-process is exported: queue/outstanding
+//! gauges, per-priority **and per-tenant** lifecycle counters (the
+//! fair-queueing accounting), the latency and batch-size histograms
+//! (cumulative `le` buckets plus `_sum`/`_count`), measured per-layer
+//! spike densities, and the streaming-session counters.
+
+use ttsnn_infer::{ClusterMetrics, Priority};
+
+/// Stable label value for a priority class.
+fn priority_label(p: Priority) -> &'static str {
+    match p {
+        Priority::High => "high",
+        Priority::Normal => "normal",
+        Priority::Low => "low",
+    }
+}
+
+/// Formats a sample value; Prometheus spells infinities `+Inf`/`-Inf`.
+fn value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+struct Family<'a> {
+    out: &'a mut String,
+}
+
+impl<'a> Family<'a> {
+    fn new(out: &'a mut String, name: &str, kind: &str, help: &str) -> Self {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        Family { out }
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, lv)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!("{k}=\"{lv}\""));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&value(v));
+        self.out.push('\n');
+    }
+}
+
+/// Emits one full histogram family: cumulative `_bucket{le=...}` series
+/// per plan, plus `_sum` and `_count`.
+fn histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    plans: &[(String, ClusterMetrics)],
+    get: impl Fn(&ClusterMetrics) -> &ttsnn_infer::metrics::Histogram,
+) {
+    let mut f = Family::new(out, name, "histogram", help);
+    for (plan, m) in plans {
+        let h = get(m);
+        let mut cumulative = 0u64;
+        for (edge, count) in h.buckets() {
+            cumulative += count;
+            let le = value(edge);
+            f.sample(&format!("{name}_bucket"), &[("plan", plan), ("le", &le)], cumulative as f64);
+        }
+        f.sample(&format!("{name}_sum"), &[("plan", plan)], h.sum());
+        f.sample(&format!("{name}_count"), &[("plan", plan)], h.count() as f64);
+    }
+}
+
+/// Renders per-plan metrics snapshots as a Prometheus text-format page.
+pub fn render(plans: &[(String, ClusterMetrics)]) -> String {
+    let mut out = String::new();
+
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_queue_depth",
+            "gauge",
+            "Requests waiting in the scheduler queue.",
+        );
+        for (plan, m) in plans {
+            f.sample("ttsnn_queue_depth", &[("plan", plan)], m.queue_depth as f64);
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_outstanding",
+            "gauge",
+            "Requests admitted but not yet finished (queued or executing).",
+        );
+        for (plan, m) in plans {
+            f.sample("ttsnn_outstanding", &[("plan", plan)], m.outstanding as f64);
+        }
+    }
+    {
+        let mut f =
+            Family::new(&mut out, "ttsnn_replicas", "gauge", "Executor replicas serving the plan.");
+        for (plan, m) in plans {
+            f.sample("ttsnn_replicas", &[("plan", plan)], m.replicas as f64);
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_batches_executed_total",
+            "counter",
+            "Forward passes executed across all replicas.",
+        );
+        for (plan, m) in plans {
+            f.sample("ttsnn_batches_executed_total", &[("plan", plan)], m.batches_executed as f64);
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_requests_total",
+            "counter",
+            "Request lifecycle events by priority class.",
+        );
+        for (plan, m) in plans {
+            for p in Priority::ALL {
+                let s = m.priority(p);
+                let pl = priority_label(p);
+                for (state, v) in [
+                    ("submitted", s.submitted),
+                    ("served", s.served),
+                    ("cancelled", s.cancelled),
+                    ("expired", s.expired),
+                    ("failed", s.failed),
+                ] {
+                    f.sample(
+                        "ttsnn_requests_total",
+                        &[("plan", plan), ("priority", pl), ("state", state)],
+                        v as f64,
+                    );
+                }
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_tenant_requests_total",
+            "counter",
+            "Request lifecycle and admission-rejection events by tenant.",
+        );
+        for (plan, m) in plans {
+            for (&tenant, s) in &m.tenants {
+                let t = tenant.to_string();
+                for (state, v) in [
+                    ("submitted", s.submitted),
+                    ("served", s.served),
+                    ("cancelled", s.cancelled),
+                    ("expired", s.expired),
+                    ("failed", s.failed),
+                    ("rejected_saturated", s.rejected_saturated),
+                    ("rejected_rate_limited", s.rejected_rate_limited),
+                ] {
+                    f.sample(
+                        "ttsnn_tenant_requests_total",
+                        &[("plan", plan), ("tenant", &t), ("state", state)],
+                        v as f64,
+                    );
+                }
+            }
+        }
+    }
+    histogram(
+        &mut out,
+        "ttsnn_request_latency_seconds",
+        "Submit-to-reply latency of served requests.",
+        plans,
+        |m| &m.latency,
+    );
+    histogram(
+        &mut out,
+        "ttsnn_batch_size",
+        "Requests coalesced per executed forward pass.",
+        plans,
+        |m| &m.batch_sizes,
+    );
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_spike_density",
+            "gauge",
+            "Measured spike density per LIF layer (spikes per neuron per timestep).",
+        );
+        for (plan, m) in plans {
+            for (i, &d) in m.spike_density.iter().enumerate() {
+                let layer = i.to_string();
+                f.sample("ttsnn_spike_density", &[("plan", plan), ("layer", &layer)], d);
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_mean_spike_density",
+            "gauge",
+            "Spike density pooled over all layers (weighted by neuron-steps).",
+        );
+        for (plan, m) in plans {
+            if let Some(d) = m.mean_spike_density {
+                f.sample("ttsnn_mean_spike_density", &[("plan", plan)], d);
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_sessions_total",
+            "counter",
+            "Streaming session lifecycle events.",
+        );
+        for (plan, m) in plans {
+            let s = &m.sessions;
+            for (event, v) in [("opened", s.opened), ("closed", s.closed), ("evicted", s.evicted)] {
+                f.sample(
+                    "ttsnn_stream_sessions_total",
+                    &[("plan", plan), ("event", event)],
+                    v as f64,
+                );
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_chunks_total",
+            "counter",
+            "Streaming chunk lifecycle events.",
+        );
+        for (plan, m) in plans {
+            let s = &m.sessions;
+            for (state, v) in [
+                ("submitted", s.chunks_submitted),
+                ("served", s.chunks_served),
+                ("expired", s.chunks_expired),
+                ("failed", s.chunks_failed),
+            ] {
+                f.sample(
+                    "ttsnn_stream_chunks_total",
+                    &[("plan", plan), ("state", state)],
+                    v as f64,
+                );
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_timesteps_total",
+            "counter",
+            "Stream timesteps executed vs skipped by early exit.",
+        );
+        for (plan, m) in plans {
+            let s = &m.sessions;
+            for (state, v) in [("executed", s.timesteps_executed), ("skipped", s.timesteps_skipped)]
+            {
+                f.sample(
+                    "ttsnn_stream_timesteps_total",
+                    &[("plan", plan), ("state", state)],
+                    v as f64,
+                );
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_macs_total",
+            "counter",
+            "MACs spent on executed stream timesteps vs avoided by early exit.",
+        );
+        for (plan, m) in plans {
+            let s = &m.sessions;
+            for (state, v) in [("executed", s.macs_executed), ("skipped", s.macs_skipped)] {
+                f.sample("ttsnn_stream_macs_total", &[("plan", plan), ("state", state)], v as f64);
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_active_sessions",
+            "gauge",
+            "Live streaming sessions pinned to each replica.",
+        );
+        for (plan, m) in plans {
+            for (i, &n) in m.sessions.active.iter().enumerate() {
+                let r = i.to_string();
+                f.sample(
+                    "ttsnn_stream_active_sessions",
+                    &[("plan", plan), ("replica", &r)],
+                    n as f64,
+                );
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stream_resident_state_bytes",
+            "gauge",
+            "Resident LIF membrane-state bytes per replica.",
+        );
+        for (plan, m) in plans {
+            for (i, &n) in m.sessions.resident_state_bytes.iter().enumerate() {
+                let r = i.to_string();
+                f.sample(
+                    "ttsnn_stream_resident_state_bytes",
+                    &[("plan", plan), ("replica", &r)],
+                    n as f64,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_spell_infinities_the_prometheus_way() {
+        assert_eq!(value(f64::INFINITY), "+Inf");
+        assert_eq!(value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(value(0.0025), "0.0025");
+        assert_eq!(value(3.0), "3");
+    }
+
+    #[test]
+    fn family_emits_headers_and_labelled_samples() {
+        let mut out = String::new();
+        let mut f = Family::new(&mut out, "x_total", "counter", "Test.");
+        f.sample("x_total", &[("plan", "a"), ("state", "served")], 2.0);
+        f.sample("x_total", &[], 1.0);
+        assert_eq!(
+            out,
+            "# HELP x_total Test.\n# TYPE x_total counter\n\
+             x_total{plan=\"a\",state=\"served\"} 2\nx_total 1\n"
+        );
+    }
+}

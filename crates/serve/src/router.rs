@@ -1,0 +1,155 @@
+//! Multi-plan routing: several frozen checkpoints — f32 and int8 plans
+//! alike — mounted behind one listener and addressed by plan name.
+//!
+//! [`Router::load`] freezes every [`PlanSpec`] into its own
+//! [`Cluster`] (own replicas, scheduler, and metrics; weights of each
+//! plan loaded once and `Arc`-shared across that plan's replicas). The
+//! server routes each request by its wire-level plan name; `/metrics`
+//! scrapes render every plan's snapshot side by side; and
+//! [`Router::drift`] re-measures int8-vs-f32 logit drift **online**, on
+//! live clusters, without touching their serving state.
+
+use std::collections::BTreeMap;
+use std::io;
+
+use ttsnn_infer::{
+    Cluster, ClusterConfig, ClusterMetrics, ClusterSession, InferError, PlanDrift, QuantSpec,
+    SpikeDensityReport,
+};
+use ttsnn_tensor::Tensor;
+
+/// One plan to mount: a name, a serving config, an optional quantization
+/// spec (present = freeze an int8 plan), and the checkpoint bytes.
+pub struct PlanSpec {
+    /// Routing key carried in each request frame.
+    pub name: String,
+    /// Cluster topology and engine config for this plan.
+    pub config: ClusterConfig,
+    /// `Some` freezes the checkpoint into an int8 plan
+    /// (`Cluster::load_quantized`); `None` serves f32.
+    pub quant: Option<QuantSpec>,
+    /// Serialized checkpoint (`ttsnn_snn::checkpoint` format).
+    pub checkpoint: Vec<u8>,
+}
+
+struct Plan {
+    cluster: Cluster,
+    session: ClusterSession,
+}
+
+/// A set of mounted plans, routed by name.
+pub struct Router {
+    plans: BTreeMap<String, Plan>,
+}
+
+impl Router {
+    /// Freezes every spec into its own serving cluster.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for a duplicate or empty plan name, plus anything
+    /// `Cluster::load` / `Cluster::load_quantized` rejects (bad config,
+    /// malformed checkpoint, empty calibration set).
+    pub fn load(specs: Vec<PlanSpec>) -> io::Result<Router> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        let mut plans = BTreeMap::new();
+        for spec in specs {
+            if spec.name.is_empty() {
+                return Err(invalid("plan name must not be empty".into()));
+            }
+            if plans.contains_key(&spec.name) {
+                return Err(invalid(format!("duplicate plan name {:?}", spec.name)));
+            }
+            let cluster = match spec.quant {
+                Some(q) => Cluster::load_quantized(spec.config, q, spec.checkpoint.as_slice())?,
+                None => Cluster::load(spec.config, spec.checkpoint.as_slice())?,
+            };
+            let session = cluster.session();
+            plans.insert(spec.name, Plan { cluster, session });
+        }
+        Ok(Router { plans })
+    }
+
+    /// Mounted plan names, sorted.
+    pub fn plan_names(&self) -> Vec<&str> {
+        self.plans.keys().map(String::as_str).collect()
+    }
+
+    /// The shared session of a mounted plan, or `None` for an unknown
+    /// name.
+    pub fn session(&self, plan: &str) -> Option<&ClusterSession> {
+        self.plans.get(plan).map(|p| &p.session)
+    }
+
+    /// The underlying cluster of a mounted plan.
+    pub fn cluster(&self, plan: &str) -> Option<&Cluster> {
+        self.plans.get(plan).map(|p| &p.cluster)
+    }
+
+    /// A consistent metrics snapshot of every mounted plan, in name
+    /// order — the `/metrics` page's data source.
+    pub fn metrics(&self) -> Vec<(String, ClusterMetrics)> {
+        self.plans.iter().map(|(name, p)| (name.clone(), p.cluster.metrics())).collect()
+    }
+
+    /// Measures `candidate`'s logit drift against `reference` **online**:
+    /// both live clusters serve `inputs` (per-sample determinism makes
+    /// concurrent traffic irrelevant to the bits) and the same statistics
+    /// as `ttsnn_infer::plan_drift` are computed from the replies, with
+    /// densities read from each cluster's cumulative metrics.
+    ///
+    /// # Errors
+    ///
+    /// `InferError::Shape` naming an unknown plan; otherwise the first
+    /// ticket error from either plan.
+    pub fn drift(
+        &self,
+        reference: &str,
+        candidate: &str,
+        inputs: &[Tensor],
+    ) -> Result<PlanDrift, InferError> {
+        let unknown = |name: &str| InferError::Shape(format!("unknown plan {name:?}"));
+        let r = self.plans.get(reference).ok_or_else(|| unknown(reference))?;
+        let c = self.plans.get(candidate).ok_or_else(|| unknown(candidate))?;
+        let mut mean_acc = 0.0f64;
+        let mut elems = 0usize;
+        let mut max_abs = 0.0f32;
+        let mut agreed = 0usize;
+        // Submit everything up front so both plans' micro-batching
+        // engages; blocking submission keeps this probe subject to the
+        // same backpressure as any client.
+        let ref_tickets: Vec<_> = inputs
+            .iter()
+            .map(|x| r.session.submit(x.clone()).map_err(|_| InferError::EngineClosed))
+            .collect::<Result<_, _>>()?;
+        let cand_tickets: Vec<_> = inputs
+            .iter()
+            .map(|x| c.session.submit(x.clone()).map_err(|_| InferError::EngineClosed))
+            .collect::<Result<_, _>>()?;
+        for (tr, tc) in ref_tickets.into_iter().zip(cand_tickets) {
+            let (yr, yc) = (tr.wait()?, tc.wait()?);
+            for (a, b) in yr.data().iter().zip(yc.data()) {
+                let d = (a - b).abs();
+                mean_acc += d as f64;
+                max_abs = max_abs.max(d);
+            }
+            elems += yr.data().len();
+            if yr.argmax() == yc.argmax() {
+                agreed += 1;
+            }
+        }
+        let density = |p: &Plan| {
+            let m = p.cluster.metrics();
+            m.mean_spike_density
+                .map(|mean| SpikeDensityReport { per_layer: m.spike_density, mean: Some(mean) })
+        };
+        Ok(PlanDrift {
+            requests: inputs.len(),
+            mean_abs_err: if elems > 0 { mean_acc / elems as f64 } else { 0.0 },
+            max_abs_err: max_abs,
+            agreement: if inputs.is_empty() { 1.0 } else { agreed as f64 / inputs.len() as f64 },
+            reference_density: density(r),
+            candidate_density: density(c),
+        })
+    }
+}

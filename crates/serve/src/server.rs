@@ -1,0 +1,353 @@
+//! The TCP ingress: an accept loop feeding a fixed worker-thread pool,
+//! std-only (no async runtime).
+//!
+//! Each worker owns one connection at a time and speaks **either** side
+//! of a first-bytes discrimination: bytes `"GET "` open a minimal
+//! HTTP/1.1 exchange (`/metrics`, `/healthz`; one request, then close),
+//! anything else is the length-prefixed binary protocol of
+//! [`crate::wire`] — a long-lived connection serving one request frame
+//! at a time.
+//!
+//! Admission is **fail-fast**: requests go through
+//! `ClusterSession::try_submit_with`, so saturation and rate-limit
+//! rejections come back immediately as retryable wire statuses carrying
+//! the scheduler's structured retry-after hint instead of blocking the
+//! socket (the overload-control half of the serving plane; see
+//! `ttsnn_infer::sched`).
+//!
+//! Shutdown: dropping the [`Server`] flips a shared flag, nudges the
+//! accept loop awake with a self-connection, and joins every thread;
+//! workers poll the flag between frames (reads carry a short timeout),
+//! so live connections drain within one poll interval.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ttsnn_infer::{InferError, SubmitError, SubmitOptions};
+
+use crate::prom;
+use crate::router::Router;
+use crate::wire::{self, Frame, FrameReadError, Request, Response, Status};
+
+/// Listener and pool knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`TTSNN_SERVE_ADDR`; default `127.0.0.1:0` — an
+    /// OS-assigned port, read back via [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads = concurrently served connections
+    /// (`TTSNN_SERVE_CONNS`; default 4).
+    pub workers: usize,
+    /// Largest accepted frame body; oversized frames are drained and
+    /// answered with a [`Status::Malformed`] response.
+    pub max_frame_bytes: usize,
+    /// Socket read timeout — the shutdown-poll interval for idle
+    /// connections.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Reads `TTSNN_SERVE_ADDR` and `TTSNN_SERVE_CONNS` over the
+    /// defaults; unparsable values are ignored.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(addr) = std::env::var("TTSNN_SERVE_ADDR") {
+            if !addr.is_empty() {
+                cfg.addr = addr;
+            }
+        }
+        if let Ok(conns) = std::env::var("TTSNN_SERVE_CONNS") {
+            if let Ok(n) = conns.trim().parse::<usize>() {
+                if n > 0 {
+                    cfg.workers = n;
+                }
+            }
+        }
+        cfg
+    }
+}
+
+/// A running serving-plane listener; dropping it shuts the plane down
+/// and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts the accept loop plus
+    /// `config.workers` worker threads over `router`'s mounted plans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures; `InvalidInput` for zero workers.
+    pub fn bind(config: ServerConfig, router: Router) -> io::Result<Server> {
+        if config.workers == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "ServerConfig.workers must be at least 1",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let rx = Arc::clone(&rx);
+            let router = Arc::clone(&router);
+            let shutdown = Arc::clone(&shutdown);
+            let cfg = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ttsnn-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &router, &shutdown, &cfg))?,
+            );
+        }
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("ttsnn-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &tx, &shutdown))?
+        };
+        Ok(Server { addr, shutdown, accept: Some(accept), workers })
+    }
+
+    /// The bound address (resolves the OS-assigned port of `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; it re-checks the flag per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return; // tx drops here; idle workers drain out
+                }
+                if tx.send(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    router: &Router,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    loop {
+        let next = {
+            let rx = rx.lock().expect("connection queue lock");
+            rx.recv_timeout(Duration::from_millis(100))
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, router, shutdown, cfg),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Peeks until 4 bytes are visible (or the peer hangs up) to decide
+/// HTTP vs binary without consuming anything.
+fn sniff(stream: &TcpStream, shutdown: &AtomicBool) -> io::Result<Option<[u8; 4]>> {
+    let mut first = [0u8; 4];
+    loop {
+        match stream.peek(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(n) if n >= 4 => return Ok(Some(first)),
+            Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    match sniff(&stream, shutdown) {
+        Ok(Some(first)) if &first == b"GET " => serve_http(stream, router),
+        Ok(Some(_)) => serve_binary(stream, router, shutdown, cfg),
+        _ => {}
+    }
+}
+
+/// One HTTP/1.1 request, then close (`Connection: close`): `/metrics`
+/// renders the Prometheus page, `/healthz` answers liveness probes.
+fn serve_http(mut stream: TcpStream, router: &Router) {
+    // Read until the end of the headers (we ignore them) with an 8 KiB
+    // cap — a scrape request is tiny.
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return,
+        }
+    }
+    let request_line = match std::str::from_utf8(&buf).ok().and_then(|s| s.lines().next()) {
+        Some(l) => l,
+        None => return,
+    };
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => {
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", prom::render(&router.metrics()))
+        }
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+    };
+    let _ = stream.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+}
+
+/// The binary request loop: one frame in, one frame out, until EOF or
+/// shutdown. Malformed and oversized frames are answered in-band and the
+/// connection survives; only I/O failures (including a timeout that
+/// strikes mid-frame) drop it.
+fn serve_binary(mut stream: TcpStream, router: &Router, shutdown: &AtomicBool, cfg: &ServerConfig) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let response = match wire::read_frame(&mut stream, cfg.max_frame_bytes) {
+            Ok(None) => return,
+            Ok(Some(body)) => match wire::decode_frame(&body) {
+                Ok(Frame::Request(req)) => process(req, router),
+                Ok(Frame::Response(_)) => {
+                    Response::error(Status::Malformed, 0, "unexpected response frame")
+                }
+                Err(e) => Response::error(Status::Malformed, 0, e.to_string()),
+            },
+            Err(FrameReadError::Oversized { declared, max }) => Response::error(
+                Status::Malformed,
+                0,
+                format!("frame of {declared} bytes exceeds the {max}-byte limit"),
+            ),
+            Err(FrameReadError::Io(e))
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                continue; // idle between frames: poll shutdown and re-arm
+            }
+            Err(FrameReadError::Io(_)) => return,
+        };
+        if stream.write_all(&wire::encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+fn retry_ms(d: Duration) -> u32 {
+    d.as_millis().min(u32::MAX as u128).max(1) as u32
+}
+
+/// Routes one decoded request through its plan's scheduler and waits for
+/// the reply, mapping every failure to its wire status.
+fn process(req: Request, router: &Router) -> Response {
+    let session = match router.session(&req.plan) {
+        Some(s) => s,
+        None => return Response::error(Status::UnknownPlan, 0, format!("no plan {:?}", req.plan)),
+    };
+    let mut opts = SubmitOptions::priority(req.priority).with_tenant(req.tenant);
+    if req.deadline_ms > 0 {
+        opts = opts.with_deadline(Duration::from_millis(u64::from(req.deadline_ms)));
+    }
+    let ticket = match session.try_submit_with(req.input, opts) {
+        Ok(t) => t,
+        Err(SubmitError::Saturated(info)) => {
+            return Response::error(
+                Status::Saturated,
+                retry_ms(info.retry_after),
+                format!("queue saturated (tenant {}, {:?})", info.tenant, info.priority),
+            )
+        }
+        Err(SubmitError::RateLimited(info)) => {
+            return Response::error(
+                Status::RateLimited,
+                retry_ms(info.retry_after),
+                format!("tenant {} over its rate limit", info.tenant),
+            )
+        }
+        Err(SubmitError::Closed) => {
+            return Response::error(Status::Closed, 0, "serving cluster has shut down")
+        }
+    };
+    match ticket.wait() {
+        Ok(logits) => Response::ok(logits.data().to_vec()),
+        Err(InferError::Shape(msg)) => Response::error(Status::Shape, 0, msg),
+        Err(InferError::DeadlineExpired) => {
+            Response::error(Status::DeadlineExpired, 0, "deadline expired while queued")
+        }
+        Err(InferError::EngineClosed) => {
+            Response::error(Status::Closed, 0, "serving cluster has shut down")
+        }
+        Err(e) => Response::error(Status::Internal, 0, e.to_string()),
+    }
+}

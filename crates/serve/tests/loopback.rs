@@ -1,0 +1,399 @@
+//! Loopback tests: the full network serving plane over real sockets.
+//!
+//! The headline property: logits served over TCP are **bit-identical**
+//! to an in-process submission against a separately loaded cluster of
+//! the same checkpoint — across concurrent client connections, worker
+//! threads, plans (f32 **and** int8), and replica counts (CI re-runs
+//! this suite under `TTSNN_NUM_REPLICAS=1` and `3`). On top of that:
+//! malformed, oversized, and protocol-violating frames are answered
+//! in-band without killing the connection; deadline expiry and
+//! saturation/rate-limit rejections travel as structured retryable
+//! statuses; and `GET /metrics` serves valid Prometheus text exposition
+//! with the per-tenant counters visible.
+
+use std::time::Duration;
+
+use ttsnn_core::TtMode;
+use ttsnn_infer::{
+    ClusterConfig, FairPolicy, Priority, QuantSpec, RateLimit, SubmitOptions, TenantPolicy,
+};
+use ttsnn_serve::wire::{Request, Status};
+use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use ttsnn_snn::ConvPolicy;
+use ttsnn_testutil::{samples, vgg_checkpoint, vgg_cluster_config};
+
+const T: usize = 2;
+
+fn policy() -> ConvPolicy {
+    ConvPolicy::tt(TtMode::Ptt)
+}
+
+/// A deliberately *slow* plan (~5 ms per forward pass per timestep
+/// block on a dev container): big enough frames that a handful of
+/// queued requests reliably outlive the millisecond-scale deadlines and
+/// sleeps the overload tests race against.
+fn slow_plan(timesteps: usize) -> (Vec<u8>, ClusterConfig, [usize; 3]) {
+    use ttsnn_snn::{checkpoint, SpikingModel, VggConfig, VggSnn};
+    let cfg = VggConfig::vgg9(3, 10, (32, 32), 16);
+    let model = VggSnn::new(cfg.clone(), &policy(), &mut ttsnn_tensor::Rng::seed_from(7));
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).expect("serialize checkpoint");
+    let config = ClusterConfig::new(
+        ttsnn_infer::EngineConfig::new(ttsnn_infer::ArchSpec::Vgg(cfg), policy(), timesteps)
+            .with_batching(ttsnn_infer::BatchPolicy { max_batch: 1, max_wait: Duration::ZERO }),
+    )
+    .with_replicas(1);
+    (ckpt, config, [3, 32, 32])
+}
+
+fn slow_inputs(n: usize, seed: u64) -> Vec<ttsnn_tensor::Tensor> {
+    let mut rng = ttsnn_tensor::Rng::seed_from(seed);
+    (0..n).map(|_| ttsnn_tensor::Tensor::randn(&[3, 32, 32], &mut rng)).collect()
+}
+
+fn cluster_config(timesteps: usize, max_batch: usize) -> ClusterConfig {
+    vgg_cluster_config(
+        policy(),
+        timesteps,
+        ClusterConfig::replicas_from_env(),
+        max_batch,
+        Duration::from_millis(1),
+    )
+}
+
+fn request(plan: &str, tenant: u32, priority: Priority, input: ttsnn_tensor::Tensor) -> Request {
+    Request { tenant, priority, deadline_ms: 0, plan: plan.into(), input }
+}
+
+/// Socket answers == in-process answers, bit for bit, on both planes.
+#[test]
+fn socket_parity_with_in_process_cluster_f32_and_int8() {
+    let (ckpt, _) = vgg_checkpoint(&policy(), 11);
+    let calibration = samples(12, 4);
+    let inputs = samples(13, 6);
+
+    // In-process reference: clusters loaded *separately* from the same
+    // checkpoint (the determinism contract makes load order, batching,
+    // and concurrent traffic irrelevant to the bits).
+    let expected = |quant: Option<QuantSpec>| -> Vec<Vec<u32>> {
+        let cluster = match quant {
+            Some(q) => {
+                ttsnn_infer::Cluster::load_quantized(cluster_config(T, 4), q, ckpt.as_slice())
+            }
+            None => ttsnn_infer::Cluster::load(cluster_config(T, 4), ckpt.as_slice()),
+        }
+        .expect("load reference cluster");
+        let session = cluster.session();
+        inputs
+            .iter()
+            .map(|x| {
+                session
+                    .infer(x.clone())
+                    .expect("reference inference")
+                    .data()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    let expected_f32 = expected(None);
+    let expected_int8 = expected(Some(QuantSpec::new(calibration.clone())));
+
+    let router = Router::load(vec![
+        PlanSpec {
+            name: "vgg-f32".into(),
+            config: cluster_config(T, 4),
+            quant: None,
+            checkpoint: ckpt.clone(),
+        },
+        PlanSpec {
+            name: "vgg-int8".into(),
+            config: cluster_config(T, 4),
+            quant: Some(QuantSpec::new(calibration)),
+            checkpoint: ckpt.clone(),
+        },
+    ])
+    .expect("mount plans");
+    let server = Server::bind(ServerConfig { workers: 3, ..Default::default() }, router)
+        .expect("bind server");
+    let addr = server.addr();
+
+    // Three concurrent client connections per plan, mixed priorities and
+    // tenants, every response compared bit-for-bit.
+    std::thread::scope(|scope| {
+        for (plan, expected) in [("vgg-f32", &expected_f32), ("vgg-int8", &expected_int8)] {
+            for client_id in 0..3u32 {
+                let inputs = &inputs;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for (i, input) in inputs.iter().enumerate() {
+                        if i as u32 % 3 != client_id {
+                            continue;
+                        }
+                        let priority = Priority::ALL[i % 3];
+                        let resp = client
+                            .request(&request(plan, client_id, priority, input.clone()))
+                            .expect("request");
+                        assert_eq!(resp.status, Status::Ok, "{plan}: {}", resp.message);
+                        let got: Vec<u32> = resp.logits.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(
+                            got, expected[i],
+                            "{plan} sample {i}: socket logits must be bit-identical"
+                        );
+                    }
+                });
+            }
+        }
+    });
+
+    // The HTTP side: health probe and a valid Prometheus exposition with
+    // the per-tenant and histogram series present.
+    let (code, body) = http_get(addr, "/healthz").expect("healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, page) = http_get(addr, "/metrics").expect("scrape");
+    assert_eq!(code, 200);
+    for needle in [
+        "# TYPE ttsnn_requests_total counter",
+        "# TYPE ttsnn_tenant_requests_total counter",
+        "# TYPE ttsnn_request_latency_seconds histogram",
+        "ttsnn_tenant_requests_total{plan=\"vgg-f32\",tenant=\"0\",state=\"served\"}",
+        "ttsnn_request_latency_seconds_bucket{plan=\"vgg-int8\",le=\"+Inf\"}",
+        "ttsnn_request_latency_seconds_count{plan=\"vgg-f32\"}",
+        "# TYPE ttsnn_stream_sessions_total counter",
+    ] {
+        assert!(page.contains(needle), "metrics page missing {needle:?}:\n{page}");
+    }
+    // Every sample line must parse as `name{labels} value`.
+    for line in page.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (series, v) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(v == "+Inf" || v.parse::<f64>().is_ok(), "unparsable value in line: {line}");
+        assert!(!series.is_empty());
+    }
+    let (code, _) = http_get(addr, "/nope").expect("404 path");
+    assert_eq!(code, 404);
+}
+
+/// Malformed, oversized, and protocol-violating frames each cost one
+/// error response — the same connection then serves a real request,
+/// bit-identical to in-process.
+#[test]
+fn bad_frames_do_not_kill_the_connection() {
+    let (ckpt, _) = vgg_checkpoint(&policy(), 21);
+    let input = samples(22, 1).remove(0);
+    let reference = {
+        let cluster = ttsnn_infer::Cluster::load(cluster_config(T, 2), ckpt.as_slice()).unwrap();
+        cluster.session().infer(input.clone()).unwrap()
+    };
+    let router = Router::load(vec![PlanSpec {
+        name: "vgg".into(),
+        config: cluster_config(T, 2),
+        quant: None,
+        checkpoint: ckpt,
+    }])
+    .unwrap();
+    let server = Server::bind(
+        ServerConfig { workers: 2, max_frame_bytes: 4096, ..Default::default() },
+        router,
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Garbage body of a plausible length.
+    let mut garbage = 16u32.to_le_bytes().to_vec();
+    garbage.extend_from_slice(&[0xDE; 16]);
+    let resp = client.send_raw(&garbage).expect("garbage answered in-band");
+    assert_eq!(resp.status, Status::Malformed);
+
+    // Oversized declared length: drained, reported, stream stays in sync.
+    let mut oversized = 8192u32.to_le_bytes().to_vec();
+    oversized.extend_from_slice(&vec![0x00; 8192]);
+    let resp = client.send_raw(&oversized).expect("oversized answered in-band");
+    assert_eq!(resp.status, Status::Malformed);
+    assert!(resp.message.contains("8192"), "names the declared size: {}", resp.message);
+
+    // A response frame where a request belongs.
+    let stray = ttsnn_serve::wire::encode_response(&ttsnn_serve::wire::Response::ok(vec![1.0]));
+    let resp = client.send_raw(&stray).expect("stray response answered in-band");
+    assert_eq!(resp.status, Status::Malformed);
+
+    // Unknown plan and bad shape are request-level errors, not hangups.
+    let resp = client.request(&request("nope", 0, Priority::Normal, input.clone())).unwrap();
+    assert_eq!(resp.status, Status::UnknownPlan);
+    let bad_shape = ttsnn_tensor::Tensor::zeros(&[1, 2, 2]);
+    let resp = client.request(&request("vgg", 0, Priority::Normal, bad_shape)).unwrap();
+    assert_eq!(resp.status, Status::Shape);
+
+    // The same connection still serves — bit-identical.
+    let resp = client.request(&request("vgg", 0, Priority::Normal, input)).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+    assert_eq!(resp.logits.len(), reference.data().len());
+    for (a, b) in resp.logits.iter().zip(reference.data()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// A deadlined request stuck behind higher-priority work expires on the
+/// scheduler and comes back as `DeadlineExpired` — visible per tenant on
+/// the next `/metrics` scrape.
+#[test]
+fn expired_deadline_travels_as_status_and_tenant_metric() {
+    // Strict priority (no fair policy), one replica, batch-of-1: High
+    // blockers provably run before the Low request, whose 1 ms deadline
+    // expires while it waits (~10 ms per blocker on this plan).
+    let (ckpt, config, _) = slow_plan(12);
+    let inputs = slow_inputs(6, 32);
+    let router = Router::load(vec![PlanSpec {
+        name: "vgg-slow".into(),
+        config,
+        quant: None,
+        checkpoint: ckpt,
+    }])
+    .unwrap();
+    let server = Server::bind(ServerConfig { workers: 6, ..Default::default() }, router).unwrap();
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for input in inputs.iter().take(5).cloned() {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let resp = client.request(&request("vgg-slow", 1, Priority::High, input)).unwrap();
+                assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+            });
+        }
+        // Give the blockers a head start into the queue, then race a
+        // 1 ms-deadline Low request against ≥ 5 queued forward passes.
+        std::thread::sleep(Duration::from_millis(5));
+        let mut client = Client::connect(addr).unwrap();
+        let req = Request {
+            tenant: 42,
+            priority: Priority::Low,
+            deadline_ms: 1,
+            plan: "vgg-slow".into(),
+            input: inputs[5].clone(),
+        };
+        let resp = client.request(&req).unwrap();
+        assert_eq!(resp.status, Status::DeadlineExpired, "{}", resp.message);
+    });
+
+    let (_, page) = http_get(addr, "/metrics").unwrap();
+    assert!(
+        page.contains(
+            "ttsnn_tenant_requests_total{plan=\"vgg-slow\",tenant=\"42\",state=\"expired\"} 1"
+        ),
+        "expired request must be visible under its tenant:\n{page}"
+    );
+}
+
+/// Overload comes back as structured, retryable statuses: saturation
+/// carries the scheduler's retry-after hint, and a rate-limited tenant
+/// is told so without the queue ever admitting the request.
+#[test]
+fn saturation_and_rate_limit_travel_as_retryable_statuses() {
+    let (ckpt, config, _) = slow_plan(48); // ~40 ms per forward pass
+    let inputs = slow_inputs(3, 42);
+    let fair = FairPolicy::default()
+        .with_tenant(5, TenantPolicy::default().with_rate(RateLimit { per_sec: 1.0, burst: 1.0 }));
+    let config = config.with_queue_capacity(1).with_fair(fair);
+    let router =
+        Router::load(vec![PlanSpec { name: "vgg".into(), config, quant: None, checkpoint: ckpt }])
+            .unwrap();
+    let server = Server::bind(ServerConfig { workers: 3, ..Default::default() }, router).unwrap();
+    let addr = server.addr();
+
+    // Saturation: a slow request in flight fills the capacity-1 queue;
+    // the next submission fails fast with the scheduler's structured
+    // rejection context.
+    std::thread::scope(|scope| {
+        let blocker = inputs[0].clone();
+        scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            let resp = client.request(&request("vgg", 1, Priority::Normal, blocker)).unwrap();
+            assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client.request(&request("vgg", 2, Priority::Normal, inputs[1].clone())).unwrap();
+        assert_eq!(resp.status, Status::Saturated, "{}", resp.message);
+        assert!(resp.retry_after_ms >= 1, "carries a retry-after hint");
+        assert!(resp.message.contains("tenant 2"), "names the tenant: {}", resp.message);
+    });
+
+    // Rate limiting, with the queue now idle so saturation cannot mask
+    // it: tenant 5's bucket holds one token, refilled at 1/s. The first
+    // request drains it and is served (~40 ms — far too little refill),
+    // so the second is rejected at admission, queue space or not.
+    // (The blocker's reply lands a hair before its outstanding slot is
+    // released — give the scheduler a beat to drain.)
+    std::thread::sleep(Duration::from_millis(50));
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.request(&request("vgg", 5, Priority::Normal, inputs[1].clone())).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+    std::thread::sleep(Duration::from_millis(50)); // drain the served slot, not the bucket
+    let resp = client.request(&request("vgg", 5, Priority::Normal, inputs[2].clone())).unwrap();
+    assert_eq!(resp.status, Status::RateLimited, "{}", resp.message);
+    assert!(resp.retry_after_ms >= 1);
+    assert!(resp.message.contains("tenant 5"), "names the tenant: {}", resp.message);
+
+    // The scrape shows both rejections under their tenants.
+    let (_, page) = http_get(addr, "/metrics").unwrap();
+    assert!(page.contains(
+        "ttsnn_tenant_requests_total{plan=\"vgg\",tenant=\"2\",state=\"rejected_saturated\"} 1"
+    ));
+    assert!(page.contains(
+        "ttsnn_tenant_requests_total{plan=\"vgg\",tenant=\"5\",state=\"rejected_rate_limited\"} 1"
+    ));
+}
+
+/// `Router::drift` measures int8-vs-f32 drift online, on the live
+/// mounted clusters.
+#[test]
+fn online_plan_drift_between_mounted_plans() {
+    let (ckpt, _) = vgg_checkpoint(&policy(), 51);
+    let calibration = samples(52, 4);
+    let probes = samples(53, 5);
+    let router = Router::load(vec![
+        PlanSpec {
+            name: "f32".into(),
+            config: cluster_config(T, 4),
+            quant: None,
+            checkpoint: ckpt.clone(),
+        },
+        PlanSpec {
+            name: "int8".into(),
+            config: cluster_config(T, 4),
+            quant: Some(QuantSpec::new(calibration)),
+            checkpoint: ckpt,
+        },
+    ])
+    .unwrap();
+    let drift = router.drift("f32", "int8", &probes).expect("drift probe");
+    assert_eq!(drift.requests, probes.len());
+    assert!(drift.mean_abs_err.is_finite() && drift.mean_abs_err >= 0.0);
+    assert!(drift.max_abs_err >= 0.0);
+    assert!((0.0..=1.0).contains(&drift.agreement));
+    // The probe itself generated traffic, so densities are measurable.
+    assert!(drift.reference_density.is_some());
+    assert!(drift.candidate_density.is_some());
+    // Unknown plan names fail cleanly.
+    assert!(router.drift("f32", "nope", &probes).is_err());
+
+    // Determinism: the identical plan drifts zero against itself.
+    let self_drift = router.drift("f32", "f32", &probes).unwrap();
+    assert_eq!(self_drift.max_abs_err, 0.0);
+    assert_eq!(self_drift.agreement, 1.0);
+}
+
+/// In-process sanity for the submit-options plumbing the server uses.
+#[test]
+fn submit_options_round_trip_through_cluster() {
+    let (ckpt, _) = vgg_checkpoint(&policy(), 61);
+    let cluster = ttsnn_infer::Cluster::load(cluster_config(T, 2), ckpt.as_slice()).unwrap();
+    let session = cluster.session();
+    let opts = SubmitOptions::priority(Priority::High).with_tenant(9);
+    let ticket = session.try_submit_with(samples(62, 1).remove(0), opts).unwrap();
+    ticket.wait().unwrap();
+    let m = ttsnn_testutil::drained_metrics(&cluster);
+    assert_eq!(m.tenant(9).served, 1);
+    assert_eq!(m.priority(Priority::High).served, 1);
+}

@@ -1,0 +1,164 @@
+//! Wire-protocol robustness: property-based round-trips and mutation
+//! fuzzing.
+//!
+//! The contract under test: encoding any request or response and
+//! decoding it back is lossless **bit for bit** (tensor payloads and
+//! logits travel as raw f32 bits — NaNs and `-0.0` included), and
+//! `decode_frame` / `read_frame` never panic on arbitrary or corrupted
+//! bytes — a malformed frame is a value-level error the server answers
+//! in-band, never a crash or a desynced stream.
+
+use proptest::prelude::*;
+use ttsnn_infer::Priority;
+use ttsnn_serve::wire::{
+    decode_frame, encode_request, encode_response, read_frame, Frame, FrameReadError, Request,
+    Response, Status, DEFAULT_MAX_FRAME_BYTES,
+};
+use ttsnn_tensor::Tensor;
+
+fn plan_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![Just('a'), Just('k'), Just('z'), Just('0'), Just('9'), Just('-'), Just('é')],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Arbitrary f32 *bit patterns* — exercises NaN payloads, infinities,
+/// subnormals, and `-0.0`, which all must survive the wire unchanged.
+fn payload(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((0u32..=u32::MAX).prop_map(f32::from_bits), len)
+}
+
+fn assert_bits(a: &[f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "payload bits must survive the wire");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_round_trips_bit_exact(
+        tenant in 0u32..=u32::MAX,
+        pidx in 0usize..3,
+        deadline_ms in 0u32..120_000,
+        plan in plan_name(),
+        (c, h, w) in (1usize..4, 1usize..5, 1usize..5),
+        data in payload(1..80),
+    ) {
+        let elems = c * h * w;
+        let mut data = data;
+        data.resize(elems, -0.0);
+        let req = Request {
+            tenant,
+            priority: Priority::ALL[pidx],
+            deadline_ms,
+            plan: plan.clone(),
+            input: Tensor::from_vec(data.clone(), &[c, h, w]).unwrap(),
+        };
+        let frame = encode_request(&req);
+        let mut r = frame.as_slice();
+        let body = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        prop_assert!(r.is_empty());
+        let Frame::Request(out) = decode_frame(&body).unwrap() else {
+            panic!("expected request frame")
+        };
+        prop_assert_eq!(out.tenant, tenant);
+        prop_assert_eq!(out.priority, Priority::ALL[pidx]);
+        prop_assert_eq!(out.deadline_ms, deadline_ms);
+        prop_assert_eq!(out.plan, plan);
+        prop_assert_eq!(out.input.shape(), &[c, h, w][..]);
+        assert_bits(out.input.data(), &data);
+    }
+
+    #[test]
+    fn response_round_trips_bit_exact(
+        status in 0u8..9,
+        retry in 0u32..=u32::MAX,
+        logits in payload(0..20),
+    ) {
+        let resp = Response {
+            status: Status::from_u8(status).unwrap(),
+            retry_after_ms: retry,
+            message: format!("status {status}"),
+            logits: logits.clone(),
+        };
+        let frame = encode_response(&resp);
+        let body = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
+        let Frame::Response(out) = decode_frame(&body).unwrap() else {
+            panic!("expected response frame")
+        };
+        prop_assert_eq!(out.status, resp.status);
+        prop_assert_eq!(out.retry_after_ms, retry);
+        prop_assert_eq!(out.message, resp.message);
+        assert_bits(&out.logits, &logits);
+    }
+
+    /// Arbitrary bodies must decode to `Ok` or `Err` — never panic.
+    #[test]
+    fn decode_never_panics_on_garbage(body in proptest::collection::vec(0u8..=255, 0..256)) {
+        let _ = decode_frame(&body);
+    }
+
+    /// Flipping any byte of a valid frame body must still never panic,
+    /// and whatever still decodes must be a well-formed frame value.
+    #[test]
+    fn decode_never_panics_on_mutations(
+        seed in payload(4..10),
+        idx in 0usize..1000,
+        bit in 0u8..8,
+    ) {
+        let n = seed.len();
+        let req = Request {
+            tenant: 3,
+            priority: Priority::Normal,
+            deadline_ms: 10,
+            plan: "p".into(),
+            input: Tensor::from_vec(seed, &[1, 1, n]).unwrap(),
+        };
+        let mut body = encode_request(&req)[4..].to_vec(); // strip length prefix
+        let idx = idx % body.len();
+        body[idx] ^= 1 << bit;
+        if let Ok(Frame::Request(r)) = decode_frame(&body) {
+            // A surviving decode must still be internally consistent.
+            prop_assert!(r.input.shape().len() == 3 || r.input.shape().len() == 4);
+        }
+    }
+
+    /// A truncated stream errors cleanly at every cut point.
+    #[test]
+    fn truncated_frames_error_cleanly(cut in 0usize..1000) {
+        let frame = encode_response(&Response::ok(vec![1.0, 2.0, 3.0]));
+        let cut = cut % frame.len();
+        let mut r = &frame[..cut];
+        match read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame must not parse"),
+            Err(FrameReadError::Io(_)) => {}
+            Err(e) => prop_assert!(false, "unexpected error {}", e),
+        }
+    }
+}
+
+/// An oversized frame is drained, reported, and the stream stays usable.
+#[test]
+fn oversized_frame_drains_and_stream_resyncs() {
+    let good = encode_response(&Response::error(Status::Ok, 0, ""));
+    let mut stream = Vec::new();
+    stream.extend_from_slice(&(4096u32).to_le_bytes());
+    stream.extend_from_slice(&vec![0x5A; 4096]);
+    stream.extend_from_slice(&good);
+    let mut r = stream.as_slice();
+    match read_frame(&mut r, 1024) {
+        Err(FrameReadError::Oversized { declared, max }) => {
+            assert_eq!((declared, max), (4096, 1024));
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    let body = read_frame(&mut r, 1024).unwrap().unwrap();
+    assert!(matches!(decode_frame(&body), Ok(Frame::Response(_))));
+    assert!(r.is_empty());
+}

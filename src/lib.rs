@@ -18,6 +18,10 @@
 //! * [`infer`] — the batched serving engine: frozen plans from
 //!   architecture config + checkpoint (optionally merged into dense
 //!   kernels), dynamic request micro-batching, per-sample determinism.
+//! * [`serve`] — the network serving plane: TCP ingress over a
+//!   length-prefixed binary protocol, multi-plan routing, per-tenant fair
+//!   queueing and rate limits (overload control), and a Prometheus
+//!   `/metrics` endpoint.
 //! * [`data`] — synthetic static (CIFAR-like) and dynamic (N-Caltech101-like,
 //!   DVS-Gesture-like) dataset generators.
 //! * [`accel`] — the multi-cluster systolic-array training-accelerator energy
@@ -46,5 +50,6 @@ pub use ttsnn_autograd as autograd;
 pub use ttsnn_core as core;
 pub use ttsnn_data as data;
 pub use ttsnn_infer as infer;
+pub use ttsnn_serve as serve;
 pub use ttsnn_snn as snn;
 pub use ttsnn_tensor as tensor;

@@ -112,7 +112,7 @@ pub use engine::{
     plan_drift, ArchSpec, BatchPolicy, Engine, EngineConfig, InferError, PlanDrift, PlanInfo,
     QuantInfo, QuantSpec, Session, SpikeDensityReport, StreamSession, StreamTicket, Ticket,
 };
-pub use metrics::{ClusterMetrics, SessionMetrics, TenantStats};
+pub use metrics::{ClusterMetrics, SessionMetrics, TenantStats, MAX_TRACKED_TENANTS};
 pub use sched::{
     FairPolicy, Priority, RateLimit, RejectInfo, SubmitError, SubmitOptions, TenantId, TenantPolicy,
 };

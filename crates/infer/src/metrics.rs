@@ -23,6 +23,14 @@ pub const LATENCY_EDGES_SECS: [f64; 12] =
 /// forward pass), plus an implicit overflow bucket.
 pub const BATCH_SIZE_EDGES: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
 
+/// Upper bound on individually tracked tenants in
+/// [`ClusterMetrics::tenants`]. Tenant ids arrive from the network
+/// (attacker-controlled `u32`s, and even rejected requests are counted),
+/// so per-tenant series must not grow without bound: once this many
+/// distinct tenants are tracked, events for *new* tenants fold into
+/// [`ClusterMetrics::tenant_overflow`] instead of creating entries.
+pub const MAX_TRACKED_TENANTS: usize = 256;
+
 /// A fixed-bucket histogram: cumulative-style observability without
 /// external crates. Bucket `i` counts observations `<= edges[i]` (and
 /// `> edges[i-1]`); one extra overflow bucket counts the rest.
@@ -246,8 +254,13 @@ pub struct ClusterMetrics {
     /// state accounting.
     pub sessions: SessionMetrics,
     /// Per-tenant lifecycle counters, keyed by tenant id. A tenant
-    /// appears after its first submission (or rejection).
+    /// appears after its first submission (or rejection), up to
+    /// [`MAX_TRACKED_TENANTS`] distinct tenants.
     pub tenants: BTreeMap<TenantId, TenantStats>,
+    /// Aggregated counters of every tenant beyond the
+    /// [`MAX_TRACKED_TENANTS`] cardinality cap (all zeros while under
+    /// the cap) — rendered as tenant `"other"` on `/metrics`.
+    pub tenant_overflow: TenantStats,
 }
 
 impl ClusterMetrics {
@@ -264,6 +277,7 @@ impl ClusterMetrics {
             mean_spike_density: None,
             sessions: SessionMetrics::new(replicas),
             tenants: BTreeMap::new(),
+            tenant_overflow: TenantStats::default(),
         }
     }
 
@@ -277,12 +291,22 @@ impl ClusterMetrics {
     }
 
     /// The lifecycle counters of one tenant (zeros if it never
-    /// submitted).
+    /// submitted, or if its events landed in
+    /// [`ClusterMetrics::tenant_overflow`] past the cardinality cap).
     pub fn tenant(&self, t: TenantId) -> TenantStats {
         self.tenants.get(&t).copied().unwrap_or_default()
     }
 
+    /// The tenant's counters, creating its entry on first sight — unless
+    /// the map already tracks [`MAX_TRACKED_TENANTS`] tenants, in which
+    /// case an unseen tenant's events aggregate into
+    /// [`ClusterMetrics::tenant_overflow`]. Tenant ids come off the wire,
+    /// so an id-cycling client must not grow scheduler state, snapshot
+    /// clones, or the `/metrics` page without bound.
     pub(crate) fn tenant_mut(&mut self, t: TenantId) -> &mut TenantStats {
+        if self.tenants.len() >= MAX_TRACKED_TENANTS && !self.tenants.contains_key(&t) {
+            return &mut self.tenant_overflow;
+        }
         self.tenants.entry(t).or_default()
     }
 
@@ -320,6 +344,24 @@ mod tests {
         assert_eq!(h.quantile(0.5), 2.0); // 3rd of 5 observations
         assert_eq!(h.quantile(0.99), f64::INFINITY); // the overflow sample
         assert_eq!(Histogram::new(&LATENCY_EDGES_SECS).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn tenant_cardinality_is_capped() {
+        let mut m = ClusterMetrics::new(1);
+        for t in 0..(MAX_TRACKED_TENANTS as u32 + 100) {
+            m.tenant_mut(t).rejected_saturated += 1;
+        }
+        assert_eq!(m.tenants.len(), MAX_TRACKED_TENANTS);
+        assert_eq!(m.tenant_overflow.rejected_saturated, 100);
+        // Tracked tenants keep their own counters; overflow tenants read
+        // as zeros individually.
+        assert_eq!(m.tenant(0).rejected_saturated, 1);
+        assert_eq!(m.tenant(MAX_TRACKED_TENANTS as u32 + 1).rejected_saturated, 0);
+        // An already-tracked tenant still updates in place past the cap.
+        m.tenant_mut(0).served += 1;
+        assert_eq!(m.tenant(0).served, 1);
+        assert_eq!(m.tenants.len(), MAX_TRACKED_TENANTS);
     }
 
     #[test]

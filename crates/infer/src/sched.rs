@@ -687,6 +687,24 @@ impl Scheduler {
             return Ok(());
         };
         let now = Instant::now();
+        // Tenant ids come off the wire: before growing the map for an
+        // unseen tenant, drop buckets that have refilled to full burst —
+        // a full bucket is indistinguishable from a fresh one, so this
+        // bounds id-cycling clients to the set of *actively limited*
+        // tenants instead of every id ever seen.
+        if st.buckets.len() >= crate::metrics::MAX_TRACKED_TENANTS
+            && !st.buckets.contains_key(&tenant)
+        {
+            if let Some(fair) = self.fair.as_ref() {
+                st.buckets.retain(|&t, b| match fair.tenant(t).rate {
+                    None => false,
+                    Some(r) => {
+                        let elapsed = now.saturating_duration_since(b.refilled).as_secs_f64();
+                        b.tokens + elapsed * r.per_sec < r.burst
+                    }
+                });
+            }
+        }
         let bucket = st
             .buckets
             .entry(tenant)

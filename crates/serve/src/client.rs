@@ -57,10 +57,16 @@ impl Client {
                     "server closed the connection",
                 ))
             }
+            Err(FrameReadError::IdleTimeout) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "timed out waiting for the response frame",
+                ))
+            }
             Err(FrameReadError::Io(e)) => return Err(e),
             Err(e @ FrameReadError::Oversized { .. }) => return Err(invalid(e.to_string())),
         };
-        match wire::decode_frame(&body) {
+        match wire::decode_frame(&body, wire::DEFAULT_MAX_FRAME_BYTES) {
             Ok(Frame::Response(resp)) => Ok(resp),
             Ok(Frame::Request(_)) => Err(invalid("server sent a request frame".into())),
             Err(e) => Err(invalid(e.to_string())),

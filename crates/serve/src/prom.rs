@@ -24,6 +24,22 @@ fn priority_label(p: Priority) -> &'static str {
     }
 }
 
+/// Escapes a label value per the text-format spec: backslash, double
+/// quote, and newline would otherwise corrupt the whole exposition (plan
+/// names are operator-supplied but unvalidated).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
 /// Formats a sample value; Prometheus spells infinities `+Inf`/`-Inf`.
 fn value(v: f64) -> String {
     if v == f64::INFINITY {
@@ -53,7 +69,7 @@ impl<'a> Family<'a> {
                 if i > 0 {
                     self.out.push(',');
                 }
-                self.out.push_str(&format!("{k}=\"{lv}\""));
+                self.out.push_str(&format!("{k}=\"{}\"", escape_label(lv)));
             }
             self.out.push('}');
         }
@@ -164,24 +180,31 @@ pub fn render(plans: &[(String, ClusterMetrics)]) -> String {
             "counter",
             "Request lifecycle and admission-rejection events by tenant.",
         );
+        let emit = |f: &mut Family<'_>, plan: &str, tenant: &str, s: &ttsnn_infer::TenantStats| {
+            for (state, v) in [
+                ("submitted", s.submitted),
+                ("served", s.served),
+                ("cancelled", s.cancelled),
+                ("expired", s.expired),
+                ("failed", s.failed),
+                ("rejected_saturated", s.rejected_saturated),
+                ("rejected_rate_limited", s.rejected_rate_limited),
+            ] {
+                f.sample(
+                    "ttsnn_tenant_requests_total",
+                    &[("plan", plan), ("tenant", tenant), ("state", state)],
+                    v as f64,
+                );
+            }
+        };
         for (plan, m) in plans {
             for (&tenant, s) in &m.tenants {
-                let t = tenant.to_string();
-                for (state, v) in [
-                    ("submitted", s.submitted),
-                    ("served", s.served),
-                    ("cancelled", s.cancelled),
-                    ("expired", s.expired),
-                    ("failed", s.failed),
-                    ("rejected_saturated", s.rejected_saturated),
-                    ("rejected_rate_limited", s.rejected_rate_limited),
-                ] {
-                    f.sample(
-                        "ttsnn_tenant_requests_total",
-                        &[("plan", plan), ("tenant", &t), ("state", state)],
-                        v as f64,
-                    );
-                }
+                emit(&mut f, plan, &tenant.to_string(), s);
+            }
+            // Everything past the per-tenant cardinality cap folds into
+            // one "other" series set (see MAX_TRACKED_TENANTS).
+            if m.tenant_overflow != ttsnn_infer::TenantStats::default() {
+                emit(&mut f, plan, "other", &m.tenant_overflow);
             }
         }
     }
@@ -349,6 +372,16 @@ mod tests {
         assert_eq!(value(f64::NEG_INFINITY), "-Inf");
         assert_eq!(value(0.0025), "0.0025");
         assert_eq!(value(3.0), "3");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain-name"), "plain-name");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let mut out = String::new();
+        let mut f = Family::new(&mut out, "x_total", "counter", "Test.");
+        f.sample("x_total", &[("plan", "we\"ird\n")], 1.0);
+        assert!(out.ends_with("x_total{plan=\"we\\\"ird\\n\"} 1\n"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ttsnn_infer::{InferError, SubmitError, SubmitOptions};
 
@@ -196,20 +196,27 @@ fn worker_loop(
     }
 }
 
+/// How long a fresh connection gets to produce its first 4 bytes. A
+/// well-behaved client sends them in one packet; a peer that trickles
+/// 1–3 bytes and stalls would otherwise pin a worker forever (peeked
+/// data is buffered, so the read timeout never fires on it).
+const SNIFF_DEADLINE: Duration = Duration::from_secs(2);
+
 /// Peeks until 4 bytes are visible (or the peer hangs up) to decide
-/// HTTP vs binary without consuming anything.
+/// HTTP vs binary without consuming anything. Gives up — dropping the
+/// connection — on shutdown or once [`SNIFF_DEADLINE`] passes.
 fn sniff(stream: &TcpStream, shutdown: &AtomicBool) -> io::Result<Option<[u8; 4]>> {
     let mut first = [0u8; 4];
+    let deadline = Instant::now() + SNIFF_DEADLINE;
     loop {
+        if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+            return Ok(None);
+        }
         match stream.peek(&mut first) {
             Ok(0) => return Ok(None),
             Ok(n) if n >= 4 => return Ok(Some(first)),
             Ok(_) => std::thread::sleep(Duration::from_millis(1)),
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
-                }
-            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
             Err(e) => return Err(e),
         }
     }
@@ -279,7 +286,7 @@ fn serve_binary(mut stream: TcpStream, router: &Router, shutdown: &AtomicBool, c
         }
         let response = match wire::read_frame(&mut stream, cfg.max_frame_bytes) {
             Ok(None) => return,
-            Ok(Some(body)) => match wire::decode_frame(&body) {
+            Ok(Some(body)) => match wire::decode_frame(&body, cfg.max_frame_bytes) {
                 Ok(Frame::Request(req)) => process(req, router),
                 Ok(Frame::Response(_)) => {
                     Response::error(Status::Malformed, 0, "unexpected response frame")
@@ -291,11 +298,10 @@ fn serve_binary(mut stream: TcpStream, router: &Router, shutdown: &AtomicBool, c
                 0,
                 format!("frame of {declared} bytes exceeds the {max}-byte limit"),
             ),
-            Err(FrameReadError::Io(e))
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-            {
-                continue; // idle between frames: poll shutdown and re-arm
-            }
+            // Idle between frames: poll shutdown and re-arm. A timeout
+            // that struck mid-frame surfaces as Io and drops the
+            // connection — the stream is desynced.
+            Err(FrameReadError::IdleTimeout) => continue,
             Err(FrameReadError::Io(_)) => return,
         };
         if stream.write_all(&wire::encode_response(&response)).is_err() {

@@ -161,9 +161,13 @@ impl std::error::Error for WireError {}
 /// Failure while pulling one frame off a byte stream.
 #[derive(Debug)]
 pub enum FrameReadError {
-    /// The underlying read failed (includes timeouts; a
-    /// `WouldBlock`/`TimedOut` before the first prefix byte is safe to
-    /// retry — nothing was consumed).
+    /// The read timed out **before the first prefix byte** — no frame was
+    /// in flight and nothing was consumed, so the caller may simply retry.
+    /// This is the shutdown-poll tick of an idle server connection.
+    IdleTimeout,
+    /// The underlying read failed. A timeout surfacing here struck
+    /// **mid-frame**: the stream is desynced and the connection must be
+    /// dropped.
     Io(io::Error),
     /// The declared body length exceeds the configured maximum. The
     /// declared bytes were drained, so the stream is still in sync.
@@ -178,6 +182,7 @@ pub enum FrameReadError {
 impl std::fmt::Display for FrameReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            FrameReadError::IdleTimeout => write!(f, "read timed out between frames"),
             FrameReadError::Io(e) => write!(f, "frame read failed: {e}"),
             FrameReadError::Oversized { declared, max } => {
                 write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
@@ -308,14 +313,17 @@ impl<'a> Cursor<'a> {
 }
 
 /// Decodes one frame **body** (the bytes after the length prefix, e.g.
-/// from [`read_frame`]). Never panics on arbitrary input.
+/// from [`read_frame`]). Never panics on arbitrary input. `max_bytes` is
+/// the same frame-size bound the caller passed to [`read_frame`] — the
+/// input tensor / logit vector element caps derive from it, so raising
+/// `ServerConfig::max_frame_bytes` raises both limits together.
 ///
 /// # Errors
 ///
 /// [`WireError`] on any structural problem: bad magic/version, unknown
 /// kind or status, truncation, trailing bytes, or an input tensor whose
 /// declared shape is invalid or disagrees with the payload length.
-pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
+pub fn decode_frame(body: &[u8], max_bytes: usize) -> Result<Frame, WireError> {
     let mut c = Cursor { buf: body, pos: 0 };
     let magic = c.u16("magic")?;
     if magic != MAGIC {
@@ -348,7 +356,7 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
                 }
                 elems = elems
                     .checked_mul(d)
-                    .filter(|&e| e <= DEFAULT_MAX_FRAME_BYTES / 4)
+                    .filter(|&e| e <= max_bytes / 4)
                     .ok_or_else(|| WireError("input tensor too large".into()))?;
                 shape.push(d);
             }
@@ -368,7 +376,7 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
             let retry_after_ms = c.u32("retry_after")?;
             let message = c.string("message")?;
             let k = c.u32("logit count")? as usize;
-            if k > DEFAULT_MAX_FRAME_BYTES / 4 {
+            if k > max_bytes / 4 {
                 return Err(WireError("logit vector too large".into()));
             }
             let payload = c.take(k * 4, "logits payload")?;
@@ -396,9 +404,10 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
 ///
 /// # Errors
 ///
-/// [`FrameReadError::Io`] on read failure. A `WouldBlock`/`TimedOut`
-/// before the first prefix byte consumed nothing and is safe to retry;
-/// mid-frame it leaves the stream desynced and the connection should be
+/// [`FrameReadError::IdleTimeout`] when a read timeout strikes before the
+/// first prefix byte — nothing was consumed, retry freely.
+/// [`FrameReadError::Io`] on any other read failure, including a timeout
+/// mid-frame: that leaves the stream desynced and the connection must be
 /// dropped.
 pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>, FrameReadError> {
     let mut prefix = [0u8; 4];
@@ -407,6 +416,9 @@ pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>
     match r.read(&mut prefix[..1]) {
         Ok(0) => return Ok(None),
         Ok(_) => {}
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            return Err(FrameReadError::IdleTimeout)
+        }
         Err(e) => return Err(e.into()),
     }
     r.read_exact(&mut prefix[1..])?;
@@ -427,7 +439,7 @@ mod tests {
     fn round_trip(mut r: &[u8]) -> Frame {
         let body = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
         assert!(r.is_empty(), "frame fully consumed");
-        decode_frame(&body).unwrap()
+        decode_frame(&body, DEFAULT_MAX_FRAME_BYTES).unwrap()
     }
 
     #[test]
@@ -474,12 +486,62 @@ mod tests {
         }
         // The stream is still in sync: the next frame decodes.
         let body = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
-        assert!(matches!(decode_frame(&body), Ok(Frame::Response(_))));
+        assert!(matches!(decode_frame(&body, DEFAULT_MAX_FRAME_BYTES), Ok(Frame::Response(_))));
     }
 
     #[test]
     fn clean_eof_is_none() {
         let mut r: &[u8] = &[];
         assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    /// Yields `data`, then fails every further read with `WouldBlock` —
+    /// a socket whose peer stalls mid-transfer.
+    struct Stall<'a> {
+        data: &'a [u8],
+    }
+
+    impl Read for Stall<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.data.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            let n = self.data.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_before_any_byte_is_idle() {
+        let mut r = Stall { data: &[] };
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameReadError::IdleTimeout)));
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_fatal_io() {
+        // One prefix byte arrived, then the peer stalled: the stream is
+        // desynced, so this must NOT look retryable.
+        let mut r = Stall { data: &[7] };
+        match read_frame(&mut r, 1024) {
+            Err(FrameReadError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::WouldBlock),
+            other => panic!("expected fatal Io, got {other:?}"),
+        }
+        // Same for a stall inside the body.
+        let mut frame = 8u32.to_le_bytes().to_vec();
+        frame.extend_from_slice(&[0xAB; 3]); // 3 of the declared 8 bytes
+        let mut r = Stall { data: &frame };
+        assert!(matches!(read_frame(&mut r, 1024), Err(FrameReadError::Io(_))));
+    }
+
+    #[test]
+    fn decode_caps_follow_the_configured_max() {
+        // 64 one-element logits fit a raised cap but not a tiny one.
+        let resp = Response::ok(vec![1.0; 64]);
+        let frame = encode_response(&resp);
+        let body = &frame[4..];
+        assert!(decode_frame(body, 64 * 4).is_ok());
+        assert!(matches!(decode_frame(body, 16), Err(WireError(_))));
     }
 }

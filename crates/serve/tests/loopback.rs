@@ -384,6 +384,72 @@ fn online_plan_drift_between_mounted_plans() {
     assert_eq!(self_drift.agreement, 1.0);
 }
 
+/// Stalled peers must not wedge the worker pool: a connection that
+/// trickles fewer than 4 bytes and stops is dropped at the sniff
+/// deadline, and a frame that stalls mid-body past the read timeout is
+/// dropped as desynced — in both cases the (single) worker goes back to
+/// serving well-behaved clients, and `Server::drop` joins cleanly.
+#[test]
+fn stalled_connections_do_not_wedge_workers() {
+    use std::io::{Read, Write};
+
+    let (ckpt, _) = vgg_checkpoint(&policy(), 71);
+    let input = samples(72, 1).remove(0);
+    let router = Router::load(vec![PlanSpec {
+        name: "vgg".into(),
+        config: cluster_config(T, 2),
+        quant: None,
+        checkpoint: ckpt,
+    }])
+    .unwrap();
+    let server = Server::bind(
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(50),
+            ..Default::default()
+        },
+        router,
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // 1–3 bytes then silence: without the sniff deadline this spins the
+    // worker forever (the bytes are buffered, so no timeout ever fires).
+    let mut sniff_staller = std::net::TcpStream::connect(addr).unwrap();
+    sniff_staller.write_all(&[0x4E, 0x54]).unwrap();
+    // The server closes without consuming the peeked bytes, which may
+    // surface as a clean EOF or an RST — either way the connection dies.
+    let mut sink = Vec::new();
+    match sniff_staller.read_to_end(&mut sink) {
+        Ok(_) => assert!(sink.is_empty(), "nothing was served to the staller"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+
+    // The worker is free again: a real client gets served.
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.request(&request("vgg", 0, Priority::Normal, input.clone())).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+    drop(client);
+
+    // A frame that stalls mid-body past the read timeout desyncs the
+    // stream; the server must drop it rather than retry into garbage.
+    let mut mid_frame_staller = std::net::TcpStream::connect(addr).unwrap();
+    let mut partial = 64u32.to_le_bytes().to_vec();
+    partial.extend_from_slice(&[0xAB; 10]); // 10 of the declared 64 bytes
+    mid_frame_staller.write_all(&partial).unwrap();
+    let mut sink = Vec::new();
+    match mid_frame_staller.read_to_end(&mut sink) {
+        Ok(_) => assert!(sink.is_empty(), "no response on a desynced stream"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+
+    // Still serving afterwards, and Server::drop joins (the test would
+    // hang here if a worker were wedged).
+    let mut client = Client::connect(addr).unwrap();
+    let resp = client.request(&request("vgg", 0, Priority::Normal, input)).unwrap();
+    assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+}
+
 /// In-process sanity for the submit-options plumbing the server uses.
 #[test]
 fn submit_options_round_trip_through_cluster() {

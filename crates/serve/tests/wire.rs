@@ -63,7 +63,7 @@ proptest! {
         let mut r = frame.as_slice();
         let body = read_frame(&mut r, DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
         prop_assert!(r.is_empty());
-        let Frame::Request(out) = decode_frame(&body).unwrap() else {
+        let Frame::Request(out) = decode_frame(&body, DEFAULT_MAX_FRAME_BYTES).unwrap() else {
             panic!("expected request frame")
         };
         prop_assert_eq!(out.tenant, tenant);
@@ -88,7 +88,7 @@ proptest! {
         };
         let frame = encode_response(&resp);
         let body = read_frame(&mut frame.as_slice(), DEFAULT_MAX_FRAME_BYTES).unwrap().unwrap();
-        let Frame::Response(out) = decode_frame(&body).unwrap() else {
+        let Frame::Response(out) = decode_frame(&body, DEFAULT_MAX_FRAME_BYTES).unwrap() else {
             panic!("expected response frame")
         };
         prop_assert_eq!(out.status, resp.status);
@@ -100,7 +100,7 @@ proptest! {
     /// Arbitrary bodies must decode to `Ok` or `Err` — never panic.
     #[test]
     fn decode_never_panics_on_garbage(body in proptest::collection::vec(0u8..=255, 0..256)) {
-        let _ = decode_frame(&body);
+        let _ = decode_frame(&body, DEFAULT_MAX_FRAME_BYTES);
     }
 
     /// Flipping any byte of a valid frame body must still never panic,
@@ -122,7 +122,7 @@ proptest! {
         let mut body = encode_request(&req)[4..].to_vec(); // strip length prefix
         let idx = idx % body.len();
         body[idx] ^= 1 << bit;
-        if let Ok(Frame::Request(r)) = decode_frame(&body) {
+        if let Ok(Frame::Request(r)) = decode_frame(&body, DEFAULT_MAX_FRAME_BYTES) {
             // A surviving decode must still be internally consistent.
             prop_assert!(r.input.shape().len() == 3 || r.input.shape().len() == 4);
         }
@@ -159,6 +159,6 @@ fn oversized_frame_drains_and_stream_resyncs() {
         other => panic!("expected Oversized, got {other:?}"),
     }
     let body = read_frame(&mut r, 1024).unwrap().unwrap();
-    assert!(matches!(decode_frame(&body), Ok(Frame::Response(_))));
+    assert!(matches!(decode_frame(&body, DEFAULT_MAX_FRAME_BYTES), Ok(Frame::Response(_))));
     assert!(r.is_empty());
 }

@@ -1,0 +1,139 @@
+//! Tracing-overhead measurement: the same inference workload with
+//! request-lifecycle tracing enabled vs disabled.
+//!
+//! Criterion-free. The bench drives an in-process serving cluster (the
+//! same scheduler → batcher → engine path the network plane uses, minus
+//! socket noise) with closed waves of traced and untraced requests,
+//! interleaved round-robin so clock drift and cache state hit both modes
+//! equally. Traced rounds mint a real trace id per request, so every
+//! hot-path hook fires: stage spans, per-timestep children, kernel
+//! regions, stage histograms, and the flight recorder. Untraced rounds
+//! run with tracing globally disabled (`ttsnn_obs::set_enabled(false)`,
+//! what `TTSNN_TRACE=off` resolves to), so the hooks collapse to one
+//! relaxed atomic load.
+//!
+//! Written to `BENCH_obs_overhead.json`: throughput in both modes and
+//! the relative overhead percentage. The tracing contract is also
+//! *checked*, not assumed: logits from traced and untraced rounds must
+//! be bit-identical (tracing reads clocks and copies events, never data).
+//!
+//! ```sh
+//! cargo run -p ttsnn-bench --release --bin obs_overhead
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ttsnn_bench::harness::micro::{write_json, BenchRecord};
+use ttsnn_core::TtMode;
+use ttsnn_infer::{ArchSpec, BatchPolicy, ClusterConfig, EngineConfig, SubmitOptions};
+use ttsnn_snn::{checkpoint, ConvPolicy, SpikingModel, VggConfig, VggSnn};
+use ttsnn_tensor::{Rng, Tensor};
+
+const TIMESTEPS: usize = 4;
+const WAVE: usize = 8;
+const WAVES_PER_ROUND: usize = 4;
+const ROUNDS: usize = 6; // per mode, interleaved
+
+fn vgg_cfg() -> VggConfig {
+    VggConfig::vgg9(3, 10, (16, 16), 8)
+}
+
+/// One closed wave per iteration: submit `WAVE` requests, wait for all,
+/// repeat. Returns elapsed wall clock and every logit vector's bits.
+fn run_round(
+    session: &ttsnn_infer::ClusterSession,
+    inputs: &[Tensor],
+    traced: bool,
+) -> (Duration, Vec<Vec<u32>>) {
+    let mut bits = Vec::with_capacity(WAVE * WAVES_PER_ROUND);
+    let t0 = Instant::now();
+    for wave in 0..WAVES_PER_ROUND {
+        let tickets: Vec<_> = (0..WAVE)
+            .map(|i| {
+                let mut opts = SubmitOptions::default().with_tenant(1);
+                if traced {
+                    opts = opts.with_trace(ttsnn_obs::next_trace_id());
+                }
+                session
+                    .try_submit_with(inputs[(wave * WAVE + i) % inputs.len()].clone(), opts)
+                    .expect("submit")
+            })
+            .collect();
+        for t in tickets {
+            let logits = t.wait().expect("inference");
+            bits.push(logits.data().iter().map(|v| v.to_bits()).collect());
+        }
+    }
+    (t0.elapsed(), bits)
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(42);
+    let model = VggSnn::new(vgg_cfg(), &ConvPolicy::tt(TtMode::Ptt), &mut rng);
+    let mut ckpt = Vec::new();
+    checkpoint::save_params(&model.params(), &mut ckpt).expect("serialize checkpoint");
+    let config = ClusterConfig::new(
+        EngineConfig::new(ArchSpec::Vgg(vgg_cfg()), ConvPolicy::tt(TtMode::Ptt), TIMESTEPS)
+            .merged()
+            .with_batching(BatchPolicy { max_batch: WAVE, max_wait: Duration::from_millis(1) }),
+    );
+    let cluster = ttsnn_infer::Cluster::load(config, ckpt.as_slice()).expect("load cluster");
+    let session = cluster.session();
+
+    let inputs: Vec<Tensor> =
+        (0..WAVE * 2).map(|_| Tensor::randn(&[3, 16, 16], &mut rng)).collect();
+
+    // Warmup (first-touch allocation, replica spin-up), untimed.
+    ttsnn_obs::set_enabled(true);
+    run_round(&session, &inputs, true);
+
+    let requests_per_round = (WAVE * WAVES_PER_ROUND) as f64;
+    let mut traced_secs = 0.0;
+    let mut off_secs = 0.0;
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for _ in 0..ROUNDS {
+        ttsnn_obs::set_enabled(true);
+        let (dt, bits) = run_round(&session, &inputs, true);
+        traced_secs += dt.as_secs_f64();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(r, &bits, "traced logits must be bit-identical across rounds"),
+        }
+
+        ttsnn_obs::set_enabled(false);
+        let (dt, bits) = run_round(&session, &inputs, false);
+        off_secs += dt.as_secs_f64();
+        assert_eq!(
+            reference.as_ref().unwrap(),
+            &bits,
+            "tracing must not change a single logit bit"
+        );
+    }
+    ttsnn_obs::set_enabled(true);
+
+    let traced_rps = ROUNDS as f64 * requests_per_round / traced_secs;
+    let off_rps = ROUNDS as f64 * requests_per_round / off_secs;
+    let overhead_pct = (off_rps - traced_rps) / off_rps * 100.0;
+    println!(
+        "obs_overhead: tracing on vs off, {} requests per mode",
+        ROUNDS * WAVE * WAVES_PER_ROUND
+    );
+    println!("  traced: {traced_rps:>8.1} req/s");
+    println!("  off:    {off_rps:>8.1} req/s");
+    println!("  overhead: {overhead_pct:.2}% (logits bit-identical in both modes)");
+
+    write_json(
+        "BENCH_obs_overhead.json",
+        &[BenchRecord {
+            name: "obs_overhead".into(),
+            metrics: vec![
+                ("traced_rps".into(), traced_rps),
+                ("off_rps".into(), off_rps),
+                ("overhead_pct".into(), overhead_pct),
+                ("requests_per_mode".into(), ROUNDS as f64 * requests_per_round),
+            ],
+        }],
+    )
+    .expect("write BENCH_obs_overhead.json");
+    println!("wrote BENCH_obs_overhead.json");
+}

@@ -110,6 +110,7 @@ fn drive_step(addr: std::net::SocketAddr, clients: usize, inputs: &[Tensor]) -> 
                 let mut i = c;
                 while Instant::now() < deadline {
                     let req = Request {
+                        trace: 0,
                         tenant,
                         priority: Priority::Normal,
                         deadline_ms: DEADLINE_MS,

@@ -678,9 +678,28 @@ fn serve_stream_cmd(
             streams.open(id, opts);
             sched.record_stream_state(replica, streams.active(), streams.resident_bytes(), 0);
         }
-        StreamCmd::Feed { id, chunk, reply, submitted, .. } => {
+        StreamCmd::Feed { id, chunk, reply, submitted, trace, submit_ns, .. } => {
+            let exec_start = if trace != 0 { ttsnn_obs::now_ns() } else { 0 };
+            if trace != 0 {
+                let wait_ns = exec_start.saturating_sub(submit_ns);
+                ttsnn_obs::record_span(trace, "queue_wait", submit_ns, wait_ns, 0, id);
+                ttsnn_obs::record_stage(ttsnn_obs::Stage::QueueWait, wait_ns);
+            }
+            let _ctx = ttsnn_obs::TraceContext::enter(&[trace]);
             match streams.feed(model, cfg.timesteps, frame_shape, id, &chunk) {
                 Ok((update, report)) => {
+                    if trace != 0 {
+                        let dur = ttsnn_obs::now_ns().saturating_sub(exec_start);
+                        ttsnn_obs::record_span(
+                            trace,
+                            "execute",
+                            exec_start,
+                            dur,
+                            report.executed,
+                            id,
+                        );
+                        ttsnn_obs::record_stage(ttsnn_obs::Stage::Execute, dur);
+                    }
                     // Never evict the session just fed: its chunk was
                     // admitted and executed.
                     let evicted = streams.evict_to_bound(id) as u64;
@@ -732,8 +751,33 @@ fn serve_cluster_batch(
         return;
     }
     let inputs: Vec<&Tensor> = accepted.iter().map(|j| &j.input).collect();
-    match engine::forward_requests(model, cfg.timesteps, frame_shape, &inputs) {
+    let traces: Vec<u64> = accepted.iter().map(|j| j.trace).collect();
+    let tracing = traces.iter().any(|&t| t != 0) && ttsnn_obs::enabled();
+    let exec_start = if tracing { ttsnn_obs::now_ns() } else { 0 };
+    match engine::forward_requests(model, cfg.timesteps, frame_shape, &inputs, &traces) {
         Ok(summed) => {
+            let batch_size = accepted.len();
+            let density = engine::density_report(model);
+            // Record each member's `execute` span (batch size + measured
+            // mean spike density as payload) *before* scattering replies,
+            // so a client that immediately queries `/trace` sees it.
+            if tracing {
+                let dur = ttsnn_obs::now_ns().saturating_sub(exec_start);
+                let density_bits = density.mean.unwrap_or(f64::NAN).to_bits();
+                for &trace in &traces {
+                    ttsnn_obs::record_span(
+                        trace,
+                        "execute",
+                        exec_start,
+                        dur,
+                        batch_size as u64,
+                        density_bits,
+                    );
+                    if trace != 0 {
+                        ttsnn_obs::record_stage(ttsnn_obs::Stage::Execute, dur);
+                    }
+                }
+            }
             let k = summed.len() / accepted.len();
             let mut served = Vec::with_capacity(accepted.len());
             for (i, job) in accepted.iter().enumerate() {
@@ -742,10 +786,8 @@ fn serve_cluster_batch(
                 let _ = job.reply.send(Ok(logits));
                 served.push((job.priority, job.tenant, job.submitted.elapsed()));
             }
-            let batch_size = accepted.len();
             runtime::recycle_buffer(summed.into_vec());
             sched.record_batch(&served, batch_size);
-            let density = engine::density_report(model);
             sched.record_density(density.per_layer, density.mean);
         }
         Err(e) => {

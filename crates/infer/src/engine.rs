@@ -779,7 +779,7 @@ fn serve_batch(
         return;
     }
     let inputs: Vec<&Tensor> = accepted.iter().map(|r| &r.input).collect();
-    match forward_requests(model, timesteps, frame_shape, &inputs) {
+    match forward_requests(model, timesteps, frame_shape, &inputs, &[]) {
         Ok(summed) => {
             let k = summed.len() / accepted.len();
             for (i, req) in accepted.into_iter().enumerate() {
@@ -809,6 +809,13 @@ fn serve_batch(
 /// returned tensor's buffer should be recycled by the caller once
 /// scattered.
 ///
+/// `traces` carries the batch members' request-lifecycle trace ids
+/// (`ttsnn_obs`; empty or all-zero = untraced). When any member is
+/// traced, every timestep becomes a child span under `execute` — with
+/// the timestep index and per-sample MAC count as payload — and the
+/// member traces are installed as the thread's kernel-region context,
+/// so gemm/conv/sparse regions show up nested inside each timestep.
+///
 /// # Errors
 ///
 /// Returns the model's own error message if a forward pass rejects the
@@ -819,11 +826,14 @@ pub(crate) fn forward_requests(
     timesteps: usize,
     frame_shape: [usize; 3],
     inputs: &[&Tensor],
+    traces: &[u64],
 ) -> Result<Tensor, String> {
     let b = inputs.len();
     let [c, h, w] = frame_shape;
     let frame_len = c * h * w;
     model.reset_state();
+    let tracing = traces.iter().any(|&t| t != 0) && ttsnn_obs::enabled();
+    let _ctx = ttsnn_obs::TraceContext::enter(traces);
     let mut stack_buf = runtime::take_buffer(b * frame_len);
     let mut summed: Option<Tensor> = None;
     for t in 0..timesteps {
@@ -834,7 +844,15 @@ pub(crate) fn forward_requests(
         }
         let batch = Tensor::from_vec(std::mem::take(&mut stack_buf), &[b, c, h, w])
             .expect("stacked batch shape");
+        let step_start = if tracing { ttsnn_obs::now_ns() } else { 0 };
         let step = model.forward_timestep_tensor(&batch, t);
+        if tracing {
+            let dur = ttsnn_obs::now_ns().saturating_sub(step_start);
+            let macs = model.macs_at(t) as u64;
+            for &trace in traces {
+                ttsnn_obs::record_span(trace, "timestep", step_start, dur, t as u64, macs);
+            }
+        }
         stack_buf = batch.into_vec();
         match step {
             Ok(logits) => match summed.as_mut() {

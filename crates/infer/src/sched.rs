@@ -122,6 +122,11 @@ pub struct SubmitOptions {
     /// flow and token bucket; without one it only labels the per-tenant
     /// metrics.
     pub tenant: TenantId,
+    /// Request-lifecycle trace id (`ttsnn_obs`; minted at wire decode by
+    /// the serving plane). `0` (the default) means untraced: the
+    /// scheduler records no spans for the request. Tracing never affects
+    /// scheduling order or any request's logits.
+    pub trace: u64,
 }
 
 impl SubmitOptions {
@@ -139,6 +144,13 @@ impl SubmitOptions {
     /// Returns these options with the tenant id set.
     pub fn with_tenant(mut self, tenant: TenantId) -> Self {
         self.tenant = tenant;
+        self
+    }
+
+    /// Returns these options with a request-lifecycle trace id attached
+    /// (see [`ttsnn_obs::next_trace_id`]).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -402,6 +414,14 @@ pub(crate) struct Job {
     pub(crate) reply: Sender<Result<Tensor, InferError>>,
     /// Submission instant, for the latency histogram.
     pub(crate) submitted: Instant,
+    /// Request-lifecycle trace id (`0` = untraced).
+    pub(crate) trace: u64,
+    /// Submission time on the obs clock (ns; 0 when untraced) — the
+    /// `queue_wait` span's start.
+    pub(crate) submit_ns: u64,
+    /// When the job was popped into an open batch (set by `next_work`;
+    /// splits `queue_wait` from `batch_form`).
+    pub(crate) popped_ns: u64,
 }
 
 impl Job {
@@ -553,6 +573,32 @@ impl JobQueue {
     }
 }
 
+/// Reason code of a `rejected` trace event: the bounded queue was full.
+const REJECT_SATURATED: u64 = 1;
+/// Reason code of a `rejected` trace event: the tenant's bucket was dry.
+const REJECT_RATE_LIMITED: u64 = 2;
+
+/// Makes an admission drop visible in the trace stream and in
+/// `GET /debug/requests`. A rejected request never held queue state, and
+/// both records land in bounded rings (the per-thread event ring and the
+/// flight recorder's completion ring), so rejections can never leak
+/// ring-buffer slots however many arrive.
+fn record_rejected(opts: &SubmitOptions, reason: u64) {
+    if opts.trace == 0 {
+        return;
+    }
+    ttsnn_obs::record_instant(
+        opts.trace,
+        "rejected",
+        ttsnn_obs::now_ns(),
+        reason,
+        u64::from(opts.tenant),
+    );
+    let status =
+        if reason == REJECT_SATURATED { "rejected_saturated" } else { "rejected_rate_limited" };
+    ttsnn_obs::record_completion(opts.trace, opts.tenant, status, 0);
+}
+
 /// One tenant's token bucket, refilled lazily at admission time.
 struct TokenBucket {
     tokens: f64,
@@ -586,6 +632,12 @@ pub(crate) enum StreamCmd {
         reply: Sender<Result<StreamUpdate, InferError>>,
         /// Submission instant, for the latency histogram.
         submitted: Instant,
+        /// Per-chunk trace id, minted at enqueue when tracing is on
+        /// (`0` = untraced). Stream chunks are requests, so each gets
+        /// `queue_wait` and `execute` spans like a batch member.
+        trace: u64,
+        /// Enqueue time on the obs clock (ns; 0 when untraced).
+        submit_ns: u64,
     },
     /// Drop the session's resident state.
     Close {
@@ -744,6 +796,9 @@ impl Scheduler {
             cancelled: cancelled.clone(),
             reply,
             submitted: now,
+            trace: opts.trace,
+            submit_ns: if opts.trace != 0 { ttsnn_obs::now_ns() } else { 0 },
+            popped_ns: 0,
         });
         self.work.notify_all();
         cancelled
@@ -766,6 +821,7 @@ impl Scheduler {
             if st.outstanding < self.capacity {
                 if let Err(retry_after) = self.charge_rate_locked(&mut st, opts.tenant) {
                     st.metrics.tenant_mut(opts.tenant).rejected_rate_limited += 1;
+                    record_rejected(&opts, REJECT_RATE_LIMITED);
                     return Err(SubmitError::RateLimited(RejectInfo {
                         tenant: opts.tenant,
                         priority: opts.priority,
@@ -792,6 +848,7 @@ impl Scheduler {
         if st.outstanding >= self.capacity {
             st.metrics.tenant_mut(opts.tenant).rejected_saturated += 1;
             let retry_after = st.saturation_retry_after();
+            record_rejected(&opts, REJECT_SATURATED);
             return Err(SubmitError::Saturated(RejectInfo {
                 tenant: opts.tenant,
                 priority: opts.priority,
@@ -800,6 +857,7 @@ impl Scheduler {
         }
         if let Err(retry_after) = self.charge_rate_locked(&mut st, opts.tenant) {
             st.metrics.tenant_mut(opts.tenant).rejected_rate_limited += 1;
+            record_rejected(&opts, REJECT_RATE_LIMITED);
             return Err(SubmitError::RateLimited(RejectInfo {
                 tenant: opts.tenant,
                 priority: opts.priority,
@@ -883,7 +941,10 @@ impl Scheduler {
                 if let Some(cmd) = self.pop_stream(&mut st, replica, Instant::now()) {
                     return Some(Work::Stream(cmd));
                 }
-                if let Some(job) = self.pop_live(&mut st, Instant::now()) {
+                if let Some(mut job) = self.pop_live(&mut st, Instant::now()) {
+                    if job.trace != 0 {
+                        job.popped_ns = ttsnn_obs::now_ns();
+                    }
                     break job;
                 }
                 if st.shutdown {
@@ -894,7 +955,10 @@ impl Scheduler {
             let mut batch = vec![first];
             let close_at = Instant::now().checked_add(max_wait);
             while batch.len() < max_batch && !st.shutdown && st.streams[replica].is_empty() {
-                if let Some(job) = self.pop_live(&mut st, Instant::now()) {
+                if let Some(mut job) = self.pop_live(&mut st, Instant::now()) {
+                    if job.trace != 0 {
+                        job.popped_ns = ttsnn_obs::now_ns();
+                    }
                     batch.push(job);
                     continue;
                 }
@@ -934,6 +998,38 @@ impl Scheduler {
                 true
             });
             if !batch.is_empty() {
+                // Close of batch formation: attribute each traced
+                // member's wait so far to `queue_wait` (submit → pop) and
+                // `batch_form` (pop → close).
+                if batch.iter().any(|j| j.trace != 0) {
+                    let close_ns = ttsnn_obs::now_ns();
+                    let size = batch.len() as u64;
+                    for job in &batch {
+                        if job.trace == 0 {
+                            continue;
+                        }
+                        let wait_ns = job.popped_ns.saturating_sub(job.submit_ns);
+                        ttsnn_obs::record_span(
+                            job.trace,
+                            "queue_wait",
+                            job.submit_ns,
+                            wait_ns,
+                            job.priority.index() as u64,
+                            u64::from(job.tenant),
+                        );
+                        ttsnn_obs::record_stage(ttsnn_obs::Stage::QueueWait, wait_ns);
+                        let form_ns = close_ns.saturating_sub(job.popped_ns);
+                        ttsnn_obs::record_span(
+                            job.trace,
+                            "batch_form",
+                            job.popped_ns,
+                            form_ns,
+                            size,
+                            0,
+                        );
+                        ttsnn_obs::record_stage(ttsnn_obs::Stage::BatchForm, form_ns);
+                    }
+                }
                 return Some(Work::Batch(batch));
             }
             // Everything admitted was cancelled/expired: open a new batch.
@@ -968,6 +1064,7 @@ impl Scheduler {
         let now = Instant::now();
         st.outstanding += 1;
         st.metrics.sessions.chunks_submitted += 1;
+        let trace = if ttsnn_obs::enabled() { ttsnn_obs::next_trace_id() } else { 0 };
         st.streams[replica].push_back(StreamCmd::Feed {
             id,
             chunk,
@@ -975,6 +1072,8 @@ impl Scheduler {
             deadline: deadline.and_then(|d| now.checked_add(d)),
             reply,
             submitted: now,
+            trace,
+            submit_ns: if trace != 0 { ttsnn_obs::now_ns() } else { 0 },
         });
         self.work.notify_all();
     }

@@ -14,8 +14,15 @@
 //! * [`Server`] — a std-only accept loop plus fixed worker pool
 //!   (`TTSNN_SERVE_ADDR` / `TTSNN_SERVE_CONNS`), speaking the binary
 //!   protocol and a minimal HTTP/1.1 side for `GET /metrics`
-//!   (Prometheus text exposition, rendered by [`prom`]) and
-//!   `GET /healthz`.
+//!   (Prometheus text exposition, rendered by [`prom`]),
+//!   `GET /healthz` (JSON readiness body), `GET /debug/requests`
+//!   (the `ttsnn_obs` flight recorder), and `GET /trace?id=<trace>`
+//!   (one request as Chrome trace-event JSON).
+//! * Request-lifecycle tracing: wire v2 carries a trace id (minted at
+//!   decode when the client sends 0) through the scheduler and back in
+//!   the response; stage spans `admit` / `queue_wait` / `batch_form` /
+//!   `execute` / `serialize` / `write` feed the per-stage latency
+//!   histograms on `/metrics`. Disable with `TTSNN_TRACE=off`.
 //! * Overload control lives in `ttsnn_infer::sched`: per-tenant weighted
 //!   fair queueing and token-bucket rate limits, surfaced here as
 //!   structured retryable wire statuses with retry-after hints.

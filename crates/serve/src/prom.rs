@@ -13,6 +13,8 @@
 //! (cumulative `le` buckets plus `_sum`/`_count`), measured per-layer
 //! spike densities, and the streaming-session counters.
 
+use std::time::Duration;
+
 use ttsnn_infer::{ClusterMetrics, Priority};
 
 /// Stable label value for a priority class.
@@ -27,7 +29,7 @@ fn priority_label(p: Priority) -> &'static str {
 /// Escapes a label value per the text-format spec: backslash, double
 /// quote, and newline would otherwise corrupt the whole exposition (plan
 /// names are operator-supplied but unvalidated).
-fn escape_label(v: &str) -> String {
+pub(crate) fn escape_label(v: &str) -> String {
     let mut out = String::with_capacity(v.len());
     for ch in v.chars() {
         match ch {
@@ -357,6 +359,65 @@ pub fn render(plans: &[(String, ClusterMetrics)]) -> String {
                     n as f64,
                 );
             }
+        }
+    }
+    out
+}
+
+/// Renders the process-level families the `/metrics` page appends after
+/// the per-plan snapshot: the build-info gauge, the uptime counter, and
+/// the request-lifecycle per-stage latency histograms maintained by
+/// `ttsnn_obs` (the stage attribution half of the tracing tentpole —
+/// `admit` / `queue_wait` / `batch_form` / `execute` / `serialize` /
+/// `write`, aggregated across every plan).
+pub fn render_process(uptime: Duration) -> String {
+    let mut out = String::new();
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_build_info",
+            "gauge",
+            "Build metadata as labels; the value is always 1.",
+        );
+        let git_sha = option_env!("TTSNN_GIT_SHA").unwrap_or("unknown");
+        f.sample(
+            "ttsnn_build_info",
+            &[("version", env!("CARGO_PKG_VERSION")), ("git_sha", git_sha)],
+            1.0,
+        );
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_uptime_seconds",
+            "counter",
+            "Seconds since the serving listener bound.",
+        );
+        f.sample("ttsnn_uptime_seconds", &[], uptime.as_secs_f64());
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_stage_latency_seconds",
+            "histogram",
+            "Per-request latency attributed to each lifecycle stage.",
+        );
+        for snap in ttsnn_obs::stage_snapshot() {
+            let stage = snap.stage;
+            // The obs snapshot holds raw per-bucket counts; Prometheus
+            // buckets are cumulative.
+            let mut cumulative = 0u64;
+            for (edge, count) in &snap.buckets {
+                cumulative += count;
+                let le = value(*edge);
+                f.sample(
+                    "ttsnn_stage_latency_seconds_bucket",
+                    &[("stage", stage), ("le", &le)],
+                    cumulative as f64,
+                );
+            }
+            f.sample("ttsnn_stage_latency_seconds_sum", &[("stage", stage)], snap.sum_seconds);
+            f.sample("ttsnn_stage_latency_seconds_count", &[("stage", stage)], snap.count as f64);
         }
     }
     out

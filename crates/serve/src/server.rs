@@ -3,10 +3,20 @@
 //!
 //! Each worker owns one connection at a time and speaks **either** side
 //! of a first-bytes discrimination: bytes `"GET "` open a minimal
-//! HTTP/1.1 exchange (`/metrics`, `/healthz`; one request, then close),
-//! anything else is the length-prefixed binary protocol of
-//! [`crate::wire`] — a long-lived connection serving one request frame
-//! at a time.
+//! HTTP/1.1 exchange (`/metrics`, `/healthz`, `/debug/requests`,
+//! `/trace?id=`; one request, then close), anything else is the
+//! length-prefixed binary protocol of [`crate::wire`] — a long-lived
+//! connection serving one request frame at a time.
+//!
+//! Every binary request is traced (unless `TTSNN_TRACE=off`): a trace id
+//! is minted at decode when the client sent 0, threaded through the
+//! scheduler via `SubmitOptions::with_trace`, and echoed in the
+//! response. The server records the `admit`, `serialize`, and `write`
+//! stage spans itself; `queue_wait`, `batch_form`, and `execute` (with
+//! per-timestep children) come from `ttsnn_infer`. The completed
+//! lifecycle lands in the `ttsnn_obs` flight recorder, browsable at
+//! `GET /debug/requests` and exportable as Chrome trace-event JSON at
+//! `GET /trace?id=<trace>`.
 //!
 //! Admission is **fail-fast**: requests go through
 //! `ClusterSession::try_submit_with`, so saturation and rate-limit
@@ -108,6 +118,7 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let started = Instant::now();
         let shutdown = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
         let (tx, rx) = channel::<TcpStream>();
@@ -121,7 +132,7 @@ impl Server {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ttsnn-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &router, &shutdown, &cfg))?,
+                    .spawn(move || worker_loop(&rx, &router, &shutdown, &cfg, started))?,
             );
         }
         let accept = {
@@ -178,6 +189,7 @@ fn worker_loop(
     router: &Router,
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
+    started: Instant,
 ) {
     loop {
         let next = {
@@ -185,7 +197,7 @@ fn worker_loop(
             rx.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(stream, router, shutdown, cfg),
+            Ok(stream) => handle_connection(stream, router, shutdown, cfg, started),
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
@@ -227,21 +239,24 @@ fn handle_connection(
     router: &Router,
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
+    started: Instant,
 ) {
     if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
         return;
     }
     let _ = stream.set_nodelay(true);
     match sniff(&stream, shutdown) {
-        Ok(Some(first)) if &first == b"GET " => serve_http(stream, router),
+        Ok(Some(first)) if &first == b"GET " => serve_http(stream, router, started),
         Ok(Some(_)) => serve_binary(stream, router, shutdown, cfg),
         _ => {}
     }
 }
 
 /// One HTTP/1.1 request, then close (`Connection: close`): `/metrics`
-/// renders the Prometheus page, `/healthz` answers liveness probes.
-fn serve_http(mut stream: TcpStream, router: &Router) {
+/// renders the Prometheus page, `/healthz` answers readiness probes with
+/// a JSON body, `/debug/requests` dumps the flight recorder, and
+/// `/trace?id=<trace>` exports one request as Chrome trace-event JSON.
+fn serve_http(mut stream: TcpStream, router: &Router, started: Instant) {
     // Read until the end of the headers (we ignore them) with an 8 KiB
     // cap — a scrape request is tiny.
     let mut buf = Vec::with_capacity(512);
@@ -257,13 +272,23 @@ fn serve_http(mut stream: TcpStream, router: &Router) {
         Some(l) => l,
         None => return,
     };
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let target = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
+    const TEXT: &str = "text/plain; charset=utf-8";
+    const JSON: &str = "application/json";
     let (status, content_type, body) = match path {
         "/metrics" => {
-            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", prom::render(&router.metrics()))
+            let mut page = prom::render(&router.metrics());
+            page.push_str(&prom::render_process(started.elapsed()));
+            ("200 OK", "text/plain; version=0.0.4; charset=utf-8", page)
         }
-        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
-        _ => ("404 Not Found", "text/plain; charset=utf-8", "not found\n".into()),
+        "/healthz" => ("200 OK", JSON, healthz_body(router, started)),
+        "/debug/requests" => ("200 OK", TEXT, ttsnn_obs::debug_requests_text()),
+        "/trace" => match trace_body(query) {
+            Some(body) => ("200 OK", JSON, body),
+            None => ("404 Not Found", TEXT, "no such trace (usage: /trace?id=<trace>)\n".into()),
+        },
+        _ => ("404 Not Found", TEXT, "not found\n".into()),
     };
     let _ = stream.write_all(
         format!(
@@ -275,6 +300,45 @@ fn serve_http(mut stream: TcpStream, router: &Router) {
     );
 }
 
+/// The `/healthz` readiness body: liveness plus per-plan replica counts
+/// and queue depths, hand-built JSON (plan names are escaped through the
+/// same rules as Prometheus label values, which cover `"` and `\`).
+fn healthz_body(router: &Router, started: Instant) -> String {
+    let mut body = format!(
+        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"plans\":[",
+        started.elapsed().as_secs()
+    );
+    for (i, (plan, m)) in router.metrics().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"name\":\"{}\",\"replicas\":{},\"queue_depth\":{}}}",
+            prom::escape_label(plan),
+            m.replicas,
+            m.queue_depth
+        ));
+    }
+    body.push_str("]}\n");
+    body
+}
+
+/// Resolves a `/trace?id=<trace>` query to its Chrome trace-event JSON
+/// export, or `None` when the id is absent, unparsable, or no longer in
+/// any ring buffer.
+fn trace_body(query: &str) -> Option<String> {
+    let id = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("id="))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v != 0)?;
+    let events = ttsnn_obs::trace_events(id);
+    if events.is_empty() {
+        return None;
+    }
+    Some(ttsnn_obs::chrome_trace_json(id, &events))
+}
+
 /// The binary request loop: one frame in, one frame out, until EOF or
 /// shutdown. Malformed and oversized frames are answered in-band and the
 /// connection survives; only I/O failures (including a timeout that
@@ -284,10 +348,31 @@ fn serve_binary(mut stream: TcpStream, router: &Router, shutdown: &AtomicBool, c
         if shutdown.load(Ordering::SeqCst) {
             return;
         }
+        // Per-frame trace bookkeeping; all zero for untraced / malformed
+        // frames, which keeps every obs call below a no-op.
+        let mut reply_version = wire::VERSION;
+        let mut trace = 0u64;
+        let mut tenant = 0u32;
+        let mut recv_ns = 0u64;
         let response = match wire::read_frame(&mut stream, cfg.max_frame_bytes) {
             Ok(None) => return,
             Ok(Some(body)) => match wire::decode_frame(&body, cfg.max_frame_bytes) {
-                Ok(Frame::Request(req)) => process(req, router),
+                Ok(Frame::Request(mut req)) => {
+                    // Answer in the version the request arrived in so v1
+                    // clients keep decoding.
+                    if let Some(v) = wire::frame_version(&body) {
+                        if (wire::MIN_VERSION..=wire::VERSION).contains(&v) {
+                            reply_version = v;
+                        }
+                    }
+                    if req.trace == 0 && ttsnn_obs::enabled() {
+                        req.trace = ttsnn_obs::next_trace_id();
+                    }
+                    trace = req.trace;
+                    tenant = req.tenant;
+                    recv_ns = if trace != 0 { ttsnn_obs::now_ns() } else { 0 };
+                    process(req, router)
+                }
                 Ok(Frame::Response(_)) => {
                     Response::error(Status::Malformed, 0, "unexpected response frame")
                 }
@@ -304,9 +389,46 @@ fn serve_binary(mut stream: TcpStream, router: &Router, shutdown: &AtomicBool, c
             Err(FrameReadError::IdleTimeout) => continue,
             Err(FrameReadError::Io(_)) => return,
         };
-        if stream.write_all(&wire::encode_response(&response)).is_err() {
+        let response = response.with_trace(trace);
+        let ser_start = if trace != 0 { ttsnn_obs::now_ns() } else { 0 };
+        let frame = wire::encode_response_versioned(&response, reply_version);
+        if trace != 0 {
+            let dur = ttsnn_obs::now_ns().saturating_sub(ser_start);
+            ttsnn_obs::record_span(trace, "serialize", ser_start, dur, frame.len() as u64, 0);
+            ttsnn_obs::record_stage(ttsnn_obs::Stage::Serialize, dur);
+        }
+        let write_start = if trace != 0 { ttsnn_obs::now_ns() } else { 0 };
+        if stream.write_all(&frame).is_err() {
             return;
         }
+        if trace != 0 {
+            let end = ttsnn_obs::now_ns();
+            let dur = end.saturating_sub(write_start);
+            ttsnn_obs::record_span(trace, "write", write_start, dur, frame.len() as u64, 0);
+            ttsnn_obs::record_stage(ttsnn_obs::Stage::Write, dur);
+            // Admission rejections already landed in the recorder from
+            // the scheduler (with their structured reason); everything
+            // else completes here, after the reply bytes are on the wire.
+            if !response.status.is_retryable() {
+                let status = completion_status(response.status);
+                ttsnn_obs::record_completion(trace, tenant, status, end.saturating_sub(recv_ns));
+            }
+        }
+    }
+}
+
+/// Flight-recorder status label for a completed (non-rejected) request.
+fn completion_status(status: Status) -> &'static str {
+    match status {
+        Status::Ok => "served",
+        Status::Shape => "shape_error",
+        Status::DeadlineExpired => "expired",
+        Status::Saturated => "rejected_saturated",
+        Status::RateLimited => "rejected_rate_limited",
+        Status::UnknownPlan => "unknown_plan",
+        Status::Closed => "closed",
+        Status::Malformed => "malformed",
+        Status::Internal => "internal",
     }
 }
 
@@ -317,15 +439,31 @@ fn retry_ms(d: Duration) -> u32 {
 /// Routes one decoded request through its plan's scheduler and waits for
 /// the reply, mapping every failure to its wire status.
 fn process(req: Request, router: &Router) -> Response {
+    let trace = req.trace;
+    let admit_start = if trace != 0 { ttsnn_obs::now_ns() } else { 0 };
     let session = match router.session(&req.plan) {
         Some(s) => s,
         None => return Response::error(Status::UnknownPlan, 0, format!("no plan {:?}", req.plan)),
     };
-    let mut opts = SubmitOptions::priority(req.priority).with_tenant(req.tenant);
+    let mut opts = SubmitOptions::priority(req.priority).with_tenant(req.tenant).with_trace(trace);
     if req.deadline_ms > 0 {
         opts = opts.with_deadline(Duration::from_millis(u64::from(req.deadline_ms)));
     }
-    let ticket = match session.try_submit_with(req.input, opts) {
+    let priority = req.priority;
+    let submitted = session.try_submit_with(req.input, opts);
+    if trace != 0 {
+        let dur = ttsnn_obs::now_ns().saturating_sub(admit_start);
+        ttsnn_obs::record_span(
+            trace,
+            "admit",
+            admit_start,
+            dur,
+            priority.index() as u64,
+            u64::from(req.tenant),
+        );
+        ttsnn_obs::record_stage(ttsnn_obs::Stage::Admit, dur);
+    }
+    let ticket = match submitted {
         Ok(t) => t,
         Err(SubmitError::Saturated(info)) => {
             return Response::error(

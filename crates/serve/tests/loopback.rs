@@ -62,7 +62,7 @@ fn cluster_config(timesteps: usize, max_batch: usize) -> ClusterConfig {
 }
 
 fn request(plan: &str, tenant: u32, priority: Priority, input: ttsnn_tensor::Tensor) -> Request {
-    Request { tenant, priority, deadline_ms: 0, plan: plan.into(), input }
+    Request { trace: 0, tenant, priority, deadline_ms: 0, plan: plan.into(), input }
 }
 
 /// Socket answers == in-process answers, bit for bit, on both planes.
@@ -147,10 +147,17 @@ fn socket_parity_with_in_process_cluster_f32_and_int8() {
         }
     });
 
-    // The HTTP side: health probe and a valid Prometheus exposition with
-    // the per-tenant and histogram series present.
+    // The HTTP side: health probe (JSON readiness body, still 200-on-live)
+    // and a valid Prometheus exposition with the per-tenant and histogram
+    // series present.
     let (code, body) = http_get(addr, "/healthz").expect("healthz");
-    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    assert_eq!(code, 200);
+    assert!(body.starts_with("{\"status\":\"ok\""), "healthz is JSON-ish: {body}");
+    for needle in
+        ["\"uptime_seconds\":", "\"name\":\"vgg-f32\"", "\"replicas\":", "\"queue_depth\":"]
+    {
+        assert!(body.contains(needle), "healthz body missing {needle:?}: {body}");
+    }
     let (code, page) = http_get(addr, "/metrics").expect("scrape");
     assert_eq!(code, 200);
     for needle in [
@@ -266,6 +273,7 @@ fn expired_deadline_travels_as_status_and_tenant_metric() {
         std::thread::sleep(Duration::from_millis(5));
         let mut client = Client::connect(addr).unwrap();
         let req = Request {
+            trace: 0,
             tenant: 42,
             priority: Priority::Low,
             deadline_ms: 1,
@@ -403,11 +411,7 @@ fn stalled_connections_do_not_wedge_workers() {
     }])
     .unwrap();
     let server = Server::bind(
-        ServerConfig {
-            workers: 1,
-            read_timeout: Duration::from_millis(50),
-            ..Default::default()
-        },
+        ServerConfig { workers: 1, read_timeout: Duration::from_millis(50), ..Default::default() },
         router,
     )
     .unwrap();

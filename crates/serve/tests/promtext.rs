@@ -1,0 +1,162 @@
+//! Prometheus text-exposition lint against a **live** `/metrics` scrape:
+//! every family declares `# HELP` / `# TYPE` exactly once, every sample
+//! belongs to a declared family, histogram `le` buckets are cumulative
+//! and end in `+Inf`, and each histogram's `_count` equals its `+Inf`
+//! bucket — including the new process-level stage-latency families.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Duration;
+
+use ttsnn_core::TtMode;
+use ttsnn_infer::Priority;
+use ttsnn_serve::wire::{Request, Status};
+use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use ttsnn_snn::ConvPolicy;
+use ttsnn_testutil::{samples, vgg_checkpoint, vgg_cluster_config};
+
+/// Splits a sample line's series into `(metric name, labels)`.
+fn parse_series(series: &str) -> (String, BTreeMap<String, String>) {
+    let Some((name, rest)) = series.split_once('{') else {
+        return (series.to_string(), BTreeMap::new());
+    };
+    let inner = rest.strip_suffix('}').expect("closing brace");
+    let mut labels = BTreeMap::new();
+    for pair in inner.split(',') {
+        let (k, v) = pair.split_once('=').expect("label pair");
+        let v = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')).expect("quoted value");
+        labels.insert(k.to_string(), v.to_string());
+    }
+    (name.to_string(), labels)
+}
+
+/// The family a sample belongs to: histogram samples drop their
+/// `_bucket` / `_sum` / `_count` suffix when the base name is declared.
+fn family_of(name: &str, declared: &HashSet<String>) -> Option<String> {
+    if declared.contains(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if declared.contains(base) {
+                return Some(base.to_string());
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn live_metrics_scrape_passes_the_promtext_lint() {
+    let (ckpt, _) = vgg_checkpoint(&ConvPolicy::tt(TtMode::Ptt), 81);
+    let inputs = samples(82, 3);
+    let router = Router::load(vec![PlanSpec {
+        name: "vgg".into(),
+        config: vgg_cluster_config(ConvPolicy::tt(TtMode::Ptt), 2, 1, 2, Duration::from_millis(1)),
+        quant: None,
+        checkpoint: ckpt,
+    }])
+    .unwrap();
+    let server = Server::bind(ServerConfig { workers: 2, ..Default::default() }, router).unwrap();
+    let addr = server.addr();
+
+    // Generate traffic so the latency, batch-size, and stage histograms
+    // all carry observations.
+    let mut client = Client::connect(addr).unwrap();
+    for input in &inputs {
+        let req = Request {
+            trace: 0,
+            tenant: 1,
+            priority: Priority::Normal,
+            deadline_ms: 0,
+            plan: "vgg".into(),
+            input: input.clone(),
+        };
+        let resp = client.request(&req).unwrap();
+        assert_eq!(resp.status, Status::Ok, "{}", resp.message);
+    }
+
+    let (code, page) = http_get(addr, "/metrics").unwrap();
+    assert_eq!(code, 200);
+
+    // The families this PR added are on the page.
+    for needle in [
+        "# TYPE ttsnn_build_info gauge",
+        "# TYPE ttsnn_uptime_seconds counter",
+        "# TYPE ttsnn_stage_latency_seconds histogram",
+        "ttsnn_build_info{version=\"",
+        "ttsnn_stage_latency_seconds_count{stage=\"execute\"}",
+        "ttsnn_stage_latency_seconds_count{stage=\"queue_wait\"}",
+    ] {
+        assert!(page.contains(needle), "metrics page missing {needle:?}:\n{page}");
+    }
+
+    // Pass 1: HELP/TYPE exactly once per family, HELP before TYPE.
+    let mut help_count: HashMap<String, usize> = HashMap::new();
+    let mut type_kind: HashMap<String, String> = HashMap::new();
+    for line in page.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a family");
+            *help_count.entry(name.to_string()).or_insert(0) += 1;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE names a family");
+            let kind = it.next().expect("TYPE carries a kind");
+            assert!(help_count.contains_key(name), "# TYPE {name} appears before its # HELP");
+            let prev = type_kind.insert(name.to_string(), kind.to_string());
+            assert!(prev.is_none(), "duplicate # TYPE for {name}");
+        }
+    }
+    for (name, n) in &help_count {
+        assert_eq!(*n, 1, "family {name} declared HELP {n} times");
+        assert!(type_kind.contains_key(name), "family {name} has HELP but no TYPE");
+    }
+    let declared: HashSet<String> = type_kind.keys().cloned().collect();
+
+    // Pass 2: every sample belongs to a declared family; collect
+    // histogram buckets and counts grouped by their non-`le` labels.
+    type Group = (String, BTreeMap<String, String>);
+    let mut buckets: HashMap<Group, Vec<(f64, f64)>> = HashMap::new();
+    let mut counts: HashMap<Group, f64> = HashMap::new();
+    for line in page.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (series, raw) = line.rsplit_once(' ').expect("sample line has a value");
+        let v = if raw == "+Inf" { f64::INFINITY } else { raw.parse().expect("numeric value") };
+        let (name, mut labels) = parse_series(series);
+        let family = family_of(&name, &declared)
+            .unwrap_or_else(|| panic!("sample {name} belongs to no declared family"));
+        if type_kind[&family] != "histogram" {
+            continue;
+        }
+        if name == format!("{family}_bucket") {
+            let le = labels.remove("le").expect("bucket carries le");
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("numeric le") };
+            buckets.entry((family, labels)).or_default().push((le, v));
+        } else if name == format!("{family}_count") {
+            counts.insert((family, labels), v);
+        }
+    }
+
+    // Pass 3: per group, `le` strictly increasing, counts cumulative
+    // (non-decreasing), last bucket `+Inf`, `_count` == `+Inf` bucket.
+    assert!(!buckets.is_empty(), "the scrape has histogram families");
+    for (group, series) in &buckets {
+        for pair in series.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{group:?}: le edges not increasing");
+            assert!(pair[0].1 <= pair[1].1, "{group:?}: bucket counts not cumulative");
+        }
+        let (last_le, last_count) = *series.last().unwrap();
+        assert_eq!(last_le, f64::INFINITY, "{group:?}: buckets must end in +Inf");
+        let count = counts
+            .get(group)
+            .unwrap_or_else(|| panic!("{group:?}: histogram without a _count sample"));
+        assert_eq!(*count, last_count, "{group:?}: _count != +Inf bucket");
+    }
+    // The stage histograms carry the traffic we just generated.
+    let execute = buckets
+        .keys()
+        .find(|(f, l)| {
+            f == "ttsnn_stage_latency_seconds"
+                && l.get("stage").map(String::as_str) == Some("execute")
+        })
+        .expect("stage histogram for execute");
+    assert!(counts[execute] >= 1.0, "execute stage saw no observations");
+}

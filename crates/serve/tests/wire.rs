@@ -53,6 +53,7 @@ proptest! {
         let mut data = data;
         data.resize(elems, -0.0);
         let req = Request {
+            trace: 0,
             tenant,
             priority: Priority::ALL[pidx],
             deadline_ms,
@@ -81,6 +82,7 @@ proptest! {
         logits in payload(0..20),
     ) {
         let resp = Response {
+            trace: 0,
             status: Status::from_u8(status).unwrap(),
             retry_after_ms: retry,
             message: format!("status {status}"),
@@ -113,6 +115,7 @@ proptest! {
     ) {
         let n = seed.len();
         let req = Request {
+            trace: 0,
             tenant: 3,
             priority: Priority::Normal,
             deadline_ms: 10,

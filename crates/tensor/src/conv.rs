@@ -215,6 +215,7 @@ pub fn conv2d_with(
     weight: &Tensor,
     g: &Conv2dGeometry,
 ) -> Result<Tensor, ShapeError> {
+    let _region = ttsnn_obs::region("conv2d");
     let (b, oh, ow) = check_input(x, g)?;
     check_weight(weight, g)?;
     let k = g.in_channels * g.kernel.0 * g.kernel.1;

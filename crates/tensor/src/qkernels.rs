@@ -189,6 +189,7 @@ pub fn qgemm(
     n: usize,
     accum: QAccum,
 ) {
+    let _region = ttsnn_obs::region("qgemm");
     assert_eq!(a.len(), m * k, "qgemm: `a` has wrong length");
     assert_eq!(b.len(), k * n, "qgemm: `b` has wrong length");
     assert_eq!(out.len(), m * n, "qgemm: `out` has wrong length");
@@ -378,6 +379,7 @@ pub fn qconv2d_with(
     g: &Conv2dGeometry,
     accum: QAccum,
 ) -> Result<Tensor, ShapeError> {
+    let _region = ttsnn_obs::region("qconv2d");
     let (b, oh, ow) = check_input(x, g)?;
     let k = g.in_channels * g.kernel.0 * g.kernel.1;
     if qw.len() != g.out_channels * k {

@@ -76,6 +76,7 @@ fn rows_per_fork(m: usize, k: usize, n: usize) -> usize {
 ///
 /// Panics if any slice length disagrees with the dimensions.
 pub fn gemm(rt: &Runtime, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let _region = ttsnn_obs::region("gemm");
     check(a.len(), b.len(), out.len(), m, k, n);
     if m * n == 0 {
         return;
@@ -156,6 +157,7 @@ pub fn gemm_at_b(
     k: usize,
     n: usize,
 ) {
+    let _region = ttsnn_obs::region("gemm_at_b");
     assert_eq!(a.len(), k * m, "gemm_at_b: `a` has wrong length");
     assert_eq!(b.len(), k * n, "gemm_at_b: `b` has wrong length");
     assert_eq!(out.len(), m * n, "gemm_at_b: `out` has wrong length");
@@ -230,6 +232,7 @@ pub fn gemm_a_bt(
     k: usize,
     n: usize,
 ) {
+    let _region = ttsnn_obs::region("gemm_a_bt");
     assert_eq!(a.len(), m * k, "gemm_a_bt: `a` has wrong length");
     assert_eq!(b.len(), n * k, "gemm_a_bt: `b` has wrong length");
     assert_eq!(out.len(), m * n, "gemm_a_bt: `out` has wrong length");

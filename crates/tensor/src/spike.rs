@@ -357,6 +357,7 @@ pub fn sparse_conv2d_with(
     weight: &Tensor,
     g: &Conv2dGeometry,
 ) -> Result<Tensor, ShapeError> {
+    let _region = ttsnn_obs::region("sparse_conv2d");
     let (b, oh, ow) = check_spike_input(spikes, g)?;
     let expect = [g.out_channels, g.in_channels, g.kernel.0, g.kernel.1];
     if weight.shape() != expect {
@@ -495,6 +496,7 @@ pub fn sparse_linear_with(
     spikes: &SpikeTensor,
     weight: &Tensor,
 ) -> Result<Tensor, ShapeError> {
+    let _region = ttsnn_obs::region("sparse_linear");
     let (b, feat) = check_linear_shapes(spikes, weight.shape(), "sparse_linear")?;
     let out_ch = weight.shape()[0];
     let mut y = Tensor::from_vec(runtime::take_buffer(b * out_ch), &[b, out_ch])?;

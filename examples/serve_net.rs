@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut client = Client::connect(addr)?;
     let input = Tensor::rand_uniform(&[3, 8, 8], 0.0, 1.0, &mut rng);
     let resp = client.request(&Request {
+        trace: 0, // 0 = let the server mint a trace id; it comes back in the response
         tenant: 1,
         priority: Priority::High,
         deadline_ms: 5_000,
@@ -67,8 +68,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(resp.status, Status::Ok, "{}", resp.message);
     println!("tenant 1 served {} logits over TCP: {:?}", resp.logits.len(), resp.logits);
 
+    // ---- Every request is traced end to end: pull the stage spans back
+    // out as Chrome trace-event JSON (paste into Perfetto to visualize).
+    if resp.trace != 0 {
+        let (code, trace_json) = http_get(addr, &format!("/trace?id={}", resp.trace))?;
+        println!("\nGET /trace?id={} -> {code} ({} bytes)", resp.trace, trace_json.len());
+        let (_, flight) = http_get(addr, "/debug/requests")?;
+        println!("GET /debug/requests:\n{flight}");
+    }
+
     // ---- An unknown plan is an in-band error, not a dropped connection.
     let bad = client.request(&Request {
+        trace: 0,
         tenant: 1,
         priority: Priority::Normal,
         deadline_ms: 0,

@@ -10,6 +10,7 @@
 //! read off at any time.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use crate::sched::{Priority, TenantId};
 
@@ -261,6 +262,11 @@ pub struct ClusterMetrics {
     /// [`MAX_TRACKED_TENANTS`] cardinality cap (all zeros while under
     /// the cap) — rendered as tenant `"other"` on `/metrics`.
     pub tenant_overflow: TenantStats,
+    /// Per-replica age of the last scheduler-loop heartbeat at snapshot
+    /// time (index = replica; `None` before the replica's first pull).
+    /// The telemetry watchdog's liveness signal: a replica wedged inside
+    /// a forward pass — or deadlocked — stops refreshing its slot.
+    pub replica_heartbeat_age: Vec<Option<Duration>>,
 }
 
 impl ClusterMetrics {
@@ -278,6 +284,7 @@ impl ClusterMetrics {
             sessions: SessionMetrics::new(replicas),
             tenants: BTreeMap::new(),
             tenant_overflow: TenantStats::default(),
+            replica_heartbeat_age: vec![None; replicas],
         }
     }
 

@@ -674,6 +674,11 @@ struct State {
     next_seq: u64,
     /// Next session id, and the round-robin cursor for replica pinning.
     next_stream_id: u64,
+    /// Per-replica liveness heartbeat: when the replica last touched the
+    /// scheduler loop (`None` before its first pull). Updated under the
+    /// already-held state mutex, so the telemetry watchdog costs the hot
+    /// path one `Instant` store.
+    seen: Vec<Option<Instant>>,
     metrics: ClusterMetrics,
 }
 
@@ -720,6 +725,7 @@ impl Scheduler {
                 shutdown: false,
                 next_seq: 0,
                 next_stream_id: 0,
+                seen: vec![None; replicas],
                 metrics: ClusterMetrics::new(replicas),
             }),
             work: Condvar::new(),
@@ -938,6 +944,10 @@ impl Scheduler {
         let mut st = self.lock();
         loop {
             let first = loop {
+                // Liveness heartbeat: the replica is provably inside the
+                // scheduler loop (refreshed on every wake, so waiting for
+                // work is not mistaken for being wedged).
+                st.seen[replica] = Some(Instant::now());
                 if let Some(cmd) = self.pop_stream(&mut st, replica, Instant::now()) {
                     return Some(Work::Stream(cmd));
                 }
@@ -955,6 +965,7 @@ impl Scheduler {
             let mut batch = vec![first];
             let close_at = Instant::now().checked_add(max_wait);
             while batch.len() < max_batch && !st.shutdown && st.streams[replica].is_empty() {
+                st.seen[replica] = Some(Instant::now());
                 if let Some(mut job) = self.pop_live(&mut st, Instant::now()) {
                     if job.trace != 0 {
                         job.popped_ns = ttsnn_obs::now_ns();
@@ -1232,6 +1243,7 @@ impl Scheduler {
         let mut m = st.metrics.clone();
         m.queue_depth = st.queue.len();
         m.outstanding = st.outstanding;
+        m.replica_heartbeat_age = st.seen.iter().map(|s| s.map(|at| at.elapsed())).collect();
         m
     }
 
@@ -1543,6 +1555,21 @@ mod tests {
             .validate()
             .is_err());
         assert!(FairPolicy::default().with_priority_weights([1.0, 0.0, 1.0]).validate().is_err());
+    }
+
+    #[test]
+    fn replica_heartbeats_surface_in_metrics() {
+        let s = sched(8);
+        // Before any pull: no heartbeat recorded.
+        assert_eq!(s.metrics().replica_heartbeat_age, vec![None]);
+        let (tx, rx) = channel();
+        std::mem::forget(rx);
+        s.submit(job_input(), SubmitOptions::default(), tx).unwrap();
+        let _ = next_batch(&s, 1, Duration::ZERO).unwrap();
+        let ages = s.metrics().replica_heartbeat_age;
+        assert_eq!(ages.len(), 1);
+        let age = ages[0].expect("replica 0 pulled work");
+        assert!(age < Duration::from_secs(5), "fresh heartbeat, got {age:?}");
     }
 
     #[test]

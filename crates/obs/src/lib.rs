@@ -36,6 +36,18 @@
 //!   traces (threshold `TTSNN_TRACE_SLOW_MS`, default 250). A rejected
 //!   or abandoned request can therefore never leak a slot.
 //!
+//! ## Telemetry plane
+//!
+//! On top of per-request tracing, the crate carries the service-level
+//! building blocks the serving plane's continuous telemetry sampler is
+//! built from: [`timeseries`] (bounded history rings with rate and
+//! quantile derivation), [`slo`] (multi-window burn-rate objectives),
+//! and [`watchdog`] (the per-plan health state machine). They are pure
+//! data structures — the sampler thread that feeds them lives in
+//! `ttsnn_serve::telemetry`, which also owns the `/debug/slo` and
+//! `/debug/timeline` views. Their alerts land in the flight recorder's
+//! bounded service-event ring ([`record_service_event`]).
+//!
 //! The crate is std-only and dependency-free so the lowest layer
 //! (`ttsnn_tensor`'s kernel runtime) can hook into it.
 
@@ -48,8 +60,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 mod render;
+pub mod slo;
+pub mod timeseries;
+pub mod watchdog;
 
-pub use render::{chrome_trace_json, debug_requests_text};
+pub use render::{chrome_trace_json, debug_requests_text, sparkline};
 
 // ---------------------------------------------------------------------------
 // Clock, gate, ids
@@ -481,6 +496,47 @@ pub struct Completion {
     pub end_ns: u64,
 }
 
+/// Service events kept in the flight recorder's event ring.
+pub const SERVICE_EVENTS: usize = 64;
+
+/// Alert severity of a [`ServiceEvent`], ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational (health recovered, telemetry started).
+    Info,
+    /// Needs attention soon (slow-burn SLO violation, degraded plan).
+    Warn,
+    /// Needs attention now (fast burn, unhealthy plan).
+    Page,
+}
+
+impl Severity {
+    /// Stable lowercase label (`info` / `warn` / `page`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Page => "page",
+        }
+    }
+}
+
+/// A structured service-level event (SLO burn crossing, health
+/// transition) emitted by the telemetry plane into the flight
+/// recorder's bounded event ring.
+#[derive(Debug, Clone)]
+pub struct ServiceEvent {
+    /// When it happened, ns since the trace epoch.
+    pub at_ns: u64,
+    /// How urgent.
+    pub severity: Severity,
+    /// What it concerns — a plan name, or `telemetry` for plane-level
+    /// events.
+    pub scope: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
 struct SlowTrace {
     completion: Completion,
     events: Vec<Event>,
@@ -489,6 +545,7 @@ struct SlowTrace {
 struct Recorder {
     recent: VecDeque<Completion>,
     slow: Vec<SlowTrace>,
+    service: VecDeque<ServiceEvent>,
 }
 
 static RECORDER: Mutex<Option<Recorder>> = Mutex::new(None);
@@ -498,6 +555,7 @@ fn with_recorder<R>(f: impl FnOnce(&mut Recorder) -> R) -> R {
     let rec = guard.get_or_insert_with(|| Recorder {
         recent: VecDeque::with_capacity(RECENT_COMPLETIONS),
         slow: Vec::new(),
+        service: VecDeque::with_capacity(SERVICE_EVENTS),
     });
     f(rec)
 }
@@ -547,6 +605,31 @@ pub fn slow_exemplars() -> Vec<Completion> {
         out.sort_by_key(|c| std::cmp::Reverse(c.total_ns));
         out
     })
+}
+
+/// Records a structured service-level event in the flight recorder's
+/// bounded ring ([`SERVICE_EVENTS`] kept, oldest evicted). Unlike the
+/// request-tracing calls this is **not** gated on [`enabled`]: the
+/// telemetry plane has its own on/off switch and its events should
+/// survive `TTSNN_TRACE=off`.
+pub fn record_service_event(severity: Severity, scope: &str, message: impl Into<String>) {
+    let event = ServiceEvent {
+        at_ns: now_ns(),
+        severity,
+        scope: scope.to_string(),
+        message: message.into(),
+    };
+    with_recorder(|rec| {
+        if rec.service.len() >= SERVICE_EVENTS {
+            rec.service.pop_front();
+        }
+        rec.service.push_back(event);
+    });
+}
+
+/// The flight recorder's service events, newest first.
+pub fn service_events() -> Vec<ServiceEvent> {
+    with_recorder(|rec| rec.service.iter().rev().cloned().collect())
 }
 
 fn slow_exemplar_events(trace: u64) -> Vec<Event> {
@@ -667,6 +750,25 @@ mod tests {
         }
         let events = trace_events(trace);
         assert!(events.iter().any(|e| e.name == "execute"));
+    }
+
+    #[test]
+    fn service_events_ring_is_bounded_and_ungated() {
+        let _g = locked();
+        set_enabled(false);
+        for i in 0..(SERVICE_EVENTS + 20) {
+            record_service_event(Severity::Warn, "svc-ring-test", format!("event {i}"));
+        }
+        set_enabled(true);
+        let events = service_events();
+        assert_eq!(events.len(), SERVICE_EVENTS);
+        // Newest first, oldest evicted — and recorded despite the trace
+        // gate being off.
+        let ours: Vec<&ServiceEvent> =
+            events.iter().filter(|e| e.scope == "svc-ring-test").collect();
+        assert!(!ours.is_empty());
+        assert!(ours[0].message.contains(&format!("event {}", SERVICE_EVENTS + 19)));
+        assert!(Severity::Page > Severity::Warn && Severity::Warn > Severity::Info);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! trace-event JSON for `GET /trace?id=` and the plain-text recent-
 //! requests listing for `GET /debug/requests`.
 
-use crate::{completions, slow_exemplars, slow_threshold_ms, Completion, Event, EventKind};
+use crate::{
+    completions, service_events, slow_exemplars, slow_threshold_ms, Completion, Event, EventKind,
+};
 
 fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
@@ -133,8 +135,49 @@ pub fn debug_requests_text() -> String {
     for c in &slow {
         completion_line(&mut out, now, c);
     }
+    let service = service_events();
+    out.push_str(&format!(
+        "service events ({} of last {}):\n",
+        service.len(),
+        crate::SERVICE_EVENTS
+    ));
+    if service.is_empty() {
+        out.push_str("  (none)\n");
+    }
+    for e in &service {
+        out.push_str(&format!(
+            "  [{}] {:.1}s ago {}: {}\n",
+            e.severity.as_str(),
+            now.saturating_sub(e.at_ns) as f64 / 1e9,
+            e.scope,
+            e.message,
+        ));
+    }
     out.push_str("fetch one trace as Chrome trace-event JSON: GET /trace?id=<trace>\n");
     out
+}
+
+/// Eight-level Unicode block sparkline of `values`, min-max normalized;
+/// non-finite values render as spaces. The `GET /debug/timeline` view.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if max <= min {
+                BLOCKS[0]
+            } else {
+                let norm = (v - min) / (max - min);
+                BLOCKS[((norm * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -193,9 +236,21 @@ mod tests {
     }
 
     #[test]
-    fn debug_text_always_has_both_sections() {
+    fn debug_text_always_has_all_sections() {
         let text = debug_requests_text();
         assert!(text.contains("recent requests"));
         assert!(text.contains("slow exemplars"));
+        assert!(text.contains("service events"));
+    }
+
+    #[test]
+    fn sparkline_normalizes_and_survives_nan() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[3.0, 3.0]), "▁▁");
+        let s = sparkline(&[0.0, 3.5, 7.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('▁') && s.ends_with('█'), "{s}");
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
     }
 }

@@ -1,0 +1,396 @@
+//! In-process time-series history: fixed-capacity ring windows behind
+//! the telemetry sampler, with Prometheus-style rate derivation and
+//! windowed quantiles.
+//!
+//! The serving plane's `/metrics` page is a point-in-time snapshot; this
+//! module is what turns those snapshots into *history* without any
+//! external scraper. A background sampler (in `ttsnn_serve::telemetry`)
+//! calls [`SeriesStore::record`] once per tick per series; each series
+//! is an overwrite-oldest ring of `(timestamp, value)` samples, so the
+//! whole store is bounded at `slots × MAX_SERIES` samples no matter how
+//! long the process runs.
+//!
+//! Rate math follows Prometheus `increase()` semantics: a sample lower
+//! than its predecessor marks a **counter reset** (restart), and the
+//! post-reset value counts as the increase since the reset — history is
+//! never negative and never double-counted.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bound on distinct series names a [`SeriesStore`] tracks.
+/// Records against new names beyond the cap are dropped (existing
+/// series keep updating), so a misbehaving caller cannot grow the store
+/// without bound. Generous: a plan contributes ~15 series and stage
+/// histograms ~12 more.
+pub const MAX_SERIES: usize = 512;
+
+/// Ring geometry for the telemetry plane, env-tunable. Resolution is
+/// the sampler tick period; `slots` is the per-series ring capacity, so
+/// `resolution × slots` is the retained span (defaults: 5 s × 512 ≈
+/// 42.7 min).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sampler tick period (ring slot width).
+    pub resolution: Duration,
+    /// Per-series ring capacity, in samples.
+    pub slots: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { resolution: Duration::from_secs(5), slots: 512 }
+    }
+}
+
+impl TelemetryConfig {
+    /// Reads `TTSNN_TELEMETRY_RESOLUTION_MS` (default 5000, clamped to
+    /// `[10, 600_000]`) and `TTSNN_TELEMETRY_SLOTS` (default 512,
+    /// clamped to `[16, 65_536]`). Read at call time, not cached, so
+    /// tests and embedders can reconfigure per instance.
+    pub fn from_env() -> Self {
+        let ms = std::env::var("TTSNN_TELEMETRY_RESOLUTION_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map_or(5000, |n| n.clamp(10, 600_000));
+        let slots = std::env::var("TTSNN_TELEMETRY_SLOTS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(512, |n| n.clamp(16, 65_536));
+        TelemetryConfig { resolution: Duration::from_millis(ms), slots }
+    }
+
+    /// The span of history one full ring covers.
+    pub fn span(&self) -> Duration {
+        self.resolution.saturating_mul(self.slots as u32)
+    }
+}
+
+/// How a series' samples combine over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Monotonic cumulative count; reads derive increases and rates
+    /// (counter-reset aware).
+    Counter,
+    /// Instantaneous level; reads derive min/max/mean/quantiles.
+    Gauge,
+}
+
+/// One `(timestamp, value)` observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Nanoseconds since the trace epoch ([`crate::now_ns`]).
+    pub at_ns: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+/// A fixed-capacity overwrite-oldest sample ring.
+#[derive(Debug)]
+struct Series {
+    kind: SeriesKind,
+    buf: Vec<Sample>,
+    head: usize,
+    capacity: usize,
+}
+
+impl Series {
+    fn new(kind: SeriesKind, capacity: usize) -> Self {
+        Series { kind, buf: Vec::new(), head: 0, capacity: capacity.max(1) }
+    }
+
+    fn push(&mut self, s: Sample) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(s);
+        } else {
+            self.buf[self.head] = s;
+        }
+        self.head = (self.head + 1) % self.capacity;
+    }
+
+    /// Samples oldest → newest.
+    fn ordered(&self) -> Vec<Sample> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[self.head..]);
+            out.extend_from_slice(&self.buf[..self.head]);
+            out
+        }
+    }
+}
+
+/// A read-side copy of one series: kind plus samples oldest → newest.
+/// All derived statistics (increase, rate, quantiles) are computed on
+/// this snapshot so readers never hold the store lock while crunching.
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// Counter or gauge.
+    pub kind: SeriesKind,
+    /// Samples oldest → newest.
+    pub samples: Vec<Sample>,
+}
+
+impl SeriesSnapshot {
+    /// The newest sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Samples with `at_ns` in `[now_ns - window, now_ns]`: the index
+    /// range into `self.samples`.
+    fn window_range(&self, window: Duration, now_ns: u64) -> (usize, usize) {
+        let start = now_ns.saturating_sub(window.as_nanos() as u64);
+        let lo = self.samples.partition_point(|s| s.at_ns < start);
+        (lo, self.samples.len())
+    }
+
+    /// The sample range a counter read uses: the in-window samples
+    /// when at least two fall inside, else the single in-window sample
+    /// with the sample just before the window as baseline (sparse
+    /// rings), else `None`.
+    fn counter_range(&self, window: Duration, now_ns: u64) -> Option<(usize, usize)> {
+        let (lo, hi) = self.window_range(window, now_ns);
+        match hi - lo {
+            0 => None,
+            1 if lo == 0 => None,
+            1 => Some((lo - 1, hi)),
+            _ => Some((lo, hi)),
+        }
+    }
+
+    /// Counter increase over the trailing `window` ending at `now_ns`,
+    /// Prometheus-style: consecutive deltas are summed, and a negative
+    /// delta is treated as a counter reset (the new value *is* the
+    /// increase since the reset). `None` when the window holds no
+    /// samples (or a single sample with no earlier baseline).
+    pub fn increase(&self, window: Duration, now_ns: u64) -> Option<f64> {
+        let (lo, hi) = self.counter_range(window, now_ns)?;
+        let mut total = 0.0;
+        for pair in self.samples[lo..hi].windows(2) {
+            let (prev, next) = (pair[0].value, pair[1].value);
+            total += if next >= prev { next - prev } else { next };
+        }
+        Some(total)
+    }
+
+    /// Per-second rate over the trailing `window`: [`Self::increase`]
+    /// divided by the *observed* span between the first and last sample
+    /// used (not the nominal window), so sparse rings don't
+    /// underestimate. `None` when the increase is undefined or the
+    /// observed span is zero.
+    pub fn rate_per_sec(&self, window: Duration, now_ns: u64) -> Option<f64> {
+        let inc = self.increase(window, now_ns)?;
+        let (lo, hi) = self.counter_range(window, now_ns)?;
+        let w = &self.samples[lo..hi];
+        let span_ns = w.last()?.at_ns.saturating_sub(w.first()?.at_ns);
+        if span_ns == 0 {
+            return None;
+        }
+        Some(inc / (span_ns as f64 / 1e9))
+    }
+
+    /// Exact quantile (nearest-rank on a sorted copy) of the gauge
+    /// values in the trailing `window`. `q` is clamped to `[0, 1]`.
+    /// `None` when the window holds no samples.
+    pub fn quantile(&self, q: f64, window: Duration, now_ns: u64) -> Option<f64> {
+        let (lo, hi) = self.window_range(window, now_ns);
+        let mut vals: Vec<f64> =
+            self.samples[lo..hi].iter().map(|s| s.value).filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            return None;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        Some(vals[rank - 1])
+    }
+
+    /// `(min, max, mean)` of the values in the trailing `window`, or
+    /// `None` when empty.
+    pub fn min_max_mean(&self, window: Duration, now_ns: u64) -> Option<(f64, f64, f64)> {
+        let (lo, hi) = self.window_range(window, now_ns);
+        let w = &self.samples[lo..hi];
+        if w.is_empty() {
+            return None;
+        }
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        for s in w {
+            min = min.min(s.value);
+            max = max.max(s.value);
+            sum += s.value;
+        }
+        Some((min, max, sum / w.len() as f64))
+    }
+}
+
+/// A bounded, named collection of series rings. One per telemetry
+/// plane; writers ([`SeriesStore::record`]) and readers
+/// ([`SeriesStore::snapshot`]) share a single mutex — fine for a
+/// once-per-tick sampler and debug-endpoint readers.
+#[derive(Debug)]
+pub struct SeriesStore {
+    slots: usize,
+    series: Mutex<BTreeMap<String, Series>>,
+}
+
+impl SeriesStore {
+    /// An empty store whose rings hold `config.slots` samples each.
+    pub fn new(config: TelemetryConfig) -> Self {
+        SeriesStore { slots: config.slots, series: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Records `value` for `name` at the current time ([`crate::now_ns`]).
+    pub fn record(&self, name: &str, kind: SeriesKind, value: f64) {
+        self.record_at(name, kind, value, crate::now_ns());
+    }
+
+    /// Records with an explicit timestamp (tests and replays).
+    pub fn record_at(&self, name: &str, kind: SeriesKind, value: f64, at_ns: u64) {
+        let mut map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        if !map.contains_key(name) {
+            if map.len() >= MAX_SERIES {
+                return;
+            }
+            map.insert(name.to_string(), Series::new(kind, self.slots));
+        }
+        let series = map.get_mut(name).expect("just inserted");
+        series.push(Sample { at_ns, value });
+    }
+
+    /// Snapshot of one series, or `None` if untracked.
+    pub fn snapshot(&self, name: &str) -> Option<SeriesSnapshot> {
+        let map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        map.get(name).map(|s| SeriesSnapshot { kind: s.kind, samples: s.ordered() })
+    }
+
+    /// All tracked series names (sorted) with their newest sample.
+    pub fn names(&self) -> Vec<(String, SeriesKind, Option<Sample>)> {
+        let map = self.series.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter().map(|(n, s)| (n.clone(), s.kind, s.ordered().last().copied())).collect()
+    }
+
+    /// Number of tracked series.
+    pub fn len(&self) -> usize {
+        self.series.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether no series are tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(slots: usize) -> SeriesStore {
+        SeriesStore::new(TelemetryConfig { resolution: Duration::from_secs(1), slots })
+    }
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn ring_wraps_at_capacity_keeping_newest() {
+        let st = store(8);
+        for i in 0..20u64 {
+            st.record_at("s", SeriesKind::Gauge, i as f64, i * SEC);
+        }
+        let snap = st.snapshot("s").unwrap();
+        assert_eq!(snap.samples.len(), 8);
+        // Oldest → newest, and only the last 8 survive.
+        let vals: Vec<f64> = snap.samples.iter().map(|s| s.value).collect();
+        assert_eq!(vals, (12..20).map(|v| v as f64).collect::<Vec<_>>());
+        assert_eq!(snap.last().unwrap().value, 19.0);
+    }
+
+    #[test]
+    fn increase_handles_counter_resets() {
+        let st = store(16);
+        // 0 → 10 → 25, restart, 3 → 9: increase = 25 + 3 + 6 = 34.
+        for (i, v) in [0.0, 10.0, 25.0, 3.0, 9.0].into_iter().enumerate() {
+            st.record_at("c", SeriesKind::Counter, v, i as u64 * SEC);
+        }
+        let snap = st.snapshot("c").unwrap();
+        let inc = snap.increase(Duration::from_secs(100), 4 * SEC).unwrap();
+        assert!((inc - 34.0).abs() < 1e-9, "increase {inc}");
+        // Rate uses the observed 4 s span.
+        let rate = snap.rate_per_sec(Duration::from_secs(100), 4 * SEC).unwrap();
+        assert!((rate - 34.0 / 4.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn increase_window_keeps_one_baseline_sample() {
+        let st = store(16);
+        for (i, v) in [5.0, 7.0, 12.0].into_iter().enumerate() {
+            st.record_at("c", SeriesKind::Counter, v, i as u64 * SEC);
+        }
+        let snap = st.snapshot("c").unwrap();
+        // Window covers the last two samples: increase = 12 - 7.
+        let inc = snap.increase(Duration::from_millis(1500), 2 * SEC).unwrap();
+        assert!((inc - 5.0).abs() < 1e-9, "increase {inc}");
+        // Window covering only the newest sample borrows the one just
+        // before it as baseline (sparse-ring read): 12 - 7 again.
+        let inc = snap.increase(Duration::from_millis(500), 2 * SEC).unwrap();
+        assert!((inc - 5.0).abs() < 1e-9, "increase {inc}");
+        // A window covering nothing yields None.
+        assert!(snap.increase(Duration::from_secs(1), 100 * SEC).is_none());
+    }
+
+    #[test]
+    fn quantile_matches_exact_oracle_on_synthetic_series() {
+        let st = store(64);
+        // A deterministic shuffled sequence (LCG) so sorting matters.
+        let mut x: u64 = 12345;
+        let mut raw = Vec::new();
+        for i in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) as f64;
+            raw.push(v);
+            st.record_at("g", SeriesKind::Gauge, v, i * SEC);
+        }
+        // Ring kept the last 64 only; oracle over the same tail.
+        let tail = &raw[raw.len() - 64..];
+        let snap = st.snapshot("g").unwrap();
+        let now = 199 * SEC;
+        let window = Duration::from_secs(10_000);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let mut sorted = tail.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = snap.quantile(q, window, now).unwrap();
+            assert_eq!(got, oracle, "q={q}");
+        }
+        let (min, max, mean) = snap.min_max_mean(window, now).unwrap();
+        let oracle_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert_eq!(min, tail.iter().copied().fold(f64::INFINITY, f64::min));
+        assert_eq!(max, tail.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+        assert!((mean - oracle_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn store_is_bounded_at_max_series() {
+        let st = store(4);
+        for i in 0..(MAX_SERIES + 10) {
+            st.record_at(&format!("s{i}"), SeriesKind::Gauge, 1.0, 0);
+        }
+        assert_eq!(st.len(), MAX_SERIES);
+        // Existing series keep recording even at the cap.
+        st.record_at("s0", SeriesKind::Gauge, 2.0, SEC);
+        assert_eq!(st.snapshot("s0").unwrap().last().unwrap().value, 2.0);
+        // The overflow name was dropped, not tracked.
+        assert!(st.snapshot(&format!("s{}", MAX_SERIES + 5)).is_none());
+    }
+
+    #[test]
+    fn config_defaults_and_span() {
+        let cfg = TelemetryConfig::default();
+        assert_eq!(cfg.resolution, Duration::from_secs(5));
+        assert_eq!(cfg.slots, 512);
+        assert_eq!(cfg.span(), Duration::from_secs(5 * 512));
+    }
+}

@@ -1,0 +1,447 @@
+//! Serving health watchdog: a pure state machine the telemetry sampler
+//! feeds one [`WatchdogSample`] per tick, producing a per-plan
+//! [`HealthReport`] (`Healthy` / `Degraded` / `Unhealthy`).
+//!
+//! ## Detected conditions
+//!
+//! - **Queue stall** — queue depth > 0 with zero completions across
+//!   [`WatchdogConfig::stall_samples`] consecutive ticks ⇒ `Unhealthy`.
+//!   A wedged replica (or a deadlocked scheduler) shows up here even
+//!   when heartbeats still tick.
+//! - **Deadline-miss streak** — ticks with new expiries:
+//!   [`WatchdogConfig::miss_streak_degraded`] consecutive ⇒ `Degraded`,
+//!   [`WatchdogConfig::miss_streak_unhealthy`] ⇒ `Unhealthy`.
+//! - **Eviction storm** — at least [`WatchdogConfig::eviction_storm`]
+//!   session evictions in one tick ⇒ `Degraded` (session capacity is
+//!   thrashing).
+//! - **Stale heartbeat** — a replica that hasn't pulled work for
+//!   [`WatchdogConfig::heartbeat_stale`] while requests are outstanding
+//!   ⇒ `Degraded`; twice that ⇒ `Unhealthy`. Idle replicas (nothing
+//!   outstanding) never trip this.
+//!
+//! ## Hysteresis
+//!
+//! The worst firing condition wins **immediately** on the way up; on
+//! the way down the state steps one level per
+//! [`WatchdogConfig::recovery_samples`] consecutive clean ticks
+//! (`Unhealthy → Degraded → Healthy`), so health can't flap on a
+//! single good sample.
+
+use std::time::Duration;
+
+/// Per-plan health, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// All conditions clear.
+    Healthy,
+    /// Serving, but impaired (misses, eviction storm, stale replica).
+    Degraded,
+    /// Not meeting its contract; `/healthz` answers 503.
+    Unhealthy,
+}
+
+impl HealthState {
+    /// Stable lowercase label (`healthy` / `degraded` / `unhealthy`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Unhealthy => "unhealthy",
+        }
+    }
+
+    /// Numeric code for the `ttsnn_health_state` gauge: 0 / 1 / 2.
+    pub fn code(self) -> u64 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Degraded => 1,
+            HealthState::Unhealthy => 2,
+        }
+    }
+
+    fn step_down(self) -> HealthState {
+        match self {
+            HealthState::Unhealthy => HealthState::Degraded,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+/// Watchdog thresholds. Defaults suit the default 5 s sampler tick;
+/// tests and fast-tick deployments shrink them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Consecutive no-completion ticks (with queue depth > 0) before a
+    /// stall is declared.
+    pub stall_samples: usize,
+    /// Consecutive ticks with new deadline misses before `Degraded`.
+    pub miss_streak_degraded: usize,
+    /// Consecutive ticks with new deadline misses before `Unhealthy`.
+    pub miss_streak_unhealthy: usize,
+    /// Session evictions in a single tick that count as a storm.
+    pub eviction_storm: u64,
+    /// A replica heartbeat older than this (with work outstanding) is
+    /// stale; twice this is `Unhealthy`.
+    pub heartbeat_stale: Duration,
+    /// Consecutive clean ticks before stepping down one health level.
+    pub recovery_samples: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_samples: 3,
+            miss_streak_degraded: 2,
+            miss_streak_unhealthy: 5,
+            eviction_storm: 8,
+            heartbeat_stale: Duration::from_secs(10),
+            recovery_samples: 2,
+        }
+    }
+}
+
+/// One tick's observation of a plan, distilled from `ClusterMetrics`.
+/// Counter fields are **cumulative**; the watchdog derives deltas.
+#[derive(Debug, Clone, Default)]
+pub struct WatchdogSample {
+    /// Jobs waiting in the scheduler queue.
+    pub queue_depth: usize,
+    /// Jobs admitted but not yet terminal.
+    pub outstanding: usize,
+    /// Cumulative terminal transitions (served + expired + failed +
+    /// cancelled, stream chunks included).
+    pub completions: u64,
+    /// Cumulative deadline expiries.
+    pub deadline_misses: u64,
+    /// Cumulative session evictions.
+    pub evictions: u64,
+    /// Per-replica age of the last scheduler-loop heartbeat (`None`
+    /// before a replica's first pull).
+    pub heartbeat_age: Vec<Option<Duration>>,
+}
+
+/// A watchdog verdict: the state plus a human-readable reason (empty
+/// when healthy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Current health.
+    pub state: HealthState,
+    /// What tripped (or is still recovering), empty when healthy.
+    pub reason: String,
+}
+
+impl HealthReport {
+    /// A healthy report with no reason.
+    pub fn healthy() -> Self {
+        HealthReport { state: HealthState::Healthy, reason: String::new() }
+    }
+}
+
+/// The per-plan health state machine. Feed it one sample per tick via
+/// [`Watchdog::observe`].
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    prev: Option<(u64, u64, u64)>, // completions, misses, evictions
+    stall_run: usize,
+    miss_run: usize,
+    clean_run: usize,
+    state: HealthState,
+    reason: String,
+}
+
+impl Watchdog {
+    /// A fresh (healthy) watchdog.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            prev: None,
+            stall_run: 0,
+            miss_run: 0,
+            clean_run: 0,
+            state: HealthState::Healthy,
+            reason: String::new(),
+        }
+    }
+
+    /// Current health without observing a new sample.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Ingests one tick's sample and returns the updated report.
+    pub fn observe(&mut self, s: &WatchdogSample) -> HealthReport {
+        let (completion_delta, miss_delta, eviction_delta) = match self.prev {
+            // Counter resets (restart) clamp to "no progress observed".
+            Some((pc, pm, pe)) => (
+                s.completions.saturating_sub(pc),
+                s.deadline_misses.saturating_sub(pm),
+                s.evictions.saturating_sub(pe),
+            ),
+            None => (0, 0, 0),
+        };
+        let first = self.prev.is_none();
+        self.prev = Some((s.completions, s.deadline_misses, s.evictions));
+
+        // Track condition runs.
+        if !first && s.queue_depth > 0 && completion_delta == 0 {
+            self.stall_run += 1;
+        } else {
+            self.stall_run = 0;
+        }
+        if miss_delta > 0 {
+            self.miss_run += 1;
+        } else {
+            self.miss_run = 0;
+        }
+
+        // Evaluate conditions, worst first.
+        let mut target = HealthState::Healthy;
+        let mut reason = String::new();
+        // Conditions are evaluated worst-first, so the first to raise a
+        // level owns the reason.
+        let mut raise = |st: HealthState, why: String| {
+            if st > target {
+                target = st;
+                reason = why;
+            }
+        };
+        if self.stall_run >= self.cfg.stall_samples {
+            raise(
+                HealthState::Unhealthy,
+                format!(
+                    "queue stalled: depth {} with no completions across {} samples",
+                    s.queue_depth, self.stall_run
+                ),
+            );
+        }
+        if self.miss_run >= self.cfg.miss_streak_unhealthy {
+            raise(
+                HealthState::Unhealthy,
+                format!(
+                    "deadline-miss streak: {} consecutive samples with expiries",
+                    self.miss_run
+                ),
+            );
+        } else if self.miss_run >= self.cfg.miss_streak_degraded {
+            raise(
+                HealthState::Degraded,
+                format!(
+                    "deadline-miss streak: {} consecutive samples with expiries",
+                    self.miss_run
+                ),
+            );
+        }
+        if !first && eviction_delta >= self.cfg.eviction_storm {
+            raise(
+                HealthState::Degraded,
+                format!("eviction storm: {eviction_delta} sessions evicted in one sample"),
+            );
+        }
+        if s.outstanding > 0 {
+            let stalest = s
+                .heartbeat_age
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| a.map(|a| (i, a)))
+                .max_by_key(|&(_, a)| a);
+            if let Some((replica, age)) = stalest {
+                if age >= self.cfg.heartbeat_stale.saturating_mul(2) {
+                    raise(
+                        HealthState::Unhealthy,
+                        format!("replica {replica} heartbeat stale for {:.1}s", age.as_secs_f64()),
+                    );
+                } else if age >= self.cfg.heartbeat_stale {
+                    raise(
+                        HealthState::Degraded,
+                        format!("replica {replica} heartbeat stale for {:.1}s", age.as_secs_f64()),
+                    );
+                }
+            }
+        }
+
+        // Worst condition wins immediately; recovery steps down one
+        // level per `recovery_samples` clean ticks.
+        if target >= self.state {
+            self.state = target;
+            self.reason = reason;
+            self.clean_run = 0;
+        } else {
+            self.clean_run += 1;
+            if self.clean_run >= self.cfg.recovery_samples {
+                self.state = self.state.step_down();
+                self.clean_run = 0;
+                self.reason = if self.state == HealthState::Healthy {
+                    String::new()
+                } else if reason.is_empty() {
+                    format!("recovering: {}", self.reason)
+                } else {
+                    reason
+                };
+            } else if !reason.is_empty() {
+                self.reason = reason;
+            }
+        }
+        HealthReport { state: self.state, reason: self.reason.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            stall_samples: 3,
+            miss_streak_degraded: 2,
+            miss_streak_unhealthy: 4,
+            eviction_storm: 5,
+            heartbeat_stale: Duration::from_secs(1),
+            recovery_samples: 2,
+        }
+    }
+
+    fn sample(depth: usize, completions: u64) -> WatchdogSample {
+        WatchdogSample { queue_depth: depth, completions, ..Default::default() }
+    }
+
+    #[test]
+    fn quiet_samples_stay_healthy() {
+        let mut dog = Watchdog::new(cfg());
+        for i in 0..10 {
+            let r = dog.observe(&sample(0, i * 3));
+            assert_eq!(r.state, HealthState::Healthy);
+            assert!(r.reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn stall_requires_n_consecutive_samples() {
+        let mut dog = Watchdog::new(cfg());
+        dog.observe(&sample(4, 10));
+        // Two stalled ticks: not yet.
+        assert_eq!(dog.observe(&sample(4, 10)).state, HealthState::Healthy);
+        assert_eq!(dog.observe(&sample(4, 10)).state, HealthState::Healthy);
+        // Third trips it.
+        let r = dog.observe(&sample(4, 10));
+        assert_eq!(r.state, HealthState::Unhealthy);
+        assert!(r.reason.contains("queue stalled"), "{}", r.reason);
+        // A completion breaks the run... but recovery is hysteretic.
+        let r = dog.observe(&sample(2, 11));
+        assert_eq!(r.state, HealthState::Unhealthy, "one clean tick is not enough");
+        let r = dog.observe(&sample(0, 12));
+        assert_eq!(r.state, HealthState::Degraded, "steps down one level");
+        dog.observe(&sample(0, 13));
+        let r = dog.observe(&sample(0, 14));
+        assert_eq!(r.state, HealthState::Healthy);
+        assert!(r.reason.is_empty());
+    }
+
+    #[test]
+    fn progress_with_deep_queue_is_not_a_stall() {
+        let mut dog = Watchdog::new(cfg());
+        for i in 0..10 {
+            let r = dog.observe(&sample(100, i));
+            assert_eq!(r.state, HealthState::Healthy, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn miss_streak_escalates_then_recovers() {
+        let mut dog = Watchdog::new(cfg());
+        let tick = |dog: &mut Watchdog, misses: u64, completions: u64| {
+            dog.observe(&WatchdogSample {
+                completions,
+                deadline_misses: misses,
+                ..Default::default()
+            })
+        };
+        tick(&mut dog, 0, 1);
+        assert_eq!(tick(&mut dog, 2, 2).state, HealthState::Healthy, "one missy tick");
+        let r = tick(&mut dog, 5, 3);
+        assert_eq!(r.state, HealthState::Degraded);
+        assert!(r.reason.contains("deadline-miss streak"), "{}", r.reason);
+        tick(&mut dog, 9, 4);
+        let r = tick(&mut dog, 12, 5);
+        assert_eq!(r.state, HealthState::Unhealthy, "4 consecutive missy ticks");
+        // Misses stop: two clean ticks per level down.
+        tick(&mut dog, 12, 6);
+        assert_eq!(tick(&mut dog, 12, 7).state, HealthState::Degraded);
+        tick(&mut dog, 12, 8);
+        assert_eq!(tick(&mut dog, 12, 9).state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn eviction_storm_degrades_for_one_burst() {
+        let mut dog = Watchdog::new(cfg());
+        dog.observe(&WatchdogSample { evictions: 0, ..Default::default() });
+        let r = dog.observe(&WatchdogSample { evictions: 6, ..Default::default() });
+        assert_eq!(r.state, HealthState::Degraded);
+        assert!(r.reason.contains("eviction storm"), "{}", r.reason);
+        // Slow eviction drip below the storm threshold is fine.
+        let mut dog = Watchdog::new(cfg());
+        for i in 0..10u64 {
+            let r = dog.observe(&WatchdogSample { evictions: i * 2, ..Default::default() });
+            assert_eq!(r.state, HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn stale_heartbeat_only_matters_with_work_outstanding() {
+        let mut dog = Watchdog::new(cfg());
+        let stale = Some(Duration::from_secs(3));
+        // Idle: stale heartbeat ignored.
+        let r = dog.observe(&WatchdogSample {
+            outstanding: 0,
+            heartbeat_age: vec![stale],
+            ..Default::default()
+        });
+        assert_eq!(r.state, HealthState::Healthy);
+        // Outstanding work + >2× stale: unhealthy immediately.
+        let r = dog.observe(&WatchdogSample {
+            outstanding: 2,
+            heartbeat_age: vec![Some(Duration::from_millis(100)), stale],
+            ..Default::default()
+        });
+        assert_eq!(r.state, HealthState::Unhealthy);
+        assert!(r.reason.contains("replica 1"), "{}", r.reason);
+        // Mildly stale would only degrade.
+        let mut dog = Watchdog::new(cfg());
+        let r = dog.observe(&WatchdogSample {
+            outstanding: 1,
+            heartbeat_age: vec![Some(Duration::from_millis(1500))],
+            ..Default::default()
+        });
+        assert_eq!(r.state, HealthState::Degraded);
+    }
+
+    #[test]
+    fn counter_reset_does_not_fake_progress_or_misses() {
+        let mut dog = Watchdog::new(cfg());
+        dog.observe(&WatchdogSample {
+            completions: 100,
+            deadline_misses: 50,
+            ..Default::default()
+        });
+        // Restart: counters drop to small values. saturating_sub clamps
+        // deltas to 0 — no phantom miss streak, and a stalled queue
+        // still counts from scratch.
+        let r = dog.observe(&WatchdogSample {
+            completions: 2,
+            deadline_misses: 1,
+            queue_depth: 1,
+            ..Default::default()
+        });
+        assert_eq!(r.state, HealthState::Healthy);
+    }
+
+    #[test]
+    fn health_state_order_and_codes() {
+        assert!(HealthState::Unhealthy > HealthState::Degraded);
+        assert!(HealthState::Degraded > HealthState::Healthy);
+        assert_eq!(HealthState::Healthy.code(), 0);
+        assert_eq!(HealthState::Degraded.code(), 1);
+        assert_eq!(HealthState::Unhealthy.code(), 2);
+        assert_eq!(HealthState::Unhealthy.as_str(), "unhealthy");
+    }
+}

@@ -26,6 +26,15 @@
 //! * Overload control lives in `ttsnn_infer::sched`: per-tenant weighted
 //!   fair queueing and token-bucket rate limits, surfaced here as
 //!   structured retryable wire statuses with retry-after hints.
+//! * Continuous telemetry ([`telemetry`]): a background sampler thread
+//!   snapshots every plan's metrics into bounded time-series rings
+//!   (`TTSNN_TELEMETRY_RESOLUTION_MS` / `TTSNN_TELEMETRY_SLOTS`),
+//!   evaluates multi-window SLO burn rates (`TTSNN_SLO_LATENCY_MS` /
+//!   `TTSNN_SLO_TARGET`), and runs a per-plan health watchdog whose
+//!   verdict drives `/healthz` (503 + reason when `Unhealthy`). History
+//!   is browsable at `GET /debug/slo` and `GET /debug/timeline`, and
+//!   exported as `ttsnn_slo_*` / `ttsnn_health_state` gauges on
+//!   `/metrics`. Disable with `TTSNN_TELEMETRY=off`.
 //!
 //! The determinism contract survives the network hop: scheduling order,
 //! fair-queueing policy, worker count, and replica count change
@@ -65,8 +74,10 @@ pub mod client;
 pub mod prom;
 pub mod router;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use client::{http_get, Client};
 pub use router::{PlanSpec, Router};
 pub use server::{Server, ServerConfig};
+pub use telemetry::{HealthBoard, TelemetryOptions, TelemetryPlane, TelemetryShared};

@@ -16,6 +16,9 @@
 use std::time::Duration;
 
 use ttsnn_infer::{ClusterMetrics, Priority};
+use ttsnn_obs::watchdog::HealthReport;
+
+use crate::telemetry::PlanStatus;
 
 /// Stable label value for a priority class.
 fn priority_label(p: Priority) -> &'static str {
@@ -423,6 +426,91 @@ pub fn render_process(uptime: Duration) -> String {
     out
 }
 
+/// Renders the telemetry-plane families the `/metrics` page appends
+/// after the process families: the watchdog health gauge (from the
+/// router's health board, so every mounted plan has a series even
+/// before the first sampler tick), the multi-window SLO burn rates,
+/// availability and budget-remaining gauges, and the per-replica
+/// scheduler-heartbeat ages the watchdog keys on. `HELP`/`TYPE` headers
+/// are emitted unconditionally so the families exist on every scrape.
+pub fn render_telemetry(
+    health: &[(String, HealthReport)],
+    plans: &[(String, PlanStatus)],
+) -> String {
+    let mut out = String::new();
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_health_state",
+            "gauge",
+            "Watchdog health per plan: 0 healthy, 1 degraded, 2 unhealthy.",
+        );
+        for (plan, report) in health {
+            f.sample("ttsnn_health_state", &[("plan", plan)], report.state.code() as f64);
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_slo_burn_rate",
+            "gauge",
+            "SLO error-budget burn rate over each trailing window (1.0 = sustainable pace).",
+        );
+        for (plan, status) in plans {
+            for &(window, burn) in &status.slo.burn {
+                f.sample("ttsnn_slo_burn_rate", &[("plan", plan), ("window", window)], burn);
+            }
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_slo_availability",
+            "gauge",
+            "Good-event fraction over the slow burn window (1.0 when idle).",
+        );
+        for (plan, status) in plans {
+            f.sample("ttsnn_slo_availability", &[("plan", plan)], status.slo.availability);
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_slo_error_budget_remaining",
+            "gauge",
+            "1 - slow-window burn rate; negative when over budget.",
+        );
+        for (plan, status) in plans {
+            f.sample(
+                "ttsnn_slo_error_budget_remaining",
+                &[("plan", plan)],
+                status.slo.budget_remaining,
+            );
+        }
+    }
+    {
+        let mut f = Family::new(
+            &mut out,
+            "ttsnn_replica_heartbeat_age_seconds",
+            "gauge",
+            "Age of each replica's last scheduler-loop heartbeat at the last telemetry tick.",
+        );
+        for (plan, status) in plans {
+            for (i, age) in status.heartbeat_age.iter().enumerate() {
+                if let Some(age) = age {
+                    let replica = i.to_string();
+                    f.sample(
+                        "ttsnn_replica_heartbeat_age_seconds",
+                        &[("plan", plan), ("replica", &replica)],
+                        age.as_secs_f64(),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +531,44 @@ mod tests {
         let mut f = Family::new(&mut out, "x_total", "counter", "Test.");
         f.sample("x_total", &[("plan", "we\"ird\n")], 1.0);
         assert!(out.ends_with("x_total{plan=\"we\\\"ird\\n\"} 1\n"));
+    }
+
+    #[test]
+    fn telemetry_families_render_headers_even_when_empty() {
+        let page = render_telemetry(&[], &[]);
+        for family in [
+            "ttsnn_health_state",
+            "ttsnn_slo_burn_rate",
+            "ttsnn_slo_availability",
+            "ttsnn_slo_error_budget_remaining",
+            "ttsnn_replica_heartbeat_age_seconds",
+        ] {
+            assert!(page.contains(&format!("# TYPE {family} gauge")), "{family}:\n{page}");
+        }
+
+        use ttsnn_obs::watchdog::{HealthReport, HealthState};
+        let report = HealthReport { state: HealthState::Degraded, reason: "misses".into() };
+        let health = vec![("p".to_string(), report.clone())];
+        let mut slo = ttsnn_obs::slo::SloStatus::idle();
+        slo.burn = vec![("5m", 1.5), ("1h", 0.5), ("6h", 0.25)];
+        let plans = vec![(
+            "p".to_string(),
+            PlanStatus {
+                health: report,
+                slo,
+                heartbeat_age: vec![Some(Duration::from_millis(500)), None],
+            },
+        )];
+        let page = render_telemetry(&health, &plans);
+        assert!(page.contains("ttsnn_health_state{plan=\"p\"} 1"), "{page}");
+        assert!(page.contains("ttsnn_slo_burn_rate{plan=\"p\",window=\"5m\"} 1.5"), "{page}");
+        assert!(page.contains("ttsnn_slo_availability{plan=\"p\"} 1"), "{page}");
+        assert!(
+            page.contains("ttsnn_replica_heartbeat_age_seconds{plan=\"p\",replica=\"0\"} 0.5"),
+            "{page}"
+        );
+        // A replica with no heartbeat yet has no series.
+        assert!(!page.contains("replica=\"1\""), "{page}");
     }
 
     #[test]

@@ -16,7 +16,10 @@ use ttsnn_infer::{
     Cluster, ClusterConfig, ClusterMetrics, ClusterSession, InferError, PlanDrift, QuantSpec,
     SpikeDensityReport,
 };
+use ttsnn_obs::watchdog::HealthReport;
 use ttsnn_tensor::Tensor;
+
+use crate::telemetry::HealthBoard;
 
 /// One plan to mount: a name, a serving config, an optional quantization
 /// spec (present = freeze an int8 plan), and the checkpoint bytes.
@@ -40,6 +43,7 @@ struct Plan {
 /// A set of mounted plans, routed by name.
 pub struct Router {
     plans: BTreeMap<String, Plan>,
+    health: HealthBoard,
 }
 
 impl Router {
@@ -67,7 +71,25 @@ impl Router {
             let session = cluster.session();
             plans.insert(spec.name, Plan { cluster, session });
         }
-        Ok(Router { plans })
+        Ok(Router { plans, health: HealthBoard::default() })
+    }
+
+    /// The health board the telemetry sampler publishes per-plan
+    /// watchdog verdicts to (and `/healthz` reads from). Cloning shares
+    /// the same board.
+    pub fn health_board(&self) -> HealthBoard {
+        self.health.clone()
+    }
+
+    /// A plan's current watchdog verdict — `Healthy` before the first
+    /// sampler tick, or when telemetry is off.
+    pub fn health(&self, plan: &str) -> HealthReport {
+        self.health.get(plan)
+    }
+
+    /// Every mounted plan's current health, plan-name order.
+    pub fn health_all(&self) -> Vec<(String, HealthReport)> {
+        self.plans.keys().map(|name| (name.clone(), self.health.get(name))).collect()
     }
 
     /// Mounted plan names, sorted.

@@ -39,9 +39,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ttsnn_infer::{InferError, SubmitError, SubmitOptions};
+use ttsnn_obs::watchdog::HealthState;
 
 use crate::prom;
 use crate::router::Router;
+use crate::telemetry::{self, PlanSource, TelemetryOptions, TelemetryPlane, TelemetryShared};
 use crate::wire::{self, Frame, FrameReadError, Request, Response, Status};
 
 /// Listener and pool knobs.
@@ -59,6 +61,9 @@ pub struct ServerConfig {
     /// Socket read timeout — the shutdown-poll interval for idle
     /// connections.
     pub read_timeout: Duration,
+    /// The continuous telemetry plane: sampler geometry, SLO, and
+    /// watchdog thresholds (`TTSNN_TELEMETRY*` / `TTSNN_SLO_*`).
+    pub telemetry: TelemetryOptions,
 }
 
 impl Default for ServerConfig {
@@ -68,15 +73,18 @@ impl Default for ServerConfig {
             workers: 4,
             max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
             read_timeout: Duration::from_millis(250),
+            telemetry: TelemetryOptions::default(),
         }
     }
 }
 
 impl ServerConfig {
     /// Reads `TTSNN_SERVE_ADDR` and `TTSNN_SERVE_CONNS` over the
-    /// defaults; unparsable values are ignored.
+    /// defaults (plus the `TTSNN_TELEMETRY*` / `TTSNN_SLO_*` family via
+    /// [`TelemetryOptions::from_env`]); unparsable values are ignored.
     pub fn from_env() -> Self {
-        let mut cfg = Self::default();
+        let mut cfg =
+            ServerConfig { telemetry: TelemetryOptions::from_env(), ..Default::default() };
         if let Ok(addr) = std::env::var("TTSNN_SERVE_ADDR") {
             if !addr.is_empty() {
                 cfg.addr = addr;
@@ -100,6 +108,9 @@ pub struct Server {
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    // Dropped after the worker threads join (declaration order), so no
+    // HTTP reader can observe a stopped sampler mid-request.
+    telemetry: TelemetryPlane,
 }
 
 impl Server {
@@ -121,6 +132,25 @@ impl Server {
         let started = Instant::now();
         let shutdown = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
+        // The telemetry sampler pulls each plan's metrics through the
+        // same snapshot path a `/metrics` scrape uses.
+        let sources: Vec<PlanSource> = router
+            .plan_names()
+            .into_iter()
+            .map(|name| {
+                let name = name.to_string();
+                let router = Arc::clone(&router);
+                PlanSource {
+                    name: name.clone(),
+                    metrics: Box::new(move || {
+                        router.cluster(&name).expect("mounted plan").metrics()
+                    }),
+                }
+            })
+            .collect();
+        let plane =
+            TelemetryPlane::spawn(config.telemetry.clone(), sources, router.health_board())?;
+        let telemetry_shared = plane.shared();
         let (tx, rx) = channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(config.workers);
@@ -129,10 +159,11 @@ impl Server {
             let router = Arc::clone(&router);
             let shutdown = Arc::clone(&shutdown);
             let cfg = config.clone();
+            let telemetry = Arc::clone(&telemetry_shared);
             workers.push(
-                std::thread::Builder::new()
-                    .name(format!("ttsnn-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &router, &shutdown, &cfg, started))?,
+                std::thread::Builder::new().name(format!("ttsnn-serve-worker-{i}")).spawn(
+                    move || worker_loop(&rx, &router, &shutdown, &cfg, started, &telemetry),
+                )?,
             );
         }
         let accept = {
@@ -141,12 +172,19 @@ impl Server {
                 .name("ttsnn-serve-accept".into())
                 .spawn(move || accept_loop(&listener, &tx, &shutdown))?
         };
-        Ok(Server { addr, shutdown, accept: Some(accept), workers })
+        Ok(Server { addr, shutdown, accept: Some(accept), workers, telemetry: plane })
     }
 
     /// The bound address (resolves the OS-assigned port of `:0` binds).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The telemetry plane's shared state (history rings, SLO status,
+    /// tick counter). The `Arc` stays readable after the server drops;
+    /// its tick counter stops advancing once the sampler joins.
+    pub fn telemetry(&self) -> Arc<TelemetryShared> {
+        self.telemetry.shared()
     }
 }
 
@@ -190,6 +228,7 @@ fn worker_loop(
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
     started: Instant,
+    telemetry: &TelemetryShared,
 ) {
     loop {
         let next = {
@@ -197,7 +236,7 @@ fn worker_loop(
             rx.recv_timeout(Duration::from_millis(100))
         };
         match next {
-            Ok(stream) => handle_connection(stream, router, shutdown, cfg, started),
+            Ok(stream) => handle_connection(stream, router, shutdown, cfg, started, telemetry),
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::SeqCst) {
                     return;
@@ -240,23 +279,28 @@ fn handle_connection(
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
     started: Instant,
+    telemetry: &TelemetryShared,
 ) {
     if stream.set_read_timeout(Some(cfg.read_timeout)).is_err() {
         return;
     }
     let _ = stream.set_nodelay(true);
     match sniff(&stream, shutdown) {
-        Ok(Some(first)) if &first == b"GET " => serve_http(stream, router, started),
+        Ok(Some(first)) if &first == b"GET " => serve_http(stream, router, started, telemetry),
         Ok(Some(_)) => serve_binary(stream, router, shutdown, cfg),
         _ => {}
     }
 }
 
 /// One HTTP/1.1 request, then close (`Connection: close`): `/metrics`
-/// renders the Prometheus page, `/healthz` answers readiness probes with
-/// a JSON body, `/debug/requests` dumps the flight recorder, and
-/// `/trace?id=<trace>` exports one request as Chrome trace-event JSON.
-fn serve_http(mut stream: TcpStream, router: &Router, started: Instant) {
+/// renders the Prometheus page (cluster, process, and telemetry
+/// families), `/healthz` answers readiness probes with a JSON body —
+/// 503 with the watchdog's reason when any plan is `Unhealthy` —
+/// `/debug/requests` dumps the flight recorder, `/debug/slo` the
+/// burn-rate dashboard, `/debug/timeline?series=` the history rings,
+/// and `/trace?id=<trace>` exports one request as Chrome trace-event
+/// JSON.
+fn serve_http(mut stream: TcpStream, router: &Router, started: Instant, tele: &TelemetryShared) {
     // Read until the end of the headers (we ignore them) with an 8 KiB
     // cap — a scrape request is tiny.
     let mut buf = Vec::with_capacity(512);
@@ -280,10 +324,22 @@ fn serve_http(mut stream: TcpStream, router: &Router, started: Instant) {
         "/metrics" => {
             let mut page = prom::render(&router.metrics());
             page.push_str(&prom::render_process(started.elapsed()));
+            page.push_str(&prom::render_telemetry(&router.health_all(), &tele.plan_status()));
             ("200 OK", "text/plain; version=0.0.4; charset=utf-8", page)
         }
-        "/healthz" => ("200 OK", JSON, healthz_body(router, started)),
+        "/healthz" => {
+            let (status, body) = healthz_body(router, started, query);
+            (status, JSON, body)
+        }
         "/debug/requests" => ("200 OK", TEXT, ttsnn_obs::debug_requests_text()),
+        "/debug/slo" => ("200 OK", TEXT, telemetry::debug_slo_text(tele, &router.health_all())),
+        "/debug/timeline" => {
+            let series = query.split('&').find_map(|kv| kv.strip_prefix("series="));
+            match telemetry::timeline_text(tele, series) {
+                Ok(body) => ("200 OK", TEXT, body),
+                Err(body) => ("404 Not Found", TEXT, body),
+            }
+        }
         "/trace" => match trace_body(query) {
             Some(body) => ("200 OK", JSON, body),
             None => ("404 Not Found", TEXT, "no such trace (usage: /trace?id=<trace>)\n".into()),
@@ -300,27 +356,61 @@ fn serve_http(mut stream: TcpStream, router: &Router, started: Instant) {
     );
 }
 
-/// The `/healthz` readiness body: liveness plus per-plan replica counts
-/// and queue depths, hand-built JSON (plan names are escaped through the
-/// same rules as Prometheus label values, which cover `"` and `\`).
-fn healthz_body(router: &Router, started: Instant) -> String {
-    let mut body = format!(
-        "{{\"status\":\"ok\",\"uptime_seconds\":{},\"plans\":[",
-        started.elapsed().as_secs()
-    );
+/// The `/healthz` readiness body and status line: liveness plus
+/// per-plan replica counts, queue depths, and watchdog health,
+/// hand-built JSON (plan names and reasons are escaped through the same
+/// rules as Prometheus label values, which cover `"` and `\`).
+///
+/// Wired to the telemetry watchdog: any `Unhealthy` plan flips the
+/// probe to `503 Service Unavailable` with the watchdog's reason in the
+/// body; `Degraded` keeps answering 200 (the plan still serves) with
+/// `"status":"degraded"`. `?verbose=1` adds each plan's reason and
+/// health detail.
+fn healthz_body(router: &Router, started: Instant, query: &str) -> (&'static str, String) {
+    let verbose = query.split('&').any(|kv| kv == "verbose=1" || kv == "verbose");
+    let health = router.health_all();
+    let worst = health.iter().map(|(_, r)| r.state).max().unwrap_or(HealthState::Healthy);
+    let status = match worst {
+        HealthState::Healthy => "ok",
+        HealthState::Degraded => "degraded",
+        HealthState::Unhealthy => "unhealthy",
+    };
+    let mut body = format!("{{\"status\":\"{status}\"");
+    if worst == HealthState::Unhealthy {
+        if let Some((plan, report)) = health.iter().find(|(_, r)| r.state == HealthState::Unhealthy)
+        {
+            body.push_str(&format!(
+                ",\"reason\":\"{}: {}\"",
+                prom::escape_label(plan),
+                prom::escape_label(&report.reason)
+            ));
+        }
+    }
+    body.push_str(&format!(",\"uptime_seconds\":{},\"plans\":[", started.elapsed().as_secs()));
     for (i, (plan, m)) in router.metrics().iter().enumerate() {
         if i > 0 {
             body.push(',');
         }
+        let report = router.health(plan);
         body.push_str(&format!(
-            "{{\"name\":\"{}\",\"replicas\":{},\"queue_depth\":{}}}",
+            "{{\"name\":\"{}\",\"replicas\":{},\"queue_depth\":{},\"health\":\"{}\"",
             prom::escape_label(plan),
             m.replicas,
-            m.queue_depth
+            m.queue_depth,
+            report.state.as_str()
         ));
+        if verbose {
+            body.push_str(&format!(
+                ",\"reason\":\"{}\",\"outstanding\":{}",
+                prom::escape_label(&report.reason),
+                m.outstanding
+            ));
+        }
+        body.push('}');
     }
     body.push_str("]}\n");
-    body
+    let code = if worst == HealthState::Unhealthy { "503 Service Unavailable" } else { "200 OK" };
+    (code, body)
 }
 
 /// Resolves a `/trace?id=<trace>` query to its Chrome trace-event JSON

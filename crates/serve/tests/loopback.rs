@@ -18,7 +18,7 @@ use ttsnn_infer::{
     ClusterConfig, FairPolicy, Priority, QuantSpec, RateLimit, SubmitOptions, TenantPolicy,
 };
 use ttsnn_serve::wire::{Request, Status};
-use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig, TelemetryOptions};
 use ttsnn_snn::ConvPolicy;
 use ttsnn_testutil::{samples, vgg_checkpoint, vgg_cluster_config};
 
@@ -115,8 +115,11 @@ fn socket_parity_with_in_process_cluster_f32_and_int8() {
         },
     ])
     .expect("mount plans");
-    let server = Server::bind(ServerConfig { workers: 3, ..Default::default() }, router)
-        .expect("bind server");
+    let server = Server::bind(
+        ServerConfig { workers: 3, telemetry: TelemetryOptions::from_env(), ..Default::default() },
+        router,
+    )
+    .expect("bind server");
     let addr = server.addr();
 
     // Three concurrent client connections per plan, mixed priorities and
@@ -200,7 +203,12 @@ fn bad_frames_do_not_kill_the_connection() {
     }])
     .unwrap();
     let server = Server::bind(
-        ServerConfig { workers: 2, max_frame_bytes: 4096, ..Default::default() },
+        ServerConfig {
+            workers: 2,
+            max_frame_bytes: 4096,
+            telemetry: TelemetryOptions::from_env(),
+            ..Default::default()
+        },
         router,
     )
     .unwrap();
@@ -257,7 +265,11 @@ fn expired_deadline_travels_as_status_and_tenant_metric() {
         checkpoint: ckpt,
     }])
     .unwrap();
-    let server = Server::bind(ServerConfig { workers: 6, ..Default::default() }, router).unwrap();
+    let server = Server::bind(
+        ServerConfig { workers: 6, telemetry: TelemetryOptions::from_env(), ..Default::default() },
+        router,
+    )
+    .unwrap();
     let addr = server.addr();
 
     std::thread::scope(|scope| {
@@ -306,7 +318,11 @@ fn saturation_and_rate_limit_travel_as_retryable_statuses() {
     let router =
         Router::load(vec![PlanSpec { name: "vgg".into(), config, quant: None, checkpoint: ckpt }])
             .unwrap();
-    let server = Server::bind(ServerConfig { workers: 3, ..Default::default() }, router).unwrap();
+    let server = Server::bind(
+        ServerConfig { workers: 3, telemetry: TelemetryOptions::from_env(), ..Default::default() },
+        router,
+    )
+    .unwrap();
     let addr = server.addr();
 
     // Saturation: a slow request in flight fills the capacity-1 queue;
@@ -411,7 +427,12 @@ fn stalled_connections_do_not_wedge_workers() {
     }])
     .unwrap();
     let server = Server::bind(
-        ServerConfig { workers: 1, read_timeout: Duration::from_millis(50), ..Default::default() },
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(50),
+            telemetry: TelemetryOptions::from_env(),
+            ..Default::default()
+        },
         router,
     )
     .unwrap();

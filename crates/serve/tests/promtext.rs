@@ -2,15 +2,18 @@
 //! every family declares `# HELP` / `# TYPE` exactly once, every sample
 //! belongs to a declared family, histogram `le` buckets are cumulative
 //! and end in `+Inf`, and each histogram's `_count` equals its `+Inf`
-//! bucket — including the new process-level stage-latency families.
+//! bucket — including the process-level stage-latency families and the
+//! telemetry plane's `ttsnn_slo_*` / `ttsnn_health_*` families, whose
+//! label cardinality must stay bounded by plans × burn windows.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::time::Duration;
 
 use ttsnn_core::TtMode;
 use ttsnn_infer::Priority;
+use ttsnn_obs::timeseries::TelemetryConfig;
 use ttsnn_serve::wire::{Request, Status};
-use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig, TelemetryOptions};
 use ttsnn_snn::ConvPolicy;
 use ttsnn_testutil::{samples, vgg_checkpoint, vgg_cluster_config};
 
@@ -56,8 +59,16 @@ fn live_metrics_scrape_passes_the_promtext_lint() {
         checkpoint: ckpt,
     }])
     .unwrap();
-    let server = Server::bind(ServerConfig { workers: 2, ..Default::default() }, router).unwrap();
+    // A fast sampler tick so the telemetry families carry live data by
+    // the time the page is linted.
+    let telemetry = TelemetryOptions {
+        timeseries: TelemetryConfig { resolution: Duration::from_millis(10), slots: 128 },
+        ..Default::default()
+    };
+    let server =
+        Server::bind(ServerConfig { workers: 2, telemetry, ..Default::default() }, router).unwrap();
     let addr = server.addr();
+    let shared = server.telemetry();
 
     // Generate traffic so the latency, batch-size, and stage histograms
     // all carry observations.
@@ -74,6 +85,13 @@ fn live_metrics_scrape_passes_the_promtext_lint() {
         let resp = client.request(&req).unwrap();
         assert_eq!(resp.status, Status::Ok, "{}", resp.message);
     }
+    // Let the sampler observe the traffic (at least two ticks so the
+    // burn windows have a counter baseline).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let first = shared.ticks();
+    while shared.ticks() < first + 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
 
     let (code, page) = http_get(addr, "/metrics").unwrap();
     assert_eq!(code, 200);
@@ -86,9 +104,34 @@ fn live_metrics_scrape_passes_the_promtext_lint() {
         "ttsnn_build_info{version=\"",
         "ttsnn_stage_latency_seconds_count{stage=\"execute\"}",
         "ttsnn_stage_latency_seconds_count{stage=\"queue_wait\"}",
+        "# TYPE ttsnn_health_state gauge",
+        "# TYPE ttsnn_slo_burn_rate gauge",
+        "# TYPE ttsnn_slo_availability gauge",
+        "# TYPE ttsnn_slo_error_budget_remaining gauge",
+        "# TYPE ttsnn_replica_heartbeat_age_seconds gauge",
+        "ttsnn_health_state{plan=\"vgg\"} 0",
     ] {
         assert!(page.contains(needle), "metrics page missing {needle:?}:\n{page}");
     }
+
+    // Telemetry-family cardinality is bounded by plans × windows: one
+    // burn series per (plan, window), one health/availability/budget
+    // series per plan, heartbeat series bounded by replicas.
+    let series_with =
+        |prefix: &str| -> Vec<&str> { page.lines().filter(|l| l.starts_with(prefix)).collect() };
+    let burn = series_with("ttsnn_slo_burn_rate{");
+    assert_eq!(burn.len(), 3, "1 plan x 3 windows:\n{burn:?}");
+    for window in ["5m", "1h", "6h"] {
+        assert!(
+            burn.iter().any(|l| l.contains(&format!("window=\"{window}\""))),
+            "missing window {window}: {burn:?}"
+        );
+    }
+    assert!(burn.iter().all(|l| l.contains("plan=\"vgg\"")), "{burn:?}");
+    assert_eq!(series_with("ttsnn_health_state{").len(), 1);
+    assert_eq!(series_with("ttsnn_slo_availability{").len(), 1);
+    assert_eq!(series_with("ttsnn_slo_error_budget_remaining{").len(), 1);
+    assert!(series_with("ttsnn_replica_heartbeat_age_seconds{").len() <= 1, "1 replica mounted");
 
     // Pass 1: HELP/TYPE exactly once per family, HELP before TYPE.
     let mut help_count: HashMap<String, usize> = HashMap::new();

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 use ttsnn_core::TtMode;
 use ttsnn_infer::{ClusterConfig, FairPolicy, Priority, RateLimit, TenantPolicy};
 use ttsnn_serve::wire::{Request, Status};
-use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use ttsnn_serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig, TelemetryOptions};
 use ttsnn_snn::ConvPolicy;
 use ttsnn_testutil::{samples, vgg_checkpoint, vgg_cluster_config};
 
@@ -77,7 +77,11 @@ fn served_request_yields_a_retrievable_trace() {
         checkpoint: ckpt,
     }])
     .unwrap();
-    let server = Server::bind(ServerConfig { workers: 2, ..Default::default() }, router).unwrap();
+    let server = Server::bind(
+        ServerConfig { workers: 2, telemetry: TelemetryOptions::from_env(), ..Default::default() },
+        router,
+    )
+    .unwrap();
     let addr = server.addr();
 
     let mut client = Client::connect(addr).unwrap();
@@ -152,7 +156,11 @@ fn rejected_requests_are_traced_and_never_leak() {
         checkpoint: ckpt,
     }])
     .unwrap();
-    let server = Server::bind(ServerConfig { workers: 2, ..Default::default() }, router).unwrap();
+    let server = Server::bind(
+        ServerConfig { workers: 2, telemetry: TelemetryOptions::from_env(), ..Default::default() },
+        router,
+    )
+    .unwrap();
     let addr = server.addr();
 
     let mut client = Client::connect(addr).unwrap();

@@ -14,11 +14,14 @@
 //! cargo run --release --example serve_net
 //! ```
 
+use std::time::Duration;
+
 use tt_snn::core::TtMode;
 use tt_snn::infer::ClusterConfig;
 use tt_snn::infer::{ArchSpec, EngineConfig, FairPolicy, Priority, RateLimit, TenantPolicy};
+use tt_snn::obs::timeseries::TelemetryConfig;
 use tt_snn::serve::wire::{Request, Status};
-use tt_snn::serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig};
+use tt_snn::serve::{http_get, Client, PlanSpec, Router, Server, ServerConfig, TelemetryOptions};
 use tt_snn::snn::{checkpoint, ConvPolicy, SpikingModel, VggConfig, VggSnn};
 use tt_snn::tensor::{Rng, Tensor};
 
@@ -50,7 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quant: None,
         checkpoint: ckpt,
     }])?;
-    let server = Server::bind(ServerConfig::default(), router)?;
+    // Sample telemetry every 50 ms so the demo has history to show
+    // before it exits (production keeps the 5 s default).
+    let telemetry = TelemetryOptions {
+        timeseries: TelemetryConfig { resolution: Duration::from_millis(50), slots: 128 },
+        ..Default::default()
+    };
+    let server = Server::bind(ServerConfig { telemetry, ..Default::default() }, router)?;
     let addr = server.addr();
     println!("serving plan \"vgg-demo\" on {addr}");
 
@@ -101,5 +110,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let (code, body) = http_get(addr, "/healthz")?;
     println!("GET /healthz -> {code} {}", body.trim());
+
+    // ---- The continuous telemetry plane: wait for a sampler tick, then
+    // browse the SLO dashboard and one history series as sparkline.
+    // (The demo server samples every 50 ms; production defaults to 5 s.)
+    let shared = server.telemetry();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while shared.ticks() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (code, slo) = http_get(addr, "/debug/slo")?;
+    assert_eq!(code, 200);
+    println!("\nGET /debug/slo:\n{slo}");
+    let series = "plan/vgg-demo/served_total";
+    let (code, timeline) = http_get(addr, &format!("/debug/timeline?series={series}"))?;
+    assert_eq!(code, 200);
+    println!("GET /debug/timeline?series={series}:\n{timeline}");
     Ok(())
 }

@@ -50,6 +50,7 @@ pub use ttsnn_autograd as autograd;
 pub use ttsnn_core as core;
 pub use ttsnn_data as data;
 pub use ttsnn_infer as infer;
+pub use ttsnn_obs as obs;
 pub use ttsnn_serve as serve;
 pub use ttsnn_snn as snn;
 pub use ttsnn_tensor as tensor;
